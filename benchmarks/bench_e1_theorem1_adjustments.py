@@ -1,0 +1,97 @@
+"""E1 -- Theorem 1: the expected influenced-set size is at most 1.
+
+Paper claim: for any single topology change, the expectation over the random
+order of the number of nodes that must change their output is at most 1
+(Theorem 1), hence a single adjustment in expectation (Corollary 6).
+
+Reproduction: apply long mixed change sequences over several graph families
+with the sequential template engine and measure the per-change influenced-set
+size |S|, the adjustment count and the propagation depth, overall and broken
+down by change type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.estimators import mean, summarize
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph.generators import random_graph_family
+from repro.workloads.sequences import mixed_churn_sequence
+
+from harness import emit, emit_table, run_once
+
+FAMILIES = ("erdos_renyi", "preferential", "geometric", "near_regular", "star")
+NUM_NODES = 40
+CHANGES_PER_RUN = 80
+SEEDS = range(4)
+
+
+def run_experiment() -> Dict:
+    per_family = {}
+    by_kind: Dict[str, list] = {}
+    all_sizes, all_adjustments, all_depths = [], [], []
+    for family in FAMILIES:
+        sizes = []
+        for seed in SEEDS:
+            graph = random_graph_family(family, NUM_NODES, seed=seed)
+            maintainer = DynamicMIS(seed=seed + 1000, initial_graph=graph)
+            for change in mixed_churn_sequence(graph, CHANGES_PER_RUN, seed=seed + 2000):
+                report = maintainer.apply(change)
+                sizes.append(report.influenced_size)
+                all_sizes.append(report.influenced_size)
+                all_adjustments.append(report.num_adjustments)
+                all_depths.append(report.num_levels)
+                by_kind.setdefault(report.change_type, []).append(report.influenced_size)
+        per_family[family] = mean(sizes)
+    return {
+        "per_family": per_family,
+        "by_kind": {kind: mean(values) for kind, values in by_kind.items()},
+        "mean_influenced": mean(all_sizes),
+        "mean_adjustments": mean(all_adjustments),
+        "mean_depth": mean(all_depths),
+        "summary": summarize(all_sizes),
+    }
+
+
+def test_e1_theorem1_expected_influenced_set(benchmark):
+    result = run_once(benchmark, run_experiment)
+
+    emit(
+        "E1 / Theorem 1 -- expected influenced set and adjustments per change",
+        [
+            {
+                "row": "E[|S|] over all changes",
+                "paper": "<= 1",
+                "measured": result["mean_influenced"],
+                "verdict": "pass" if result["mean_influenced"] <= 1.15 else "CHECK",
+            },
+            {
+                "row": "E[#adjustments] per change",
+                "paper": "<= 1 (single adjustment)",
+                "measured": result["mean_adjustments"],
+                "verdict": "pass" if result["mean_adjustments"] <= 1.15 else "CHECK",
+            },
+            {
+                "row": "E[propagation depth] (direct rounds)",
+                "paper": "1 round in expectation",
+                "measured": result["mean_depth"],
+                "verdict": "pass" if result["mean_depth"] <= 2.0 else "CHECK",
+            },
+        ],
+    )
+    emit_table(
+        "E1 breakdown: mean |S| per graph family",
+        ["family", "mean |S|"],
+        [[family, value] for family, value in result["per_family"].items()],
+    )
+    emit_table(
+        "E1 breakdown: mean |S| per change type",
+        ["change type", "mean |S|"],
+        [[kind, value] for kind, value in result["by_kind"].items()],
+    )
+
+    assert result["mean_influenced"] <= 1.15
+    assert result["mean_adjustments"] <= result["mean_influenced"] + 1e-9
+    for family, value in result["per_family"].items():
+        assert value <= 1.5, f"family {family} exceeded the Theorem 1 bound by too much"

@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_e*.py`` file reproduces one claim of the paper (see DESIGN.md's
+experiment index).  The benchmarks follow a common pattern:
+
+* a ``run_*`` function executes the experiment and returns a plain dict of
+  measured quantities;
+* the pytest-benchmark fixture times that function (one round -- we care about
+  the measured quantities, the wall-clock time is just a bonus);
+* the test prints the standard paper-vs-measured claim table (visible with
+  ``pytest -s`` and recorded in EXPERIMENTS.md) and asserts the *shape* of the
+  claim (who wins, constant vs growing, within the paper's bound up to
+  sampling slack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.reporting import format_claim_table, format_table
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, claims: Iterable[Dict]) -> None:
+    """Print the standard claim table (captured unless ``-s`` is used)."""
+    print()
+    print(format_claim_table(title, list(claims)))
+
+
+def emit_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Print a free-form series table (for sweeps / figure-style results)."""
+    print()
+    print(format_table(headers, rows, title=title))

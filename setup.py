@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs work in offline environments where the ``wheel``
+package (required by PEP 660 editable builds) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

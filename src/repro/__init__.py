@@ -1,0 +1,48 @@
+"""repro -- a reproduction of "Optimal Dynamic Distributed MIS" (PODC 2016).
+
+The library implements, from scratch, everything the paper by Censor-Hillel,
+Haramaty and Karnin describes or depends on:
+
+* the sequential *template* (Algorithm 1) and the influenced-set analysis of
+  Theorem 1 (:mod:`repro.core`),
+* a synchronous and an asynchronous message-passing simulator of the paper's
+  dynamic distributed model, plus the constant-broadcast protocol of
+  Section 4 (Algorithm 2) and the direct one-round protocol of Corollary 6
+  (:mod:`repro.distributed`),
+* static-algorithm baselines (Luby, a Ghaffari-style degree-local algorithm,
+  sequential greedy) and the deterministic dynamic strawman used by the lower
+  bound (:mod:`repro.baselines`),
+* the applications: dynamic correlation clustering (3-approximation),
+  history-independent maximal matching via the line graph and
+  (Delta+1)-coloring via the clique blowup (:mod:`repro.clustering`,
+  :mod:`repro.matching`, :mod:`repro.coloring`),
+* workload generation, adversaries, lower-bound constructions, statistics and
+  reporting used by the experiment suite (:mod:`repro.workloads`,
+  :mod:`repro.lowerbounds`, :mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import DynamicMIS
+>>> from repro.graph.generators import erdos_renyi_graph
+>>> maintainer = DynamicMIS(seed=1, initial_graph=erdos_renyi_graph(50, 0.1, seed=2))
+>>> maintainer.verify()
+>>> report = maintainer.insert_edge(0, 1) if not maintainer.graph.has_edge(0, 1) else None
+"""
+
+from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
+from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.core.template import TemplateEngine, UpdateReport
+from repro.graph.dynamic_graph import DynamicGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicMIS",
+    "MaintainerStatistics",
+    "TemplateEngine",
+    "UpdateReport",
+    "DynamicGraph",
+    "RandomPriorityAssigner",
+    "DeterministicPriorityAssigner",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Statistics, history-independence tests and report rendering.
+
+* :mod:`repro.analysis.estimators` -- sample means, confidence intervals and
+  simple sweep helpers used by every experiment.
+* :mod:`repro.analysis.history_independence` -- empirical verification of
+  Definition 14: the output distribution of a history independent algorithm
+  depends only on the current graph, so outputs collected over different
+  change histories of the same graph must be statistically indistinguishable.
+* :mod:`repro.analysis.reporting` -- plain-text tables (the benchmark
+  harnesses print these; EXPERIMENTS.md embeds them).
+"""
+
+from repro.analysis.estimators import (
+    confidence_interval,
+    mean,
+    sample_standard_deviation,
+    summarize,
+)
+from repro.analysis.history_independence import (
+    mis_distribution_over_histories,
+    mis_distribution_over_seeds,
+    total_variation_distance,
+)
+from repro.analysis.reporting import format_table, format_claim_table
+
+__all__ = [
+    "mean",
+    "sample_standard_deviation",
+    "confidence_interval",
+    "summarize",
+    "total_variation_distance",
+    "mis_distribution_over_seeds",
+    "mis_distribution_over_histories",
+    "format_table",
+    "format_claim_table",
+]

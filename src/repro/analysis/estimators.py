@@ -1,0 +1,114 @@
+"""Basic estimators used by the experiment harnesses.
+
+The paper's guarantees are exact expectations (e.g. ``E[|S|] <= 1``); the
+experiments estimate those expectations by Monte Carlo over seeds and report
+the sample mean together with a normal-approximation confidence interval, so
+EXPERIMENTS.md can state "paper: <= 1, measured: 0.43 +/- 0.02".
+
+Only the standard library is required; the implementations are deliberately
+simple and well tested rather than clever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def sample_standard_deviation(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    variance = sum((value - center) ** 2 for value in values) / (len(values) - 1)
+    return math.sqrt(variance)
+
+
+def confidence_interval(values: Sequence[float], z_score: float = 1.96) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Returns ``(low, high)``; degenerate (point) interval for fewer than two
+    samples.
+    """
+    values = list(values)
+    center = mean(values)
+    if len(values) < 2:
+        return (center, center)
+    half_width = z_score * sample_standard_deviation(values) / math.sqrt(len(values))
+    return (center - half_width, center + half_width)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one measured quantity."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mean={self.mean:.4f} (95% CI [{self.ci_low:.4f}, {self.ci_high:.4f}]), "
+            f"min={self.minimum:.4f}, max={self.maximum:.4f}, n={self.count}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Full summary of a sample (count, mean, std, min, max, 95% CI)."""
+    values = [float(value) for value in values]
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    low, high = confidence_interval(values)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        std=sample_standard_deviation(values),
+        minimum=min(values),
+        maximum=max(values),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def group_means(pairs: Iterable[Tuple[str, float]]) -> Dict[str, float]:
+    """Mean of the second components grouped by the first (used for per-kind tables)."""
+    groups: Dict[str, List[float]] = {}
+    for key, value in pairs:
+        groups.setdefault(key, []).append(float(value))
+    return {key: mean(values) for key, values in groups.items()}
+
+
+def growth_exponent(x_values: Sequence[float], y_values: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    Used by the scaling experiments to check *shapes*: an O(1) quantity has
+    exponent ~0, a Theta(log n) quantity has a small positive slope in log-log
+    space that shrinks with n, and a linear quantity has exponent ~1.  Points
+    with non-positive coordinates are skipped.
+    """
+    points = [
+        (math.log(x), math.log(y))
+        for x, y in zip(x_values, y_values)
+        if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    mean_x = mean([p[0] for p in points])
+    mean_y = mean([p[1] for p in points])
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

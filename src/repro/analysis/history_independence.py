@@ -1,0 +1,102 @@
+"""Empirical verification of history independence (paper, Definition 14).
+
+An algorithm maintaining a structure ``P`` is *history independent* when, for
+every graph ``G``, the distribution of its output depends only on ``G`` and
+not on the sequence of topology changes that produced ``G``.
+
+Two empirical checks are provided:
+
+* **exact-output check** (:func:`outputs_identical_across_histories`): because
+  the paper's algorithm simulates random greedy under a *fixed* assignment of
+  random IDs, its output after replaying any history that ends at ``G`` must
+  be exactly the greedy MIS of ``G`` under those IDs.  This is a per-seed,
+  deterministic property and the strongest possible check.
+
+* **distribution check** (:func:`mis_distribution_over_histories` plus
+  :func:`total_variation_distance`): collect the output distribution (over
+  fresh random IDs) separately for several histories of the same graph and
+  verify the empirical distributions are close in total variation.  This is
+  the check that also applies to algorithms whose randomness is drawn during
+  the run, and the one that *fails* for the history-dependent natural greedy
+  baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import TopologyChange
+
+Node = Hashable
+OutputDistribution = Dict[FrozenSet[Node], float]
+
+
+def total_variation_distance(
+    first: Mapping[FrozenSet[Node], float], second: Mapping[FrozenSet[Node], float]
+) -> float:
+    """Total variation distance between two distributions over output sets."""
+    support = set(first) | set(second)
+    return 0.5 * sum(abs(first.get(key, 0.0) - second.get(key, 0.0)) for key in support)
+
+
+def mis_distribution_over_seeds(
+    run_history: Callable[[int], FrozenSet[Node]], seeds: Sequence[int]
+) -> OutputDistribution:
+    """Empirical output distribution of ``run_history`` over the given seeds.
+
+    ``run_history(seed)`` must run the algorithm with fresh randomness derived
+    from ``seed`` and return its output as a frozenset.
+    """
+    counts: Dict[FrozenSet[Node], int] = {}
+    for seed in seeds:
+        output = frozenset(run_history(seed))
+        counts[output] = counts.get(output, 0) + 1
+    total = float(len(seeds))
+    return {output: count / total for output, count in counts.items()}
+
+
+def replay_history_mis(history: Iterable[TopologyChange], seed: int) -> FrozenSet[Node]:
+    """Replay a change history from the empty graph with the paper's algorithm."""
+    maintainer = DynamicMIS(seed=seed)
+    for change in history:
+        maintainer.apply(change)
+    return frozenset(maintainer.mis())
+
+
+def mis_distribution_over_histories(
+    histories: Sequence[Sequence[TopologyChange]],
+    seeds: Sequence[int],
+    runner: Callable[[Iterable[TopologyChange], int], FrozenSet[Node]] = replay_history_mis,
+) -> List[OutputDistribution]:
+    """One empirical output distribution per history (same seeds for each).
+
+    For a history independent algorithm all returned distributions estimate
+    the *same* distribution, so their pairwise total variation distance is
+    only sampling noise; for a history-dependent algorithm they genuinely
+    differ.
+    """
+    return [
+        mis_distribution_over_seeds(lambda seed, h=history: runner(h, seed), seeds)
+        for history in histories
+    ]
+
+
+def outputs_identical_across_histories(
+    histories: Sequence[Sequence[TopologyChange]],
+    seed: int,
+    runner: Callable[[Iterable[TopologyChange], int], FrozenSet[Node]] = replay_history_mis,
+) -> bool:
+    """Strong per-seed check: the same IDs give the same output for every history."""
+    outputs = {runner(history, seed) for history in histories}
+    return len(outputs) == 1
+
+
+def max_pairwise_distance(distributions: Sequence[OutputDistribution]) -> float:
+    """Largest total variation distance between any two of the distributions."""
+    worst = 0.0
+    for i in range(len(distributions)):
+        for j in range(i + 1, len(distributions)):
+            worst = max(worst, total_variation_distance(distributions[i], distributions[j]))
+    return worst

@@ -1,0 +1,95 @@
+"""Plain-text report tables printed by the benchmark harnesses.
+
+Every experiment prints a table with the paper's claimed value next to the
+measured value, in the same row/series structure the claim appears in the
+paper.  The formatting here is deliberately plain (monospace-aligned text) so
+that the benchmark output can be pasted straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_format: str = ".4f",
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cells; shorter rows are padded with blanks.
+    title:
+        Optional title line printed above the table.
+    float_format:
+        ``format()`` spec applied to floats.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_render_cell(cell, float_format) for cell in row]
+        while len(rendered) < len(headers):
+            rendered.append("")
+        rendered_rows.append(rendered)
+
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row[: len(widths)]):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_claim_table(
+    title: str,
+    claims: Iterable[Mapping[str, Cell]],
+    float_format: str = ".4f",
+) -> str:
+    """Render the standard paper-vs-measured table used by every experiment.
+
+    Each claim mapping should contain the keys ``row`` (what is being
+    measured), ``paper`` (the paper's claim, free text or a number),
+    ``measured`` (the measured value) and optionally ``verdict`` and
+    ``detail``.
+    """
+    headers = ["quantity", "paper claim", "measured", "verdict", "detail"]
+    rows = []
+    for claim in claims:
+        rows.append(
+            [
+                claim.get("row"),
+                claim.get("paper"),
+                claim.get("measured"),
+                claim.get("verdict"),
+                claim.get("detail"),
+            ]
+        )
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,40 @@
+"""Baseline algorithms the paper compares against (all implemented here).
+
+* :mod:`repro.baselines.luby` -- Luby's classic randomized static distributed
+  MIS algorithm, O(log n) rounds w.h.p.  Used (through the recompute wrapper)
+  as the "run a static algorithm after every change" baseline.
+* :mod:`repro.baselines.ghaffari` -- a simplified degree-local static MIS in
+  the spirit of Ghaffari's algorithm (desire levels that adapt to the local
+  neighborhood), as a second static baseline whose behaviour depends on
+  degrees rather than on n.
+* :mod:`repro.baselines.greedy_static` -- the sequential random-greedy
+  recompute oracle with an explicit cost model.
+* :mod:`repro.baselines.deterministic_dynamic` -- the deterministic dynamic
+  greedy strawman (fixed priorities) that the lower bound of Section 1.1
+  defeats, plus the "natural" history-dependent greedy algorithm discussed in
+  Section 5.
+* :mod:`repro.baselines.recompute` -- wrapper that turns any static algorithm
+  into a dynamic one by re-running it after every topology change, metered
+  with the same :class:`~repro.distributed.metrics.ChangeMetrics` as the
+  paper's algorithm.
+"""
+
+from repro.baselines.luby import LubyMIS, luby_mis
+from repro.baselines.ghaffari import GhaffariStyleMIS, ghaffari_style_mis
+from repro.baselines.greedy_static import SequentialGreedyRecompute
+from repro.baselines.deterministic_dynamic import (
+    DeterministicDynamicMIS,
+    NaturalGreedyDynamicMIS,
+)
+from repro.baselines.recompute import StaticRecomputeDynamicMIS
+
+__all__ = [
+    "LubyMIS",
+    "luby_mis",
+    "GhaffariStyleMIS",
+    "ghaffari_style_mis",
+    "SequentialGreedyRecompute",
+    "DeterministicDynamicMIS",
+    "NaturalGreedyDynamicMIS",
+    "StaticRecomputeDynamicMIS",
+]

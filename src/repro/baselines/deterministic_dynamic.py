@@ -1,0 +1,169 @@
+"""Deterministic and history-dependent dynamic MIS baselines.
+
+Two strawmen from the paper are implemented:
+
+* :class:`DeterministicDynamicMIS` -- the same greedy-invariant maintainer as
+  the paper's algorithm but with a *fixed, deterministic* node order instead
+  of a random one.  The paper's lower bound (Section 1.1) shows that every
+  deterministic algorithm can be forced into Omega(n) adjustments for a
+  single change; experiment E5 realizes that with the complete-bipartite
+  deletion sequence against this baseline.
+
+* :class:`NaturalGreedyDynamicMIS` -- the "natural algorithm" discussed in
+  Section 5: every new node (or newly unblocked node) takes the best output
+  it can get *without making any global changes*, and nodes never give up
+  their MIS slot unless forced.  Its output therefore depends heavily on the
+  order in which the adversary built the graph -- it is the canonical example
+  of a history-*dependent* algorithm, and on the star / 3-paths / coloring
+  examples the adversary can force it into the worst feasible solution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.priorities import DeterministicPriorityAssigner
+from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+    validate_change,
+)
+
+Node = Hashable
+
+
+class DeterministicDynamicMIS(DynamicMIS):
+    """The paper's template run with a fixed (deterministic) node order.
+
+    Functionally identical to :class:`~repro.core.dynamic_mis.DynamicMIS`
+    except that the order ``pi`` is the deterministic order of the node
+    identifiers, so the whole algorithm is deterministic -- and therefore
+    subject to the paper's Omega(n) adjustment lower bound.
+    """
+
+    def __init__(self, initial_graph: Optional[DynamicGraph] = None) -> None:
+        super().__init__(priorities=DeterministicPriorityAssigner(), initial_graph=initial_graph)
+
+
+class NaturalGreedyDynamicMIS:
+    """History-dependent greedy maintainer ("give every arrival the best value").
+
+    Rules (all deterministic, no priorities involved):
+
+    * an inserted node joins the MIS iff none of its neighbors is currently in
+      the MIS;
+    * when an edge is inserted between two MIS nodes, the endpoint named
+      second in the change leaves the MIS (and nothing else happens unless
+      some neighbor can now join);
+    * whenever a node leaves the MIS or a node/edge is deleted, any node that
+      has no MIS neighbor greedily joins (in deterministic identifier order);
+    * nodes already in the MIS never leave voluntarily.
+
+    The output is always a valid MIS, but *which* MIS depends on the entire
+    change history -- this is the algorithm the history-independence examples
+    of Section 5 are contrasted against.
+    """
+
+    def __init__(self, initial_graph: Optional[DynamicGraph] = None) -> None:
+        self._graph = initial_graph.copy() if initial_graph is not None else DynamicGraph()
+        self._in_mis: Set[Node] = set()
+        self._aggregator = MetricsAggregator()
+        # Build the initial MIS by inserting nodes in identifier order, which
+        # is what this "natural" algorithm would have done online.
+        for node in sorted(self._graph.nodes(), key=repr):
+            if not any(other in self._in_mis for other in self._graph.neighbors(node)):
+                self._in_mis.add(node)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current graph."""
+        return self._graph
+
+    @property
+    def metrics(self) -> MetricsAggregator:
+        """Per-change adjustment metrics."""
+        return self._aggregator
+
+    def mis(self) -> Set[Node]:
+        """The current MIS."""
+        return set(self._in_mis)
+
+    def states(self) -> Dict[Node, bool]:
+        """Output map ``node -> in MIS?``."""
+        return {node: node in self._in_mis for node in self._graph.nodes()}
+
+    # ------------------------------------------------------------------
+    # Topology changes
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> ChangeMetrics:
+        """Apply one change with the natural greedy repair rules."""
+        validate_change(self._graph, change)
+        before = self.states()
+        if isinstance(change, EdgeInsertion):
+            self._graph.add_edge(change.u, change.v)
+            if change.u in self._in_mis and change.v in self._in_mis:
+                self._in_mis.discard(change.v)
+        elif isinstance(change, EdgeDeletion):
+            self._graph.remove_edge(change.u, change.v)
+        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+            self._graph.add_node_with_edges(change.node, change.neighbors)
+            if not any(other in self._in_mis for other in change.neighbors):
+                self._in_mis.add(change.node)
+        elif isinstance(change, NodeDeletion):
+            self._graph.remove_node(change.node)
+            self._in_mis.discard(change.node)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown change type: {change!r}")
+        self._fill_greedily()
+        after = self.states()
+        adjusted = {
+            node for node, now in after.items() if before.get(node, False) != now
+        }
+        metrics = ChangeMetrics(
+            change_kind=change.kind,
+            rounds=1,
+            broadcasts=len(adjusted),
+            bits=2 * len(adjusted),
+            adjustments=len(adjusted),
+            adjusted_nodes=adjusted,
+            state_changes=len(adjusted),
+        )
+        self._aggregator.add(metrics)
+        return metrics
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[ChangeMetrics]:
+        """Apply a whole change sequence."""
+        return [self.apply(change) for change in changes]
+
+    def verify(self) -> None:
+        """Assert that the output is an MIS of the current graph."""
+        for node in self._in_mis:
+            if not self._graph.has_node(node):
+                raise GraphError(f"MIS member {node!r} is not in the graph")
+            if any(other in self._in_mis for other in self._graph.neighbors(node)):
+                raise AssertionError(f"adjacent MIS nodes around {node!r}")
+        for node in self._graph.nodes():
+            if node not in self._in_mis and not any(
+                other in self._in_mis for other in self._graph.neighbors(node)
+            ):
+                raise AssertionError(f"node {node!r} could join: not maximal")
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _fill_greedily(self) -> None:
+        for node in sorted(self._graph.nodes(), key=repr):
+            if node in self._in_mis:
+                continue
+            if not any(other in self._in_mis for other in self._graph.neighbors(node)):
+                self._in_mis.add(node)

@@ -1,0 +1,329 @@
+"""Command-line interface for quick experiments.
+
+The CLI exposes the most common workflows without writing any Python:
+
+``repro-mis churn``
+    Maintain an MIS (or matching / clustering) over a random change sequence
+    on a chosen graph family and print the per-change cost summary.
+
+``repro-mis protocol``
+    Run one of the distributed protocols (Algorithm 2, the direct protocol or
+    the asynchronous engine) on the same kind of workload and print the
+    round / broadcast / adjustment metrics per change type.
+
+``repro-mis lowerbound``
+    Run the K_{k,k} deletion sequence against the deterministic baseline and
+    the randomized algorithm (the paper's Omega(n) separation).
+
+``repro-mis history``
+    Check history independence on a random graph by replaying several
+    different change histories.
+
+``repro-mis families``
+    List the available graph families.
+
+Run ``repro-mis <command> --help`` for the options of each command.  The CLI
+only prints plain-text tables (via :mod:`repro.analysis.reporting`), so its
+output can be pasted into notes or issues directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.estimators import mean
+from repro.analysis.history_independence import (
+    max_pairwise_distance,
+    mis_distribution_over_histories,
+    outputs_identical_across_histories,
+)
+from repro.analysis.reporting import format_table
+from repro.baselines.recompute import StaticRecomputeDynamicMIS
+from repro.core.dynamic_mis import DynamicMIS
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph.generators import FAMILY_NAMES, random_graph_family
+from repro.lowerbounds.deterministic import (
+    run_deterministic_lower_bound,
+    run_randomized_on_lower_bound_instance,
+)
+from repro.matching.dynamic_matching import DynamicMaximalMatching
+from repro.workloads.sequences import alternative_histories, mixed_churn_sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description="Dynamic distributed MIS reproduction -- quick experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    churn = subparsers.add_parser("churn", help="sequential maintainer under random churn")
+    _add_workload_arguments(churn)
+    churn.add_argument(
+        "--structure",
+        choices=("mis", "matching", "clustering"),
+        default="mis",
+        help="which structure to maintain",
+    )
+
+    protocol = subparsers.add_parser("protocol", help="distributed protocol under random churn")
+    _add_workload_arguments(protocol)
+    protocol.add_argument(
+        "--protocol",
+        choices=("buffered", "direct", "async"),
+        default="buffered",
+        help="buffered = Algorithm 2, direct = Corollary 6, async = event-driven",
+    )
+    protocol.add_argument(
+        "--compare-recompute",
+        action="store_true",
+        help="also run the Luby-recompute baseline on the same workload",
+    )
+
+    lowerbound = subparsers.add_parser("lowerbound", help="K_{k,k} deterministic lower bound")
+    lowerbound.add_argument("--side-size", type=int, default=16, help="k, the size of each side")
+    lowerbound.add_argument("--seeds", type=int, default=5, help="seeds for the randomized run")
+
+    history = subparsers.add_parser("history", help="history-independence check")
+    _add_workload_arguments(history)
+    history.add_argument("--histories", type=int, default=4, help="number of different histories")
+    history.add_argument("--samples", type=int, default=30, help="seeds per distribution estimate")
+
+    subparsers.add_parser("families", help="list available graph families")
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", choices=FAMILY_NAMES, default="erdos_renyi")
+    parser.add_argument("--nodes", type=int, default=40, help="number of nodes of the start graph")
+    parser.add_argument("--changes", type=int, default=100, help="number of topology changes")
+    parser.add_argument("--seed", type=int, default=0, help="seed for graph, workload and algorithm")
+    parser.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="write the generated workload (graph + changes) to a JSON trace file",
+    )
+    parser.add_argument(
+        "--load-trace",
+        metavar="PATH",
+        default=None,
+        help="replay a workload previously written with --save-trace instead of generating one",
+    )
+
+
+def _resolve_workload(arguments):
+    """Return (graph, changes) from a trace file or by generating them."""
+    from repro.workloads.trace import load_trace, save_trace
+
+    if getattr(arguments, "load_trace", None):
+        loaded = load_trace(arguments.load_trace)
+        graph = loaded["initial_graph"]
+        if graph is None:
+            raise SystemExit("the trace file does not contain an initial graph")
+        return graph, loaded["changes"]
+    graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
+    changes = mixed_churn_sequence(graph, arguments.changes, seed=arguments.seed + 1)
+    if getattr(arguments, "save_trace", None):
+        save_trace(
+            arguments.save_trace,
+            changes,
+            graph,
+            metadata={"family": arguments.family, "nodes": arguments.nodes, "seed": arguments.seed},
+        )
+    return graph, changes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    command = arguments.command
+    if command == "families":
+        return _run_families()
+    if command == "churn":
+        return _run_churn(arguments)
+    if command == "protocol":
+        return _run_protocol(arguments)
+    if command == "lowerbound":
+        return _run_lowerbound(arguments)
+    if command == "history":
+        return _run_history(arguments)
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _run_families() -> int:
+    print(format_table(["family"], [[name] for name in FAMILY_NAMES], title="Graph families"))
+    return 0
+
+
+def _run_churn(arguments) -> int:
+    graph, changes = _resolve_workload(arguments)
+
+    if arguments.structure == "matching":
+        matcher = DynamicMaximalMatching(seed=arguments.seed + 2, initial_graph=graph)
+        adjustments: List[int] = []
+        for change in changes:
+            reports = matcher.apply(change)
+            adjustments.append(sum(report.num_adjustments for report in reports))
+        matcher.verify()
+        rows = [
+            ["structure", "maximal matching (MIS on L(G))"],
+            ["changes applied", len(changes)],
+            ["mean adjustments per change", mean(adjustments)],
+            ["max adjustments for one change", max(adjustments) if adjustments else 0],
+            ["final matching size", matcher.matching_size()],
+        ]
+    else:
+        maintainer = DynamicMIS(seed=arguments.seed + 2, initial_graph=graph)
+        maintainer.apply_sequence(changes)
+        maintainer.verify()
+        stats = maintainer.statistics
+        rows = [
+            ["structure", arguments.structure],
+            ["changes applied", stats.num_changes],
+            ["mean influenced set |S| (Theorem 1: <= 1)", stats.mean_influenced_size()],
+            ["mean adjustments per change (<= 1)", stats.mean_adjustments()],
+            ["max adjustments for one change", stats.max_adjustments()],
+            ["final MIS size", len(maintainer.mis())],
+        ]
+        if arguments.structure == "clustering":
+            rows.append(["clusters (= MIS size)", len(maintainer.mis())])
+            rows.append(["cluster assignment of every node", "node -> earliest MIS neighbor"])
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"{arguments.structure} under {len(changes)} changes on "
+            f"{arguments.family}(n={graph.num_nodes()})",
+            float_format=".3f",
+        )
+    )
+    return 0
+
+
+def _run_protocol(arguments) -> int:
+    graph, changes = _resolve_workload(arguments)
+    if arguments.protocol == "buffered":
+        network = BufferedMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
+    elif arguments.protocol == "direct":
+        network = DirectMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
+    else:
+        network = AsyncDirectMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
+    network.apply_sequence(changes)
+    network.verify()
+    metrics = network.metrics
+    rows = []
+    for kind in metrics.change_kinds():
+        rows.append(
+            [
+                kind,
+                metrics.mean("adjustments", kind),
+                metrics.mean("rounds", kind),
+                metrics.mean("broadcasts", kind),
+                metrics.mean("bits", kind),
+            ]
+        )
+    rows.append(
+        [
+            "ALL",
+            metrics.mean("adjustments"),
+            metrics.mean("rounds"),
+            metrics.mean("broadcasts"),
+            metrics.mean("bits"),
+        ]
+    )
+    print(
+        format_table(
+            ["change type", "mean adjustments", "mean rounds", "mean broadcasts", "mean bits"],
+            rows,
+            title=f"protocol={arguments.protocol} on {arguments.family}(n={graph.num_nodes()}), "
+            f"{len(changes)} changes",
+            float_format=".3f",
+        )
+    )
+    if getattr(arguments, "compare_recompute", False):
+        baseline = StaticRecomputeDynamicMIS("luby", seed=arguments.seed + 2, initial_graph=graph)
+        baseline.apply_sequence(changes)
+        print()
+        print(
+            format_table(
+                ["algorithm", "mean rounds", "mean broadcasts"],
+                [
+                    ["this protocol", metrics.mean("rounds"), metrics.mean("broadcasts")],
+                    [
+                        "Luby recompute per change",
+                        baseline.metrics.mean("rounds"),
+                        baseline.metrics.mean("broadcasts"),
+                    ],
+                ],
+                title="Comparison with the static recompute baseline",
+                float_format=".2f",
+            )
+        )
+    return 0
+
+
+def _run_lowerbound(arguments) -> int:
+    deterministic = run_deterministic_lower_bound(arguments.side_size)
+    randomized = [
+        run_randomized_on_lower_bound_instance(arguments.side_size, seed=seed)
+        for seed in range(arguments.seeds)
+    ]
+    print(
+        format_table(
+            ["algorithm", "worst single-change adjustments", "total adjustments", "mean per change"],
+            [
+                [
+                    "deterministic greedy",
+                    deterministic.max_adjustments,
+                    deterministic.total_adjustments,
+                    deterministic.mean_adjustments,
+                ],
+                [
+                    f"randomized (mean over {arguments.seeds} seeds)",
+                    mean([run.max_adjustments for run in randomized]),
+                    mean([run.total_adjustments for run in randomized]),
+                    mean([run.mean_adjustments for run in randomized]),
+                ],
+            ],
+            title=f"K_{{{arguments.side_size},{arguments.side_size}}} deletion sequence "
+            "(paper, Section 1.1 lower bound)",
+            float_format=".3f",
+        )
+    )
+    return 0
+
+
+def _run_history(arguments) -> int:
+    graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
+    histories = alternative_histories(graph, num_histories=arguments.histories, seed=arguments.seed + 1)
+    identical = all(
+        outputs_identical_across_histories(histories, seed) for seed in range(10)
+    )
+    distributions = mis_distribution_over_histories(histories, seeds=range(arguments.samples))
+    distance = max_pairwise_distance(distributions)
+    print(
+        format_table(
+            ["check", "result"],
+            [
+                ["histories compared", len(histories)],
+                ["identical output per seed across histories", "yes" if identical else "NO"],
+                ["max total-variation distance between history distributions", distance],
+            ],
+            title=f"History independence on {arguments.family}(n={arguments.nodes})",
+            float_format=".4f",
+        )
+    )
+    return 0 if identical and distance < 1e-9 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

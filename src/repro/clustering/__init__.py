@@ -1,0 +1,38 @@
+"""Correlation clustering on top of the dynamic MIS (paper, Sections 1.1 and 2).
+
+The paper's algorithm yields, essentially for free, a dynamically maintained
+3-approximation for correlation clustering: every MIS node is the center of a
+cluster and every other node joins its earliest (smallest random ID) MIS
+neighbor -- this is exactly the random-greedy pivot clustering of Ailon,
+Charikar and Newman, whose expected cost is at most 3 times the optimum.
+
+* :mod:`repro.clustering.correlation` -- the disagreement cost function, the
+  clustering-from-MIS construction, an exact brute-force optimum for small
+  graphs and simple reference clusterings.
+* :mod:`repro.clustering.pivot` -- the sequential randomized pivot algorithm
+  (the [Ailon et al.] baseline the paper's clustering coincides with).
+* :mod:`repro.clustering.dynamic_clustering` -- the dynamically maintained
+  clustering built on :class:`~repro.core.dynamic_mis.DynamicMIS`.
+"""
+
+from repro.clustering.correlation import (
+    clustering_cost,
+    clustering_from_mis,
+    connected_component_clustering,
+    exact_optimal_clustering,
+    single_cluster_clustering,
+    singleton_clustering,
+)
+from repro.clustering.pivot import pivot_clustering
+from repro.clustering.dynamic_clustering import DynamicCorrelationClustering
+
+__all__ = [
+    "clustering_cost",
+    "clustering_from_mis",
+    "exact_optimal_clustering",
+    "singleton_clustering",
+    "single_cluster_clustering",
+    "connected_component_clustering",
+    "pivot_clustering",
+    "DynamicCorrelationClustering",
+]

@@ -1,0 +1,145 @@
+"""Correlation-clustering objective and reference clusterings.
+
+The objective (paper, Section 2): a clustering ``C`` of the node set is
+penalized one unit for every edge whose endpoints lie in *different* clusters
+and one unit for every non-adjacent pair of nodes that lies in the *same*
+cluster.  :func:`clustering_cost` computes that disagreement count; the other
+functions provide the clusterings the experiments compare:
+
+* the clustering induced by an MIS and the random IDs
+  (:func:`clustering_from_mis`) -- the paper's 3-approximation,
+* the exact optimum by brute force over set partitions
+  (:func:`exact_optimal_clustering`, feasible up to ~12 nodes),
+* trivial baselines (all singletons, one big cluster, connected components).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.priorities import PriorityAssigner
+from repro.graph.dynamic_graph import DynamicGraph
+
+Node = Hashable
+Clustering = Dict[Node, Node]
+
+
+def clustering_cost(graph: DynamicGraph, clusters: Mapping[Node, Hashable]) -> int:
+    """Number of disagreements of ``clusters`` on ``graph``.
+
+    ``clusters`` maps every node to an arbitrary cluster label.  The cost is
+    the number of edges between clusters plus the number of non-adjacent node
+    pairs inside a cluster.
+    """
+    nodes = graph.nodes()
+    for node in nodes:
+        if node not in clusters:
+            raise ValueError(f"node {node!r} has no cluster label")
+    cost = 0
+    # Edges whose endpoints disagree.
+    for u, v in graph.edges():
+        if clusters[u] != clusters[v]:
+            cost += 1
+    # Missing edges inside clusters.
+    by_label: Dict[Hashable, List[Node]] = {}
+    for node in nodes:
+        by_label.setdefault(clusters[node], []).append(node)
+    for members in by_label.values():
+        for u, v in itertools.combinations(members, 2):
+            if not graph.has_edge(u, v):
+                cost += 1
+    return cost
+
+
+def clustering_from_mis(
+    graph: DynamicGraph, mis_nodes: Iterable[Node], priorities: PriorityAssigner
+) -> Clustering:
+    """The paper's clustering: MIS nodes are centers, others join their earliest MIS neighbor."""
+    centers: Clustering = {}
+    mis_set: Set[Node] = set(mis_nodes)
+    for node in graph.nodes():
+        if node in mis_set:
+            centers[node] = node
+            continue
+        mis_neighbors = [other for other in graph.iter_neighbors(node) if other in mis_set]
+        if not mis_neighbors:
+            raise ValueError(f"node {node!r} has no MIS neighbor; the given set is not maximal")
+        centers[node] = priorities.earliest(mis_neighbors)
+    return centers
+
+
+def singleton_clustering(graph: DynamicGraph) -> Clustering:
+    """Every node in its own cluster (cost = number of edges)."""
+    return {node: node for node in graph.nodes()}
+
+
+def single_cluster_clustering(graph: DynamicGraph) -> Clustering:
+    """All nodes in one cluster (cost = number of missing edges)."""
+    nodes = graph.nodes()
+    if not nodes:
+        return {}
+    label = sorted(nodes, key=repr)[0]
+    return {node: label for node in nodes}
+
+
+def connected_component_clustering(graph: DynamicGraph) -> Clustering:
+    """One cluster per connected component."""
+    clustering: Clustering = {}
+    for component in graph.connected_components():
+        label = sorted(component, key=repr)[0]
+        for node in component:
+            clustering[node] = label
+    return clustering
+
+
+def exact_optimal_clustering(graph: DynamicGraph) -> Tuple[Clustering, int]:
+    """Brute-force optimal correlation clustering (small graphs only).
+
+    Enumerates all set partitions of the node set (Bell-number many), so it is
+    only feasible for graphs with at most ~12 nodes; a :class:`ValueError` is
+    raised beyond 13 nodes to avoid accidental blow-ups.
+
+    Returns the optimal clustering and its cost.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    if len(nodes) > 13:
+        raise ValueError("exact optimum is only computed for graphs with at most 13 nodes")
+    if not nodes:
+        return {}, 0
+
+    best_cost: Optional[int] = None
+    best_clustering: Clustering = {}
+    for partition in _set_partitions(nodes):
+        clustering: Clustering = {}
+        for block in partition:
+            label = block[0]
+            for node in block:
+                clustering[node] = label
+        cost = clustering_cost(graph, clustering)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_clustering = clustering
+    return best_clustering, int(best_cost or 0)
+
+
+def _set_partitions(items: List[Node]):
+    """Yield all set partitions of ``items`` as lists of blocks (lists of nodes)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for smaller in _set_partitions(rest):
+        # Put ``first`` into an existing block.
+        for index, block in enumerate(smaller):
+            yield smaller[:index] + [[first] + block] + smaller[index + 1 :]
+        # Or into its own new block.
+        yield [[first]] + smaller
+
+
+def cluster_sizes(clusters: Mapping[Node, Hashable]) -> Dict[Hashable, int]:
+    """Histogram of cluster sizes (diagnostic helper used by tests and benches)."""
+    sizes: Dict[Hashable, int] = {}
+    for label in clusters.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes

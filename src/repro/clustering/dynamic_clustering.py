@@ -1,0 +1,108 @@
+"""Dynamically maintained 3-approximate correlation clustering.
+
+:class:`DynamicCorrelationClustering` wraps a
+:class:`~repro.core.dynamic_mis.DynamicMIS` and exposes the clustering induced
+by the maintained MIS after every change.  Because the clustering is a purely
+local function of the MIS and the random IDs (each non-MIS node looks at its
+MIS neighbors and picks the earliest), maintaining it costs nothing beyond the
+MIS maintenance itself: in the distributed implementation every node already
+knows its neighbors' IDs and states, so its cluster assignment updates in zero
+extra rounds and broadcasts.
+
+History independence carries over: the distribution of the clustering depends
+only on the current graph, so the adversary cannot bias the cluster structure
+through its choice of topology changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.clustering.correlation import clustering_cost, clustering_from_mis
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.priorities import PriorityAssigner
+from repro.core.template import UpdateReport
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import TopologyChange
+
+Node = Hashable
+
+
+class DynamicCorrelationClustering:
+    """Maintain the random-greedy pivot clustering under topology changes.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the random order (ignored when ``priorities`` is given).
+    initial_graph:
+        Optional starting graph.
+    priorities:
+        Custom priority assigner shared with other maintainers if desired.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        priorities: Optional[PriorityAssigner] = None,
+    ) -> None:
+        self._maintainer = DynamicMIS(seed=seed, priorities=priorities, initial_graph=initial_graph)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current graph."""
+        return self._maintainer.graph
+
+    @property
+    def mis_maintainer(self) -> DynamicMIS:
+        """The underlying dynamic MIS maintainer."""
+        return self._maintainer
+
+    def clusters(self) -> Dict[Node, Node]:
+        """Current clustering as ``node -> cluster center`` (centers are MIS nodes)."""
+        return clustering_from_mis(
+            self._maintainer.graph, self._maintainer.mis(), self._maintainer.priorities
+        )
+
+    def cost(self) -> int:
+        """Correlation-clustering disagreement cost of the current clustering."""
+        return clustering_cost(self._maintainer.graph, self.clusters())
+
+    def num_clusters(self) -> int:
+        """Number of clusters (equals the MIS size)."""
+        return len(self._maintainer.mis())
+
+    def verify(self) -> None:
+        """Assert the underlying MIS invariant (the clustering is derived from it)."""
+        self._maintainer.verify()
+
+    # ------------------------------------------------------------------
+    # Topology changes
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> UpdateReport:
+        """Apply one topology change (delegates to the MIS maintainer)."""
+        return self._maintainer.apply(change)
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[UpdateReport]:
+        """Apply a whole change sequence."""
+        return self._maintainer.apply_sequence(changes)
+
+    def insert_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Insert an edge."""
+        return self._maintainer.insert_edge(u, v)
+
+    def delete_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Delete an edge."""
+        return self._maintainer.delete_edge(u, v)
+
+    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()) -> UpdateReport:
+        """Insert a node with edges."""
+        return self._maintainer.insert_node(node, neighbors)
+
+    def delete_node(self, node: Node) -> UpdateReport:
+        """Delete a node."""
+        return self._maintainer.delete_node(node)

@@ -1,0 +1,29 @@
+"""History-independent dynamic (Delta+1)-coloring (paper, Section 5).
+
+The standard reduction of Luby turns an MIS algorithm into a coloring
+algorithm: blow every node up into a clique of ``k >= Delta + 1`` copies and
+every edge into a perfect matching between the cliques; a maximal independent
+set of the blowup selects exactly one copy per node, and the copy index is the
+color.  Running the paper's history independent dynamic MIS on the blowup
+yields a history independent dynamic coloring.
+
+* :mod:`repro.coloring.dynamic_coloring` -- the maintainer built on
+  :class:`~repro.graph.clique_blowup.CliqueBlowupView`.
+* :mod:`repro.coloring.greedy_coloring` -- the sequential random-greedy
+  (first-fit) coloring used by the paper's Example 3, plus the worst-case
+  adversarial first-fit coloring it is compared against.
+"""
+
+from repro.coloring.dynamic_coloring import DynamicColoring
+from repro.coloring.greedy_coloring import (
+    adversarial_first_fit_coloring,
+    num_colors_used,
+    random_greedy_coloring,
+)
+
+__all__ = [
+    "DynamicColoring",
+    "random_greedy_coloring",
+    "adversarial_first_fit_coloring",
+    "num_colors_used",
+]

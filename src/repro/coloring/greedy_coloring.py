@@ -1,0 +1,74 @@
+"""Sequential coloring baselines for the Example 3 experiment.
+
+The paper's Example 3 (Section 5) considers the complete bipartite graph minus
+a perfect matching and compares
+
+* the *random greedy* sequential coloring (first-fit over a uniformly random
+  node order), which 2-colors the graph with probability ``1 - 1/n``, against
+* the *adversarial* first-fit coloring, where the adversary inserts nodes in
+  an order that forces ``Theta(Delta)`` colors (alternating between the two
+  sides so that node ``i`` of each side sees colors ``0 .. i-1`` already used
+  among its neighbors).
+
+Both are provided here; the dynamic reduction-based coloring of
+:mod:`repro.coloring.dynamic_coloring` is benchmarked against them in E10.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.graph.dynamic_graph import DynamicGraph
+
+Node = Hashable
+
+
+def first_fit_coloring(graph: DynamicGraph, order: Sequence[Node]) -> Dict[Node, int]:
+    """First-fit (greedy) coloring along the given node order."""
+    if set(order) != set(graph.nodes()) or len(order) != graph.num_nodes():
+        raise ValueError("order must enumerate every node exactly once")
+    colors: Dict[Node, int] = {}
+    for node in order:
+        taken = {colors[other] for other in graph.iter_neighbors(node) if other in colors}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[node] = color
+    return colors
+
+
+def random_greedy_coloring(graph: DynamicGraph, seed: int = 0) -> Dict[Node, int]:
+    """First-fit coloring over a uniformly random node order (the paper's random greedy)."""
+    order: List[Node] = sorted(graph.nodes(), key=repr)
+    random.Random(seed).shuffle(order)
+    return first_fit_coloring(graph, order)
+
+
+def adversarial_first_fit_coloring(
+    graph: DynamicGraph, side_size: Optional[int] = None
+) -> Dict[Node, int]:
+    """Worst-case first-fit order for the complete-bipartite-minus-matching graph.
+
+    Assumes the node labelling of
+    :func:`repro.graph.generators.complete_bipartite_minus_matching`: left
+    nodes are ``0 .. side_size-1`` and right nodes ``side_size .. 2*side_size-1``,
+    with left ``i`` adjacent to right ``side_size + j`` for all ``j != i``.
+    Inserting the nodes in the order ``0, side_size, 1, side_size+1, ...``
+    (pairing each left node with its *non*-neighbor on the right) forces
+    first-fit to use ``side_size`` colors, the classic Theta(Delta) failure.
+    """
+    if side_size is None:
+        side_size = graph.num_nodes() // 2
+    if graph.num_nodes() != 2 * side_size:
+        raise ValueError("graph does not match the expected bipartite structure")
+    order: List[Node] = []
+    for i in range(side_size):
+        order.append(i)
+        order.append(side_size + i)
+    return first_fit_coloring(graph, order)
+
+
+def num_colors_used(colors: Mapping[Node, int]) -> int:
+    """Number of distinct colors in a coloring."""
+    return len(set(colors.values()))

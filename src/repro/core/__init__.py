@@ -1,0 +1,55 @@
+"""Core library: the paper's contribution in sequential (template) form.
+
+This subpackage implements Section 3 of the paper:
+
+* :mod:`repro.core.priorities` -- the uniformly random node order ``pi``
+  (implemented, as in Section 4, by independent random IDs ``l_v``), plus the
+  deterministic order used by the lower-bound baselines.
+* :mod:`repro.core.greedy` -- the sequential random-greedy MIS that the
+  dynamic algorithm simulates.
+* :mod:`repro.core.invariant` -- the MIS invariant ("v is in M iff no earlier
+  neighbor is in M") and checkers for it.
+* :mod:`repro.core.influenced` -- the influenced sets ``S`` and ``S'`` of
+  Theorem 1, computed by the propagation process the paper describes.
+* :mod:`repro.core.template` -- Algorithm 1, the model-agnostic template that
+  restores the invariant after a single topology change.
+* :mod:`repro.core.dynamic_mis` -- the user-facing dynamic MIS maintainer
+  built on the template; this is the reference oracle against which the
+  distributed protocols are validated.
+"""
+
+from repro.core.priorities import (
+    DeterministicPriorityAssigner,
+    PriorityAssigner,
+    RandomPriorityAssigner,
+)
+from repro.core.greedy import greedy_mis, greedy_mis_states
+from repro.core.invariant import (
+    find_invariant_violations,
+    mis_invariant_holds_at,
+    states_from_mis,
+    verify_mis_invariant,
+)
+from repro.core.influenced import InfluencePropagation, propagate_influence
+from repro.core.template import TemplateEngine, UpdateReport
+from repro.core.batch import BatchUpdateReport, apply_batch
+from repro.core.dynamic_mis import DynamicMIS
+
+__all__ = [
+    "PriorityAssigner",
+    "RandomPriorityAssigner",
+    "DeterministicPriorityAssigner",
+    "greedy_mis",
+    "greedy_mis_states",
+    "mis_invariant_holds_at",
+    "find_invariant_violations",
+    "verify_mis_invariant",
+    "states_from_mis",
+    "InfluencePropagation",
+    "propagate_influence",
+    "TemplateEngine",
+    "UpdateReport",
+    "BatchUpdateReport",
+    "apply_batch",
+    "DynamicMIS",
+]

@@ -1,0 +1,241 @@
+"""User-facing dynamic MIS maintainer built on the template engine.
+
+:class:`DynamicMIS` is the library's primary sequential-semantics API: it
+consumes :class:`~repro.workloads.changes.TopologyChange` events (or the
+direct ``insert_edge`` / ``delete_edge`` / ``insert_node`` / ``delete_node``
+calls) and keeps a maximal independent set equal to the random-greedy MIS of
+the current graph under a fixed random order.
+
+It wraps :class:`~repro.core.template.TemplateEngine` and additionally
+
+* accumulates per-change statistics (influenced-set sizes, adjustments,
+  propagation depths) in a :class:`MaintainerStatistics` record used by the
+  experiments, and
+* exposes the correlation-clustering view of the MIS (every MIS node is a
+  cluster center; every other node joins its earliest MIS neighbor), which is
+  the paper's 3-approximation for correlation clustering.
+
+The distributed protocols of :mod:`repro.distributed` provide the same
+outputs under message-passing constraints; this class is the reference they
+are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.core.template import TemplateEngine, UpdateReport
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+)
+
+Node = Hashable
+
+
+@dataclass
+class MaintainerStatistics:
+    """Aggregated per-change statistics collected by :class:`DynamicMIS`.
+
+    The lists are aligned: entry ``i`` of each list describes the ``i``-th
+    applied change.
+    """
+
+    influenced_sizes: List[int] = field(default_factory=list)
+    adjustments: List[int] = field(default_factory=list)
+    propagation_depths: List[int] = field(default_factory=list)
+    state_flips: List[int] = field(default_factory=list)
+    update_work: List[int] = field(default_factory=list)
+    change_kinds: List[str] = field(default_factory=list)
+
+    def record(self, report: UpdateReport) -> None:
+        """Append the numbers of one :class:`UpdateReport`."""
+        self.influenced_sizes.append(report.influenced_size)
+        self.adjustments.append(report.num_adjustments)
+        self.propagation_depths.append(report.num_levels)
+        self.state_flips.append(report.state_flips)
+        self.update_work.append(report.update_work)
+        self.change_kinds.append(report.change_type)
+
+    @property
+    def num_changes(self) -> int:
+        """Number of changes applied so far."""
+        return len(self.adjustments)
+
+    def mean_influenced_size(self) -> float:
+        """Sample mean of ``|S|`` (the Theorem 1 quantity)."""
+        return _mean(self.influenced_sizes)
+
+    def mean_adjustments(self) -> float:
+        """Sample mean of the adjustment complexity."""
+        return _mean(self.adjustments)
+
+    def mean_propagation_depth(self) -> float:
+        """Sample mean of the propagation depth (direct-implementation rounds)."""
+        return _mean(self.propagation_depths)
+
+    def mean_update_work(self) -> float:
+        """Sample mean of neighbor inspections per change (sequential update time)."""
+        return _mean(self.update_work)
+
+    def max_adjustments(self) -> int:
+        """Worst single-change adjustment count."""
+        return max(self.adjustments) if self.adjustments else 0
+
+
+class DynamicMIS:
+    """Maintain a random-greedy MIS under fully dynamic topology changes.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the random order ``pi`` (ignored if ``priorities`` is given).
+    priorities:
+        Custom priority assigner.  Passing a
+        :class:`~repro.core.priorities.DeterministicPriorityAssigner` turns
+        this class into the deterministic greedy baseline used by the
+        lower-bound experiment.
+    initial_graph:
+        Optional starting graph whose MIS is computed upfront.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_graph
+    >>> maintainer = DynamicMIS(seed=7, initial_graph=path_graph(5))
+    >>> sorted(maintainer.mis())  # doctest: +SKIP
+    [0, 2, 4]
+    >>> report = maintainer.delete_node(2)
+    >>> maintainer.verify()
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        priorities: Optional[PriorityAssigner] = None,
+        initial_graph: Optional[DynamicGraph] = None,
+    ) -> None:
+        if priorities is None:
+            priorities = RandomPriorityAssigner(seed)
+        self._engine = TemplateEngine(priorities=priorities, initial_graph=initial_graph)
+        self._statistics = MaintainerStatistics()
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current graph (do not mutate directly)."""
+        return self._engine.graph
+
+    @property
+    def priorities(self) -> PriorityAssigner:
+        """The order ``pi`` in use."""
+        return self._engine.priorities
+
+    @property
+    def statistics(self) -> MaintainerStatistics:
+        """Per-change statistics accumulated so far."""
+        return self._statistics
+
+    def mis(self) -> Set[Node]:
+        """The current maximal independent set."""
+        return self._engine.mis()
+
+    def states(self) -> Dict[Node, bool]:
+        """Copy of the full output map ``node -> in MIS?``."""
+        return self._engine.states()
+
+    def in_mis(self, node: Node) -> bool:
+        """Whether ``node`` is currently in the MIS."""
+        return self._engine.in_mis(node)
+
+    def verify(self) -> None:
+        """Assert the MIS invariant holds everywhere (used heavily in tests)."""
+        self._engine.verify()
+
+    def clustering(self) -> Dict[Node, Node]:
+        """The correlation clustering induced by the current MIS.
+
+        Every MIS node is its own cluster center; every non-MIS node joins the
+        cluster of its earliest (smallest random ID) MIS neighbor.  This is
+        the paper's 3-approximation for correlation clustering, maintained
+        dynamically for free because it is a local function of the MIS and the
+        IDs.
+        """
+        centers: Dict[Node, Node] = {}
+        mis_nodes = self.mis()
+        for node in self.graph.nodes():
+            if node in mis_nodes:
+                centers[node] = node
+            else:
+                mis_neighbors = [
+                    other for other in self.graph.iter_neighbors(node) if other in mis_nodes
+                ]
+                centers[node] = self.priorities.earliest(mis_neighbors)
+        return centers
+
+    # ------------------------------------------------------------------
+    # Topology changes
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> UpdateReport:
+        """Apply one topology-change event and return its report."""
+        if isinstance(change, EdgeInsertion):
+            return self.insert_edge(change.u, change.v)
+        if isinstance(change, EdgeDeletion):
+            return self.delete_edge(change.u, change.v)
+        if isinstance(change, (NodeInsertion, NodeUnmuting)):
+            return self.insert_node(change.node, change.neighbors)
+        if isinstance(change, NodeDeletion):
+            return self.delete_node(change.node)
+        raise TypeError(f"unknown change type: {change!r}")
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[UpdateReport]:
+        """Apply a whole change sequence, returning one report per change."""
+        return [self.apply(change) for change in changes]
+
+    def apply_batch(self, changes: Iterable[TopologyChange]):
+        """Apply a whole batch of changes atomically (Section 6 open question).
+
+        The graph is updated for every change first and the MIS invariant is
+        restored by a single propagation wave afterwards.  Returns a
+        :class:`repro.core.batch.BatchUpdateReport`.  Batch reports are not
+        folded into :attr:`statistics` (which is per single change); callers
+        interested in batch costs read the returned report directly.
+        """
+        from repro.core.batch import apply_batch
+
+        return apply_batch(self._engine, list(changes))
+
+    def insert_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Insert edge ``{u, v}``."""
+        return self._record(self._engine.insert_edge(u, v))
+
+    def delete_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Delete edge ``{u, v}``."""
+        return self._record(self._engine.delete_edge(u, v))
+
+    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()) -> UpdateReport:
+        """Insert ``node`` with edges to existing ``neighbors``."""
+        return self._record(self._engine.insert_node(node, neighbors))
+
+    def delete_node(self, node: Node) -> UpdateReport:
+        """Delete ``node`` and its incident edges."""
+        return self._record(self._engine.delete_node(node))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _record(self, report: UpdateReport) -> UpdateReport:
+        self._statistics.record(report)
+        return report
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0

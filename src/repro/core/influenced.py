@@ -1,0 +1,289 @@
+"""Influenced sets ``S`` and ``S'`` (Section 3, Theorem 1).
+
+After a single topology change there is at most one node ``v*`` at which the
+MIS invariant breaks.  Restoring the invariant may force further nodes to
+change state; the paper collects every node that changes state at some point
+of this propagation in the *influenced set* ``S`` and proves
+``E_pi[|S|] <= 1``.
+
+The propagation is computed here exactly as the paper's level sets
+``S_1, S_2, ...`` arise in a direct (synchronous) execution of the template:
+
+* level 0 is ``{v*}`` (if its state must change at all),
+* in every subsequent level, each node whose *earlier* neighborhood changed
+  state in the previous level re-evaluates the MIS invariant against the
+  current states and flips if needed.
+
+Because the invariant of a node only depends on nodes that come before it in
+``pi``, the dependency structure is a DAG and the propagation reaches the
+unique greedy fixed point after at most ``n`` levels; a node may flip more
+than once along the way (the paper's ``u_2`` example), which is exactly why
+the constant-broadcast implementation of Section 4 buffers changes.
+
+The module also computes the auxiliary set ``S'`` from the proof of
+Theorem 1: the influenced set obtained when ``v*`` is artificially forced to
+be the *first* node of the order.  Lemma 2 states that ``S`` equals ``S'``
+when ``v*`` happens to be the earliest node of ``S'`` and is empty otherwise;
+the property-based tests check this relationship on random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.invariant import desired_state
+from repro.core.priorities import PriorityAssigner, PriorityKey
+from repro.graph.dynamic_graph import DynamicGraph
+
+Node = Hashable
+
+
+@dataclass
+class InfluencePropagation:
+    """Result of propagating a single topology change through the template.
+
+    Attributes
+    ----------
+    source:
+        The node ``v*`` at which the change happened (may be absent from the
+        final graph for node deletions).
+    levels:
+        ``levels[i]`` is the paper's ``S_{i+1}``-style level: the set of nodes
+        that changed state at propagation step ``i`` (level 0 is ``{v*}`` when
+        ``v*`` itself changes).  A node may appear in several levels.
+    influenced:
+        The influenced set ``S``: the union of all levels.
+    state_flips:
+        Total number of individual state changes (counting repeats), i.e. the
+        cost a naive implementation would pay in broadcasts.
+    final_states:
+        State map after the propagation (restricted to surviving nodes).
+    adjustments:
+        Nodes whose *final* output differs from their output before the
+        change (excluding a deleted ``v*``, including an inserted one).  This
+        is the paper's adjustment measure; it is at most ``len(influenced)``.
+    evaluations:
+        Number of per-node invariant re-evaluations performed (every node that
+        was woken up, whether or not it flipped).
+    work:
+        Total number of neighbor inspections performed, i.e. the sum of the
+        degrees of the evaluated nodes.  This is the "update time" a
+        *sequential* dynamic implementation of the template would pay (the
+        O(Delta)-per-influenced-node cost the paper's Section 6 discusses).
+    """
+
+    source: Optional[Node]
+    levels: List[Set[Node]] = field(default_factory=list)
+    influenced: Set[Node] = field(default_factory=set)
+    state_flips: int = 0
+    final_states: Dict[Node, bool] = field(default_factory=dict)
+    adjustments: Set[Node] = field(default_factory=set)
+    evaluations: int = 0
+    work: int = 0
+
+    @property
+    def num_levels(self) -> int:
+        """Number of propagation levels (a lower bound on rounds of Algorithm 1)."""
+        return len(self.levels)
+
+    @property
+    def size(self) -> int:
+        """``|S|`` -- the quantity bounded by Theorem 1."""
+        return len(self.influenced)
+
+    @property
+    def num_adjustments(self) -> int:
+        """Number of nodes whose output changed (the adjustment complexity)."""
+        return len(self.adjustments)
+
+
+def propagate_influence(
+    graph: DynamicGraph,
+    priorities: PriorityAssigner,
+    states: Dict[Node, bool],
+    source: Optional[Node],
+    source_changes: bool,
+    extra_dirty: Iterable[Node] = (),
+    max_levels: Optional[int] = None,
+) -> InfluencePropagation:
+    """Run the template's propagation on ``graph`` starting from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The graph on which the invariant must hold *after* the change (for a
+        node deletion this graph no longer contains the deleted node).
+    priorities:
+        Order ``pi``; every node of ``graph`` must have a key.
+    states:
+        Pre-change states of the nodes of ``graph`` (the deleted node, if any,
+        is not included).  The mapping is **not** mutated.
+    source:
+        The node ``v*`` (or None when the change cannot create a violation,
+        e.g. deleting a non-MIS node).
+    source_changes:
+        Whether ``v*`` itself flips state (level 0).  For a node deletion of
+        an MIS node this is True even though ``v*`` is not in ``graph``.
+    extra_dirty:
+        Additional nodes that must re-evaluate the invariant in the first
+        propagation level even though ``source`` is gone (used for node
+        deletions, where the deleted node cannot "notify" anyone itself in the
+        template; its former later neighbors are passed here).
+    max_levels:
+        Safety cap; defaults to ``2 * |V| + 5``.
+
+    Returns
+    -------
+    InfluencePropagation
+        The per-level trace, the influenced set and the final states.
+    """
+    old_states = dict(states)
+    current: Dict[Node, bool] = dict(states)
+    levels: List[Set[Node]] = []
+    influenced: Set[Node] = set()
+    state_flips = 0
+    evaluations = 0
+    work = 0
+
+    dirty: Set[Node] = set()
+    if source is not None and source_changes:
+        levels.append({source})
+        influenced.add(source)
+        state_flips += 1
+        if graph.has_node(source):
+            current[source] = not current.get(source, False)
+            dirty.update(priorities.later_neighbors(graph, source))
+            evaluations += 1
+            work += graph.degree(source)
+    dirty.update(node for node in extra_dirty if graph.has_node(node))
+
+    cap = max_levels if max_levels is not None else 2 * graph.num_nodes() + 5
+    level_index = 0
+    while dirty:
+        level_index += 1
+        if level_index > cap:
+            raise RuntimeError(
+                "influence propagation did not converge; the starting states "
+                "probably violated the MIS invariant before the change"
+            )
+        flipped: List[Node] = []
+        for node in sorted(dirty, key=priorities.key):
+            evaluations += 1
+            work += graph.degree(node)
+            if desired_state(graph, priorities, current, node) != current.get(node, False):
+                flipped.append(node)
+        if not flipped:
+            break
+        for node in flipped:
+            current[node] = not current.get(node, False)
+        state_flips += len(flipped)
+        levels.append(set(flipped))
+        influenced.update(flipped)
+        dirty = set()
+        for node in flipped:
+            dirty.update(priorities.later_neighbors(graph, node))
+
+    adjustments = {
+        node
+        for node in graph.nodes()
+        if current.get(node, False) != old_states.get(node, False)
+    }
+    if source is not None and graph.has_node(source) and source not in old_states:
+        # A freshly inserted node always "acquires" an output; count it only
+        # if it ended up in the MIS (its implicit prior output is non-MIS).
+        if current.get(source, False):
+            adjustments.add(source)
+        else:
+            adjustments.discard(source)
+
+    final_states = {node: current.get(node, False) for node in graph.nodes()}
+    return InfluencePropagation(
+        source=source,
+        levels=levels,
+        influenced=influenced,
+        state_flips=state_flips,
+        final_states=final_states,
+        adjustments=adjustments,
+        evaluations=evaluations,
+        work=work,
+    )
+
+
+def forced_minimal_influence(
+    graph: DynamicGraph,
+    priorities: PriorityAssigner,
+    source: Node,
+    present_source: bool = True,
+) -> Set[Node]:
+    """Compute the proof's auxiliary set ``S'`` (source forced to be first).
+
+    ``S'`` is defined like ``S`` but with respect to the order ``pi'`` that
+    coincides with ``pi`` except that ``source`` is moved to the very first
+    position, and with ``source`` unconditionally in level 0.  The states used
+    are the greedy states of ``graph`` *without* the influence of ``source``
+    (equivalently, the invariant-satisfying states for ``pi'`` before source
+    flips), which is what the proof of Lemma 2 manipulates.
+
+    Parameters
+    ----------
+    graph:
+        The graph on which ``S'`` is evaluated (the paper uses ``G_old`` for
+        node deletions / edge insertions and ``G_new`` otherwise; the caller
+        picks).
+    priorities:
+        The order ``pi`` (used for every node except ``source``).
+    source:
+        The node ``v*``.
+    present_source:
+        Whether ``source`` is a node of ``graph``.  If it is, it is treated as
+        the first node of the order (hence in M before its forced flip).
+    """
+    forced = _ForcedMinimalOrder(priorities, source)
+    # Greedy states under pi' on graph *without* flipping the source yet.
+    baseline: Dict[Node, bool] = {}
+    for node in sorted(graph.nodes(), key=forced.key):
+        earlier_in_mis = any(
+            baseline.get(other, False)
+            for other in graph.iter_neighbors(node)
+            if forced.key(other) < forced.key(node)
+        )
+        baseline[node] = not earlier_in_mis
+
+    result = propagate_influence(
+        graph,
+        forced,
+        baseline,
+        source=source,
+        source_changes=True,
+        extra_dirty=() if present_source and graph.has_node(source) else _later_neighbors_of_missing(graph, forced, source),
+    )
+    return result.influenced
+
+
+def _later_neighbors_of_missing(graph: DynamicGraph, priorities: PriorityAssigner, source: Node) -> List[Node]:
+    if graph.has_node(source):
+        return []
+    return []
+
+
+class _ForcedMinimalOrder(PriorityAssigner):
+    """Wrapper order ``pi'``: identical to ``pi`` but with one node forced first."""
+
+    def __init__(self, base: PriorityAssigner, forced_first: Node) -> None:
+        self._base = base
+        self._forced = forced_first
+
+    def assign(self, node: Node) -> PriorityKey:
+        return self.key(node)
+
+    def forget(self, node: Node) -> None:  # pragma: no cover - not used
+        raise NotImplementedError("the forced order is read-only")
+
+    def key(self, node: Node) -> Tuple:
+        if node == self._forced:
+            return (0, ())
+        return (1, self._base.key(node))
+
+    def knows(self, node: Node) -> bool:
+        return node == self._forced or self._base.knows(node)

@@ -1,0 +1,78 @@
+"""The MIS invariant of Section 3 and checkers for it.
+
+The invariant: *a node v is in M if and only if all of its neighbors that are
+ordered before it according to ``pi`` are not in M.*  Whenever it holds at
+every node, M is a maximal independent set equal to the output of the greedy
+sequential algorithm under ``pi``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set
+
+from repro.core.priorities import PriorityAssigner
+from repro.graph.dynamic_graph import DynamicGraph
+
+Node = Hashable
+States = Mapping[Node, bool]
+
+
+class InvariantViolation(AssertionError):
+    """Raised when the MIS invariant is expected to hold but does not."""
+
+
+def desired_state(graph: DynamicGraph, priorities: PriorityAssigner, states: States, node: Node) -> bool:
+    """The state the MIS invariant dictates for ``node`` given its earlier neighbors.
+
+    ``True`` means the node must be in M (no earlier neighbor is in M),
+    ``False`` means it must be out of M.
+    """
+    node_key = priorities.key(node)
+    for other in graph.iter_neighbors(node):
+        if priorities.key(other) < node_key and states.get(other, False):
+            return False
+    return True
+
+
+def mis_invariant_holds_at(
+    graph: DynamicGraph, priorities: PriorityAssigner, states: States, node: Node
+) -> bool:
+    """True iff the MIS invariant holds at ``node``."""
+    return states.get(node, False) == desired_state(graph, priorities, states, node)
+
+
+def find_invariant_violations(
+    graph: DynamicGraph, priorities: PriorityAssigner, states: States
+) -> List[Node]:
+    """Return all nodes at which the MIS invariant is violated."""
+    return [
+        node
+        for node in graph.nodes()
+        if not mis_invariant_holds_at(graph, priorities, states, node)
+    ]
+
+
+def verify_mis_invariant(
+    graph: DynamicGraph, priorities: PriorityAssigner, states: States
+) -> None:
+    """Raise :class:`InvariantViolation` unless the invariant holds everywhere."""
+    violations = find_invariant_violations(graph, priorities, states)
+    if violations:
+        sample = sorted(violations, key=repr)[:5]
+        raise InvariantViolation(
+            f"MIS invariant violated at {len(violations)} node(s), e.g. {sample}"
+        )
+    missing = [node for node in graph.nodes() if node not in states]
+    if missing:
+        raise InvariantViolation(f"nodes without a state: {sorted(missing, key=repr)[:5]}")
+
+
+def states_from_mis(graph: DynamicGraph, mis_nodes: Iterable[Node]) -> Dict[Node, bool]:
+    """Build a full state map from a set of MIS nodes."""
+    members: Set[Node] = set(mis_nodes)
+    return {node: node in members for node in graph.nodes()}
+
+
+def mis_from_states(states: States) -> Set[Node]:
+    """Extract the set of MIS nodes from a state map."""
+    return {node for node, in_mis in states.items() if in_mis}

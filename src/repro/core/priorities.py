@@ -1,0 +1,182 @@
+"""Random node orders (the permutation ``pi``) and their implementations.
+
+The template of Section 3 assumes a uniformly random permutation ``pi`` over
+the nodes.  The distributed implementation of Section 4 realizes ``pi`` by
+giving every node an independent uniformly random ID ``l_v`` in ``[0, 1]``;
+sorting by ID yields a uniformly random order (ties have probability zero and
+are broken deterministically here to keep the order total).
+
+Two implementations of the :class:`PriorityAssigner` interface are provided:
+
+* :class:`RandomPriorityAssigner` -- the paper's randomized order.  New nodes
+  draw a fresh ID on arrival; IDs of departed nodes are forgotten.  The
+  assignment of IDs is independent of the topology-change sequence, matching
+  the oblivious-adversary assumption.
+* :class:`DeterministicPriorityAssigner` -- a fixed order derived from node
+  identifiers.  This is *not* part of the paper's algorithm; it is the
+  "deterministic algorithm" strawman used by the lower-bound experiment (E5)
+  and by the natural history-dependent baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+Node = Hashable
+PriorityKey = Tuple[float, int, str]
+
+
+class PriorityAssigner:
+    """Interface for total orders over dynamically arriving nodes.
+
+    A priority assigner owns the mapping ``node -> priority key``; smaller
+    keys mean *earlier* in the order ``pi`` (i.e. higher priority for joining
+    the MIS under the greedy rule).
+    """
+
+    def assign(self, node: Node) -> PriorityKey:
+        """Assign (or re-use) and return the priority key of ``node``."""
+        raise NotImplementedError
+
+    def forget(self, node: Node) -> None:
+        """Drop the priority of a departed node (no-op if absent)."""
+        raise NotImplementedError
+
+    def key(self, node: Node) -> PriorityKey:
+        """Return the priority key of ``node`` (must have been assigned)."""
+        raise NotImplementedError
+
+    def knows(self, node: Node) -> bool:
+        """Return True iff ``node`` currently has an assigned priority."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all implementations
+    # ------------------------------------------------------------------
+    def earlier(self, u: Node, v: Node) -> bool:
+        """True iff ``u`` comes before ``v`` in the order ``pi``."""
+        return self.key(u) < self.key(v)
+
+    def earliest(self, nodes: Iterable[Node]) -> Optional[Node]:
+        """Return the earliest node of ``nodes`` under ``pi`` (None if empty)."""
+        best: Optional[Node] = None
+        best_key: Optional[PriorityKey] = None
+        for node in nodes:
+            node_key = self.key(node)
+            if best_key is None or node_key < best_key:
+                best, best_key = node, node_key
+        return best
+
+    def sorted_nodes(self, nodes: Iterable[Node]) -> List[Node]:
+        """Return ``nodes`` sorted by increasing order in ``pi``."""
+        return sorted(nodes, key=self.key)
+
+    def earlier_neighbors(self, graph, node: Node) -> List[Node]:
+        """The set ``I_pi(node)``: neighbors ordered before ``node``."""
+        node_key = self.key(node)
+        return [other for other in graph.iter_neighbors(node) if self.key(other) < node_key]
+
+    def later_neighbors(self, graph, node: Node) -> List[Node]:
+        """Neighbors ordered after ``node`` (the complement of ``I_pi``)."""
+        node_key = self.key(node)
+        return [other for other in graph.iter_neighbors(node) if self.key(other) > node_key]
+
+
+class RandomPriorityAssigner(PriorityAssigner):
+    """The paper's uniformly random order, realized with random IDs.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the ID generation.  Two assigners with the same seed hand out
+        the same IDs, which makes experiments reproducible.
+
+    Notes
+    -----
+    The ID of a node is a deterministic pseudo-random function of
+    ``(seed, node identity)`` -- not of the node's *arrival order*.  This
+    realizes the paper's "every node has an independent uniformly random ID
+    l_v" while making the history-independence property (Definition 14) hold
+    *exactly* per seed: replaying any change history that ends at the same
+    graph, with the same seed, reproduces the same IDs and therefore the same
+    output.  The adversary's choice of history cannot influence the IDs, so
+    the oblivious-adversary assumption is automatically respected.
+
+    The key is a triple ``(random float, random int, repr(node))``.  The
+    second component makes collisions of the 53-bit float astronomically
+    unlikely to matter, and the third keeps the order total and deterministic
+    even in that case, without introducing any topology-dependent bias.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._keys: Dict[Node, PriorityKey] = {}
+
+    def assign(self, node: Node) -> PriorityKey:
+        if node not in self._keys:
+            node_rng = random.Random(f"{self._seed}::{node!r}")
+            self._keys[node] = (node_rng.random(), node_rng.getrandbits(62), repr(node))
+        return self._keys[node]
+
+    def forget(self, node: Node) -> None:
+        self._keys.pop(node, None)
+
+    def key(self, node: Node) -> PriorityKey:
+        try:
+            return self._keys[node]
+        except KeyError:
+            raise KeyError(f"node {node!r} has no assigned priority") from None
+
+    def knows(self, node: Node) -> bool:
+        return node in self._keys
+
+    def known_nodes(self) -> List[Node]:
+        """All nodes that currently hold a priority (mainly for tests)."""
+        return list(self._keys)
+
+    def random_id(self, node: Node) -> float:
+        """The random ID ``l_v`` alone (the float part of the key)."""
+        return self.key(node)[0]
+
+
+class DeterministicPriorityAssigner(PriorityAssigner):
+    """Fixed order by node identifier (the deterministic strawman).
+
+    Nodes are ordered by ``(repr-sortable identifier)``, i.e. the order is a
+    deterministic function of the node names.  Used by the deterministic
+    dynamic baseline and the lower-bound experiment; the paper proves any such
+    deterministic rule can be forced into ``n`` adjustments by an adversarial
+    change sequence.
+    """
+
+    def __init__(self) -> None:
+        self._known: Dict[Node, PriorityKey] = {}
+
+    def assign(self, node: Node) -> PriorityKey:
+        if node not in self._known:
+            self._known[node] = self._key_for(node)
+        return self._known[node]
+
+    def forget(self, node: Node) -> None:
+        self._known.pop(node, None)
+
+    def key(self, node: Node) -> PriorityKey:
+        if node not in self._known:
+            raise KeyError(f"node {node!r} has no assigned priority")
+        return self._known[node]
+
+    def knows(self, node: Node) -> bool:
+        return node in self._known
+
+    @staticmethod
+    def _key_for(node: Node) -> PriorityKey:
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            return (float(node), 0, repr(node))
+        return (0.0, 0, repr(node))
+
+
+def permutation_positions(assigner: PriorityAssigner, nodes: Iterable[Node]) -> Dict[Node, int]:
+    """Return the rank (0-based position in ``pi``) of every node in ``nodes``."""
+    ordering = assigner.sorted_nodes(nodes)
+    return {node: position for position, node in enumerate(ordering)}

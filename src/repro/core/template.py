@@ -1,0 +1,249 @@
+"""Algorithm 1: the model-agnostic template for maintaining an MIS.
+
+The template (paper, Section 3) is not tied to a computation model: it simply
+describes which nodes must change state after a single topology change so
+that the MIS invariant holds again.  :class:`TemplateEngine` implements it as
+an in-memory engine that
+
+* keeps the current graph, the order ``pi`` and the state of every node,
+* exposes one method per template-level topology change (edge insertion,
+  edge deletion, node insertion, node deletion -- the graceful/abrupt and
+  unmuting distinctions only exist in the distributed implementation), and
+* returns, for every change, an :class:`UpdateReport` containing the node
+  ``v*``, the influenced set ``S`` with its levels, and the adjustment count.
+
+The engine is the reference oracle of the library: the distributed protocols
+are validated against it, and the Theorem 1 experiment (E1) measures
+``E[|S|]`` directly from its reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.core.greedy import greedy_mis_states
+from repro.core.influenced import InfluencePropagation, propagate_influence
+from repro.core.invariant import desired_state, verify_mis_invariant
+from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+
+Node = Hashable
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of applying one topology change through the template.
+
+    Attributes
+    ----------
+    change_type:
+        One of ``"edge_insertion"``, ``"edge_deletion"``, ``"node_insertion"``,
+        ``"node_deletion"``.
+    v_star:
+        The unique node whose invariant could break (``None`` only for
+        degenerate changes such as inserting an isolated node).
+    v_star_star:
+        The other endpoint for edge changes, or ``v_star`` for node changes
+        (the paper's convention).
+    propagation:
+        The full :class:`InfluencePropagation` trace.
+    """
+
+    change_type: str
+    v_star: Optional[Node]
+    v_star_star: Optional[Node]
+    propagation: InfluencePropagation
+
+    @property
+    def influenced_set(self) -> Set[Node]:
+        """The influenced set ``S`` of Theorem 1."""
+        return self.propagation.influenced
+
+    @property
+    def influenced_size(self) -> int:
+        """``|S|``."""
+        return self.propagation.size
+
+    @property
+    def num_adjustments(self) -> int:
+        """Number of nodes whose output changed."""
+        return self.propagation.num_adjustments
+
+    @property
+    def num_levels(self) -> int:
+        """Depth of the propagation (rounds of a direct implementation)."""
+        return self.propagation.num_levels
+
+    @property
+    def state_flips(self) -> int:
+        """Total individual state flips (a naive implementation's broadcasts)."""
+        return self.propagation.state_flips
+
+    @property
+    def update_work(self) -> int:
+        """Neighbor inspections performed (a sequential implementation's update time)."""
+        return self.propagation.work
+
+
+class TemplateEngine:
+    """Sequential-semantics dynamic MIS maintainer (the paper's template).
+
+    Parameters
+    ----------
+    priorities:
+        Order ``pi``.  Defaults to a fresh :class:`RandomPriorityAssigner`
+        with ``seed``.
+    seed:
+        Seed for the default priority assigner (ignored when ``priorities``
+        is given).
+    initial_graph:
+        Optional starting graph.  Its MIS is computed with a single greedy
+        pass, after which every later change goes through the template.
+    """
+
+    def __init__(
+        self,
+        priorities: Optional[PriorityAssigner] = None,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+    ) -> None:
+        self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
+        self._graph = DynamicGraph()
+        self._states: Dict[Node, bool] = {}
+        if initial_graph is not None:
+            self._graph = initial_graph.copy()
+            for node in self._graph.nodes():
+                self._priorities.assign(node)
+            self._states = greedy_mis_states(self._graph, self._priorities)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current graph (do not mutate directly)."""
+        return self._graph
+
+    @property
+    def priorities(self) -> PriorityAssigner:
+        """The order ``pi``."""
+        return self._priorities
+
+    def states(self) -> Dict[Node, bool]:
+        """A copy of the current state map ``node -> in MIS?``."""
+        return dict(self._states)
+
+    def mis(self) -> Set[Node]:
+        """The current maximal independent set."""
+        return {node for node, in_mis in self._states.items() if in_mis}
+
+    def in_mis(self, node: Node) -> bool:
+        """Whether ``node`` is currently in the MIS."""
+        return self._states[node]
+
+    def verify(self) -> None:
+        """Assert that the MIS invariant holds at every node (for tests)."""
+        verify_mis_invariant(self._graph, self._priorities, self._states)
+
+    # ------------------------------------------------------------------
+    # Topology changes
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Insert edge ``{u, v}`` and restore the invariant."""
+        if not self._graph.has_node(u) or not self._graph.has_node(v):
+            raise GraphError("both endpoints must exist before inserting an edge")
+        self._graph.add_edge(u, v)
+        v_star, v_star_star = self._order_endpoints(u, v)
+        needs_change = self._states[v_star] != desired_state(
+            self._graph, self._priorities, self._states, v_star
+        )
+        propagation = propagate_influence(
+            self._graph,
+            self._priorities,
+            self._states,
+            source=v_star,
+            source_changes=needs_change,
+        )
+        self._commit(propagation)
+        return UpdateReport("edge_insertion", v_star, v_star_star, propagation)
+
+    def delete_edge(self, u: Node, v: Node) -> UpdateReport:
+        """Delete edge ``{u, v}`` and restore the invariant."""
+        if not self._graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        v_star, v_star_star = self._order_endpoints(u, v)
+        self._graph.remove_edge(u, v)
+        needs_change = self._states[v_star] != desired_state(
+            self._graph, self._priorities, self._states, v_star
+        )
+        propagation = propagate_influence(
+            self._graph,
+            self._priorities,
+            self._states,
+            source=v_star,
+            source_changes=needs_change,
+        )
+        self._commit(propagation)
+        return UpdateReport("edge_deletion", v_star, v_star_star, propagation)
+
+    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()) -> UpdateReport:
+        """Insert ``node`` with edges to existing ``neighbors`` and restore the invariant."""
+        neighbor_list = list(neighbors)
+        self._graph.add_node_with_edges(node, neighbor_list)
+        self._priorities.assign(node)
+        # The new node enters with a provisional non-MIS output; it must join
+        # the MIS exactly when it has no earlier MIS neighbor.
+        self._states[node] = False
+        needs_change = desired_state(self._graph, self._priorities, self._states, node)
+        propagation = propagate_influence(
+            self._graph,
+            self._priorities,
+            self._states,
+            source=node,
+            source_changes=needs_change,
+        )
+        self._commit(propagation)
+        return UpdateReport("node_insertion", node, node, propagation)
+
+    def delete_node(self, node: Node) -> UpdateReport:
+        """Delete ``node`` (with its edges) and restore the invariant."""
+        if not self._graph.has_node(node):
+            raise GraphError(f"node {node!r} is not in the graph")
+        was_in_mis = self._states[node]
+        later_neighbors = self._priorities.later_neighbors(self._graph, node)
+        self._graph.remove_node(node)
+        old_state = self._states.pop(node)
+        propagation = propagate_influence(
+            self._graph,
+            self._priorities,
+            self._states,
+            source=node,
+            source_changes=was_in_mis,
+            extra_dirty=later_neighbors if was_in_mis else (),
+        )
+        self._commit(propagation)
+        self._priorities.forget(node)
+        del old_state
+        return UpdateReport("node_deletion", node, node, propagation)
+
+    def commit_propagation(self, propagation: InfluencePropagation) -> None:
+        """Replace the engine's states with a propagation's final states.
+
+        Used by the batched-update extension (:mod:`repro.core.batch`), which
+        mutates the engine's graph directly and then installs the repaired
+        states in one step.
+        """
+        self._commit(propagation)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _order_endpoints(self, u: Node, v: Node) -> tuple:
+        """Return (v*, v**): the later and earlier endpoint under ``pi``."""
+        if self._priorities.earlier(u, v):
+            return v, u
+        return u, v
+
+    def _commit(self, propagation: InfluencePropagation) -> None:
+        self._states = dict(propagation.final_states)

@@ -1,0 +1,48 @@
+"""Distributed simulation of the paper's dynamic model (Section 2 and 4).
+
+The subpackage contains
+
+* the message and metric plumbing shared by every protocol
+  (:mod:`repro.distributed.message`, :mod:`repro.distributed.metrics`),
+* the per-node runtime state holding exactly the knowledge a node is allowed
+  to have -- its own random ID, its neighbors, and the last state/ID it heard
+  from each neighbor (:mod:`repro.distributed.node`),
+* the synchronous round-based broadcast simulator and the shared
+  topology-change controller (:mod:`repro.distributed.network`),
+* **Algorithm 2**, the constant-broadcast protocol with states M, M-bar, C, R
+  (:mod:`repro.distributed.protocol_mis`),
+* the **direct template implementation** of Corollary 6 -- one adjustment and
+  one round in expectation (:mod:`repro.distributed.protocol_direct`),
+* an asynchronous event-driven execution of the direct protocol with
+  adversarial/random message delays (:mod:`repro.distributed.async_network`,
+  :mod:`repro.distributed.scheduler`).
+"""
+
+from repro.distributed.message import Message, MessageKind, id_message_bits, state_message_bits
+from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
+from repro.distributed.node import NodeRuntime, NodeState
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.scheduler import (
+    AdversarialDelayScheduler,
+    FixedDelayScheduler,
+    RandomDelayScheduler,
+)
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "state_message_bits",
+    "id_message_bits",
+    "ChangeMetrics",
+    "MetricsAggregator",
+    "NodeRuntime",
+    "NodeState",
+    "BufferedMISNetwork",
+    "DirectMISNetwork",
+    "AsyncDirectMISNetwork",
+    "RandomDelayScheduler",
+    "FixedDelayScheduler",
+    "AdversarialDelayScheduler",
+]

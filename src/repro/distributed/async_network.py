@@ -1,0 +1,312 @@
+"""Asynchronous execution of the direct template protocol (Corollary 6).
+
+The paper's asynchronous model lets an (oblivious) adversary delay messages
+arbitrarily; the complexity measure that replaces the round count is the
+*longest path of communication*, i.e. the longest chain of messages each of
+which was triggered by the previous one.  Corollary 6 states that the direct
+implementation of the template needs, in expectation, a single adjustment and
+a single unit of this causal depth -- exactly as in the synchronous model.
+
+:class:`AsyncDirectMISNetwork` implements this with a discrete-event
+simulation:
+
+* every broadcast is expanded into one event per (current) neighbor, whose
+  delivery time is chosen by a pluggable :class:`DelayScheduler` and respects
+  per-channel FIFO order,
+* a node processes an event the moment it arrives: it updates its knowledge
+  of the sender's state, re-evaluates the MIS invariant and, if its output
+  must change, flips it and broadcasts -- the new messages inherit the
+  triggering message's causal depth plus one,
+* the run ends when no events are left; the recorded ``async_causal_depth``
+  is the maximum causal depth of any delivered message.
+
+As in the sequential template, topology-change notifications (including the
+IDs of new neighbors) are provided by the model; the discovery broadcasts
+needed when IDs are *not* known upfront are a synchronous-model refinement
+benchmarked separately with :class:`repro.distributed.protocol_mis.BufferedMISNetwork`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.greedy import greedy_mis, greedy_mis_states
+from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
+from repro.distributed.node import NodeRuntime, NodeState
+from repro.distributed.scheduler import DelayScheduler, RandomDelayScheduler
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+    validate_change,
+)
+
+Node = Hashable
+
+
+class AsyncDirectMISNetwork:
+    """Event-driven dynamic MIS maintainer for the asynchronous model.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the random IDs.
+    initial_graph:
+        Optional starting topology (its MIS is installed as the stable start).
+    scheduler:
+        Message-delay scheduler; defaults to uniform random delays.
+    priorities:
+        Custom order (for baselines); defaults to random IDs.
+    """
+
+    MAX_EVENTS_FACTOR = 50
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        scheduler: Optional[DelayScheduler] = None,
+        priorities: Optional[PriorityAssigner] = None,
+    ) -> None:
+        self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
+        self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
+        self._graph = DynamicGraph()
+        self._runtimes: Dict[Node, NodeRuntime] = {}
+        self._aggregator = MetricsAggregator()
+        self._sequence = itertools.count()
+        if initial_graph is not None:
+            self._bootstrap(initial_graph)
+
+    # ------------------------------------------------------------------
+    # Bootstrap and read access
+    # ------------------------------------------------------------------
+    def _bootstrap(self, graph: DynamicGraph) -> None:
+        self._graph = graph.copy()
+        for node in self._graph.nodes():
+            self._priorities.assign(node)
+        states = greedy_mis_states(self._graph, self._priorities)
+        for node in self._graph.nodes():
+            runtime = NodeRuntime(
+                node_id=node,
+                key=self._priorities.key(node),
+                state=NodeState.M if states[node] else NodeState.M_BAR,
+                neighbors=set(self._graph.neighbors(node)),
+            )
+            self._runtimes[node] = runtime
+        for node, runtime in self._runtimes.items():
+            for other in runtime.neighbors:
+                runtime.learn_neighbor(other, self._runtimes[other].key, self._runtimes[other].state)
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The ground-truth topology (do not mutate directly)."""
+        return self._graph
+
+    @property
+    def priorities(self) -> PriorityAssigner:
+        """The order ``pi``."""
+        return self._priorities
+
+    @property
+    def metrics(self) -> MetricsAggregator:
+        """Per-change metrics accumulated so far."""
+        return self._aggregator
+
+    def mis(self) -> Set[Node]:
+        """The current maximal independent set."""
+        return {node for node, runtime in self._runtimes.items() if runtime.in_mis()}
+
+    def states(self) -> Dict[Node, bool]:
+        """Copy of the output map ``node -> in MIS?``."""
+        return {node: runtime.in_mis() for node, runtime in self._runtimes.items()}
+
+    def verify(self) -> None:
+        """Assert that the outputs equal the random-greedy MIS of the graph."""
+        expected = greedy_mis(self._graph, self._priorities)
+        actual = self.mis()
+        if expected != actual:
+            raise AssertionError(
+                f"async protocol diverged from random greedy: expected {sorted(expected, key=repr)[:5]}..., "
+                f"got {sorted(actual, key=repr)[:5]}..."
+            )
+
+    # ------------------------------------------------------------------
+    # Topology-change API
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> ChangeMetrics:
+        """Apply one topology change and run the event loop to quiescence."""
+        validate_change(self._graph, change)
+        if isinstance(change, EdgeInsertion):
+            metrics = self._apply_edge_insertion(change)
+        elif isinstance(change, EdgeDeletion):
+            metrics = self._apply_edge_deletion(change)
+        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+            metrics = self._apply_node_insertion(change)
+        elif isinstance(change, NodeDeletion):
+            metrics = self._apply_node_deletion(change)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown change type: {change!r}")
+        self._aggregator.add(metrics)
+        return metrics
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[ChangeMetrics]:
+        """Apply a whole change sequence."""
+        return [self.apply(change) for change in changes]
+
+    # ------------------------------------------------------------------
+    # Change handlers (model-level notifications include IDs)
+    # ------------------------------------------------------------------
+    def _apply_edge_insertion(self, change: EdgeInsertion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_insertion")
+        before = self.states()
+        u, v = change.u, change.v
+        self._graph.add_edge(u, v)
+        self._connect(u, v)
+        later = u if self._priorities.earlier(v, u) else v
+        seeds = self._evaluate_and_flip(self._runtimes[later], metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics, before)
+        return metrics
+
+    def _apply_edge_deletion(self, change: EdgeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_deletion")
+        before = self.states()
+        u, v = change.u, change.v
+        later = u if self._priorities.earlier(v, u) else v
+        self._graph.remove_edge(u, v)
+        self._runtimes[u].drop_neighbor(v)
+        self._runtimes[v].drop_neighbor(u)
+        seeds = self._evaluate_and_flip(self._runtimes[later], metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics, before)
+        return metrics
+
+    def _apply_node_insertion(self, change) -> ChangeMetrics:
+        metrics = ChangeMetrics(change.kind)
+        before = self.states()
+        node = change.node
+        self._graph.add_node_with_edges(node, change.neighbors)
+        self._priorities.assign(node)
+        runtime = NodeRuntime(
+            node_id=node,
+            key=self._priorities.key(node),
+            state=NodeState.M_BAR,
+            neighbors=set(change.neighbors),
+        )
+        self._runtimes[node] = runtime
+        for other in change.neighbors:
+            self._connect(node, other)
+        seeds = self._evaluate_and_flip(runtime, metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics, before)
+        return metrics
+
+    def _apply_node_deletion(self, change: NodeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("node_deletion")
+        before = self.states()
+        node = change.node
+        was_in_mis = self._runtimes[node].in_mis()
+        former_neighbors = set(self._graph.neighbors(node))
+        for other in former_neighbors:
+            self._runtimes[other].drop_neighbor(node)
+        self._graph.remove_node(node)
+        self._runtimes.pop(node)
+        self._priorities.forget(node)
+        seeds: List[Tuple] = []
+        if was_in_mis:
+            for other in sorted(former_neighbors, key=self._priorities.key):
+                seeds.extend(self._evaluate_and_flip(self._runtimes[other], metrics))
+        self._run_events(seeds, metrics)
+        self._finalize(metrics, before, removed=node)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _run_events(self, seed_broadcasts: List[Tuple], metrics: ChangeMetrics) -> None:
+        """Run the discrete-event loop until no message is in flight.
+
+        ``seed_broadcasts`` is a list of ``(sender, state, depth)`` broadcast
+        requests produced by the change handler.
+        """
+        queue: List[Tuple[float, int, Node, Node, str, int]] = []
+        channel_clock: Dict[Tuple[Node, Node], float] = {}
+        max_depth = 0
+        processed = 0
+        limit = self.MAX_EVENTS_FACTOR * max(1, self._graph.num_nodes()) ** 2 + 100
+
+        def broadcast(sender: Node, state_value: str, depth: int, now: float) -> None:
+            nonlocal max_depth
+            if not self._graph.has_node(sender):
+                return
+            metrics.broadcasts += 1
+            metrics.bits += 2
+            max_depth = max(max_depth, depth)
+            for receiver in self._graph.neighbors(sender):
+                delay = self._scheduler.delay(sender, receiver, next(self._sequence))
+                deliver_at = now + max(delay, 1e-9)
+                channel = (sender, receiver)
+                deliver_at = max(deliver_at, channel_clock.get(channel, 0.0) + 1e-9)
+                channel_clock[channel] = deliver_at
+                heapq.heappush(
+                    queue, (deliver_at, next(self._sequence), sender, receiver, state_value, depth)
+                )
+
+        for sender, state_value, depth in seed_broadcasts:
+            broadcast(sender, state_value, depth, now=0.0)
+
+        while queue:
+            processed += 1
+            if processed > limit:
+                raise RuntimeError("asynchronous execution did not quiesce")
+            deliver_at, _, sender, receiver, state_value, depth = heapq.heappop(queue)
+            runtime = self._runtimes.get(receiver)
+            if runtime is None or sender not in runtime.neighbors:
+                continue
+            runtime.learn_neighbor(sender, None, NodeState(state_value))
+            flips = self._evaluate_and_flip(runtime, metrics, depth=depth + 1)
+            for flip_sender, flip_state, flip_depth in flips:
+                broadcast(flip_sender, flip_state, flip_depth, now=deliver_at)
+        metrics.async_causal_depth = max_depth
+        metrics.rounds = max_depth
+
+    def _evaluate_and_flip(
+        self, runtime: NodeRuntime, metrics: ChangeMetrics, depth: int = 1
+    ) -> List[Tuple]:
+        """Re-evaluate the MIS invariant at a node; flip and request a broadcast if needed."""
+        desired = NodeState.M if runtime.no_earlier_neighbor_in_mis() else NodeState.M_BAR
+        if desired is runtime.state:
+            return []
+        runtime.state = desired
+        metrics.state_changes += 1
+        return [(runtime.node_id, desired.value, depth)]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _connect(self, u: Node, v: Node) -> None:
+        """Model-level notification of a new adjacency, including IDs and states."""
+        runtime_u, runtime_v = self._runtimes[u], self._runtimes[v]
+        runtime_u.add_neighbor(v)
+        runtime_v.add_neighbor(u)
+        runtime_u.learn_neighbor(v, runtime_v.key, runtime_v.state)
+        runtime_v.learn_neighbor(u, runtime_u.key, runtime_u.state)
+
+    def _finalize(
+        self, metrics: ChangeMetrics, before: Dict[Node, bool], removed: Optional[Node] = None
+    ) -> None:
+        after = self.states()
+        adjusted = {
+            node for node, now in after.items() if before.get(node, False) != now
+        }
+        if removed is not None:
+            adjusted.discard(removed)
+        metrics.adjusted_nodes = adjusted
+        metrics.adjustments = len(adjusted)

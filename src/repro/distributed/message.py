@@ -1,0 +1,105 @@
+"""Broadcast messages and their bit accounting.
+
+The paper's model restricts every message to ``O(log n)`` bits and counts a
+*broadcast* as one node sending one message to all of its neighbors
+(footnote 2: "broadcast" means the node cannot send different messages to
+different neighbors in the same round -- it is not a wireless primitive).
+
+Two message kinds are enough for all protocols in this library:
+
+* ``STATE`` -- the sender announces its new protocol state (M, M-bar, C or R).
+  This needs 2 bits of payload.
+* ``ID_AND_STATE`` -- the sender announces its random ID ``l_v`` together with
+  its current state.  A full-precision ID needs ``O(log n)`` bits (with the
+  standard ``N = n^{O(1)}`` upper bound); the paper notes that the technique
+  of Metivier et al. reduces the *expected* number of bits to O(1) per
+  broadcast because only the relative order between neighbors matters.  Both
+  accounting models are implemented: :func:`id_message_bits` returns the
+  ``O(log n)`` cost and :func:`expected_comparison_bits` the constant-expected
+  cost used by experiment E11.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+Node = Hashable
+
+
+class MessageKind(enum.Enum):
+    """The two payload kinds used by the protocols."""
+
+    STATE = "state"
+    ID_AND_STATE = "id_and_state"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single broadcast message.
+
+    Attributes
+    ----------
+    sender:
+        The broadcasting node.
+    kind:
+        Payload kind.
+    state:
+        The announced protocol state (one of the ``NodeState`` values, stored
+        as its string value to keep this module free of protocol imports).
+    random_id:
+        The announced random ID, present only for ``ID_AND_STATE`` messages.
+        (The simulators store the full priority key here; only its first
+        component is the paper's ``l_v``, the rest are tie-breaks.)
+    requests_introduction:
+        For ``ID_AND_STATE`` messages: whether receivers that do not yet know
+        the sender should introduce themselves back (True for a brand new
+        node or a new edge endpoint, False for an unmuting node, which
+        already overheard its neighbors and says so with one extra bit).
+    round_sent:
+        Round in which the broadcast was issued (filled by the simulator;
+        informational only).
+    """
+
+    sender: Node
+    kind: MessageKind
+    state: str
+    random_id: Optional[Tuple] = None
+    requests_introduction: bool = True
+    round_sent: int = 0
+
+    def bits(self, network_size_bound: int) -> int:
+        """Size of this message in bits under the O(log n) accounting model."""
+        if self.kind is MessageKind.STATE:
+            return state_message_bits()
+        return id_message_bits(network_size_bound)
+
+
+def state_message_bits() -> int:
+    """Bits needed to announce one of the four protocol states."""
+    return 2
+
+
+def id_message_bits(network_size_bound: int) -> int:
+    """Bits needed to announce a random ID with the standard O(log N) encoding.
+
+    The paper assumes knowledge of an upper bound ``N >= n`` with
+    ``N = n^{O(1)}``; we use ``N = max(n, 2)^2`` so IDs are distinguishable
+    with high probability, giving ``2 * ceil(log2 n) + 2`` bits including the
+    piggybacked state.
+    """
+    bound = max(2, network_size_bound)
+    return 2 * max(1, math.ceil(math.log2(bound))) + state_message_bits()
+
+
+def expected_comparison_bits() -> float:
+    """Expected bits per broadcast under the Metivier-style comparison encoding.
+
+    Only the *relative order* between a node and each neighbor matters, so the
+    node can reveal its ID one bit at a time; the expected number of bits until
+    the order with a uniformly random neighbor ID is determined is 2 (a
+    geometric series), plus the 2 state bits.
+    """
+    return 2.0 + state_message_bits()

@@ -1,0 +1,128 @@
+"""Complexity measures of the dynamic distributed model (Section 2).
+
+The paper evaluates algorithms by three per-change measures plus one refined
+one:
+
+* **adjustment complexity** -- number of nodes that change their *output*
+  (MIS membership) as a result of the change,
+* **round complexity** -- number of rounds until the system is stable again,
+* **broadcast complexity** -- total number of broadcasts sent,
+* **bit complexity** -- total number of message bits sent (the O(1)-bits
+  refinement of Section 1.1).
+
+:class:`ChangeMetrics` records those four numbers (plus bookkeeping useful for
+debugging) for a single topology change; :class:`MetricsAggregator` collects
+them over a change sequence and provides the summary statistics printed by
+the experiments (sample means, maxima, per-change-kind breakdowns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+Node = Hashable
+
+
+@dataclass
+class ChangeMetrics:
+    """Per-topology-change complexity record."""
+
+    change_kind: str
+    rounds: int = 0
+    broadcasts: int = 0
+    bits: int = 0
+    adjustments: int = 0
+    adjusted_nodes: Set[Node] = field(default_factory=set)
+    state_changes: int = 0
+    async_causal_depth: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the report tables."""
+        record: Dict[str, float] = {
+            "change_kind": self.change_kind,
+            "rounds": self.rounds,
+            "broadcasts": self.broadcasts,
+            "bits": self.bits,
+            "adjustments": self.adjustments,
+            "state_changes": self.state_changes,
+        }
+        if self.async_causal_depth is not None:
+            record["async_causal_depth"] = self.async_causal_depth
+        return record
+
+
+@dataclass
+class MetricsAggregator:
+    """Aggregate :class:`ChangeMetrics` over a change sequence."""
+
+    records: List[ChangeMetrics] = field(default_factory=list)
+
+    def add(self, metrics: ChangeMetrics) -> None:
+        """Append one per-change record."""
+        self.records.append(metrics)
+
+    def extend(self, metrics_list: List[ChangeMetrics]) -> None:
+        """Append many records."""
+        self.records.extend(metrics_list)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_changes(self) -> int:
+        """Number of recorded changes."""
+        return len(self.records)
+
+    def mean(self, attribute: str, change_kind: Optional[str] = None) -> float:
+        """Sample mean of ``attribute`` (optionally restricted to one change kind)."""
+        values = self._values(attribute, change_kind)
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self, attribute: str, change_kind: Optional[str] = None) -> float:
+        """Maximum of ``attribute`` (optionally restricted to one change kind)."""
+        values = self._values(attribute, change_kind)
+        return max(values) if values else 0.0
+
+    def total(self, attribute: str, change_kind: Optional[str] = None) -> float:
+        """Sum of ``attribute`` (optionally restricted to one change kind)."""
+        return sum(self._values(attribute, change_kind))
+
+    def change_kinds(self) -> List[str]:
+        """The distinct change kinds present, in first-appearance order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.change_kind not in seen:
+                seen.append(record.change_kind)
+        return seen
+
+    def by_kind_summary(self, attribute: str) -> Dict[str, float]:
+        """Mapping ``change kind -> mean attribute`` used by the report tables."""
+        return {kind: self.mean(attribute, kind) for kind in self.change_kinds()}
+
+    def summary(self) -> Dict[str, float]:
+        """Overall means of the four complexity measures."""
+        return {
+            "mean_adjustments": self.mean("adjustments"),
+            "mean_rounds": self.mean("rounds"),
+            "mean_broadcasts": self.mean("broadcasts"),
+            "mean_bits": self.mean("bits"),
+            "max_adjustments": self.maximum("adjustments"),
+            "max_rounds": self.maximum("rounds"),
+            "max_broadcasts": self.maximum("broadcasts"),
+            "num_changes": float(self.num_changes),
+        }
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _values(self, attribute: str, change_kind: Optional[str]) -> List[float]:
+        values: List[float] = []
+        for record in self.records:
+            if change_kind is not None and record.change_kind != change_kind:
+                continue
+            value = getattr(record, attribute)
+            if value is None:
+                continue
+            values.append(float(value))
+        return values

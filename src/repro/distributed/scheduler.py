@@ -1,0 +1,86 @@
+"""Message-delay schedulers for the asynchronous simulator.
+
+In the asynchronous model the adversary controls message delays (but not the
+algorithm's randomness -- it is oblivious).  A scheduler maps a message
+(sender, receiver and a sequence number) to a positive delivery delay.  The
+asynchronous simulator additionally enforces FIFO order per directed channel,
+the standard assumption for asynchronous message passing.
+
+Three schedulers are provided:
+
+* :class:`FixedDelayScheduler` -- every message takes the same time; this
+  makes the asynchronous execution equivalent to the synchronous one and is
+  useful for cross-checking.
+* :class:`RandomDelayScheduler` -- independent uniform delays in a range,
+  modelling a well-behaved but jittery network.
+* :class:`AdversarialDelayScheduler` -- a deterministic, oblivious scheduler
+  that systematically slows down a fixed fraction of the channels by a large
+  factor, creating the long/short message races that asynchronous algorithms
+  must tolerate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Tuple
+
+Node = Hashable
+
+
+class DelayScheduler:
+    """Interface: return the in-flight delay of one message."""
+
+    def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
+        """Positive delay for the message with the given channel and sequence number."""
+        raise NotImplementedError
+
+
+class FixedDelayScheduler(DelayScheduler):
+    """Every message takes exactly ``delay_value`` time units."""
+
+    def __init__(self, delay_value: float = 1.0) -> None:
+        if delay_value <= 0:
+            raise ValueError("delays must be positive")
+        self._delay_value = delay_value
+
+    def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
+        return self._delay_value
+
+
+class RandomDelayScheduler(DelayScheduler):
+    """Independent uniform delays in ``[min_delay, max_delay]``."""
+
+    def __init__(self, seed: int = 0, min_delay: float = 0.1, max_delay: float = 1.0) -> None:
+        if min_delay <= 0 or max_delay < min_delay:
+            raise ValueError("need 0 < min_delay <= max_delay")
+        self._rng = random.Random(seed)
+        self._min_delay = min_delay
+        self._max_delay = max_delay
+
+    def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
+        return self._rng.uniform(self._min_delay, self._max_delay)
+
+
+class AdversarialDelayScheduler(DelayScheduler):
+    """Oblivious adversary: a fixed fraction of channels is slowed down a lot.
+
+    The set of slow channels is a deterministic function of the channel
+    endpoints and the scheduler seed (so it does not depend on the algorithm's
+    randomness), which keeps the adversary oblivious as the model requires.
+    """
+
+    def __init__(self, seed: int = 0, slow_fraction: float = 0.3, slow_factor: float = 25.0) -> None:
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise ValueError("slow_fraction must lie in [0, 1]")
+        if slow_factor < 1.0:
+            raise ValueError("slow_factor must be at least 1")
+        self._seed = seed
+        self._slow_fraction = slow_fraction
+        self._slow_factor = slow_factor
+
+    def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
+        channel_rng = random.Random((self._seed, repr(sender), repr(receiver)).__repr__())
+        base = 0.5 + channel_rng.random()
+        if channel_rng.random() < self._slow_fraction:
+            return base * self._slow_factor
+        return base

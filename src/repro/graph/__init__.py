@@ -1,0 +1,33 @@
+"""Dynamic graph substrate.
+
+This subpackage provides everything the simulated distributed system needs to
+represent and evolve network topologies:
+
+* :mod:`repro.graph.dynamic_graph` -- the mutable undirected graph store used
+  by every engine in the library.
+* :mod:`repro.graph.generators` -- static graph families used as workload
+  starting points (Erdos-Renyi, preferential attachment, stars, paths,
+  complete bipartite, planted clusterings, ...).
+* :mod:`repro.graph.line_graph` -- the line-graph reduction used to obtain a
+  history-independent maximal matching from a dynamic MIS.
+* :mod:`repro.graph.clique_blowup` -- the Luby clique-blowup reduction used to
+  obtain a history-independent (Delta+1)-coloring from a dynamic MIS.
+* :mod:`repro.graph.validation` -- structural sanity checks shared by tests
+  and benchmark harnesses.
+"""
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.graph.line_graph import LineGraphView, line_graph_of
+from repro.graph.clique_blowup import CliqueBlowupView, clique_blowup_of
+from repro.graph import generators, validation
+
+__all__ = [
+    "DynamicGraph",
+    "GraphError",
+    "LineGraphView",
+    "line_graph_of",
+    "CliqueBlowupView",
+    "clique_blowup_of",
+    "generators",
+    "validation",
+]

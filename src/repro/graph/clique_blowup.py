@@ -1,0 +1,181 @@
+"""Clique-blowup reduction used for history-independent (Delta+1)-coloring.
+
+The paper (Section 5, "Composability") recalls the standard reduction of Luby:
+given ``G`` and a palette of ``k >= Delta + 1`` colors, build ``G'`` where
+
+* every node ``v`` of ``G`` becomes a clique ``{(v, 0), ..., (v, k-1)}``, and
+* every edge ``{u, v}`` of ``G`` becomes the perfect matching
+  ``{(u, i), (v, i)} for every i``.
+
+Because ``(v, i)`` has exactly ``k - 1 + deg(v) <= k - 1 + Delta`` neighbors
+and the clique guarantees at most one copy per node is selected, any maximal
+independent set of ``G'`` selects *exactly one* copy ``(v, i)`` per node ``v``
+whenever ``k >= Delta + 1``; interpreting ``i`` as the color of ``v`` yields a
+proper coloring.  Running a history independent MIS algorithm on ``G'``
+therefore yields a history independent coloring of ``G``.
+
+As with the line graph, we expose a one-shot constructor and an incremental
+view that translates base-graph changes into primitive derived changes
+(``("add_node", node, neighbors)`` / ``("remove_node", node)`` /
+``("add_edge", u, v)`` / ``("remove_edge", u, v)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError, Node
+
+CopyNode = Tuple[Node, int]
+DerivedChange = Tuple
+
+
+def clique_blowup_of(graph: DynamicGraph, num_colors: int) -> DynamicGraph:
+    """Return the clique-blowup graph ``G'`` of ``graph`` with ``num_colors`` copies.
+
+    Raises
+    ------
+    ValueError
+        If ``num_colors`` is not larger than the maximum degree of ``graph``
+        (the reduction then no longer guarantees one selected copy per node).
+    """
+    _check_palette(graph.max_degree(), num_colors)
+    blowup = DynamicGraph()
+    for node in graph.nodes():
+        _add_clique(blowup, node, num_colors)
+    for u, v in graph.edges():
+        for i in range(num_colors):
+            blowup.add_edge((u, i), (v, i))
+    return blowup
+
+
+class CliqueBlowupView:
+    """Incrementally maintained clique-blowup of a dynamic base graph.
+
+    Parameters
+    ----------
+    base:
+        Initial base graph (copied).
+    num_colors:
+        Palette size ``k``.  Must stay strictly larger than the maximum degree
+        of the base graph at all times; mutators enforce this.
+    """
+
+    def __init__(self, base: DynamicGraph | None = None, num_colors: int = 1) -> None:
+        self._base = base.copy() if base is not None else DynamicGraph()
+        if num_colors < 1:
+            raise ValueError("num_colors must be at least 1")
+        _check_palette(self._base.max_degree(), num_colors)
+        self._num_colors = num_colors
+        self._blowup = clique_blowup_of(self._base, num_colors)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def base_graph(self) -> DynamicGraph:
+        """The tracked copy of the base graph (do not mutate directly)."""
+        return self._base
+
+    @property
+    def blowup_graph(self) -> DynamicGraph:
+        """The derived blowup graph (do not mutate directly)."""
+        return self._blowup
+
+    @property
+    def num_colors(self) -> int:
+        """Palette size ``k`` of the reduction."""
+        return self._num_colors
+
+    def copies_of(self, node: Node) -> List[CopyNode]:
+        """All copy nodes of ``node`` in the blowup graph."""
+        return [(node, i) for i in range(self._num_colors)]
+
+    # ------------------------------------------------------------------
+    # Mutators
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> List[DerivedChange]:
+        """Insert an isolated base node; its clique appears in the blowup."""
+        self._base.add_node(node)
+        changes: List[DerivedChange] = []
+        for i in range(self._num_colors):
+            copy = (node, i)
+            earlier = tuple((node, j) for j in range(i))
+            self._blowup.add_node_with_edges(copy, earlier)
+            changes.append(("add_node", copy, earlier))
+        return changes
+
+    def add_edge(self, u: Node, v: Node) -> List[DerivedChange]:
+        """Insert base edge ``{u, v}``; a perfect matching appears in the blowup."""
+        new_max_degree = max(self._base.degree(u), self._base.degree(v)) + 1
+        _check_palette(new_max_degree, self._num_colors)
+        self._base.add_edge(u, v)
+        changes: List[DerivedChange] = []
+        for i in range(self._num_colors):
+            self._blowup.add_edge((u, i), (v, i))
+            changes.append(("add_edge", (u, i), (v, i)))
+        return changes
+
+    def remove_edge(self, u: Node, v: Node) -> List[DerivedChange]:
+        """Delete base edge ``{u, v}``; its matching disappears from the blowup."""
+        if not self._base.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the base graph")
+        self._base.remove_edge(u, v)
+        changes: List[DerivedChange] = []
+        for i in range(self._num_colors):
+            self._blowup.remove_edge((u, i), (v, i))
+            changes.append(("remove_edge", (u, i), (v, i)))
+        return changes
+
+    def add_node_with_edges(self, node: Node, neighbors: Iterable[Node]) -> List[DerivedChange]:
+        """Insert a base node together with edges to existing base nodes."""
+        neighbor_list = list(neighbors)
+        changes = self.add_node(node)
+        for other in neighbor_list:
+            changes.extend(self.add_edge(node, other))
+        return changes
+
+    def remove_node(self, node: Node) -> List[DerivedChange]:
+        """Delete a base node; its incident matchings and its clique disappear."""
+        changes: List[DerivedChange] = []
+        for other in sorted(self._base.neighbors(node), key=repr):
+            changes.extend(self.remove_edge(node, other))
+        self._base.remove_node(node)
+        for i in range(self._num_colors):
+            copy = (node, i)
+            self._blowup.remove_node(copy)
+            changes.append(("remove_node", copy))
+        return changes
+
+
+def color_assignment_from_mis(view_or_graph, mis_nodes: Iterable[CopyNode]) -> dict:
+    """Extract the coloring ``{base node: color}`` from an MIS of the blowup.
+
+    Accepts either a :class:`CliqueBlowupView` or a blowup
+    :class:`DynamicGraph`; only the MIS membership matters.  Raises
+    :class:`ValueError` if some base node has zero or more than one selected
+    copy, which would indicate the MIS was computed on an inconsistent graph.
+    """
+    colors: dict = {}
+    for copy in mis_nodes:
+        base_node, color = copy
+        if base_node in colors:
+            raise ValueError(f"two copies of {base_node!r} selected: {colors[base_node]} and {color}")
+        colors[base_node] = color
+    return colors
+
+
+def _add_clique(blowup: DynamicGraph, node: Node, num_colors: int) -> None:
+    for i in range(num_colors):
+        blowup.add_node((node, i))
+    for i in range(num_colors):
+        for j in range(i + 1, num_colors):
+            blowup.add_edge((node, i), (node, j))
+
+
+def _check_palette(max_degree: int, num_colors: int) -> None:
+    if num_colors <= max_degree:
+        raise ValueError(
+            f"palette of {num_colors} colors is too small for maximum degree {max_degree}; "
+            f"need at least Delta + 1 = {max_degree + 1}"
+        )

@@ -1,0 +1,330 @@
+"""Static graph families used as workload starting points.
+
+Every generator returns a fresh :class:`~repro.graph.dynamic_graph.DynamicGraph`
+with integer node identifiers ``0 .. n-1`` (except where documented).  All
+randomized generators take an explicit ``seed`` and use a private
+:class:`random.Random` instance, so workloads are reproducible and independent
+of the global random state.
+
+The families cover everything the paper's examples and our experiments need:
+
+* general-purpose random graphs (Erdos-Renyi, preferential attachment,
+  random geometric, near-regular),
+* the structured graphs used in the paper's worked examples (stars, disjoint
+  3-edge paths, complete bipartite graphs, complete bipartite minus a perfect
+  matching),
+* planted-clustering graphs for the correlation-clustering experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+
+
+def empty_graph(num_nodes: int = 0) -> DynamicGraph:
+    """Graph with ``num_nodes`` isolated nodes and no edges."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    return DynamicGraph(nodes=range(num_nodes))
+
+
+def complete_graph(num_nodes: int) -> DynamicGraph:
+    """The clique K_n."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    graph = DynamicGraph(nodes=range(num_nodes))
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(num_nodes: int) -> DynamicGraph:
+    """The simple path P_n on ``num_nodes`` nodes (n - 1 edges)."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    graph = DynamicGraph(nodes=range(num_nodes))
+    for i in range(num_nodes - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(num_nodes: int) -> DynamicGraph:
+    """The cycle C_n (requires at least 3 nodes)."""
+    if num_nodes < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    graph = path_graph(num_nodes)
+    graph.add_edge(num_nodes - 1, 0)
+    return graph
+
+
+def star_graph(num_leaves: int) -> DynamicGraph:
+    """A star: node 0 is the center, nodes ``1 .. num_leaves`` are leaves.
+
+    This is the graph from the paper's history-independence Example 1
+    (Section 5): the worst-case MIS is the center alone (size 1), while random
+    greedy picks all the leaves with probability ``1 - 1/n``.
+    """
+    _check_nonnegative(num_leaves, "num_leaves")
+    graph = DynamicGraph(nodes=range(num_leaves + 1))
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_bipartite_graph(left_size: int, right_size: int) -> DynamicGraph:
+    """The complete bipartite graph K_{left,right}.
+
+    Nodes ``0 .. left_size-1`` form the left side ``L``; nodes
+    ``left_size .. left_size+right_size-1`` form the right side ``R``.  This
+    is the topology used by the paper's deterministic lower bound
+    (Section 1.1, "Matching Lower Bounds").
+    """
+    _check_nonnegative(left_size, "left_size")
+    _check_nonnegative(right_size, "right_size")
+    total = left_size + right_size
+    graph = DynamicGraph(nodes=range(total))
+    for u in range(left_size):
+        for v in range(left_size, total):
+            graph.add_edge(u, v)
+    return graph
+
+
+def bipartite_sides(left_size: int, right_size: int) -> Tuple[List[int], List[int]]:
+    """Return the (left, right) node lists matching :func:`complete_bipartite_graph`."""
+    left = list(range(left_size))
+    right = list(range(left_size, left_size + right_size))
+    return left, right
+
+
+def complete_bipartite_minus_matching(side_size: int) -> DynamicGraph:
+    """Complete bipartite graph on two sides of ``side_size`` minus a perfect matching.
+
+    Left node ``i`` is adjacent to every right node ``side_size + j`` with
+    ``j != i``.  This is the graph from the paper's coloring example
+    (Section 5, Example 3): random greedy 2-colors it with probability
+    ``1 - 1/n``.
+    """
+    _check_nonnegative(side_size, "side_size")
+    graph = DynamicGraph(nodes=range(2 * side_size))
+    for i in range(side_size):
+        for j in range(side_size):
+            if i != j:
+                graph.add_edge(i, side_size + j)
+    return graph
+
+
+def disjoint_paths_graph(num_paths: int, edges_per_path: int = 3) -> DynamicGraph:
+    """``num_paths`` vertex-disjoint paths, each with ``edges_per_path`` edges.
+
+    With the default of 3 edges per path this is the graph G_{3paths} from the
+    paper's matching example (Section 5, Example 2): the worst-case maximal
+    matching has one edge per path while random greedy on the line graph gets
+    5/3 edges per path in expectation.
+    """
+    _check_nonnegative(num_paths, "num_paths")
+    if edges_per_path < 1:
+        raise ValueError("each path needs at least one edge")
+    nodes_per_path = edges_per_path + 1
+    graph = DynamicGraph(nodes=range(num_paths * nodes_per_path))
+    for p in range(num_paths):
+        base = p * nodes_per_path
+        for i in range(edges_per_path):
+            graph.add_edge(base + i, base + i + 1)
+    return graph
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float, seed: int = 0) -> DynamicGraph:
+    """G(n, p) random graph."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = DynamicGraph(nodes=range(num_nodes))
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        if rng.random() < edge_probability:
+            graph.add_edge(u, v)
+    return graph
+
+
+def gnm_random_graph(num_nodes: int, num_edges: int, seed: int = 0) -> DynamicGraph:
+    """G(n, m) random graph: exactly ``num_edges`` distinct edges, uniform."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"cannot place {num_edges} edges in a graph on {num_nodes} nodes")
+    rng = random.Random(seed)
+    graph = DynamicGraph(nodes=range(num_nodes))
+    placed = 0
+    while placed < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        placed += 1
+    return graph
+
+
+def preferential_attachment_graph(num_nodes: int, edges_per_node: int, seed: int = 0) -> DynamicGraph:
+    """Barabasi-Albert style preferential attachment graph.
+
+    Starts from a clique on ``edges_per_node + 1`` nodes; every subsequent
+    node attaches to ``edges_per_node`` distinct existing nodes chosen with
+    probability proportional to their degree.  Produces skewed degree
+    distributions, which stress the abrupt-node-deletion broadcast bound
+    O(min(log n, d(v*))).
+    """
+    if edges_per_node < 1:
+        raise ValueError("edges_per_node must be at least 1")
+    if num_nodes < edges_per_node + 1:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = random.Random(seed)
+    graph = complete_graph(edges_per_node + 1)
+    # Repeated-endpoint list implements degree-proportional sampling.
+    endpoint_pool: List[int] = []
+    for u, v in graph.edges():
+        endpoint_pool.extend((u, v))
+    for new_node in range(edges_per_node + 1, num_nodes):
+        graph.add_node(new_node)
+        targets: set = set()
+        while len(targets) < edges_per_node:
+            targets.add(rng.choice(endpoint_pool))
+        for target in targets:
+            graph.add_edge(new_node, target)
+            endpoint_pool.extend((new_node, target))
+    return graph
+
+
+def random_geometric_graph(num_nodes: int, radius: float, seed: int = 0) -> DynamicGraph:
+    """Random geometric graph on the unit square with connection ``radius``."""
+    _check_nonnegative(num_nodes, "num_nodes")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(num_nodes)]
+    graph = DynamicGraph(nodes=range(num_nodes))
+    radius_squared = radius * radius
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        dx = points[u][0] - points[v][0]
+        dy = points[u][1] - points[v][1]
+        if dx * dx + dy * dy <= radius_squared:
+            graph.add_edge(u, v)
+    return graph
+
+
+def near_regular_graph(num_nodes: int, degree: int, seed: int = 0) -> DynamicGraph:
+    """A random graph in which every node has degree close to ``degree``.
+
+    Built by superposing ``degree`` random perfect matchings (a standard
+    approximation of a random regular graph that avoids the configuration
+    model's rejection loops).  Degrees are at most ``degree`` and usually
+    equal to it for even ``num_nodes``.
+    """
+    _check_nonnegative(num_nodes, "num_nodes")
+    if degree >= num_nodes:
+        raise ValueError("degree must be smaller than num_nodes")
+    rng = random.Random(seed)
+    graph = DynamicGraph(nodes=range(num_nodes))
+    for _ in range(degree):
+        order = list(range(num_nodes))
+        rng.shuffle(order)
+        for i in range(0, num_nodes - 1, 2):
+            u, v = order[i], order[i + 1]
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def planted_clusters_graph(
+    cluster_sizes: Sequence[int],
+    intra_probability: float = 0.9,
+    inter_probability: float = 0.05,
+    seed: int = 0,
+) -> Tuple[DynamicGraph, List[List[int]]]:
+    """Planted-partition graph for the correlation-clustering experiments.
+
+    Returns the graph together with the planted clusters (lists of node ids).
+    Nodes inside the same planted cluster are adjacent with probability
+    ``intra_probability``; nodes in different clusters with probability
+    ``inter_probability``.  With the defaults, the planted partition is a
+    near-optimal correlation clustering, giving a meaningful reference cost.
+    """
+    if not 0.0 <= inter_probability <= 1.0 or not 0.0 <= intra_probability <= 1.0:
+        raise ValueError("probabilities must lie in [0, 1]")
+    rng = random.Random(seed)
+    clusters: List[List[int]] = []
+    next_id = 0
+    for size in cluster_sizes:
+        _check_nonnegative(size, "cluster size")
+        clusters.append(list(range(next_id, next_id + size)))
+        next_id += size
+    graph = DynamicGraph(nodes=range(next_id))
+    membership = {}
+    for index, cluster in enumerate(clusters):
+        for node in cluster:
+            membership[node] = index
+    for u, v in itertools.combinations(range(next_id), 2):
+        probability = intra_probability if membership[u] == membership[v] else inter_probability
+        if rng.random() < probability:
+            graph.add_edge(u, v)
+    return graph, clusters
+
+
+def from_edge_list(num_nodes: int, edges: Sequence[Tuple[int, int]]) -> DynamicGraph:
+    """Build a graph on nodes ``0 .. num_nodes-1`` from an explicit edge list."""
+    graph = DynamicGraph(nodes=range(num_nodes))
+    for u, v in edges:
+        if not graph.has_node(u) or not graph.has_node(v):
+            raise GraphError(f"edge ({u}, {v}) references a node outside 0..{num_nodes - 1}")
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_graph_family(name: str, num_nodes: int, seed: int = 0) -> DynamicGraph:
+    """Dispatch helper used by benchmark sweeps.
+
+    Supported names: ``erdos_renyi`` (p = 2 ln n / n, connected-ish),
+    ``sparse`` (p = 2 / n), ``preferential`` (m = 3), ``geometric``
+    (radius = sqrt(2 ln n / (pi n))), ``near_regular`` (degree 6), ``star``,
+    ``path``, ``cycle``.
+    """
+    if num_nodes < 4:
+        raise ValueError("family sweeps need at least 4 nodes")
+    if name == "erdos_renyi":
+        probability = min(1.0, 2.0 * math.log(num_nodes) / num_nodes)
+        return erdos_renyi_graph(num_nodes, probability, seed=seed)
+    if name == "sparse":
+        return erdos_renyi_graph(num_nodes, min(1.0, 2.0 / num_nodes), seed=seed)
+    if name == "preferential":
+        return preferential_attachment_graph(num_nodes, 3, seed=seed)
+    if name == "geometric":
+        radius = math.sqrt(2.0 * math.log(num_nodes) / (math.pi * num_nodes))
+        return random_geometric_graph(num_nodes, radius, seed=seed)
+    if name == "near_regular":
+        return near_regular_graph(num_nodes, min(6, num_nodes - 1), seed=seed)
+    if name == "star":
+        return star_graph(num_nodes - 1)
+    if name == "path":
+        return path_graph(num_nodes)
+    if name == "cycle":
+        return cycle_graph(num_nodes)
+    raise ValueError(f"unknown graph family {name!r}")
+
+
+FAMILY_NAMES = (
+    "erdos_renyi",
+    "sparse",
+    "preferential",
+    "geometric",
+    "near_regular",
+    "star",
+    "path",
+    "cycle",
+)
+
+
+def _check_nonnegative(value: int, name: str) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")

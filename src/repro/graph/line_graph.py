@@ -1,0 +1,139 @@
+"""Line-graph reduction used for history-independent maximal matching.
+
+The paper (Section 5, "Composability") observes that running a history
+independent MIS algorithm on the line graph ``L(G)`` yields a history
+independent *maximal matching* of ``G``: the nodes of ``L(G)`` are the edges
+of ``G`` and two of them are adjacent when the corresponding edges share an
+endpoint, so an independent set of ``L(G)`` is exactly a matching of ``G`` and
+maximality carries over.
+
+Two entry points are provided:
+
+* :func:`line_graph_of` -- a one-shot construction of ``L(G)`` as a
+  :class:`~repro.graph.dynamic_graph.DynamicGraph` whose node identifiers are
+  the canonical edge tuples of ``G``.
+* :class:`LineGraphView` -- an *incremental* view that keeps ``L(G)`` in sync
+  as ``G`` changes and reports each topology change of ``G`` as the list of
+  primitive changes it induces on ``L(G)``.  The dynamic matching maintainer
+  (:mod:`repro.matching.dynamic_matching`) feeds those primitive changes, one
+  at a time, into a dynamic MIS engine.
+
+Primitive derived changes are returned as plain tuples so that this module
+stays independent of the workload/change dataclasses:
+
+``("add_node", edge_node, neighbor_edge_nodes)``
+    A new node of ``L(G)`` appears, attached to the given existing nodes.
+``("remove_node", edge_node)``
+    A node of ``L(G)`` disappears (all incident edges with it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError, Node, canonical_edge
+
+EdgeNode = Tuple[Node, Node]
+DerivedChange = Tuple
+
+
+def line_graph_of(graph: DynamicGraph) -> DynamicGraph:
+    """Return the line graph ``L(G)`` of ``graph``.
+
+    Node identifiers of the result are the canonical edge tuples of ``graph``.
+    """
+    line = DynamicGraph()
+    edges = graph.edges()
+    for edge in edges:
+        line.add_node(edge)
+    for node in graph.nodes():
+        incident = [canonical_edge(node, other) for other in graph.neighbors(node)]
+        for i in range(len(incident)):
+            for j in range(i + 1, len(incident)):
+                if not line.has_edge(incident[i], incident[j]):
+                    line.add_edge(incident[i], incident[j])
+    return line
+
+
+class LineGraphView:
+    """Incrementally maintained line graph of a dynamic base graph.
+
+    The view owns a private copy of the base graph, so the caller applies
+    changes exclusively through the view's mutators; each mutator updates both
+    the base copy and the derived line graph and returns the induced primitive
+    changes on ``L(G)`` in the order they must be applied.
+    """
+
+    def __init__(self, base: DynamicGraph | None = None) -> None:
+        self._base = base.copy() if base is not None else DynamicGraph()
+        self._line = line_graph_of(self._base)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def base_graph(self) -> DynamicGraph:
+        """The tracked copy of the base graph ``G`` (do not mutate directly)."""
+        return self._base
+
+    @property
+    def line_graph(self) -> DynamicGraph:
+        """The derived line graph ``L(G)`` (do not mutate directly)."""
+        return self._line
+
+    def edge_node(self, u: Node, v: Node) -> EdgeNode:
+        """The ``L(G)`` node identifier corresponding to base edge ``{u, v}``."""
+        return canonical_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutators (mirror the base graph API, return derived changes)
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> List[DerivedChange]:
+        """Insert an isolated node in ``G``; ``L(G)`` is unaffected."""
+        self._base.add_node(node)
+        return []
+
+    def add_edge(self, u: Node, v: Node) -> List[DerivedChange]:
+        """Insert edge ``{u, v}`` in ``G``; one node appears in ``L(G)``."""
+        new_edge = canonical_edge(u, v)
+        neighbors = self._incident_edge_nodes(u, exclude=v) + self._incident_edge_nodes(v, exclude=u)
+        self._base.add_edge(u, v)
+        self._line.add_node_with_edges(new_edge, neighbors)
+        return [("add_node", new_edge, tuple(neighbors))]
+
+    def remove_edge(self, u: Node, v: Node) -> List[DerivedChange]:
+        """Delete edge ``{u, v}`` from ``G``; one node disappears from ``L(G)``."""
+        gone_edge = canonical_edge(u, v)
+        if not self._base.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the base graph")
+        self._base.remove_edge(u, v)
+        self._line.remove_node(gone_edge)
+        return [("remove_node", gone_edge)]
+
+    def add_node_with_edges(self, node: Node, neighbors: Iterable[Node]) -> List[DerivedChange]:
+        """Insert a node of ``G`` with edges; each edge is a new ``L(G)`` node."""
+        neighbor_list = list(neighbors)
+        changes: List[DerivedChange] = self.add_node(node)
+        for other in neighbor_list:
+            changes.extend(self.add_edge(node, other))
+        return changes
+
+    def remove_node(self, node: Node) -> List[DerivedChange]:
+        """Delete a node of ``G``; each incident edge is a removed ``L(G)`` node."""
+        changes: List[DerivedChange] = []
+        for other in sorted(self._base.neighbors(node), key=repr):
+            changes.extend(self.remove_edge(node, other))
+        self._base.remove_node(node)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _incident_edge_nodes(self, node: Node, exclude: Node) -> List[EdgeNode]:
+        if not self._base.has_node(node):
+            return []
+        return [
+            canonical_edge(node, other)
+            for other in self._base.neighbors(node)
+            if other != exclude
+        ]

@@ -1,0 +1,122 @@
+"""Structural sanity checks for graphs and derived structures.
+
+These checks are shared by the test suite, the benchmark harnesses and the
+engines' internal assertions.  They raise :class:`ValidationError` with a
+descriptive message rather than returning booleans, so failures surface the
+exact inconsistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+from repro.graph.dynamic_graph import DynamicGraph, Node
+
+
+class ValidationError(AssertionError):
+    """Raised when a structural invariant is violated."""
+
+
+def check_graph_consistency(graph: DynamicGraph) -> None:
+    """Verify symmetry, absence of self loops and the cached edge count."""
+    adjacency = graph.adjacency_dict()
+    edge_endpoints = 0
+    for node, neighbors in adjacency.items():
+        if node in neighbors:
+            raise ValidationError(f"self loop at node {node!r}")
+        for other in neighbors:
+            if other not in adjacency:
+                raise ValidationError(f"dangling neighbor {other!r} of {node!r}")
+            if node not in adjacency[other]:
+                raise ValidationError(f"asymmetric edge ({node!r}, {other!r})")
+        edge_endpoints += len(neighbors)
+    if edge_endpoints != 2 * graph.num_edges():
+        raise ValidationError(
+            f"edge count mismatch: counter says {graph.num_edges()}, adjacency has "
+            f"{edge_endpoints // 2}"
+        )
+
+
+def check_independent_set(graph: DynamicGraph, independent_set: Iterable[Node]) -> None:
+    """Verify that no two members of ``independent_set`` are adjacent."""
+    members = set(independent_set)
+    for node in members:
+        if not graph.has_node(node):
+            raise ValidationError(f"independent-set member {node!r} is not in the graph")
+        conflict = members & set(graph.neighbors(node))
+        if conflict:
+            raise ValidationError(
+                f"nodes {node!r} and {sorted(conflict, key=repr)[0]!r} are adjacent but both selected"
+            )
+
+
+def check_maximality(graph: DynamicGraph, independent_set: Iterable[Node]) -> None:
+    """Verify that every node outside the set has a neighbor inside it."""
+    members = set(independent_set)
+    for node in graph.nodes():
+        if node in members:
+            continue
+        if not (members & set(graph.neighbors(node))):
+            raise ValidationError(f"node {node!r} could be added: the set is not maximal")
+
+
+def check_maximal_independent_set(graph: DynamicGraph, independent_set: Iterable[Node]) -> None:
+    """Verify both independence and maximality."""
+    members = set(independent_set)
+    check_independent_set(graph, members)
+    check_maximality(graph, members)
+
+
+def check_matching(graph: DynamicGraph, matching: Iterable[tuple]) -> None:
+    """Verify that ``matching`` is a set of disjoint edges of ``graph``."""
+    used: Set[Node] = set()
+    for u, v in matching:
+        if not graph.has_edge(u, v):
+            raise ValidationError(f"matched pair ({u!r}, {v!r}) is not an edge")
+        if u in used or v in used:
+            raise ValidationError(f"node reused by matching at edge ({u!r}, {v!r})")
+        used.add(u)
+        used.add(v)
+
+
+def check_maximal_matching(graph: DynamicGraph, matching: Iterable[tuple]) -> None:
+    """Verify that ``matching`` is a maximal matching of ``graph``."""
+    matching = list(matching)
+    check_matching(graph, matching)
+    used: Set[Node] = set()
+    for u, v in matching:
+        used.add(u)
+        used.add(v)
+    for u, v in graph.edges():
+        if u not in used and v not in used:
+            raise ValidationError(f"edge ({u!r}, {v!r}) could be added: matching is not maximal")
+
+
+def check_proper_coloring(graph: DynamicGraph, colors: Mapping[Node, int]) -> None:
+    """Verify that ``colors`` assigns different colors to adjacent nodes."""
+    for node in graph.nodes():
+        if node not in colors:
+            raise ValidationError(f"node {node!r} has no color")
+    for u, v in graph.edges():
+        if colors[u] == colors[v]:
+            raise ValidationError(f"adjacent nodes {u!r} and {v!r} share color {colors[u]}")
+
+
+def check_clustering(graph: DynamicGraph, clusters: Mapping[Node, int]) -> None:
+    """Verify that ``clusters`` assigns a cluster id to every node of the graph."""
+    graph_nodes = set(graph.nodes())
+    clustered = set(clusters)
+    missing = graph_nodes - clustered
+    if missing:
+        raise ValidationError(f"nodes without a cluster: {sorted(missing, key=repr)[:5]}")
+    extra = clustered - graph_nodes
+    if extra:
+        raise ValidationError(f"clustered nodes outside the graph: {sorted(extra, key=repr)[:5]}")
+
+
+def partition_from_labels(labels: Mapping[Node, int]) -> Dict[int, Set[Node]]:
+    """Group nodes by cluster label (utility shared by clustering code and tests)."""
+    partition: Dict[int, Set[Node]] = {}
+    for node, label in labels.items():
+        partition.setdefault(label, set()).add(node)
+    return partition

@@ -1,0 +1,13 @@
+"""Lower-bound constructions from the paper (Section 1.1, "Matching Lower Bounds")."""
+
+from repro.lowerbounds.deterministic import (
+    DeterministicLowerBoundResult,
+    run_deterministic_lower_bound,
+    run_randomized_on_lower_bound_instance,
+)
+
+__all__ = [
+    "DeterministicLowerBoundResult",
+    "run_deterministic_lower_bound",
+    "run_randomized_on_lower_bound_instance",
+]

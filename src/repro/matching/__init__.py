@@ -1,0 +1,28 @@
+"""History-independent dynamic maximal matching (paper, Section 5).
+
+A maximal matching of ``G`` is exactly a maximal independent set of the line
+graph ``L(G)``; running the paper's history independent dynamic MIS algorithm
+on ``L(G)`` therefore yields a history independent dynamic maximal matching.
+The line graph is maintained incrementally by
+:class:`~repro.graph.line_graph.LineGraphView`, and each topology change of
+``G`` is translated into the (constant number of, for edge changes) induced
+changes of ``L(G)``.
+
+* :mod:`repro.matching.dynamic_matching` -- the maintainer.
+* :mod:`repro.matching.greedy_matching` -- sequential baselines (random
+  greedy matching and the worst-case "natural" matching used by Example 2).
+"""
+
+from repro.matching.dynamic_matching import DynamicMaximalMatching
+from repro.matching.greedy_matching import (
+    greedy_matching_in_order,
+    random_greedy_matching,
+    worst_case_maximal_matching_3paths,
+)
+
+__all__ = [
+    "DynamicMaximalMatching",
+    "random_greedy_matching",
+    "greedy_matching_in_order",
+    "worst_case_maximal_matching_3paths",
+]

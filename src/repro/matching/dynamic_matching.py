@@ -1,0 +1,166 @@
+"""Dynamic maximal matching via dynamic MIS on the line graph.
+
+The reduction (paper, Section 5 "Composability"): nodes of ``L(G)`` are the
+edges of ``G``, adjacent when they share an endpoint, so independent sets of
+``L(G)`` are matchings of ``G`` and maximality carries over.  A topology
+change of ``G`` translates into a short sequence of changes of ``L(G)``:
+
+* inserting the edge ``{u, v}`` inserts one node (with its incident edges)
+  into ``L(G)``,
+* deleting the edge ``{u, v}`` deletes one node of ``L(G)``,
+* inserting a node of ``G`` with ``d`` edges inserts ``d`` nodes of ``L(G)``,
+* deleting a node of ``G`` of degree ``d`` deletes ``d`` nodes of ``L(G)``.
+
+Each induced change is fed, one at a time, into a
+:class:`~repro.core.dynamic_mis.DynamicMIS` running on the line graph; by the
+paper's per-change guarantee every one of them costs a single adjustment in
+expectation, so an edge change of ``G`` still costs O(1) expected adjustments
+and a node change of ``G`` costs O(d) of them.  History independence composes:
+the matching's distribution depends only on the current graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.template import UpdateReport
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.line_graph import LineGraphView
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+)
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DynamicMaximalMatching:
+    """Maintain a random-greedy maximal matching under fully dynamic changes.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the random order over *edges* (the line-graph nodes).
+    initial_graph:
+        Optional starting graph; its matching is computed by building the
+        line graph and taking the greedy MIS.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_graph
+    >>> matcher = DynamicMaximalMatching(seed=3, initial_graph=path_graph(4))
+    >>> matcher.verify()
+    >>> reports = matcher.insert_edge(0, 3)
+    >>> matcher.verify()
+    """
+
+    def __init__(self, seed: int = 0, initial_graph: Optional[DynamicGraph] = None) -> None:
+        self._view = LineGraphView(initial_graph)
+        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.line_graph)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current base graph ``G`` (do not mutate directly)."""
+        return self._view.base_graph
+
+    @property
+    def line_graph(self) -> DynamicGraph:
+        """The derived line graph ``L(G)``."""
+        return self._view.line_graph
+
+    @property
+    def mis_maintainer(self) -> DynamicMIS:
+        """The dynamic MIS maintainer running on ``L(G)``."""
+        return self._maintainer
+
+    def matching(self) -> Set[Edge]:
+        """The current maximal matching as a set of canonical edge tuples."""
+        return set(self._maintainer.mis())
+
+    def matching_size(self) -> int:
+        """Number of matched edges."""
+        return len(self._maintainer.mis())
+
+    def matched_partner(self, node: Node) -> Optional[Node]:
+        """The node matched to ``node`` (None if unmatched)."""
+        for u, v in self._maintainer.mis():
+            if u == node:
+                return v
+            if v == node:
+                return u
+        return None
+
+    def is_matched(self, node: Node) -> bool:
+        """Whether ``node`` is covered by the matching."""
+        return self.matched_partner(node) is not None
+
+    def verify(self) -> None:
+        """Assert that the output is a maximal matching of the base graph."""
+        from repro.graph.validation import check_maximal_matching
+
+        self._maintainer.verify()
+        check_maximal_matching(self.graph, self.matching())
+
+    # ------------------------------------------------------------------
+    # Topology changes on the base graph
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> List[UpdateReport]:
+        """Apply one base-graph topology change; return the induced MIS reports."""
+        if isinstance(change, EdgeInsertion):
+            return self.insert_edge(change.u, change.v)
+        if isinstance(change, EdgeDeletion):
+            return self.delete_edge(change.u, change.v)
+        if isinstance(change, (NodeInsertion, NodeUnmuting)):
+            return self.insert_node(change.node, change.neighbors)
+        if isinstance(change, NodeDeletion):
+            return self.delete_node(change.node)
+        raise TypeError(f"unknown change type: {change!r}")
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[UpdateReport]:
+        """Apply a whole base-graph change sequence."""
+        reports: List[UpdateReport] = []
+        for change in changes:
+            reports.extend(self.apply(change))
+        return reports
+
+    def insert_edge(self, u: Node, v: Node) -> List[UpdateReport]:
+        """Insert base edge ``{u, v}``."""
+        return self._process(self._view.add_edge(u, v))
+
+    def delete_edge(self, u: Node, v: Node) -> List[UpdateReport]:
+        """Delete base edge ``{u, v}``."""
+        return self._process(self._view.remove_edge(u, v))
+
+    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()) -> List[UpdateReport]:
+        """Insert a base node with edges to existing nodes."""
+        return self._process(self._view.add_node_with_edges(node, neighbors))
+
+    def delete_node(self, node: Node) -> List[UpdateReport]:
+        """Delete a base node and its incident edges."""
+        return self._process(self._view.remove_node(node))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _process(self, derived_changes: List[Tuple]) -> List[UpdateReport]:
+        reports: List[UpdateReport] = []
+        for derived in derived_changes:
+            operation = derived[0]
+            if operation == "add_node":
+                _, line_node, line_neighbors = derived
+                reports.append(self._maintainer.insert_node(line_node, line_neighbors))
+            elif operation == "remove_node":
+                _, line_node = derived
+                reports.append(self._maintainer.delete_node(line_node))
+            else:  # pragma: no cover - the line graph only produces node changes
+                raise AssertionError(f"unexpected derived change {derived!r}")
+        return reports

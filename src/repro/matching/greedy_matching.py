@@ -1,0 +1,84 @@
+"""Sequential matching baselines for the Example 2 experiment.
+
+The paper's Example 2 (Section 5) compares the random-greedy maximal matching
+of the graph made of ``n/4`` disjoint 3-edge paths (expected size ``5n/12``)
+against the worst-case maximal matching of the same graph (size ``n/4``).
+This module provides both reference constructions plus a generic greedy
+matching that processes edges in a given order (which is what the MIS of the
+line graph simulates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def greedy_matching_in_order(graph: DynamicGraph, edge_order: Sequence[Edge]) -> Set[Edge]:
+    """Greedy maximal matching processing edges in the given order.
+
+    Every edge of ``graph`` must appear in ``edge_order`` exactly once (in
+    canonical form); an edge is matched iff neither endpoint is already
+    matched.  This is exactly the greedy MIS of the line graph under the
+    corresponding order.
+    """
+    canonical_order = [canonical_edge(u, v) for u, v in edge_order]
+    graph_edges = set(graph.edges())
+    if set(canonical_order) != graph_edges or len(canonical_order) != len(graph_edges):
+        raise ValueError("edge_order must enumerate every edge of the graph exactly once")
+    matched_nodes: Set[Node] = set()
+    matching: Set[Edge] = set()
+    for u, v in canonical_order:
+        if u not in matched_nodes and v not in matched_nodes:
+            matching.add(canonical_edge(u, v))
+            matched_nodes.update((u, v))
+    return matching
+
+
+def random_greedy_matching(graph: DynamicGraph, seed: int = 0) -> Set[Edge]:
+    """Greedy maximal matching over a uniformly random edge order."""
+    edges = sorted(graph.edges(), key=repr)
+    random.Random(seed).shuffle(edges)
+    return greedy_matching_in_order(graph, edges)
+
+
+def worst_case_maximal_matching_3paths(graph: DynamicGraph) -> Set[Edge]:
+    """The smallest maximal matching of a disjoint union of 3-edge paths.
+
+    For every path ``a - b - c - d`` the single middle edge ``{b, c}`` is a
+    maximal matching of that path; taking the middle edge of every path gives
+    the worst-case maximal matching of size ``n/4`` from the paper's example.
+    The function detects the 3-edge paths structurally, so it also works when
+    node identifiers are arbitrary.
+    """
+    matching: Set[Edge] = set()
+    for component in graph.connected_components():
+        if len(component) != 4:
+            raise ValueError("worst-case construction expects disjoint 3-edge paths")
+        internal = [node for node in component if graph.degree(node) == 2]
+        if len(internal) != 2 or not graph.has_edge(internal[0], internal[1]):
+            raise ValueError("component is not a 3-edge path")
+        matching.add(canonical_edge(internal[0], internal[1]))
+    return matching
+
+
+def maximum_matching_size_3paths(num_paths: int) -> int:
+    """Size of the maximum matching of ``num_paths`` disjoint 3-edge paths (2 per path)."""
+    return 2 * num_paths
+
+
+def expected_random_greedy_matching_size_3paths(num_paths: int) -> float:
+    """Expected random-greedy matching size for the 3-paths graph.
+
+    Per path (3 edges, processed in random order): with probability 2/3 the
+    first processed edge is an end edge, which leaves the opposite end edge
+    matchable (total 2); with probability 1/3 the middle edge comes first and
+    blocks both ends (total 1).  Expectation per path is ``5/3``; the paper
+    states the total as ``5n/12`` with ``n = 4 * num_paths`` nodes.
+    """
+    return num_paths * 5.0 / 3.0

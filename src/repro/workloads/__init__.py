@@ -1,0 +1,38 @@
+"""Topology-change model and workload generation.
+
+* :mod:`repro.workloads.changes` -- the topology-change event types of
+  Section 2 of the paper (edge insertion, graceful/abrupt edge deletion, node
+  insertion, graceful/abrupt node deletion, node unmuting) as immutable
+  dataclasses, plus helpers to validate and apply them to a graph.
+* :mod:`repro.workloads.sequences` -- long-lived change sequences (random
+  churn, growth, decay, sliding windows, rebuild-a-target-graph) used by the
+  experiments.
+* :mod:`repro.workloads.adversary` -- the oblivious adversarial sequences of
+  the paper's lower bound and history-independence examples.
+"""
+
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+    apply_change_to_graph,
+    validate_change,
+)
+from repro.workloads import adversary, sequences, trace
+
+__all__ = [
+    "trace",
+    "TopologyChange",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "NodeInsertion",
+    "NodeDeletion",
+    "NodeUnmuting",
+    "apply_change_to_graph",
+    "validate_change",
+    "sequences",
+    "adversary",
+]

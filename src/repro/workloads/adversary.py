@@ -1,0 +1,118 @@
+"""Oblivious adversarial change sequences from the paper.
+
+Two constructions appear explicitly in the paper:
+
+* **The deterministic lower bound** (Section 1.1): start from the complete
+  bipartite graph K_{k,k} and delete, one by one, the nodes of the side that
+  the (deterministic) algorithm chose as its MIS.  Somewhere along the way the
+  MIS must flip from one side to the other, causing ~2k simultaneous output
+  changes.  Because the targeted side is a *deterministic function of the
+  algorithm*, this adversary is still oblivious to randomness -- it can be
+  precomputed -- which is exactly the paper's argument.
+
+* **Example constructions of Section 5** (star, disjoint 3-paths,
+  complete-bipartite-minus-matching): the adversary builds a specific target
+  graph; the point of the history-independence property is that *how* it
+  builds it does not matter.
+
+The module also contains an *adaptive* MIS-deleting adversary.  The paper
+excludes adaptive adversaries (they can trivially force one adjustment per
+change forever by always deleting an MIS node); we include it to demonstrate
+that exclusion empirically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Set, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_bipartite_graph,
+    bipartite_sides,
+    disjoint_paths_graph,
+    star_graph,
+)
+from repro.workloads.changes import NodeDeletion, TopologyChange
+from repro.workloads.sequences import build_sequence
+
+
+def bipartite_lower_bound_instance(side_size: int) -> Tuple[DynamicGraph, List[int], List[int]]:
+    """Return (K_{k,k}, left side, right side) for the lower-bound experiment."""
+    graph = complete_bipartite_graph(side_size, side_size)
+    left, right = bipartite_sides(side_size, side_size)
+    return graph, left, right
+
+
+def side_deletion_sequence(side_nodes: Sequence, graceful: bool = True) -> List[TopologyChange]:
+    """Delete the given side's nodes one by one (the lower-bound adversary)."""
+    return [NodeDeletion(node, graceful=graceful) for node in side_nodes]
+
+
+def lower_bound_sequence_for(
+    initial_mis: Set, left: Sequence, right: Sequence, graceful: bool = True
+) -> List[TopologyChange]:
+    """Build the deletion sequence targeting whichever side the algorithm picked.
+
+    ``initial_mis`` is the algorithm's MIS on K_{k,k}; in a complete bipartite
+    graph it must be (a subset of) one side.  The adversary deletes exactly
+    that side.  For a deterministic algorithm the choice is fixed, so this is
+    an oblivious sequence; we reuse the same helper for randomized algorithms
+    purely for measurement purposes.
+    """
+    left_set, right_set = set(left), set(right)
+    if initial_mis & left_set:
+        target = list(left)
+    elif initial_mis & right_set:
+        target = list(right)
+    else:
+        raise ValueError("the provided MIS intersects neither side")
+    return side_deletion_sequence(target, graceful=graceful)
+
+
+def star_construction_history(num_leaves: int, seed: int = 0) -> List[TopologyChange]:
+    """An adversarial history that ends at the star graph (Section 5, Example 1)."""
+    return build_sequence(star_graph(num_leaves), seed=seed)
+
+
+def three_paths_construction_history(num_paths: int, seed: int = 0) -> List[TopologyChange]:
+    """An adversarial history that ends at n/4 disjoint 3-edge paths (Example 2)."""
+    return build_sequence(disjoint_paths_graph(num_paths, edges_per_path=3), seed=seed)
+
+
+def adaptive_mis_deletion_adversary(
+    current_mis: Callable[[], Set],
+    num_deletions: int,
+    rng_seed: int = 0,
+) -> "AdaptiveAdversary":
+    """Return an adaptive adversary that always deletes a current MIS node.
+
+    The callable ``current_mis`` must return the algorithm's current MIS; the
+    adversary queries it before every deletion.  This violates the paper's
+    oblivious-adversary assumption on purpose: experiment E1 uses it to show
+    that *every* change then costs at least one adjustment, i.e. the paper's
+    expectation-1 bound is tight and cannot be improved to o(1) even against
+    this weak adaptivity.
+    """
+    return AdaptiveAdversary(current_mis, num_deletions, rng_seed)
+
+
+class AdaptiveAdversary:
+    """Iterator of deletions that always target a node of the current MIS."""
+
+    def __init__(self, current_mis: Callable[[], Set], num_deletions: int, rng_seed: int = 0) -> None:
+        self._current_mis = current_mis
+        self._remaining = num_deletions
+        self._rng = random.Random(rng_seed)
+
+    def __iter__(self) -> "AdaptiveAdversary":
+        return self
+
+    def __next__(self) -> TopologyChange:
+        if self._remaining <= 0:
+            raise StopIteration
+        mis_nodes = sorted(self._current_mis(), key=repr)
+        if not mis_nodes:
+            raise StopIteration
+        self._remaining -= 1
+        return NodeDeletion(self._rng.choice(mis_nodes), graceful=True)

@@ -1,0 +1,168 @@
+"""Topology-change events (paper, Section 2).
+
+The paper distinguishes six changes in the *distributed* model:
+
+* **edge insertion** -- a new communication link appears; both endpoints are
+  notified.
+* **graceful edge deletion** -- a link retires but may still carry messages
+  until the system is stable again.
+* **abrupt edge deletion** -- a link disappears immediately.
+* **node insertion** -- a brand new node arrives, possibly with several edges.
+* **graceful node deletion** -- a node retires but relays messages until the
+  system is stable.
+* **abrupt node deletion** -- a node disappears immediately.
+* **node unmuting** -- a previously invisible node that overheard its
+  neighbors' communication becomes visible (it already knows their IDs and
+  states, so it needs no discovery phase).
+
+At the template level (Section 3) only four changes exist -- the
+graceful/abrupt and unmuting distinctions only affect *communication*.  The
+dataclasses below capture the distributed-level change together with the
+flags that the simulators need (``graceful``, ``unmuting``); the template
+engine and the sequential maintainers simply ignore those flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple, Union
+
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class EdgeInsertion:
+    """Insertion of the edge ``{u, v}`` between two existing nodes."""
+
+    u: Node
+    v: Node
+
+    kind = "edge_insertion"
+
+    def endpoints(self) -> Tuple[Node, Node]:
+        """The two endpoints of the affected edge."""
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion:
+    """Deletion of the edge ``{u, v}``; graceful deletions may relay messages."""
+
+    u: Node
+    v: Node
+    graceful: bool = True
+
+    kind = "edge_deletion"
+
+    def endpoints(self) -> Tuple[Node, Node]:
+        """The two endpoints of the affected edge."""
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class NodeInsertion:
+    """Insertion of a new node, possibly with multiple edges."""
+
+    node: Node
+    neighbors: Tuple[Node, ...] = field(default_factory=tuple)
+
+    kind = "node_insertion"
+
+
+@dataclass(frozen=True)
+class NodeUnmuting:
+    """A previously invisible node becomes visible.
+
+    The node already overheard its neighbors' communication, so unlike a node
+    insertion it knows their random IDs and states upfront; the distributed
+    implementation therefore needs only O(1) broadcasts for it.  At the
+    template level it is identical to a node insertion.
+    """
+
+    node: Node
+    neighbors: Tuple[Node, ...] = field(default_factory=tuple)
+
+    kind = "node_unmuting"
+
+
+@dataclass(frozen=True)
+class NodeDeletion:
+    """Deletion of a node together with all of its incident edges."""
+
+    node: Node
+    graceful: bool = True
+
+    kind = "node_deletion"
+
+
+TopologyChange = Union[EdgeInsertion, EdgeDeletion, NodeInsertion, NodeUnmuting, NodeDeletion]
+
+CHANGE_KINDS = (
+    "edge_insertion",
+    "edge_deletion",
+    "node_insertion",
+    "node_unmuting",
+    "node_deletion",
+)
+
+
+def validate_change(graph: DynamicGraph, change: TopologyChange) -> None:
+    """Raise :class:`GraphError` if ``change`` cannot be applied to ``graph``."""
+    if isinstance(change, EdgeInsertion):
+        if not graph.has_node(change.u) or not graph.has_node(change.v):
+            raise GraphError(f"edge insertion {change} references a missing node")
+        if change.u == change.v:
+            raise GraphError("edge insertion would create a self loop")
+        if graph.has_edge(change.u, change.v):
+            raise GraphError(f"edge ({change.u!r}, {change.v!r}) already exists")
+    elif isinstance(change, EdgeDeletion):
+        if not graph.has_edge(change.u, change.v):
+            raise GraphError(f"edge ({change.u!r}, {change.v!r}) does not exist")
+    elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+        if graph.has_node(change.node):
+            raise GraphError(f"node {change.node!r} already exists")
+        for other in change.neighbors:
+            if not graph.has_node(other):
+                raise GraphError(f"insertion neighbor {other!r} does not exist")
+            if other == change.node:
+                raise GraphError("node insertion would create a self loop")
+        if len(set(change.neighbors)) != len(change.neighbors):
+            raise GraphError("duplicate neighbors in node insertion")
+    elif isinstance(change, NodeDeletion):
+        if not graph.has_node(change.node):
+            raise GraphError(f"node {change.node!r} does not exist")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown change type: {change!r}")
+
+
+def apply_change_to_graph(graph: DynamicGraph, change: TopologyChange) -> None:
+    """Apply ``change`` to ``graph`` in place (validating first)."""
+    validate_change(graph, change)
+    if isinstance(change, EdgeInsertion):
+        graph.add_edge(change.u, change.v)
+    elif isinstance(change, EdgeDeletion):
+        graph.remove_edge(change.u, change.v)
+    elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+        graph.add_node_with_edges(change.node, change.neighbors)
+    elif isinstance(change, NodeDeletion):
+        graph.remove_node(change.node)
+
+
+def inverse_change(graph_before: DynamicGraph, change: TopologyChange) -> TopologyChange:
+    """Return the change that undoes ``change`` (given the graph before it).
+
+    Used by workload generators that build "there and back" sequences for the
+    history-independence experiments.
+    """
+    if isinstance(change, EdgeInsertion):
+        return EdgeDeletion(change.u, change.v)
+    if isinstance(change, EdgeDeletion):
+        return EdgeInsertion(change.u, change.v)
+    if isinstance(change, (NodeInsertion, NodeUnmuting)):
+        return NodeDeletion(change.node)
+    if isinstance(change, NodeDeletion):
+        neighbors = tuple(sorted(graph_before.neighbors(change.node), key=repr))
+        return NodeInsertion(change.node, neighbors)
+    raise TypeError(f"unknown change type: {change!r}")

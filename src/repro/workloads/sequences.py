@@ -1,0 +1,308 @@
+"""Generators of long-lived topology-change sequences.
+
+The paper's guarantees are *per change*: every single topology change costs a
+constant number of adjustments/rounds/broadcasts in expectation, for any
+change and any (oblivious) sequence.  The experiments therefore drive the
+engines with long sequences of changes; this module produces them.
+
+All generators are deterministic functions of their ``seed`` and never touch
+the global random state.  Generators that need to know the evolving topology
+(e.g. to avoid deleting a non-existent edge) simulate the evolution on a
+private copy of the starting graph; they never mutate the caller's graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    TopologyChange,
+    apply_change_to_graph,
+)
+
+
+def build_sequence(graph: DynamicGraph, seed: Optional[int] = None) -> List[TopologyChange]:
+    """A change sequence that builds ``graph`` starting from the empty graph.
+
+    Nodes are inserted first (isolated), then edges are inserted one at a
+    time.  If ``seed`` is given, both insertion orders are shuffled, which
+    yields a *different history* for the same final graph -- exactly what the
+    history-independence experiment needs.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    edges = sorted(graph.edges(), key=repr)
+    if seed is not None:
+        rng = random.Random(seed)
+        rng.shuffle(nodes)
+        rng.shuffle(edges)
+    changes: List[TopologyChange] = [NodeInsertion(node) for node in nodes]
+    changes.extend(EdgeInsertion(u, v) for u, v in edges)
+    return changes
+
+
+def incremental_build_sequence(graph: DynamicGraph, seed: int = 0) -> List[TopologyChange]:
+    """Build ``graph`` by inserting each node together with its already-present neighbors.
+
+    This exercises the node-insertion-with-edges path instead of the
+    edge-by-edge path, giving a second style of history for the same target.
+    """
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    rng.shuffle(nodes)
+    inserted = set()
+    changes: List[TopologyChange] = []
+    for node in nodes:
+        present_neighbors = tuple(
+            sorted((v for v in graph.neighbors(node) if v in inserted), key=repr)
+        )
+        changes.append(NodeInsertion(node, present_neighbors))
+        inserted.add(node)
+    return changes
+
+
+def detour_build_sequence(
+    graph: DynamicGraph, num_detours: int = 5, seed: int = 0
+) -> List[TopologyChange]:
+    """Build ``graph`` but insert and later remove ``num_detours`` extra edges.
+
+    The extra edges are chosen among node pairs that are *not* edges of the
+    target graph; each is inserted at a random point and removed again before
+    the end, so the final graph is exactly ``graph`` while the history
+    differs substantially from a plain build.
+    """
+    rng = random.Random(seed)
+    base = build_sequence(graph, seed=seed)
+    node_list = sorted(graph.nodes(), key=repr)
+    non_edges: List[Tuple] = []
+    for i, u in enumerate(node_list):
+        for v in node_list[i + 1 :]:
+            if not graph.has_edge(u, v):
+                non_edges.append((u, v))
+    rng.shuffle(non_edges)
+    detours = non_edges[:num_detours]
+
+    # Insert the detour edge right after both endpoints exist, delete it at the end.
+    changes = list(base)
+    insertion_positions = {}
+    for position, change in enumerate(changes):
+        if isinstance(change, NodeInsertion):
+            insertion_positions[change.node] = position
+    offset = 0
+    for u, v in detours:
+        ready = max(insertion_positions[u], insertion_positions[v]) + 1 + offset
+        changes.insert(ready, EdgeInsertion(u, v))
+        offset += 1
+    changes.extend(EdgeDeletion(u, v) for u, v in detours)
+    return changes
+
+
+def edge_churn_sequence(
+    graph: DynamicGraph, num_changes: int, seed: int = 0, insert_probability: float = 0.5
+) -> List[TopologyChange]:
+    """Random sequence of edge insertions and deletions starting from ``graph``.
+
+    Every step tosses a coin: with ``insert_probability`` it inserts a uniform
+    random missing edge (if any), otherwise it deletes a uniform random
+    existing edge (if any).  The node set never changes.
+    """
+    rng = random.Random(seed)
+    working = graph.copy()
+    nodes = sorted(working.nodes(), key=repr)
+    if len(nodes) < 2:
+        raise ValueError("edge churn needs at least two nodes")
+    changes: List[TopologyChange] = []
+    for _ in range(num_changes):
+        do_insert = rng.random() < insert_probability
+        change = None
+        if do_insert:
+            change = _random_missing_edge(working, nodes, rng)
+            if change is None:
+                change = _random_present_edge(working, rng)
+        else:
+            change = _random_present_edge(working, rng)
+            if change is None:
+                change = _random_missing_edge(working, nodes, rng)
+        if change is None:
+            break
+        apply_change_to_graph(working, change)
+        changes.append(change)
+    return changes
+
+
+def node_churn_sequence(
+    graph: DynamicGraph,
+    num_changes: int,
+    seed: int = 0,
+    insert_probability: float = 0.5,
+    attachment_probability: float = 0.3,
+    graceful_probability: float = 0.5,
+) -> List[TopologyChange]:
+    """Random sequence of node insertions and deletions starting from ``graph``.
+
+    Inserted nodes get fresh identifiers (strings ``"n<k>"``) and attach to
+    each existing node independently with ``attachment_probability``.
+    Deletions pick a uniform existing node and are marked graceful with
+    probability ``graceful_probability`` (the flag only matters to the
+    distributed simulators).
+    """
+    rng = random.Random(seed)
+    working = graph.copy()
+    changes: List[TopologyChange] = []
+    fresh_counter = 0
+    for _ in range(num_changes):
+        nodes = sorted(working.nodes(), key=repr)
+        do_insert = rng.random() < insert_probability or len(nodes) <= 2
+        if do_insert:
+            fresh_counter += 1
+            new_node = f"n{fresh_counter}"
+            while working.has_node(new_node):
+                fresh_counter += 1
+                new_node = f"n{fresh_counter}"
+            neighbors = tuple(v for v in nodes if rng.random() < attachment_probability)
+            change: TopologyChange = NodeInsertion(new_node, neighbors)
+        else:
+            victim = rng.choice(nodes)
+            change = NodeDeletion(victim, graceful=rng.random() < graceful_probability)
+        apply_change_to_graph(working, change)
+        changes.append(change)
+    return changes
+
+
+def mixed_churn_sequence(
+    graph: DynamicGraph,
+    num_changes: int,
+    seed: int = 0,
+    edge_change_probability: float = 0.7,
+) -> List[TopologyChange]:
+    """Interleaved edge and node churn (the general fully dynamic workload)."""
+    rng = random.Random(seed)
+    working = graph.copy()
+    changes: List[TopologyChange] = []
+    fresh_counter = 0
+    for _ in range(num_changes):
+        nodes = sorted(working.nodes(), key=repr)
+        if rng.random() < edge_change_probability and len(nodes) >= 2:
+            if rng.random() < 0.5:
+                change = _random_missing_edge(working, nodes, rng) or _random_present_edge(working, rng)
+            else:
+                change = _random_present_edge(working, rng) or _random_missing_edge(working, nodes, rng)
+        else:
+            if rng.random() < 0.5 or len(nodes) <= 2:
+                fresh_counter += 1
+                new_node = f"m{fresh_counter}"
+                while working.has_node(new_node):
+                    fresh_counter += 1
+                    new_node = f"m{fresh_counter}"
+                neighbors = tuple(v for v in nodes if rng.random() < 0.3)
+                change = NodeInsertion(new_node, neighbors)
+            else:
+                change = NodeDeletion(rng.choice(nodes), graceful=rng.random() < 0.5)
+        if change is None:
+            break
+        apply_change_to_graph(working, change)
+        changes.append(change)
+    return changes
+
+
+def sliding_window_sequence(
+    num_nodes: int, window_size: int, num_changes: int, seed: int = 0
+) -> List[TopologyChange]:
+    """Edges arrive continuously and expire after ``window_size`` further arrivals.
+
+    Starts from an empty graph on ``num_nodes`` nodes; the generated sequence
+    alternates insertions of fresh random edges with deletions of the oldest
+    live edge once the window is full.  Models link churn in, e.g., an
+    overlay network.
+    """
+    rng = random.Random(seed)
+    working = DynamicGraph(nodes=range(num_nodes))
+    live: List[Tuple] = []
+    changes: List[TopologyChange] = []
+    attempts = 0
+    while len(changes) < num_changes and attempts < 50 * num_changes:
+        attempts += 1
+        if len(live) >= window_size:
+            u, v = live.pop(0)
+            if working.has_edge(u, v):
+                change = EdgeDeletion(u, v, graceful=bool(rng.getrandbits(1)))
+                apply_change_to_graph(working, change)
+                changes.append(change)
+            continue
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or working.has_edge(u, v):
+            continue
+        change = EdgeInsertion(*canonical_edge(u, v))
+        apply_change_to_graph(working, change)
+        live.append(canonical_edge(u, v))
+        changes.append(change)
+    return changes
+
+
+def teardown_sequence(graph: DynamicGraph, seed: Optional[int] = None) -> List[TopologyChange]:
+    """A sequence that removes every edge and node of ``graph`` one at a time."""
+    edges = sorted(graph.edges(), key=repr)
+    nodes = sorted(graph.nodes(), key=repr)
+    if seed is not None:
+        rng = random.Random(seed)
+        rng.shuffle(edges)
+        rng.shuffle(nodes)
+    changes: List[TopologyChange] = [EdgeDeletion(u, v) for u, v in edges]
+    changes.extend(NodeDeletion(node) for node in nodes)
+    return changes
+
+
+def replay_on_graph(graph: DynamicGraph, changes: Iterable[TopologyChange]) -> DynamicGraph:
+    """Return the graph obtained by applying ``changes`` to a copy of ``graph``."""
+    working = graph.copy()
+    for change in changes:
+        apply_change_to_graph(working, change)
+    return working
+
+
+def alternative_histories(
+    graph: DynamicGraph, num_histories: int, seed: int = 0
+) -> List[List[TopologyChange]]:
+    """Several different change histories that all end at the same ``graph``.
+
+    Used by the history-independence experiment: the output distribution of a
+    history independent algorithm must be identical across all of them.
+    """
+    histories: List[List[TopologyChange]] = []
+    for index in range(num_histories):
+        style = index % 3
+        if style == 0:
+            histories.append(build_sequence(graph, seed=seed + index))
+        elif style == 1:
+            histories.append(incremental_build_sequence(graph, seed=seed + index))
+        else:
+            histories.append(detour_build_sequence(graph, num_detours=3 + index, seed=seed + index))
+    return histories
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _random_missing_edge(graph: DynamicGraph, nodes: Sequence, rng: random.Random):
+    if len(nodes) < 2:
+        return None
+    for _ in range(200):
+        u = rng.choice(nodes)
+        v = rng.choice(nodes)
+        if u != v and not graph.has_edge(u, v):
+            return EdgeInsertion(*canonical_edge(u, v))
+    return None
+
+
+def _random_present_edge(graph: DynamicGraph, rng: random.Random):
+    edges = graph.edges()
+    if not edges:
+        return None
+    u, v = rng.choice(edges)
+    return EdgeDeletion(u, v, graceful=bool(rng.getrandbits(1)))

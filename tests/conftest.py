@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph import generators
+
+
+@pytest.fixture
+def triangle() -> DynamicGraph:
+    """The triangle K_3."""
+    return generators.complete_graph(3)
+
+
+@pytest.fixture
+def small_path() -> DynamicGraph:
+    """A path on five nodes."""
+    return generators.path_graph(5)
+
+
+@pytest.fixture
+def small_star() -> DynamicGraph:
+    """A star with six leaves."""
+    return generators.star_graph(6)
+
+
+@pytest.fixture
+def small_random_graph() -> DynamicGraph:
+    """A fixed Erdos-Renyi graph used by many integration tests."""
+    return generators.erdos_renyi_graph(20, 0.2, seed=7)
+
+
+@pytest.fixture
+def medium_random_graph() -> DynamicGraph:
+    """A slightly larger Erdos-Renyi graph for sequence tests."""
+    return generators.erdos_renyi_graph(40, 0.12, seed=11)
+
+
+@pytest.fixture
+def three_paths_graph() -> DynamicGraph:
+    """Six disjoint 3-edge paths (the matching example graph)."""
+    return generators.disjoint_paths_graph(6, edges_per_path=3)
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def any_seed(request) -> int:
+    """A small collection of seeds for tests parameterized over randomness."""
+    return request.param

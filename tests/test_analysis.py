@@ -1,0 +1,125 @@
+"""Tests for estimators, history-independence machinery and report tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimators import (
+    confidence_interval,
+    group_means,
+    growth_exponent,
+    mean,
+    sample_standard_deviation,
+    summarize,
+)
+from repro.analysis.history_independence import (
+    max_pairwise_distance,
+    mis_distribution_over_histories,
+    mis_distribution_over_seeds,
+    outputs_identical_across_histories,
+    replay_history_mis,
+    total_variation_distance,
+)
+from repro.analysis.reporting import format_claim_table, format_table
+from repro.graph import generators
+from repro.workloads.sequences import alternative_histories
+
+
+class TestEstimators:
+    def test_mean_and_std(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+        assert mean([]) == 0.0
+        assert sample_standard_deviation([2, 2, 2]) == 0.0
+        assert sample_standard_deviation([1]) == 0.0
+        assert sample_standard_deviation([1, 3]) == pytest.approx(2 ** 0.5)
+
+    def test_confidence_interval_contains_mean(self):
+        low, high = confidence_interval([1, 2, 3, 4, 5])
+        assert low <= 3.0 <= high
+        assert confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3])
+        assert summary.count == 3
+        assert summary.minimum == 1
+        assert summary.maximum == 3
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        empty = summarize([])
+        assert empty.count == 0
+
+    def test_group_means(self):
+        groups = group_means([("a", 1.0), ("a", 3.0), ("b", 2.0)])
+        assert groups == {"a": 2.0, "b": 2.0}
+
+    def test_growth_exponent_detects_shapes(self):
+        xs = [10, 100, 1000, 10000]
+        constant = [5.0, 5.1, 4.9, 5.0]
+        linear = [10.0, 100.0, 1000.0, 10000.0]
+        assert abs(growth_exponent(xs, constant)) < 0.05
+        assert abs(growth_exponent(xs, linear) - 1.0) < 0.05
+        assert growth_exponent([1], [1]) == 0.0
+        assert growth_exponent([0, 0], [1, 1]) == 0.0
+
+
+class TestHistoryIndependenceMachinery:
+    def test_total_variation_basics(self):
+        p = {frozenset({1}): 0.5, frozenset({2}): 0.5}
+        q = {frozenset({1}): 1.0}
+        assert total_variation_distance(p, p) == 0.0
+        assert total_variation_distance(p, q) == pytest.approx(0.5)
+
+    def test_distribution_over_seeds_sums_to_one(self):
+        distribution = mis_distribution_over_seeds(lambda seed: frozenset({seed % 2}), range(10))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert len(distribution) == 2
+
+    def test_paper_algorithm_is_history_independent_per_seed(self):
+        graph = generators.erdos_renyi_graph(10, 0.3, seed=1)
+        histories = alternative_histories(graph, num_histories=4, seed=2)
+        for seed in range(5):
+            assert outputs_identical_across_histories(histories, seed)
+
+    def test_distributions_over_histories_are_close(self):
+        graph = generators.erdos_renyi_graph(8, 0.3, seed=3)
+        histories = alternative_histories(graph, num_histories=3, seed=4)
+        distributions = mis_distribution_over_histories(histories, seeds=range(30))
+        assert max_pairwise_distance(distributions) == pytest.approx(0.0)
+
+    def test_replay_history_builds_the_graph(self):
+        graph = generators.path_graph(4)
+        history = alternative_histories(graph, num_histories=1, seed=5)[0]
+        output = replay_history_mis(history, seed=9)
+        assert output  # non-empty MIS of a non-empty graph
+        assert all(node in graph for node in output)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", None], ["c", True]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1].startswith("=")
+        assert "alpha" in table
+        assert "1.5000" in table
+        assert "-" in lines[-2] or "-" in table  # None rendered as dash
+        assert "yes" in table
+
+    def test_format_table_pads_short_rows(self):
+        table = format_table(["a", "b", "c"], [[1]])
+        assert table.splitlines()[-1].strip().startswith("1")
+
+    def test_format_claim_table_contains_all_claims(self):
+        table = format_claim_table(
+            "E1",
+            [
+                {"row": "E[|S|]", "paper": "<= 1", "measured": 0.42, "verdict": "pass"},
+                {"row": "rounds", "paper": "O(1)", "measured": 1.7},
+            ],
+        )
+        assert "E[|S|]" in table
+        assert "0.4200" in table
+        assert "pass" in table

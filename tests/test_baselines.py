@@ -1,0 +1,183 @@
+"""Tests for the baseline algorithms (Luby, Ghaffari-style, recompute, deterministic, natural)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.deterministic_dynamic import DeterministicDynamicMIS, NaturalGreedyDynamicMIS
+from repro.baselines.ghaffari import GhaffariStyleMIS, ghaffari_style_mis
+from repro.baselines.greedy_static import SequentialGreedyRecompute
+from repro.baselines.luby import LubyMIS, StaticRunMetrics, luby_mis
+from repro.baselines.recompute import StaticRecomputeDynamicMIS
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph import generators
+from repro.graph.validation import check_maximal_independent_set
+from repro.workloads.changes import EdgeInsertion, NodeDeletion
+from repro.workloads.sequences import edge_churn_sequence, mixed_churn_sequence
+
+
+class TestLuby:
+    @pytest.mark.parametrize("family", ["erdos_renyi", "star", "cycle", "preferential"])
+    def test_output_is_mis(self, family, any_seed):
+        graph = generators.random_graph_family(family, 30, seed=any_seed)
+        check_maximal_independent_set(graph, luby_mis(graph, seed=any_seed))
+
+    def test_empty_graph(self):
+        assert luby_mis(generators.empty_graph(0)) == set()
+
+    def test_isolated_nodes(self):
+        assert luby_mis(generators.empty_graph(4)) == {0, 1, 2, 3}
+
+    def test_metrics_are_recorded(self):
+        graph = generators.erdos_renyi_graph(40, 0.15, seed=2)
+        metrics = StaticRunMetrics()
+        LubyMIS(seed=3).run(graph, metrics)
+        assert metrics.phases >= 1
+        assert metrics.rounds == 2 * metrics.phases
+        assert metrics.broadcasts > 0
+        assert metrics.bits > metrics.broadcasts
+
+    def test_round_complexity_grows_slowly(self):
+        """Luby's phase count is logarithmic-ish: it grows with n but slowly."""
+        phase_counts = []
+        for num_nodes in (20, 80, 320):
+            graph = generators.erdos_renyi_graph(num_nodes, 4.0 / num_nodes, seed=5)
+            metrics = StaticRunMetrics()
+            LubyMIS(seed=6).run(graph, metrics)
+            phase_counts.append(metrics.phases)
+        assert phase_counts[-1] <= 6 * max(1, phase_counts[0])
+
+
+class TestGhaffariStyle:
+    @pytest.mark.parametrize("family", ["erdos_renyi", "star", "cycle"])
+    def test_output_is_mis(self, family, any_seed):
+        graph = generators.random_graph_family(family, 25, seed=any_seed)
+        check_maximal_independent_set(graph, ghaffari_style_mis(graph, seed=any_seed))
+
+    def test_metrics_recorded(self):
+        graph = generators.erdos_renyi_graph(30, 0.2, seed=1)
+        metrics = StaticRunMetrics()
+        GhaffariStyleMIS(seed=2).run(graph, metrics)
+        assert metrics.rounds >= 2
+        assert metrics.broadcasts >= graph.num_nodes()
+
+    def test_empty_graph(self):
+        assert ghaffari_style_mis(generators.empty_graph(0)) == set()
+
+
+class TestSequentialGreedyRecompute:
+    def test_tracks_random_greedy(self, small_random_graph):
+        recompute = SequentialGreedyRecompute(seed=4, initial_graph=small_random_graph)
+        reference = DynamicMIS(seed=4, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 50, seed=5):
+            recompute.apply(change)
+            reference.apply(change)
+            assert recompute.mis() == reference.mis()
+
+    def test_work_is_linear_in_nodes(self, small_random_graph):
+        recompute = SequentialGreedyRecompute(seed=4, initial_graph=small_random_graph)
+        metrics = recompute.apply(EdgeInsertion(*_missing_edge(small_random_graph)))
+        assert metrics.broadcasts == recompute.graph.num_nodes()
+
+    def test_states_cover_graph(self, small_random_graph):
+        recompute = SequentialGreedyRecompute(seed=4, initial_graph=small_random_graph)
+        assert set(recompute.states()) == set(small_random_graph.nodes())
+
+
+class TestStaticRecomputeWrapper:
+    @pytest.mark.parametrize("algorithm", ["luby", "ghaffari"])
+    def test_output_is_always_an_mis(self, algorithm, small_random_graph):
+        wrapper = StaticRecomputeDynamicMIS(algorithm, seed=1, initial_graph=small_random_graph)
+        for change in edge_churn_sequence(small_random_graph, 30, seed=2):
+            wrapper.apply(change)
+            check_maximal_independent_set(wrapper.graph, wrapper.mis())
+
+    def test_per_change_cost_is_a_full_static_run(self, medium_random_graph):
+        wrapper = StaticRecomputeDynamicMIS("luby", seed=3, initial_graph=medium_random_graph)
+        wrapper.apply_sequence(edge_churn_sequence(medium_random_graph, 25, seed=4))
+        assert wrapper.metrics.mean("rounds") >= 2.0
+        assert wrapper.metrics.mean("broadcasts") >= medium_random_graph.num_nodes() / 2
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            StaticRecomputeDynamicMIS("quantum")
+
+    def test_custom_runner_object(self, small_random_graph):
+        wrapper = StaticRecomputeDynamicMIS(LubyMIS(seed=9), initial_graph=small_random_graph)
+        check_maximal_independent_set(wrapper.graph, wrapper.mis())
+        assert wrapper.algorithm_name == "LubyMIS"
+
+
+class TestDeterministicDynamicMIS:
+    def test_is_deterministic(self, small_random_graph):
+        outputs = set()
+        for _ in range(3):
+            algorithm = DeterministicDynamicMIS(initial_graph=small_random_graph)
+            for change in edge_churn_sequence(small_random_graph, 20, seed=6):
+                algorithm.apply(change)
+            outputs.add(frozenset(algorithm.mis()))
+        assert len(outputs) == 1
+
+    def test_output_is_an_mis(self, small_random_graph):
+        algorithm = DeterministicDynamicMIS(initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 40, seed=7):
+            algorithm.apply(change)
+            check_maximal_independent_set(algorithm.graph, algorithm.mis())
+
+    def test_picks_lowest_identifier_side_on_bipartite(self):
+        graph = generators.complete_bipartite_graph(4, 4)
+        algorithm = DeterministicDynamicMIS(initial_graph=graph)
+        assert algorithm.mis() == {0, 1, 2, 3}
+
+
+class TestNaturalGreedy:
+    def test_always_an_mis_under_churn(self, small_random_graph):
+        algorithm = NaturalGreedyDynamicMIS(initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 50, seed=8):
+            algorithm.apply(change)
+            algorithm.verify()
+
+    def test_star_built_center_first_keeps_center(self):
+        """The natural algorithm is history dependent: building the star
+        center-first yields the worst MIS (the center alone)."""
+        from repro.workloads.changes import NodeInsertion as NIns
+
+        algorithm = NaturalGreedyDynamicMIS()
+        algorithm.apply(NIns("center"))
+        for leaf in range(6):
+            algorithm.apply(NIns(f"leaf{leaf}", ("center",)))
+        assert algorithm.mis() == {"center"}
+
+    def test_star_built_leaves_first_keeps_leaves(self):
+        """Building the leaves first (and attaching the center afterwards)
+        makes the same algorithm output the all-leaves MIS instead."""
+        from repro.workloads.changes import EdgeInsertion as EIns, NodeInsertion as NIns
+
+        algorithm = NaturalGreedyDynamicMIS()
+        for leaf in range(6):
+            algorithm.apply(NIns(f"leaf{leaf}"))
+        algorithm.apply(NIns("center"))
+        for leaf in range(6):
+            algorithm.apply(EIns(f"leaf{leaf}", "center"))
+        assert algorithm.mis() == {f"leaf{leaf}" for leaf in range(6)}
+
+    def test_metrics_record_adjustments(self, small_random_graph):
+        algorithm = NaturalGreedyDynamicMIS(initial_graph=small_random_graph)
+        victim = sorted(algorithm.mis(), key=repr)[0]
+        metrics = algorithm.apply(NodeDeletion(victim))
+        assert metrics.adjustments >= 0
+        assert algorithm.metrics.num_changes == 1
+
+    def test_unknown_change_type(self, small_random_graph):
+        algorithm = NaturalGreedyDynamicMIS(initial_graph=small_random_graph)
+        with pytest.raises(Exception):
+            algorithm.apply(object())
+
+
+def _missing_edge(graph):
+    nodes = sorted(graph.nodes())
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return (u, v)
+    raise AssertionError("graph is complete")

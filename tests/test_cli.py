@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        arguments = build_parser().parse_args(["churn"])
+        assert arguments.family == "erdos_renyi"
+        assert arguments.nodes == 40
+        assert arguments.structure == "mis"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--family", "hypercube"])
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        assert "erdos_renyi" in output
+        assert "star" in output
+
+    def test_churn_mis(self, capsys):
+        exit_code = main(["churn", "--nodes", "20", "--changes", "30", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Theorem 1" in output
+        assert "final MIS size" in output
+
+    def test_churn_matching(self, capsys):
+        exit_code = main(
+            ["churn", "--structure", "matching", "--nodes", "14", "--changes", "20", "--seed", "2"]
+        )
+        assert exit_code == 0
+        assert "matching" in capsys.readouterr().out
+
+    def test_churn_clustering(self, capsys):
+        exit_code = main(
+            ["churn", "--structure", "clustering", "--nodes", "15", "--changes", "20", "--seed", "4"]
+        )
+        assert exit_code == 0
+        assert "clusters" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("protocol", ["buffered", "direct", "async"])
+    def test_protocol_commands(self, protocol, capsys):
+        exit_code = main(
+            ["protocol", "--protocol", protocol, "--nodes", "18", "--changes", "25", "--seed", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mean broadcasts" in output
+        assert "ALL" in output
+
+    def test_protocol_with_recompute_comparison(self, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--protocol",
+                "buffered",
+                "--nodes",
+                "18",
+                "--changes",
+                "20",
+                "--seed",
+                "6",
+                "--compare-recompute",
+            ]
+        )
+        assert exit_code == 0
+        assert "Luby recompute" in capsys.readouterr().out
+
+    def test_save_and_replay_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "workload.json"
+        assert (
+            main(
+                [
+                    "churn",
+                    "--nodes",
+                    "15",
+                    "--changes",
+                    "20",
+                    "--seed",
+                    "8",
+                    "--save-trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert trace_path.exists()
+        first_output = capsys.readouterr().out
+        assert main(["churn", "--load-trace", str(trace_path), "--seed", "8"]) == 0
+        second_output = capsys.readouterr().out
+        # Same workload, same seed: the summary numbers coincide.
+        assert first_output.splitlines()[-3:] == second_output.splitlines()[-3:]
+
+    def test_load_trace_without_graph_fails(self, tmp_path):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"format": "repro-trace-v1", "changes": []}))
+        with pytest.raises(SystemExit):
+            main(["churn", "--load-trace", str(path)])
+
+    def test_lowerbound(self, capsys):
+        exit_code = main(["lowerbound", "--side-size", "6", "--seeds", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "deterministic greedy" in output
+        assert "randomized" in output
+
+    def test_history(self, capsys):
+        exit_code = main(["history", "--nodes", "10", "--changes", "10", "--samples", "10", "--seed", "7"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "identical output per seed" in output
+        assert "yes" in output

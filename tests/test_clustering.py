@@ -1,0 +1,166 @@
+"""Tests for correlation clustering: cost, constructions, pivot equivalence, dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.correlation import (
+    cluster_sizes,
+    clustering_cost,
+    clustering_from_mis,
+    connected_component_clustering,
+    exact_optimal_clustering,
+    single_cluster_clustering,
+    singleton_clustering,
+)
+from repro.clustering.dynamic_clustering import DynamicCorrelationClustering
+from repro.clustering.pivot import pivot_clustering
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.greedy import greedy_clustering, greedy_mis
+from repro.core.priorities import RandomPriorityAssigner
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.validation import check_clustering
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestClusteringCost:
+    def test_cost_of_perfect_clustering_on_disjoint_cliques(self):
+        graph = DynamicGraph(
+            nodes=range(6), edges=[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+        )
+        clusters = {0: "a", 1: "a", 2: "a", 3: "b", 4: "b", 5: "b"}
+        assert clustering_cost(graph, clusters) == 0
+
+    def test_singletons_cost_equals_edge_count(self, small_random_graph):
+        cost = clustering_cost(small_random_graph, singleton_clustering(small_random_graph))
+        assert cost == small_random_graph.num_edges()
+
+    def test_single_cluster_cost_equals_missing_edges(self, small_random_graph):
+        n = small_random_graph.num_nodes()
+        cost = clustering_cost(small_random_graph, single_cluster_clustering(small_random_graph))
+        assert cost == n * (n - 1) // 2 - small_random_graph.num_edges()
+
+    def test_missing_label_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            clustering_cost(triangle, {0: 0, 1: 0})
+
+    def test_component_clustering_valid(self, small_random_graph):
+        clusters = connected_component_clustering(small_random_graph)
+        check_clustering(small_random_graph, clusters)
+
+    def test_cluster_sizes(self):
+        assert cluster_sizes({1: "a", 2: "a", 3: "b"}) == {"a": 2, "b": 1}
+
+
+class TestExactOptimum:
+    def test_triangle_optimum_is_single_cluster(self, triangle):
+        _, cost = exact_optimal_clustering(triangle)
+        assert cost == 0
+
+    def test_path_optimum(self):
+        graph = generators.path_graph(3)
+        _, cost = exact_optimal_clustering(graph)
+        assert cost == 1
+
+    def test_empty_graph(self):
+        clustering, cost = exact_optimal_clustering(DynamicGraph())
+        assert clustering == {} and cost == 0
+
+    def test_too_large_is_rejected(self):
+        with pytest.raises(ValueError):
+            exact_optimal_clustering(generators.empty_graph(14))
+
+    def test_optimum_is_never_beaten_by_heuristics(self):
+        for seed in range(5):
+            graph = generators.erdos_renyi_graph(7, 0.4, seed=seed)
+            _, optimal_cost = exact_optimal_clustering(graph)
+            for clusters in (
+                singleton_clustering(graph),
+                single_cluster_clustering(graph),
+                connected_component_clustering(graph),
+            ):
+                assert clustering_cost(graph, clusters) >= optimal_cost
+
+
+class TestMISClusteringAndPivotEquivalence:
+    def test_clustering_from_mis_is_valid(self, small_random_graph):
+        assigner = RandomPriorityAssigner(3)
+        for node in small_random_graph.nodes():
+            assigner.assign(node)
+        mis = greedy_mis(small_random_graph, assigner)
+        clusters = clustering_from_mis(small_random_graph, mis, assigner)
+        check_clustering(small_random_graph, clusters)
+        assert set(clusters.values()) <= mis
+
+    def test_non_maximal_set_rejected(self, small_star):
+        assigner = RandomPriorityAssigner(1)
+        for node in small_star.nodes():
+            assigner.assign(node)
+        with pytest.raises(ValueError):
+            clustering_from_mis(small_star, set(), assigner)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pivot_with_greedy_order_equals_mis_clustering(self, seed):
+        """The paper's key observation: random greedy MIS clustering == pivot clustering
+        when the pivot order is the same permutation."""
+        graph = generators.erdos_renyi_graph(18, 0.25, seed=seed)
+        assigner = RandomPriorityAssigner(seed + 10)
+        for node in graph.nodes():
+            assigner.assign(node)
+        order = assigner.sorted_nodes(graph.nodes())
+        from_pivot = pivot_clustering(graph, pivot_order=order)
+        from_mis = greedy_clustering(graph, assigner)
+        assert from_pivot == from_mis
+
+    def test_pivot_rejects_incomplete_order(self, triangle):
+        with pytest.raises(ValueError):
+            pivot_clustering(triangle, pivot_order=[0, 1])
+
+    def test_pivot_random_order_is_valid(self, small_random_graph):
+        clusters = pivot_clustering(small_random_graph, seed=4)
+        check_clustering(small_random_graph, clusters)
+
+    def test_three_approximation_in_expectation_on_small_graphs(self):
+        """Average random-greedy clustering cost stays within 3x the optimum
+        (the paper's 3-approximation, checked empirically)."""
+        for seed in range(4):
+            graph = generators.erdos_renyi_graph(8, 0.4, seed=seed)
+            _, optimal_cost = exact_optimal_clustering(graph)
+            costs = []
+            for trial in range(40):
+                assigner = RandomPriorityAssigner(1000 * seed + trial)
+                for node in graph.nodes():
+                    assigner.assign(node)
+                clusters = greedy_clustering(graph, assigner)
+                costs.append(clustering_cost(graph, clusters))
+            average = sum(costs) / len(costs)
+            assert average <= 3.0 * max(optimal_cost, 1) + 0.5
+
+
+class TestDynamicClustering:
+    def test_matches_static_construction_after_churn(self, small_random_graph):
+        dynamic = DynamicCorrelationClustering(seed=5, initial_graph=small_random_graph)
+        reference = DynamicMIS(seed=5, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 60, seed=6):
+            dynamic.apply(change)
+            reference.apply(change)
+            assert dynamic.clusters() == clustering_from_mis(
+                reference.graph, reference.mis(), reference.priorities
+            )
+        dynamic.verify()
+
+    def test_cost_and_cluster_count(self, small_random_graph):
+        dynamic = DynamicCorrelationClustering(seed=7, initial_graph=small_random_graph)
+        assert dynamic.num_clusters() == len(dynamic.mis_maintainer.mis())
+        assert dynamic.cost() >= 0
+
+    def test_direct_mutators(self):
+        dynamic = DynamicCorrelationClustering(seed=8)
+        dynamic.insert_node("a")
+        dynamic.insert_node("b")
+        dynamic.insert_edge("a", "b")
+        check_clustering(dynamic.graph, dynamic.clusters())
+        dynamic.delete_edge("a", "b")
+        dynamic.delete_node("b")
+        assert dynamic.clusters() == {"a": "a"}

@@ -1,0 +1,117 @@
+"""Tests for the history-independent dynamic (Delta+1)-coloring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.dynamic_coloring import DynamicColoring, total_adjustments
+from repro.coloring.greedy_coloring import (
+    adversarial_first_fit_coloring,
+    first_fit_coloring,
+    num_colors_used,
+    random_greedy_coloring,
+)
+from repro.graph import generators
+from repro.graph.validation import check_proper_coloring
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion, NodeInsertion
+
+
+class TestSequentialBaselines:
+    def test_first_fit_is_proper(self, small_random_graph):
+        order = sorted(small_random_graph.nodes())
+        colors = first_fit_coloring(small_random_graph, order)
+        check_proper_coloring(small_random_graph, colors)
+        assert num_colors_used(colors) <= small_random_graph.max_degree() + 1
+
+    def test_first_fit_requires_complete_order(self, small_random_graph):
+        with pytest.raises(ValueError):
+            first_fit_coloring(small_random_graph, sorted(small_random_graph.nodes())[:-1])
+
+    def test_random_greedy_is_proper(self, small_random_graph, any_seed):
+        colors = random_greedy_coloring(small_random_graph, seed=any_seed)
+        check_proper_coloring(small_random_graph, colors)
+
+    def test_random_greedy_two_colors_bipartite_minus_matching(self):
+        """Example 3: random greedy 2-colors the graph with probability 1 - 1/n."""
+        graph = generators.complete_bipartite_minus_matching(6)
+        two_colorings = 0
+        trials = 60
+        for seed in range(trials):
+            colors = random_greedy_coloring(graph, seed=seed)
+            check_proper_coloring(graph, colors)
+            if num_colors_used(colors) == 2:
+                two_colorings += 1
+        assert two_colorings >= trials * 0.75
+
+    def test_adversarial_order_forces_many_colors(self):
+        side = 6
+        graph = generators.complete_bipartite_minus_matching(side)
+        colors = adversarial_first_fit_coloring(graph, side)
+        check_proper_coloring(graph, colors)
+        assert num_colors_used(colors) == side
+
+    def test_adversarial_order_requires_matching_structure(self):
+        with pytest.raises(ValueError):
+            adversarial_first_fit_coloring(generators.path_graph(5), 2)
+
+
+class TestDynamicColoring:
+    def test_initial_coloring_is_proper(self):
+        graph = generators.erdos_renyi_graph(12, 0.25, seed=3)
+        coloring = DynamicColoring(num_colors=graph.max_degree() + 1, seed=1, initial_graph=graph)
+        coloring.verify()
+
+    def test_every_node_gets_exactly_one_color(self):
+        graph = generators.cycle_graph(7)
+        coloring = DynamicColoring(num_colors=3, seed=2, initial_graph=graph)
+        colors = coloring.colors()
+        assert set(colors) == set(graph.nodes())
+        assert all(0 <= color < 3 for color in colors.values())
+        assert coloring.color_of(0) == colors[0]
+
+    def test_edge_changes_keep_coloring_proper(self):
+        graph = generators.cycle_graph(8)
+        coloring = DynamicColoring(num_colors=4, seed=3, initial_graph=graph)
+        coloring.apply(EdgeDeletion(0, 1))
+        coloring.verify()
+        coloring.apply(EdgeInsertion(0, 4))
+        coloring.verify()
+        assert coloring.graph.has_edge(0, 4)
+
+    def test_node_changes_keep_coloring_proper(self):
+        graph = generators.path_graph(6)
+        coloring = DynamicColoring(num_colors=4, seed=4, initial_graph=graph)
+        coloring.apply(NodeInsertion("x", (0, 2)))
+        coloring.verify()
+        coloring.apply(NodeDeletion(3))
+        coloring.verify()
+        assert not coloring.graph.has_node(3)
+
+    def test_palette_guard_fires(self):
+        graph = generators.star_graph(3)
+        coloring = DynamicColoring(num_colors=4, seed=5, initial_graph=graph)
+        with pytest.raises(ValueError):
+            coloring.insert_node("extra", (0,))  # center would reach degree 4
+
+    def test_apply_dispatch_and_unknown_type(self):
+        coloring = DynamicColoring(num_colors=3, seed=6, initial_graph=generators.path_graph(3))
+        reports = coloring.apply(EdgeDeletion(0, 1))
+        assert total_adjustments(reports) >= 0
+        with pytest.raises(TypeError):
+            coloring.apply(object())
+
+    def test_coloring_survives_long_edge_churn(self):
+        graph = generators.near_regular_graph(14, 3, seed=7)
+        palette = 14  # generous so churn never violates the degree bound
+        coloring = DynamicColoring(num_colors=palette, seed=8, initial_graph=graph)
+        from repro.workloads.sequences import edge_churn_sequence
+
+        for change in edge_churn_sequence(graph, 25, seed=9):
+            coloring.apply(change)
+            coloring.verify()
+
+    def test_number_of_colors_is_delta_plus_one_at_most(self):
+        graph = generators.erdos_renyi_graph(12, 0.3, seed=10)
+        palette = graph.max_degree() + 1
+        coloring = DynamicColoring(num_colors=palette, seed=11, initial_graph=graph)
+        assert num_colors_used(coloring.colors()) <= palette

@@ -1,0 +1,158 @@
+"""Tests for batched (simultaneous) topology changes -- the Section 6 extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import apply_batch
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.greedy import greedy_mis
+from repro.core.template import TemplateEngine
+from repro.graph import generators
+from repro.graph.dynamic_graph import GraphError
+from repro.graph.validation import check_maximal_independent_set
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+)
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestBatchCorrectness:
+    def test_empty_batch_changes_nothing(self, small_random_graph):
+        engine = TemplateEngine(seed=1, initial_graph=small_random_graph)
+        before = engine.mis()
+        report = apply_batch(engine, [])
+        assert report.batch_size == 0
+        assert report.influenced_size == 0
+        assert engine.mis() == before
+
+    def test_single_change_batch_matches_single_change_outputs(self, small_random_graph):
+        sequence = mixed_churn_sequence(small_random_graph, 30, seed=2)
+        batched = TemplateEngine(seed=3, initial_graph=small_random_graph)
+        one_by_one = TemplateEngine(seed=3, initial_graph=small_random_graph)
+        single = DynamicMIS(seed=3, initial_graph=small_random_graph)
+        del one_by_one
+        for change in sequence:
+            apply_batch(batched, [change])
+            single.apply(change)
+            assert batched.mis() == single.mis()
+        batched.verify()
+
+    @pytest.mark.parametrize("batch_size", [2, 5, 10])
+    def test_batched_churn_matches_greedy_recompute(self, batch_size, medium_random_graph):
+        engine = TemplateEngine(seed=4, initial_graph=medium_random_graph)
+        sequence = mixed_churn_sequence(medium_random_graph, 60, seed=5)
+        for start in range(0, len(sequence), batch_size):
+            batch = sequence[start : start + batch_size]
+            apply_batch(engine, batch)
+            engine.verify()
+            assert engine.mis() == greedy_mis(engine.graph, engine.priorities)
+            check_maximal_independent_set(engine.graph, engine.mis())
+
+    def test_batch_with_all_change_types(self, small_random_graph):
+        engine = TemplateEngine(seed=6, initial_graph=small_random_graph)
+        nodes = sorted(small_random_graph.nodes())
+        some_edge = small_random_graph.edges()[0]
+        missing = next(
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not small_random_graph.has_edge(u, v) and (u, v) != some_edge
+        )
+        batch = [
+            EdgeDeletion(*some_edge),
+            EdgeInsertion(*missing),
+            NodeInsertion("fresh", (nodes[0], nodes[1])),
+            NodeUnmuting("ghost", ("fresh",)),
+            NodeDeletion(nodes[-1]),
+        ]
+        report = apply_batch(engine, batch)
+        engine.verify()
+        assert report.batch_size == 5
+        assert engine.graph.has_node("fresh")
+        assert engine.graph.has_node("ghost")
+        assert not engine.graph.has_node(nodes[-1])
+
+    def test_batch_may_reference_nodes_created_in_the_same_batch(self):
+        engine = TemplateEngine(seed=7)
+        report = apply_batch(
+            engine,
+            [
+                NodeInsertion("a"),
+                NodeInsertion("b"),
+                EdgeInsertion("a", "b"),
+            ],
+        )
+        engine.verify()
+        assert engine.graph.has_edge("a", "b")
+        assert len(engine.mis()) == 1
+        assert report.num_adjustments == 1
+
+    def test_invalid_change_in_batch_raises(self, small_random_graph):
+        engine = TemplateEngine(seed=8, initial_graph=small_random_graph)
+        with pytest.raises(GraphError):
+            apply_batch(engine, [EdgeInsertion(*small_random_graph.edges()[0])])
+
+    def test_insert_and_delete_same_node_in_one_batch(self, small_random_graph):
+        engine = TemplateEngine(seed=9, initial_graph=small_random_graph)
+        before = engine.mis()
+        report = apply_batch(
+            engine, [NodeInsertion("temp", tuple(sorted(small_random_graph.nodes())[:2])), NodeDeletion("temp")]
+        )
+        engine.verify()
+        assert not engine.graph.has_node("temp")
+        assert engine.mis() == before
+        assert report.num_adjustments == 0
+
+
+class TestBatchViaDynamicMIS:
+    def test_dynamic_mis_apply_batch(self, small_random_graph):
+        maintainer = DynamicMIS(seed=10, initial_graph=small_random_graph)
+        sequence = mixed_churn_sequence(small_random_graph, 20, seed=11)
+        report = maintainer.apply_batch(sequence)
+        maintainer.verify()
+        assert report.batch_size == 20
+        assert maintainer.mis() == greedy_mis(maintainer.graph, maintainer.priorities)
+
+    def test_batch_report_accessors(self, small_random_graph):
+        maintainer = DynamicMIS(seed=12, initial_graph=small_random_graph)
+        some_edge = maintainer.graph.edges()[0]
+        report = maintainer.apply_batch([EdgeDeletion(*some_edge)])
+        assert report.influenced_size >= 0
+        assert report.num_levels >= 0
+        assert report.influenced_set == report.propagation.influenced
+        assert report.seed_nodes  # the later endpoint was re-checked
+
+    def test_batch_statistics_are_not_double_counted(self, small_random_graph):
+        maintainer = DynamicMIS(seed=13, initial_graph=small_random_graph)
+        maintainer.apply_batch(mixed_churn_sequence(small_random_graph, 10, seed=14))
+        assert maintainer.statistics.num_changes == 0
+
+
+class TestBatchEfficiency:
+    def test_opposite_changes_cancel(self, small_random_graph):
+        """Inserting and deleting the same edge in one batch costs nothing."""
+        engine = TemplateEngine(seed=15, initial_graph=small_random_graph)
+        nodes = sorted(small_random_graph.nodes())
+        missing = next(
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not small_random_graph.has_edge(u, v)
+        )
+        report = apply_batch(engine, [EdgeInsertion(*missing), EdgeDeletion(*missing)])
+        assert report.num_adjustments == 0
+        engine.verify()
+
+    def test_batch_influenced_set_not_larger_than_sum_of_singles(self, medium_random_graph):
+        sequence = mixed_churn_sequence(medium_random_graph, 40, seed=16)
+        batched = TemplateEngine(seed=17, initial_graph=medium_random_graph)
+        sequential = DynamicMIS(seed=17, initial_graph=medium_random_graph)
+        batch_report = apply_batch(batched, sequence)
+        total_single = sum(report.influenced_size for report in sequential.apply_sequence(sequence))
+        assert batched.mis() == sequential.mis()
+        assert batch_report.influenced_size <= total_single + 1

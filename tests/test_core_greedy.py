@@ -1,0 +1,127 @@
+"""Unit tests for the sequential random-greedy oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import (
+    greedy_clustering,
+    greedy_coloring,
+    greedy_mis,
+    greedy_mis_states,
+    independent_set_size_distribution,
+)
+from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.graph import generators
+from repro.graph.validation import (
+    check_maximal_independent_set,
+    check_proper_coloring,
+)
+
+
+def _assigner_for(graph, seed=0):
+    assigner = RandomPriorityAssigner(seed)
+    for node in graph.nodes():
+        assigner.assign(node)
+    return assigner
+
+
+class TestGreedyMIS:
+    @pytest.mark.parametrize("family", ["erdos_renyi", "star", "path", "cycle", "preferential"])
+    def test_output_is_a_maximal_independent_set(self, family, any_seed):
+        graph = generators.random_graph_family(family, 25, seed=any_seed)
+        assigner = _assigner_for(graph, seed=any_seed)
+        check_maximal_independent_set(graph, greedy_mis(graph, assigner))
+
+    def test_empty_graph(self):
+        graph = generators.empty_graph(0)
+        assert greedy_mis(graph, _assigner_for(graph)) == set()
+
+    def test_isolated_nodes_all_join(self):
+        graph = generators.empty_graph(5)
+        assert greedy_mis(graph, _assigner_for(graph)) == set(range(5))
+
+    def test_clique_has_exactly_one_member(self):
+        graph = generators.complete_graph(8)
+        assigner = _assigner_for(graph, seed=4)
+        mis = greedy_mis(graph, assigner)
+        assert len(mis) == 1
+        assert mis == {assigner.earliest(graph.nodes())}
+
+    def test_deterministic_order_on_path(self):
+        graph = generators.path_graph(5)
+        assigner = DeterministicPriorityAssigner()
+        for node in graph.nodes():
+            assigner.assign(node)
+        assert greedy_mis(graph, assigner) == {0, 2, 4}
+
+    def test_star_mis_depends_on_center_rank(self):
+        graph = generators.star_graph(6)
+        for seed in range(10):
+            assigner = _assigner_for(graph, seed=seed)
+            mis = greedy_mis(graph, assigner)
+            if assigner.earliest(graph.nodes()) == 0:
+                assert mis == {0}
+            else:
+                assert mis == set(range(1, 7))
+
+    def test_states_map_matches_set(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=3)
+        mis = greedy_mis(small_random_graph, assigner)
+        states = greedy_mis_states(small_random_graph, assigner)
+        assert {node for node, value in states.items() if value} == mis
+        assert set(states) == set(small_random_graph.nodes())
+
+
+class TestGreedyClustering:
+    def test_centers_are_mis_nodes(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=5)
+        mis = greedy_mis(small_random_graph, assigner)
+        clusters = greedy_clustering(small_random_graph, assigner)
+        assert set(clusters.values()) <= mis
+        for center in mis:
+            assert clusters[center] == center
+
+    def test_members_join_earliest_mis_neighbor(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=5)
+        mis = greedy_mis(small_random_graph, assigner)
+        clusters = greedy_clustering(small_random_graph, assigner)
+        for node in small_random_graph.nodes():
+            if node in mis:
+                continue
+            mis_neighbors = [
+                other for other in small_random_graph.neighbors(node) if other in mis
+            ]
+            assert clusters[node] == assigner.earliest(mis_neighbors)
+
+
+class TestGreedyColoring:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_coloring_is_proper_and_within_delta_plus_one(self, seed):
+        graph = generators.erdos_renyi_graph(25, 0.2, seed=seed)
+        assigner = _assigner_for(graph, seed=seed)
+        colors = greedy_coloring(graph, assigner)
+        check_proper_coloring(graph, colors)
+        assert max(colors.values(), default=0) <= graph.max_degree()
+
+    def test_path_two_colors_when_order_is_identity(self):
+        graph = generators.path_graph(6)
+        assigner = DeterministicPriorityAssigner()
+        for node in graph.nodes():
+            assigner.assign(node)
+        colors = greedy_coloring(graph, assigner)
+        assert set(colors.values()) == {0, 1}
+
+
+class TestSizeDistribution:
+    def test_histogram_counts_sum_to_trials(self):
+        graph = generators.star_graph(5)
+        histogram = independent_set_size_distribution(graph, seeds=range(50))
+        assert sum(histogram.values()) == 50
+        assert set(histogram) <= {1, 5}
+
+    def test_star_histogram_is_dominated_by_leaves(self):
+        graph = generators.star_graph(9)
+        histogram = independent_set_size_distribution(graph, seeds=range(300))
+        # Probability that the center is first is 1/10.
+        assert histogram.get(9, 0) > histogram.get(1, 0)

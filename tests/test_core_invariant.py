@@ -1,0 +1,98 @@
+"""Unit tests for the MIS invariant checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis_states
+from repro.core.invariant import (
+    InvariantViolation,
+    desired_state,
+    find_invariant_violations,
+    mis_from_states,
+    mis_invariant_holds_at,
+    states_from_mis,
+    verify_mis_invariant,
+)
+from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.graph import generators
+
+
+def _assigner_for(graph, seed=0):
+    assigner = RandomPriorityAssigner(seed)
+    for node in graph.nodes():
+        assigner.assign(node)
+    return assigner
+
+
+class TestDesiredState:
+    def test_no_earlier_neighbors_means_mis(self):
+        graph = generators.path_graph(3)
+        assigner = DeterministicPriorityAssigner()
+        for node in graph.nodes():
+            assigner.assign(node)
+        states = {0: False, 1: False, 2: False}
+        assert desired_state(graph, assigner, states, 0) is True
+
+    def test_earlier_mis_neighbor_forces_out(self):
+        graph = generators.path_graph(3)
+        assigner = DeterministicPriorityAssigner()
+        for node in graph.nodes():
+            assigner.assign(node)
+        states = {0: True, 1: False, 2: False}
+        assert desired_state(graph, assigner, states, 1) is False
+        assert desired_state(graph, assigner, states, 2) is True
+
+
+class TestInvariantChecks:
+    def test_greedy_states_satisfy_invariant(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=2)
+        states = greedy_mis_states(small_random_graph, assigner)
+        verify_mis_invariant(small_random_graph, assigner, states)
+        assert find_invariant_violations(small_random_graph, assigner, states) == []
+        for node in small_random_graph.nodes():
+            assert mis_invariant_holds_at(small_random_graph, assigner, states, node)
+
+    def test_everyone_out_violates_on_nonempty_graph(self, small_path):
+        assigner = _assigner_for(small_path, seed=1)
+        states = {node: False for node in small_path.nodes()}
+        violations = find_invariant_violations(small_path, assigner, states)
+        assert violations
+        with pytest.raises(InvariantViolation):
+            verify_mis_invariant(small_path, assigner, states)
+
+    def test_everyone_in_violates_on_any_edge(self, small_path):
+        assigner = _assigner_for(small_path, seed=1)
+        states = {node: True for node in small_path.nodes()}
+        assert find_invariant_violations(small_path, assigner, states)
+
+    def test_missing_state_detected(self, small_path):
+        assigner = _assigner_for(small_path, seed=1)
+        states = greedy_mis_states(small_path, assigner)
+        del states[2]
+        # A missing node counts as non-MIS for its neighbors; the explicit
+        # completeness check still flags it.
+        with pytest.raises(InvariantViolation):
+            verify_mis_invariant(small_path, assigner, states)
+
+    def test_single_flip_is_detected(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=4)
+        states = greedy_mis_states(small_random_graph, assigner)
+        victim = next(iter(states))
+        states[victim] = not states[victim]
+        assert victim in find_invariant_violations(small_random_graph, assigner, states)
+
+
+class TestConversions:
+    def test_states_from_mis_round_trip(self, small_random_graph):
+        assigner = _assigner_for(small_random_graph, seed=5)
+        states = greedy_mis_states(small_random_graph, assigner)
+        mis = mis_from_states(states)
+        rebuilt = states_from_mis(small_random_graph, mis)
+        assert rebuilt == states
+
+    def test_states_from_mis_covers_all_nodes(self, small_star):
+        states = states_from_mis(small_star, {0})
+        assert set(states) == set(small_star.nodes())
+        assert states[0] is True
+        assert all(states[leaf] is False for leaf in range(1, 7))

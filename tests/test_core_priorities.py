@@ -1,0 +1,166 @@
+"""Unit tests for the random and deterministic node orders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.priorities import (
+    DeterministicPriorityAssigner,
+    RandomPriorityAssigner,
+    permutation_positions,
+)
+from repro.graph import generators
+
+
+class TestRandomPriorityAssigner:
+    def test_assignment_is_stable(self):
+        assigner = RandomPriorityAssigner(seed=1)
+        first = assigner.assign("a")
+        second = assigner.assign("a")
+        assert first == second
+        assert assigner.key("a") == first
+
+    def test_same_seed_same_sequence(self):
+        first = RandomPriorityAssigner(seed=7)
+        second = RandomPriorityAssigner(seed=7)
+        for node in range(10):
+            assert first.assign(node) == second.assign(node)
+
+    def test_different_seeds_differ(self):
+        first = RandomPriorityAssigner(seed=1)
+        second = RandomPriorityAssigner(seed=2)
+        keys_one = [first.assign(node) for node in range(5)]
+        keys_two = [second.assign(node) for node in range(5)]
+        assert keys_one != keys_two
+
+    def test_keys_are_distinct(self):
+        assigner = RandomPriorityAssigner(seed=3)
+        keys = [assigner.assign(node) for node in range(200)]
+        assert len(set(keys)) == 200
+
+    def test_unknown_node_raises(self):
+        assigner = RandomPriorityAssigner(seed=0)
+        with pytest.raises(KeyError):
+            assigner.key("missing")
+
+    def test_forget(self):
+        assigner = RandomPriorityAssigner(seed=0)
+        assigner.assign("a")
+        assigner.forget("a")
+        assert not assigner.knows("a")
+        assigner.forget("a")  # forgetting twice is a no-op
+
+    def test_reassignment_after_forget_is_deterministic(self):
+        # The ID is a function of (seed, node identity), not of arrival order;
+        # this is what makes history independence exact per seed.
+        assigner = RandomPriorityAssigner(seed=0)
+        old_key = assigner.assign("a")
+        assigner.forget("a")
+        new_key = assigner.assign("a")
+        assert old_key == new_key
+
+    def test_ids_do_not_depend_on_arrival_order(self):
+        first = RandomPriorityAssigner(seed=3)
+        second = RandomPriorityAssigner(seed=3)
+        for node in (1, 2, 3):
+            first.assign(node)
+        for node in (3, 1, 2):
+            second.assign(node)
+        assert all(first.key(node) == second.key(node) for node in (1, 2, 3))
+
+    def test_earlier_and_earliest(self):
+        assigner = RandomPriorityAssigner(seed=5)
+        for node in range(10):
+            assigner.assign(node)
+        order = assigner.sorted_nodes(range(10))
+        assert assigner.earliest(range(10)) == order[0]
+        assert assigner.earlier(order[0], order[-1])
+        assert not assigner.earlier(order[-1], order[0])
+        assert assigner.earliest([]) is None
+
+    def test_random_id_is_float_in_unit_interval(self):
+        assigner = RandomPriorityAssigner(seed=5)
+        assigner.assign("x")
+        assert 0.0 <= assigner.random_id("x") < 1.0
+
+    def test_known_nodes(self):
+        assigner = RandomPriorityAssigner(seed=5)
+        assigner.assign(1)
+        assigner.assign(2)
+        assert sorted(assigner.known_nodes()) == [1, 2]
+
+    def test_neighbor_filters(self):
+        graph = generators.path_graph(5)
+        assigner = RandomPriorityAssigner(seed=2)
+        for node in graph.nodes():
+            assigner.assign(node)
+        for node in graph.nodes():
+            earlier = set(assigner.earlier_neighbors(graph, node))
+            later = set(assigner.later_neighbors(graph, node))
+            assert earlier | later == set(graph.neighbors(node))
+            assert earlier & later == set()
+            assert all(assigner.earlier(other, node) for other in earlier)
+
+    def test_order_is_roughly_uniform(self):
+        # Over many seeds, each of 3 nodes should be first about 1/3 of the time.
+        counts = {0: 0, 1: 0, 2: 0}
+        trials = 600
+        for seed in range(trials):
+            assigner = RandomPriorityAssigner(seed=seed)
+            for node in range(3):
+                assigner.assign(node)
+            counts[assigner.earliest(range(3))] += 1
+        for node in range(3):
+            assert 0.25 < counts[node] / trials < 0.42
+
+
+class TestDeterministicPriorityAssigner:
+    def test_integer_order(self):
+        assigner = DeterministicPriorityAssigner()
+        for node in (5, 1, 3):
+            assigner.assign(node)
+        assert assigner.sorted_nodes([5, 1, 3]) == [1, 3, 5]
+
+    def test_string_nodes_use_repr(self):
+        assigner = DeterministicPriorityAssigner()
+        for node in ("b", "a"):
+            assigner.assign(node)
+        assert assigner.sorted_nodes(["b", "a"]) == ["a", "b"]
+
+    def test_reassignment_is_identical(self):
+        assigner = DeterministicPriorityAssigner()
+        key = assigner.assign(7)
+        assigner.forget(7)
+        assert assigner.assign(7) == key
+
+    def test_unknown_node_raises(self):
+        assigner = DeterministicPriorityAssigner()
+        with pytest.raises(KeyError):
+            assigner.key(1)
+
+    def test_knows(self):
+        assigner = DeterministicPriorityAssigner()
+        assert not assigner.knows(1)
+        assigner.assign(1)
+        assert assigner.knows(1)
+
+
+class TestPermutationPositions:
+    def test_positions_are_a_permutation(self):
+        assigner = RandomPriorityAssigner(seed=9)
+        nodes = list(range(12))
+        for node in nodes:
+            assigner.assign(node)
+        positions = permutation_positions(assigner, nodes)
+        assert sorted(positions.values()) == list(range(12))
+
+    def test_positions_respect_order(self):
+        assigner = RandomPriorityAssigner(seed=9)
+        nodes = list(range(6))
+        for node in nodes:
+            assigner.assign(node)
+        positions = permutation_positions(assigner, nodes)
+        for u in nodes:
+            for v in nodes:
+                if assigner.earlier(u, v):
+                    assert positions[u] < positions[v]

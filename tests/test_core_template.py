@@ -1,0 +1,185 @@
+"""Unit tests for Algorithm 1 (the template engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis
+from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.core.template import TemplateEngine
+from repro.graph import generators
+from repro.graph.dynamic_graph import GraphError
+from repro.graph.validation import check_maximal_independent_set
+
+
+class TestInitialization:
+    def test_empty_engine(self):
+        engine = TemplateEngine(seed=1)
+        assert engine.mis() == set()
+        assert engine.graph.num_nodes() == 0
+
+    def test_initial_graph_gets_greedy_mis(self, small_random_graph):
+        engine = TemplateEngine(seed=2, initial_graph=small_random_graph)
+        assert engine.mis() == greedy_mis(engine.graph, engine.priorities)
+        engine.verify()
+
+    def test_initial_graph_is_copied(self, small_random_graph):
+        engine = TemplateEngine(seed=2, initial_graph=small_random_graph)
+        engine.graph.add_node("extra")
+        assert not small_random_graph.has_node("extra")
+
+
+class TestEdgeChanges:
+    def test_edge_insertion_between_two_mis_nodes(self):
+        # Identity order on a 2-node empty graph: both nodes are in the MIS;
+        # inserting the edge forces the later one out.
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.empty_graph(2),
+        )
+        assert engine.mis() == {0, 1}
+        report = engine.insert_edge(0, 1)
+        assert report.change_type == "edge_insertion"
+        assert report.v_star == 1
+        assert report.v_star_star == 0
+        assert report.influenced_set == {1}
+        assert report.num_adjustments == 1
+        assert engine.mis() == {0}
+        engine.verify()
+
+    def test_edge_insertion_without_violation(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(3),
+        )
+        assert engine.mis() == {0, 2}
+        report = engine.insert_edge(0, 2)
+        assert report.influenced_size == 1
+        assert report.num_adjustments == 1
+        assert engine.mis() == {0}
+        engine.verify()
+
+    def test_edge_insertion_missing_endpoint_raises(self):
+        engine = TemplateEngine(initial_graph=generators.empty_graph(2))
+        with pytest.raises(GraphError):
+            engine.insert_edge(0, 99)
+
+    def test_edge_deletion_lets_later_endpoint_join(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(2),
+        )
+        assert engine.mis() == {0}
+        report = engine.delete_edge(0, 1)
+        assert report.change_type == "edge_deletion"
+        assert report.v_star == 1
+        assert report.influenced_set == {1}
+        assert engine.mis() == {0, 1}
+        engine.verify()
+
+    def test_edge_deletion_without_violation(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(4),
+        )
+        assert engine.mis() == {0, 2}
+        report = engine.delete_edge(1, 2)
+        assert report.influenced_size == 0
+        assert engine.mis() == {0, 2}
+        engine.verify()
+
+    def test_missing_edge_deletion_raises(self):
+        engine = TemplateEngine(initial_graph=generators.path_graph(3))
+        with pytest.raises(GraphError):
+            engine.delete_edge(0, 2)
+
+
+class TestNodeChanges:
+    def test_isolated_node_insertion_joins_mis(self):
+        engine = TemplateEngine(seed=3)
+        report = engine.insert_node("a")
+        assert report.change_type == "node_insertion"
+        assert engine.mis() == {"a"}
+        assert report.num_adjustments == 1
+
+    def test_node_insertion_with_blocking_neighbor(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.empty_graph(1),
+        )
+        report = engine.insert_node(5, neighbors=[0])
+        assert engine.mis() == {0}
+        assert report.num_adjustments == 0
+        engine.verify()
+
+    def test_node_insertion_that_displaces_nothing_but_joins(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(2),
+        )
+        # Node 2 attaches to node 1 (non-MIS), so it joins the MIS itself.
+        report = engine.insert_node(2, neighbors=[1])
+        assert engine.mis() == {0, 2}
+        assert report.influenced_set == {2}
+        engine.verify()
+
+    def test_node_deletion_of_non_mis_node_is_free(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(3),
+        )
+        report = engine.delete_node(1)
+        assert report.influenced_size == 0
+        assert report.num_adjustments == 0
+        assert engine.mis() == {0, 2}
+        engine.verify()
+
+    def test_node_deletion_of_mis_node_cascades(self):
+        engine = TemplateEngine(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.path_graph(3),
+        )
+        report = engine.delete_node(0)
+        assert report.v_star == 0
+        assert 0 in report.influenced_set
+        assert engine.mis() == {1}
+        assert report.num_adjustments == 2  # node 1 joins, node 2 leaves
+        engine.verify()
+
+    def test_deleting_missing_node_raises(self):
+        engine = TemplateEngine(initial_graph=generators.path_graph(3))
+        with pytest.raises(GraphError):
+            engine.delete_node(99)
+
+    def test_deleted_node_priority_is_forgotten(self):
+        engine = TemplateEngine(seed=4, initial_graph=generators.path_graph(3))
+        engine.delete_node(1)
+        assert not engine.priorities.knows(1)
+
+
+class TestConsistencyAgainstOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_mixed_changes_track_the_greedy_oracle(self, seed):
+        graph = generators.erdos_renyi_graph(15, 0.2, seed=seed)
+        engine = TemplateEngine(seed=seed + 10, initial_graph=graph)
+        # A fixed small script of changes exercising all four change types.
+        engine.insert_node("x", neighbors=list(graph.nodes())[:3])
+        engine.delete_node(list(graph.nodes())[4])
+        if engine.graph.has_edge(0, 1):
+            engine.delete_edge(0, 1)
+        else:
+            engine.insert_edge(0, 1)
+        engine.insert_node("y", neighbors=["x"])
+        for _ in range(3):
+            edges = engine.graph.edges()
+            if edges:
+                engine.delete_edge(*edges[0])
+        assert engine.mis() == greedy_mis(engine.graph, engine.priorities)
+        check_maximal_independent_set(engine.graph, engine.mis())
+        engine.verify()
+
+    def test_states_accessor_returns_copy(self, small_random_graph):
+        engine = TemplateEngine(seed=1, initial_graph=small_random_graph)
+        states = engine.states()
+        states.clear()
+        assert engine.states()  # internal map unaffected

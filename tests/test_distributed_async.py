@@ -1,0 +1,135 @@
+"""Tests for the asynchronous execution of the direct protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.scheduler import (
+    AdversarialDelayScheduler,
+    FixedDelayScheduler,
+    RandomDelayScheduler,
+)
+from repro.graph import generators
+from repro.graph.validation import check_maximal_independent_set
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion, NodeInsertion
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestSchedulers:
+    def test_fixed_delay(self):
+        scheduler = FixedDelayScheduler(2.0)
+        assert scheduler.delay(1, 2, 0) == 2.0
+        with pytest.raises(ValueError):
+            FixedDelayScheduler(0.0)
+
+    def test_random_delay_range(self):
+        scheduler = RandomDelayScheduler(seed=1, min_delay=0.5, max_delay=1.5)
+        for sequence_number in range(100):
+            delay = scheduler.delay("a", "b", sequence_number)
+            assert 0.5 <= delay <= 1.5
+        with pytest.raises(ValueError):
+            RandomDelayScheduler(min_delay=0.0)
+
+    def test_adversarial_delay_is_deterministic_per_channel(self):
+        scheduler = AdversarialDelayScheduler(seed=3, slow_fraction=0.5, slow_factor=10.0)
+        first = scheduler.delay("a", "b", 0)
+        second = scheduler.delay("a", "b", 7)
+        assert first == second
+        with pytest.raises(ValueError):
+            AdversarialDelayScheduler(slow_fraction=2.0)
+        with pytest.raises(ValueError):
+            AdversarialDelayScheduler(slow_factor=0.5)
+
+    def test_adversarial_has_slow_and_fast_channels(self):
+        scheduler = AdversarialDelayScheduler(seed=3, slow_fraction=0.5, slow_factor=50.0)
+        delays = {scheduler.delay("a", receiver, 0) for receiver in range(40)}
+        assert max(delays) > 10 * min(delays)
+
+
+class TestAsyncCorrectness:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            lambda: FixedDelayScheduler(1.0),
+            lambda: RandomDelayScheduler(seed=5),
+            lambda: AdversarialDelayScheduler(seed=5),
+        ],
+    )
+    def test_long_churn_tracks_oracle_under_any_scheduler(
+        self, scheduler_factory, small_random_graph
+    ):
+        network = AsyncDirectMISNetwork(
+            seed=2, initial_graph=small_random_graph, scheduler=scheduler_factory()
+        )
+        for change in mixed_churn_sequence(small_random_graph, 70, seed=8):
+            network.apply(change)
+            network.verify()
+        check_maximal_independent_set(network.graph, network.mis())
+
+    def test_single_change_types(self, small_random_graph):
+        network = AsyncDirectMISNetwork(seed=3, initial_graph=small_random_graph)
+        nodes = sorted(small_random_graph.nodes())
+        missing = [
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not small_random_graph.has_edge(u, v)
+        ]
+        network.apply(EdgeInsertion(*missing[0]))
+        network.verify()
+        network.apply(EdgeDeletion(*missing[0]))
+        network.verify()
+        network.apply(NodeInsertion("fresh", tuple(nodes[:3])))
+        network.verify()
+        network.apply(NodeDeletion("fresh"))
+        network.verify()
+
+    def test_deleting_isolated_mis_node(self):
+        network = AsyncDirectMISNetwork(seed=4, initial_graph=generators.empty_graph(3))
+        assert network.mis() == {0, 1, 2}
+        network.apply(NodeDeletion(1))
+        network.verify()
+        assert network.mis() == {0, 2}
+
+
+class TestAsyncComplexity:
+    def test_causal_depth_is_recorded(self, small_random_graph):
+        network = AsyncDirectMISNetwork(seed=5, initial_graph=small_random_graph)
+        records = network.apply_sequence(mixed_churn_sequence(small_random_graph, 50, seed=9))
+        assert all(record.async_causal_depth is not None for record in records)
+        assert all(record.rounds == record.async_causal_depth for record in records)
+
+    def test_mean_causal_depth_is_constant_like(self, medium_random_graph):
+        """Corollary 6: the expected longest communication path is ~1 per change."""
+        network = AsyncDirectMISNetwork(seed=6, initial_graph=medium_random_graph)
+        network.apply_sequence(mixed_churn_sequence(medium_random_graph, 150, seed=10))
+        assert network.metrics.mean("async_causal_depth") < 3.0
+
+    def test_no_change_costs_nothing(self):
+        # Adding an edge between a non-MIS pair dominated by an earlier MIS
+        # node costs zero messages.
+        graph = generators.star_graph(4)
+        network = AsyncDirectMISNetwork(seed=8, initial_graph=graph)
+        if network.mis() == set(range(1, 5)):
+            # Leaves are in the MIS: connect two leaves; the later one must leave.
+            metrics = network.apply(EdgeInsertion(1, 2))
+            assert metrics.adjustments >= 1
+        else:
+            # Center is in the MIS: connecting two leaves changes nothing.
+            metrics = network.apply(EdgeInsertion(1, 2))
+            assert metrics.adjustments == 0
+            assert metrics.broadcasts == 0
+        network.verify()
+
+    def test_adjustments_match_synchronous_semantics(self, small_random_graph):
+        from repro.core.dynamic_mis import DynamicMIS
+
+        asynchronous = AsyncDirectMISNetwork(seed=12, initial_graph=small_random_graph)
+        sequential = DynamicMIS(seed=12, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 60, seed=11):
+            async_metrics = asynchronous.apply(change)
+            report = sequential.apply(change)
+            assert asynchronous.mis() == sequential.mis()
+            assert async_metrics.adjustments == report.num_adjustments

@@ -1,0 +1,115 @@
+"""Unit tests for message bit accounting and the metrics aggregator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.message import (
+    Message,
+    MessageKind,
+    expected_comparison_bits,
+    id_message_bits,
+    state_message_bits,
+)
+from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
+
+
+class TestMessageBits:
+    def test_state_message_is_constant_size(self):
+        message = Message(sender=1, kind=MessageKind.STATE, state="C")
+        assert message.bits(10) == state_message_bits() == 2
+        assert message.bits(10_000) == 2
+
+    def test_id_message_grows_logarithmically(self):
+        message = Message(sender=1, kind=MessageKind.ID_AND_STATE, state="M", random_id=(0.5,))
+        small = message.bits(16)
+        large = message.bits(16_384)
+        assert small < large
+        assert large == id_message_bits(16_384)
+        assert id_message_bits(16_384) <= 2 * 14 + 2
+
+    def test_id_bits_monotone_in_bound(self):
+        previous = 0
+        for bound in (2, 8, 64, 1024, 10_000):
+            bits = id_message_bits(bound)
+            assert bits >= previous
+            previous = bits
+
+    def test_expected_comparison_bits_is_constant(self):
+        assert expected_comparison_bits() == pytest.approx(4.0)
+
+    def test_message_defaults(self):
+        message = Message(sender="a", kind=MessageKind.ID_AND_STATE, state="M_BAR", random_id=(0.1,))
+        assert message.requests_introduction is True
+        assert message.round_sent == 0
+
+
+class TestChangeMetrics:
+    def test_as_dict_contains_core_fields(self):
+        metrics = ChangeMetrics("edge_insertion", rounds=3, broadcasts=5, bits=12, adjustments=1)
+        record = metrics.as_dict()
+        assert record["change_kind"] == "edge_insertion"
+        assert record["rounds"] == 3
+        assert record["broadcasts"] == 5
+        assert "async_causal_depth" not in record
+
+    def test_as_dict_includes_async_depth_when_present(self):
+        metrics = ChangeMetrics("edge_insertion", async_causal_depth=4)
+        assert metrics.as_dict()["async_causal_depth"] == 4
+
+
+class TestMetricsAggregator:
+    def _populated(self) -> MetricsAggregator:
+        aggregator = MetricsAggregator()
+        aggregator.add(ChangeMetrics("edge_insertion", rounds=2, broadcasts=3, bits=10, adjustments=1))
+        aggregator.add(ChangeMetrics("edge_insertion", rounds=4, broadcasts=1, bits=4, adjustments=0))
+        aggregator.add(ChangeMetrics("node_deletion", rounds=6, broadcasts=9, bits=20, adjustments=3))
+        return aggregator
+
+    def test_counts_and_means(self):
+        aggregator = self._populated()
+        assert aggregator.num_changes == 3
+        assert aggregator.mean("rounds") == pytest.approx(4.0)
+        assert aggregator.mean("adjustments") == pytest.approx(4 / 3)
+        assert aggregator.mean("rounds", "edge_insertion") == pytest.approx(3.0)
+
+    def test_maximum_and_total(self):
+        aggregator = self._populated()
+        assert aggregator.maximum("broadcasts") == 9
+        assert aggregator.total("bits") == 34
+        assert aggregator.total("bits", "node_deletion") == 20
+
+    def test_change_kinds_order(self):
+        aggregator = self._populated()
+        assert aggregator.change_kinds() == ["edge_insertion", "node_deletion"]
+
+    def test_by_kind_summary(self):
+        aggregator = self._populated()
+        summary = aggregator.by_kind_summary("adjustments")
+        assert summary["edge_insertion"] == pytest.approx(0.5)
+        assert summary["node_deletion"] == pytest.approx(3.0)
+
+    def test_summary_keys(self):
+        summary = self._populated().summary()
+        for key in (
+            "mean_adjustments",
+            "mean_rounds",
+            "mean_broadcasts",
+            "mean_bits",
+            "max_adjustments",
+            "max_rounds",
+            "max_broadcasts",
+            "num_changes",
+        ):
+            assert key in summary
+
+    def test_empty_aggregator(self):
+        aggregator = MetricsAggregator()
+        assert aggregator.mean("rounds") == 0.0
+        assert aggregator.maximum("rounds") == 0.0
+        assert aggregator.change_kinds() == []
+
+    def test_extend(self):
+        aggregator = MetricsAggregator()
+        aggregator.extend([ChangeMetrics("edge_insertion"), ChangeMetrics("edge_deletion")])
+        assert aggregator.num_changes == 2

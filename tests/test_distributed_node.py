@@ -1,0 +1,94 @@
+"""Unit tests for the per-node runtime record."""
+
+from __future__ import annotations
+
+from repro.distributed.node import NodeRuntime, NodeState
+
+
+def _runtime_with_neighbors() -> NodeRuntime:
+    runtime = NodeRuntime(node_id="v", key=(0.5, 0, "'v'"), state=NodeState.M_BAR)
+    runtime.add_neighbor("earlier_mis")
+    runtime.add_neighbor("earlier_out")
+    runtime.add_neighbor("later")
+    runtime.learn_neighbor("earlier_mis", (0.1, 0, "'a'"), NodeState.M)
+    runtime.learn_neighbor("earlier_out", (0.2, 0, "'b'"), NodeState.M_BAR)
+    runtime.learn_neighbor("later", (0.9, 0, "'c'"), NodeState.M_BAR)
+    return runtime
+
+
+class TestNodeState:
+    def test_output_states(self):
+        assert NodeState.M.is_output
+        assert NodeState.M_BAR.is_output
+        assert not NodeState.C.is_output
+        assert not NodeState.R.is_output
+
+
+class TestLocalViews:
+    def test_earlier_and_later_partition(self):
+        runtime = _runtime_with_neighbors()
+        assert runtime.known_earlier_neighbors() == {"earlier_mis", "earlier_out"}
+        assert runtime.known_later_neighbors() == {"later"}
+
+    def test_unknown_key_neighbors_are_excluded(self):
+        runtime = _runtime_with_neighbors()
+        runtime.add_neighbor("mystery")
+        assert "mystery" not in runtime.known_earlier_neighbors()
+        assert "mystery" not in runtime.known_later_neighbors()
+
+    def test_neighbor_state_lookup(self):
+        runtime = _runtime_with_neighbors()
+        assert runtime.neighbor_state("earlier_mis") is NodeState.M
+        assert runtime.neighbor_state("never_heard") is None
+
+    def test_mis_invariant_view(self):
+        runtime = _runtime_with_neighbors()
+        assert not runtime.no_earlier_neighbor_in_mis()
+        runtime.learn_neighbor("earlier_mis", None, NodeState.M_BAR)
+        assert runtime.no_earlier_neighbor_in_mis()
+
+    def test_earlier_neighbor_in_state(self):
+        runtime = _runtime_with_neighbors()
+        assert runtime.earlier_neighbor_in_state(NodeState.M)
+        assert not runtime.earlier_neighbor_in_state(NodeState.C)
+
+    def test_rule_three_and_four_guards(self):
+        runtime = _runtime_with_neighbors()
+        assert runtime.no_later_neighbor_in_c()
+        assert runtime.all_earlier_neighbors_in_output_states()
+        runtime.learn_neighbor("later", None, NodeState.C)
+        assert not runtime.no_later_neighbor_in_c()
+        runtime.learn_neighbor("earlier_out", None, NodeState.R)
+        assert not runtime.all_earlier_neighbors_in_output_states()
+
+    def test_in_mis(self):
+        runtime = _runtime_with_neighbors()
+        assert not runtime.in_mis()
+        runtime.state = NodeState.M
+        assert runtime.in_mis()
+
+
+class TestKnowledgeUpdates:
+    def test_learn_neighbor_partial_updates(self):
+        runtime = NodeRuntime(node_id=1, key=(0.5, 0, "1"))
+        runtime.add_neighbor(2)
+        runtime.learn_neighbor(2, None, NodeState.M)
+        assert 2 not in runtime.neighbor_keys
+        assert runtime.neighbor_state(2) is NodeState.M
+        runtime.learn_neighbor(2, (0.4, 0, "2"), None)
+        assert runtime.neighbor_keys[2] == (0.4, 0, "2")
+        assert runtime.neighbor_state(2) is NodeState.M
+
+    def test_drop_neighbor_clears_all_knowledge(self):
+        runtime = _runtime_with_neighbors()
+        runtime.drop_neighbor("earlier_mis")
+        assert "earlier_mis" not in runtime.neighbors
+        assert "earlier_mis" not in runtime.neighbor_keys
+        assert "earlier_mis" not in runtime.neighbor_states
+        # Dropping an unknown neighbor is a no-op.
+        runtime.drop_neighbor("never_there")
+
+    def test_retiring_default(self):
+        runtime = NodeRuntime(node_id=1, key=(0.1, 0, "1"))
+        assert runtime.retiring is False
+        assert runtime.entered_c_round is None

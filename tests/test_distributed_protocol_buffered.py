@@ -1,0 +1,153 @@
+"""Tests for Algorithm 2 (the constant-broadcast protocol) on the synchronous simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis
+from repro.distributed.network import ProtocolError
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph import generators
+from repro.graph.validation import check_maximal_independent_set
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+)
+from repro.workloads.sequences import edge_churn_sequence, mixed_churn_sequence
+
+
+class TestBootstrap:
+    def test_initial_output_is_random_greedy(self, small_random_graph):
+        network = BufferedMISNetwork(seed=3, initial_graph=small_random_graph)
+        network.verify()
+        assert network.mis() == greedy_mis(network.graph, network.priorities)
+
+    def test_nodes_know_their_neighborhood(self, small_random_graph):
+        network = BufferedMISNetwork(seed=3, initial_graph=small_random_graph)
+        for node in small_random_graph.nodes():
+            runtime = network.node_runtime(node)
+            assert runtime.neighbors == set(small_random_graph.neighbors(node))
+            assert set(runtime.neighbor_keys) == runtime.neighbors
+            assert set(runtime.neighbor_states) == runtime.neighbors
+
+
+class TestSingleChanges:
+    def test_edge_insertion_costs_constant_broadcasts(self, small_random_graph):
+        network = BufferedMISNetwork(seed=5, initial_graph=small_random_graph)
+        nodes = sorted(small_random_graph.nodes())
+        missing = [
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not small_random_graph.has_edge(u, v)
+        ]
+        metrics = network.apply(EdgeInsertion(*missing[0]))
+        network.verify()
+        assert metrics.change_kind == "edge_insertion"
+        # Two ID broadcasts plus at most three per influenced node.
+        assert metrics.broadcasts >= 2
+        assert metrics.broadcasts <= 2 + 3 * max(1, metrics.adjustments + 5)
+
+    def test_edge_deletion(self, small_random_graph):
+        network = BufferedMISNetwork(seed=6, initial_graph=small_random_graph)
+        edge = network.graph.edges()[0]
+        metrics = network.apply(EdgeDeletion(*edge))
+        network.verify()
+        assert metrics.change_kind == "edge_deletion"
+
+    def test_abrupt_edge_deletion(self, small_random_graph):
+        network = BufferedMISNetwork(seed=6, initial_graph=small_random_graph)
+        edge = network.graph.edges()[1]
+        network.apply(EdgeDeletion(*edge, graceful=False))
+        network.verify()
+
+    def test_node_insertion_with_neighbors(self, small_random_graph):
+        network = BufferedMISNetwork(seed=7, initial_graph=small_random_graph)
+        neighbors = tuple(sorted(small_random_graph.nodes())[:4])
+        metrics = network.apply(NodeInsertion("new", neighbors))
+        network.verify()
+        # Discovery costs 1 + d broadcasts; the repair costs O(1) more.
+        assert metrics.broadcasts >= 1 + len(neighbors)
+        assert network.graph.has_node("new")
+
+    def test_isolated_node_insertion_joins_mis(self):
+        network = BufferedMISNetwork(seed=8, initial_graph=generators.empty_graph(3))
+        network.apply(NodeInsertion("lonely"))
+        network.verify()
+        assert "lonely" in network.mis()
+
+    def test_node_unmuting_costs_constant_broadcasts(self, small_random_graph):
+        network = BufferedMISNetwork(seed=9, initial_graph=small_random_graph)
+        neighbors = tuple(sorted(small_random_graph.nodes())[:5])
+        metrics = network.apply(NodeUnmuting("ghost", neighbors))
+        network.verify()
+        # No introduction storm: the unmuted node already knows its neighbors.
+        assert metrics.broadcasts <= 2 + 3 * (metrics.adjustments + 3)
+
+    def test_graceful_mis_node_deletion(self):
+        network = BufferedMISNetwork(seed=10, initial_graph=generators.star_graph(6))
+        target = next(iter(network.mis()))
+        metrics = network.apply(NodeDeletion(target, graceful=True))
+        network.verify()
+        assert not network.graph.has_node(target)
+        assert metrics.change_kind == "node_deletion"
+
+    def test_graceful_non_mis_node_deletion_is_silent(self, small_random_graph):
+        network = BufferedMISNetwork(seed=11, initial_graph=small_random_graph)
+        non_mis = sorted(set(small_random_graph.nodes()) - network.mis(), key=repr)
+        metrics = network.apply(NodeDeletion(non_mis[0], graceful=True))
+        network.verify()
+        assert metrics.broadcasts == 0
+        assert metrics.adjustments == 0
+
+    def test_abrupt_mis_node_deletion(self):
+        network = BufferedMISNetwork(seed=12, initial_graph=generators.star_graph(8))
+        target = next(iter(network.mis()))
+        network.apply(NodeDeletion(target, graceful=False))
+        network.verify()
+
+    def test_abrupt_non_mis_node_deletion(self, small_random_graph):
+        network = BufferedMISNetwork(seed=13, initial_graph=small_random_graph)
+        non_mis = sorted(set(small_random_graph.nodes()) - network.mis(), key=repr)
+        metrics = network.apply(NodeDeletion(non_mis[0], graceful=False))
+        network.verify()
+        assert metrics.adjustments == 0
+
+
+class TestSequences:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_long_mixed_churn_tracks_oracle(self, seed, small_random_graph):
+        network = BufferedMISNetwork(seed=seed, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 80, seed=seed + 20):
+            network.apply(change)
+            network.verify()
+        check_maximal_independent_set(network.graph, network.mis())
+
+    def test_edge_churn_constant_broadcasts_on_average(self, medium_random_graph):
+        network = BufferedMISNetwork(seed=2, initial_graph=medium_random_graph)
+        network.apply_sequence(edge_churn_sequence(medium_random_graph, 150, seed=3))
+        network.verify()
+        summary = network.metrics.summary()
+        # The paper's bound is a constant independent of n; allow generous slack.
+        assert summary["mean_broadcasts"] < 15
+        assert summary["mean_rounds"] < 12
+        assert summary["mean_adjustments"] <= 2.0
+
+    def test_metrics_are_recorded_per_change(self, small_random_graph):
+        network = BufferedMISNetwork(seed=4, initial_graph=small_random_graph)
+        changes = edge_churn_sequence(small_random_graph, 25, seed=5)
+        records = network.apply_sequence(changes)
+        assert len(records) == 25
+        assert network.metrics.num_changes == 25
+
+    def test_every_node_ends_in_an_output_state(self, small_random_graph):
+        from repro.distributed.node import NodeState
+
+        network = BufferedMISNetwork(seed=5, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 40, seed=6):
+            network.apply(change)
+            for node in network.graph.nodes():
+                assert network.node_runtime(node).state in (NodeState.M, NodeState.M_BAR)

@@ -1,0 +1,102 @@
+"""Tests for the direct (single-round) protocol of Corollary 6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import greedy_mis
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.validation import check_maximal_independent_set
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion, NodeInsertion
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestBasicBehaviour:
+    def test_initial_output_is_random_greedy(self, small_random_graph):
+        network = DirectMISNetwork(seed=1, initial_graph=small_random_graph)
+        network.verify()
+
+    def test_single_edge_changes(self, small_random_graph):
+        network = DirectMISNetwork(seed=2, initial_graph=small_random_graph)
+        edge = network.graph.edges()[0]
+        network.apply(EdgeDeletion(*edge))
+        network.verify()
+        network.apply(EdgeInsertion(*edge))
+        network.verify()
+
+    def test_node_changes(self, small_random_graph):
+        network = DirectMISNetwork(seed=3, initial_graph=small_random_graph)
+        network.apply(NodeInsertion("n", tuple(sorted(small_random_graph.nodes())[:3])))
+        network.verify()
+        network.apply(NodeDeletion("n", graceful=False))
+        network.verify()
+
+    def test_graceful_mis_node_deletion(self):
+        network = DirectMISNetwork(seed=4, initial_graph=generators.star_graph(5))
+        target = next(iter(network.mis()))
+        network.apply(NodeDeletion(target, graceful=True))
+        network.verify()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_long_churn_tracks_oracle(self, seed, small_random_graph):
+        network = DirectMISNetwork(seed=seed, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 80, seed=seed + 30):
+            network.apply(change)
+            network.verify()
+        check_maximal_independent_set(network.graph, network.mis())
+
+
+class TestRoundComplexity:
+    def test_rounds_track_propagation_depth(self, medium_random_graph):
+        """The direct protocol's mean round count stays around one per change."""
+        network = DirectMISNetwork(seed=5, initial_graph=medium_random_graph)
+        network.apply_sequence(mixed_churn_sequence(medium_random_graph, 120, seed=6))
+        network.verify()
+        assert network.metrics.mean("rounds") < 4.0
+
+    def test_no_violation_means_zero_protocol_rounds(self):
+        # Deleting an edge whose later endpoint keeps its state requires no
+        # propagation at all.
+        graph = DynamicGraph(nodes=[0, 1, 2], edges=[(0, 1), (0, 2), (1, 2)])
+        network = DirectMISNetwork(seed=7, initial_graph=graph)
+        mis_node = next(iter(network.mis()))
+        others = [node for node in graph.nodes() if node != mis_node]
+        metrics = network.apply(EdgeDeletion(others[0], others[1]))
+        network.verify()
+        assert metrics.adjustments in (0, 1)
+
+
+class TestDirectVsBuffered:
+    """The two protocols maintain exactly the same structure (same random IDs)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_output_on_same_change_sequence(self, seed, small_random_graph):
+        direct = DirectMISNetwork(seed=seed, initial_graph=small_random_graph)
+        buffered = BufferedMISNetwork(seed=seed, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 60, seed=seed + 40):
+            direct.apply(change)
+            buffered.apply(change)
+            assert direct.mis() == buffered.mis()
+
+    def test_adjustments_agree_but_flip_counts_may_differ(self, small_random_graph):
+        direct = DirectMISNetwork(seed=9, initial_graph=small_random_graph)
+        buffered = BufferedMISNetwork(seed=9, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 60, seed=41):
+            direct_metrics = direct.apply(change)
+            buffered_metrics = buffered.apply(change)
+            assert direct_metrics.adjustments == buffered_metrics.adjustments
+
+    def test_buffered_state_changes_bounded_by_three_per_influenced_node(self, small_random_graph):
+        """Lemma 8/9: in Algorithm 2 every node changes state at most 3 times
+        (except for abrupt deletions), so state changes <= 3 * |S| + O(1)."""
+        buffered = BufferedMISNetwork(seed=11, initial_graph=small_random_graph)
+        direct = DirectMISNetwork(seed=11, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 80, seed=42):
+            buffered_metrics = buffered.apply(change)
+            direct_metrics = direct.apply(change)
+            influenced_upper = max(direct_metrics.state_changes, buffered_metrics.adjustments)
+            if change.kind != "node_deletion":
+                assert buffered_metrics.state_changes <= 3 * max(1, influenced_upper) + 2

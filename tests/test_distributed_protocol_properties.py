@@ -1,0 +1,192 @@
+"""Property-based and fault-injection tests for the distributed protocols.
+
+These complement the deterministic unit tests: hypothesis generates short
+valid change scripts and all three distributed engines must keep simulating
+the same random greedy process; fault-injection tests corrupt node state on
+purpose and check that the validation layer notices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.network import ProtocolError
+from repro.distributed.node import NodeState
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph import generators
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    apply_change_to_graph,
+)
+
+
+@st.composite
+def distributed_scripts(draw) -> Tuple[DynamicGraph, int, List]:
+    """A small starting graph plus a short valid script of mixed changes."""
+    num_nodes = draw(st.integers(min_value=2, max_value=7))
+    possible_edges = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    chosen = draw(st.lists(st.sampled_from(possible_edges), unique=True)) if possible_edges else []
+    graph = DynamicGraph(nodes=range(num_nodes), edges=chosen)
+    seed = draw(st.integers(min_value=0, max_value=5000))
+
+    working = graph.copy()
+    script: List = []
+    fresh = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        nodes = sorted(working.nodes(), key=repr)
+        options = ["insert_node", "unmute_node"]
+        if len(nodes) >= 2:
+            options.extend(["insert_edge", "delete_node"])
+        if working.num_edges() > 0:
+            options.append("delete_edge")
+        action = draw(st.sampled_from(options))
+        if action in ("insert_node", "unmute_node"):
+            fresh += 1
+            name = f"d{fresh}"
+            neighbors = tuple(draw(st.lists(st.sampled_from(nodes), unique=True))) if nodes else ()
+            change = (
+                NodeInsertion(name, neighbors)
+                if action == "insert_node"
+                else NodeUnmuting(name, neighbors)
+            )
+        elif action == "insert_edge":
+            missing = [
+                (u, v)
+                for i, u in enumerate(nodes)
+                for v in nodes[i + 1 :]
+                if not working.has_edge(u, v)
+            ]
+            if not missing:
+                continue
+            change = EdgeInsertion(*draw(st.sampled_from(missing)))
+        elif action == "delete_edge":
+            u, v = draw(st.sampled_from(working.edges()))
+            change = EdgeDeletion(u, v, graceful=draw(st.booleans()))
+        else:
+            change = NodeDeletion(draw(st.sampled_from(nodes)), graceful=draw(st.booleans()))
+        apply_change_to_graph(working, change)
+        script.append(change)
+    return graph, seed, script
+
+
+PROTOCOL_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@PROTOCOL_SETTINGS
+@given(distributed_scripts())
+def test_buffered_protocol_tracks_sequential_semantics(case):
+    graph, seed, script = case
+    network = BufferedMISNetwork(seed=seed, initial_graph=graph)
+    reference = DynamicMIS(seed=seed, initial_graph=graph)
+    for change in script:
+        network.apply(change)
+        reference.apply(change)
+        assert network.mis() == reference.mis()
+    network.verify()
+
+
+@PROTOCOL_SETTINGS
+@given(distributed_scripts())
+def test_async_protocol_tracks_sequential_semantics(case):
+    graph, seed, script = case
+    network = AsyncDirectMISNetwork(seed=seed, initial_graph=graph)
+    reference = DynamicMIS(seed=seed, initial_graph=graph)
+    for change in script:
+        network.apply(change)
+        reference.apply(change)
+        assert network.mis() == reference.mis()
+    network.verify()
+
+
+@PROTOCOL_SETTINGS
+@given(distributed_scripts())
+def test_buffered_protocol_broadcast_budget(case):
+    """Every change stays within the Lemma 9/13 style budget: discovery plus
+    three state changes per node that ever got involved."""
+    graph, seed, script = case
+    network = BufferedMISNetwork(seed=seed, initial_graph=graph)
+    for change in script:
+        metrics = network.apply(change)
+        involved = max(metrics.state_changes, 1)
+        discovery = 2 + (len(getattr(change, "neighbors", ())) or 0)
+        assert metrics.broadcasts <= discovery + involved + 1
+        assert metrics.state_changes <= 3 * (metrics.adjustments + network.graph.num_nodes())
+
+
+class TestFaultInjection:
+    def test_corrupted_output_is_detected(self, small_random_graph):
+        network = BufferedMISNetwork(seed=3, initial_graph=small_random_graph)
+        victim = next(iter(small_random_graph.nodes()))
+        runtime = network.node_runtime(victim)
+        runtime.state = NodeState.M if runtime.state is NodeState.M_BAR else NodeState.M_BAR
+        with pytest.raises(AssertionError):
+            network.verify()
+
+    def test_node_stuck_in_transient_state_is_detected(self, small_random_graph):
+        network = DirectMISNetwork(seed=4, initial_graph=small_random_graph)
+        victim = sorted(network.mis(), key=repr)[0]
+        network.node_runtime(victim).state = NodeState.C
+        with pytest.raises(AssertionError):
+            network.verify()
+
+    def test_round_cap_raises_protocol_error(self, small_random_graph):
+        network = BufferedMISNetwork(seed=5, initial_graph=small_random_graph)
+        network.ROUND_CAP_FACTOR = 0
+        network.ROUND_CAP_SLACK = 0
+        victim = sorted(network.mis(), key=repr)[0]
+        with pytest.raises(ProtocolError):
+            network.apply(NodeDeletion(victim, graceful=True))
+
+    def test_sequential_verify_detects_corruption(self, small_random_graph):
+        maintainer = DynamicMIS(seed=6, initial_graph=small_random_graph)
+        engine = maintainer._engine  # white-box corruption on purpose
+        states = engine.states()
+        victim = next(iter(states))
+        engine._states[victim] = not engine._states[victim]
+        with pytest.raises(AssertionError):
+            maintainer.verify()
+
+
+class TestRuntimeKnowledgeAfterChanges:
+    def test_neighbor_views_stay_consistent_with_topology(self, small_random_graph):
+        from repro.workloads.sequences import mixed_churn_sequence
+
+        network = BufferedMISNetwork(seed=7, initial_graph=small_random_graph)
+        for change in mixed_churn_sequence(small_random_graph, 50, seed=8):
+            network.apply(change)
+            for node in network.graph.nodes():
+                runtime = network.node_runtime(node)
+                assert runtime.neighbors == set(network.graph.neighbors(node))
+                # At stability the node knows every neighbor's key and output state.
+                assert set(runtime.neighbor_keys) >= runtime.neighbors
+                for other in runtime.neighbors:
+                    assert runtime.neighbor_states[other] in (NodeState.M, NodeState.M_BAR)
+                    assert runtime.neighbor_states[other] is NodeState.M or not (
+                        network.node_runtime(other).in_mis()
+                    )
+
+    def test_unmuted_node_does_not_trigger_reintroductions(self):
+        graph = generators.star_graph(6)
+        network = BufferedMISNetwork(seed=9, initial_graph=graph)
+        metrics = network.apply(NodeUnmuting("ghost", (0, 1, 2)))
+        network.verify()
+        # The neighbors never re-broadcast their IDs (requests_introduction is
+        # False), so the budget is the unmuted node's own announcements plus
+        # the usual three state changes per influenced node.
+        assert metrics.broadcasts <= 2 + 3 * (metrics.state_changes + 1)

@@ -1,0 +1,89 @@
+"""Tests for the per-round observability records of the synchronous simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.priorities import DeterministicPriorityAssigner
+from repro.distributed.node import NodeState
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph import generators
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestRoundLogging:
+    def test_disabled_by_default(self, small_random_graph):
+        network = BufferedMISNetwork(seed=1, initial_graph=small_random_graph)
+        network.apply(EdgeDeletion(*network.graph.edges()[0]))
+        assert network.last_change_trace() == []
+
+    def test_trace_matches_metrics(self, small_random_graph):
+        network = BufferedMISNetwork(seed=2, initial_graph=small_random_graph)
+        network.enable_round_logging()
+        for change in mixed_churn_sequence(small_random_graph, 30, seed=3):
+            metrics = network.apply(change)
+            trace = network.last_change_trace()
+            assert sum(len(record.broadcasts) for record in trace) == metrics.broadcasts
+            assert sum(record.state_changes for record in trace) <= metrics.state_changes
+            if trace:
+                assert trace[-1].round_number <= metrics.rounds + 1
+        network.verify()
+
+    def test_trace_is_reset_per_change_and_getter_returns_a_copy(self, small_random_graph):
+        network = DirectMISNetwork(seed=4, initial_graph=small_random_graph)
+        network.enable_round_logging()
+        edges = network.graph.edges()
+        network.apply(EdgeDeletion(*edges[0]))
+        first = network.last_change_trace()
+        network.apply(EdgeDeletion(*edges[1]))
+        second = network.last_change_trace()
+        assert first is not second
+        # The getter returns a copy: clearing it does not affect the network.
+        length_before = len(second)
+        second.clear()
+        assert len(network.last_change_trace()) == length_before
+
+    def test_disabling_clears_the_log(self, small_random_graph):
+        network = BufferedMISNetwork(seed=5, initial_graph=small_random_graph)
+        network.enable_round_logging()
+        network.apply(EdgeDeletion(*network.graph.edges()[0]))
+        network.enable_round_logging(False)
+        assert network.last_change_trace() == []
+
+    def test_buffered_trace_shows_c_r_output_phases(self):
+        """On the two-node eviction scenario the trace shows the C -> R ->
+        output progression of Algorithm 2 in distinct rounds."""
+        network = BufferedMISNetwork(
+            priorities=DeterministicPriorityAssigner(),
+            initial_graph=generators.empty_graph(2),
+        )
+        network.enable_round_logging()
+        network.apply(EdgeInsertion(0, 1))
+        network.verify()
+        trace = network.last_change_trace()
+        announced_states = [state for record in trace for (_, _, state) in record.broadcasts]
+        assert NodeState.C.value in announced_states
+        assert NodeState.R.value in announced_states
+        assert NodeState.M_BAR.value in announced_states
+        # The C announcement happens strictly before the R announcement.
+        c_round = min(
+            record.round_number
+            for record in trace
+            if any(state == NodeState.C.value for (_, _, state) in record.broadcasts)
+        )
+        r_round = min(
+            record.round_number
+            for record in trace
+            if any(state == NodeState.R.value for (_, _, state) in record.broadcasts)
+        )
+        assert c_round < r_round
+
+    def test_silent_changes_produce_empty_traces(self, small_random_graph):
+        network = BufferedMISNetwork(seed=6, initial_graph=small_random_graph)
+        network.enable_round_logging()
+        non_mis = sorted(set(small_random_graph.nodes()) - network.mis(), key=repr)[0]
+        metrics = network.apply(NodeDeletion(non_mis, graceful=True))
+        assert metrics.broadcasts == 0
+        assert network.last_change_trace() == []

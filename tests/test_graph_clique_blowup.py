@@ -1,0 +1,108 @@
+"""Unit tests for the clique-blowup (coloring) reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.clique_blowup import (
+    CliqueBlowupView,
+    clique_blowup_of,
+    color_assignment_from_mis,
+)
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.graph.validation import check_graph_consistency
+
+
+class TestStaticConstruction:
+    def test_blowup_of_single_edge(self):
+        graph = DynamicGraph(nodes=[0, 1], edges=[(0, 1)])
+        blowup = clique_blowup_of(graph, num_colors=2)
+        assert blowup.num_nodes() == 4
+        # Two cliques of size 2 plus a perfect matching of size 2.
+        assert blowup.num_edges() == 2 + 2
+        assert blowup.has_edge((0, 0), (0, 1))
+        assert blowup.has_edge((0, 0), (1, 0))
+        assert not blowup.has_edge((0, 0), (1, 1))
+
+    def test_blowup_counts(self):
+        graph = generators.cycle_graph(5)
+        k = 3
+        blowup = clique_blowup_of(graph, num_colors=k)
+        assert blowup.num_nodes() == 5 * k
+        assert blowup.num_edges() == 5 * k * (k - 1) // 2 + 5 * k
+        check_graph_consistency(blowup)
+
+    def test_palette_too_small_raises(self):
+        graph = generators.star_graph(4)
+        with pytest.raises(ValueError):
+            clique_blowup_of(graph, num_colors=4)  # center has degree 4
+
+    def test_palette_exactly_delta_plus_one(self):
+        graph = generators.star_graph(4)
+        blowup = clique_blowup_of(graph, num_colors=5)
+        assert blowup.num_nodes() == 25
+
+
+class TestIncrementalView:
+    def test_view_matches_batch_construction(self):
+        base = generators.cycle_graph(6)
+        view = CliqueBlowupView(base, num_colors=4)
+        assert view.blowup_graph == clique_blowup_of(base, 4)
+
+        view.remove_edge(0, 1)
+        view.add_edge(0, 3)
+        view.add_node("new")
+        view.add_edge("new", 1)
+        view.remove_node(4)
+        assert view.blowup_graph == clique_blowup_of(view.base_graph, 4)
+
+    def test_add_edge_derived_changes(self):
+        view = CliqueBlowupView(generators.empty_graph(2), num_colors=2)
+        changes = view.add_edge(0, 1)
+        assert len(changes) == 2
+        assert all(change[0] == "add_edge" for change in changes)
+
+    def test_add_node_derived_changes(self):
+        view = CliqueBlowupView(num_colors=3)
+        changes = view.add_node("a")
+        assert len(changes) == 3
+        assert changes[0] == ("add_node", ("a", 0), ())
+        assert changes[2][0] == "add_node"
+        assert set(changes[2][2]) == {("a", 0), ("a", 1)}
+
+    def test_remove_node_derived_changes(self):
+        view = CliqueBlowupView(generators.path_graph(3), num_colors=3)
+        changes = view.remove_node(1)
+        kinds = [change[0] for change in changes]
+        assert kinds.count("remove_edge") == 6  # two incident base edges * 3 colors
+        assert kinds.count("remove_node") == 3
+
+    def test_palette_guard_rejects_overfull_degree(self):
+        view = CliqueBlowupView(generators.star_graph(2), num_colors=3)
+        view.add_node("x")
+        with pytest.raises(ValueError):
+            view.add_edge(0, "x")
+
+    def test_remove_missing_edge_raises(self):
+        view = CliqueBlowupView(generators.path_graph(3), num_colors=3)
+        with pytest.raises(GraphError):
+            view.remove_edge(0, 2)
+
+    def test_copies_of(self):
+        view = CliqueBlowupView(generators.empty_graph(1), num_colors=4)
+        assert view.copies_of(0) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_invalid_num_colors(self):
+        with pytest.raises(ValueError):
+            CliqueBlowupView(num_colors=0)
+
+
+class TestColorExtraction:
+    def test_color_assignment_from_mis(self):
+        assignment = color_assignment_from_mis(None, [(0, 2), (1, 0)])
+        assert assignment == {0: 2, 1: 0}
+
+    def test_duplicate_copy_rejected(self):
+        with pytest.raises(ValueError):
+            color_assignment_from_mis(None, [(0, 1), (0, 2)])

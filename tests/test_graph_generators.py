@@ -1,0 +1,172 @@
+"""Unit tests for the graph family generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.dynamic_graph import GraphError
+from repro.graph.validation import check_graph_consistency
+
+
+class TestStructuredFamilies:
+    def test_empty_graph(self):
+        graph = generators.empty_graph(5)
+        assert graph.num_nodes() == 5
+        assert graph.num_edges() == 0
+
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        assert graph.num_edges() == 15
+        assert graph.max_degree() == 5
+        check_graph_consistency(graph)
+
+    def test_path_graph(self):
+        graph = generators.path_graph(7)
+        assert graph.num_edges() == 6
+        assert graph.degree(0) == 1
+        assert graph.degree(3) == 2
+
+    def test_cycle_graph(self):
+        graph = generators.cycle_graph(5)
+        assert graph.num_edges() == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star_graph(self):
+        graph = generators.star_graph(8)
+        assert graph.num_nodes() == 9
+        assert graph.degree(0) == 8
+        assert all(graph.degree(leaf) == 1 for leaf in range(1, 9))
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite_graph(3, 4)
+        assert graph.num_nodes() == 7
+        assert graph.num_edges() == 12
+        left, right = generators.bipartite_sides(3, 4)
+        assert left == [0, 1, 2]
+        assert right == [3, 4, 5, 6]
+        for u in left:
+            for v in right:
+                assert graph.has_edge(u, v)
+
+    def test_complete_bipartite_minus_matching(self):
+        side = 4
+        graph = generators.complete_bipartite_minus_matching(side)
+        assert graph.num_nodes() == 2 * side
+        assert graph.num_edges() == side * (side - 1)
+        for i in range(side):
+            assert not graph.has_edge(i, side + i)
+            for j in range(side):
+                if j != i:
+                    assert graph.has_edge(i, side + j)
+
+    def test_disjoint_paths(self):
+        graph = generators.disjoint_paths_graph(3, edges_per_path=3)
+        assert graph.num_nodes() == 12
+        assert graph.num_edges() == 9
+        assert len(graph.connected_components()) == 3
+
+    def test_disjoint_paths_invalid_edge_count(self):
+        with pytest.raises(ValueError):
+            generators.disjoint_paths_graph(2, edges_per_path=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generators.empty_graph(-1)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_reproducible(self):
+        first = generators.erdos_renyi_graph(30, 0.2, seed=5)
+        second = generators.erdos_renyi_graph(30, 0.2, seed=5)
+        third = generators.erdos_renyi_graph(30, 0.2, seed=6)
+        assert first == second
+        assert first != third
+
+    def test_erdos_renyi_extremes(self):
+        assert generators.erdos_renyi_graph(10, 0.0, seed=1).num_edges() == 0
+        assert generators.erdos_renyi_graph(10, 1.0, seed=1).num_edges() == 45
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_graph(10, 1.5, seed=0)
+
+    def test_gnm_exact_edge_count(self):
+        graph = generators.gnm_random_graph(20, 30, seed=2)
+        assert graph.num_edges() == 30
+        check_graph_consistency(graph)
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random_graph(4, 10, seed=0)
+
+    def test_preferential_attachment_structure(self):
+        graph = generators.preferential_attachment_graph(40, 3, seed=3)
+        assert graph.num_nodes() == 40
+        # Every non-seed node attaches with exactly 3 edges.
+        assert graph.num_edges() == 6 + 3 * (40 - 4)
+        check_graph_consistency(graph)
+
+    def test_preferential_attachment_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment_graph(3, 5, seed=0)
+        with pytest.raises(ValueError):
+            generators.preferential_attachment_graph(10, 0, seed=0)
+
+    def test_random_geometric_radius_monotone(self):
+        sparse = generators.random_geometric_graph(40, 0.1, seed=4)
+        dense = generators.random_geometric_graph(40, 0.5, seed=4)
+        assert dense.num_edges() >= sparse.num_edges()
+
+    def test_random_geometric_invalid_radius(self):
+        with pytest.raises(ValueError):
+            generators.random_geometric_graph(10, -0.1, seed=0)
+
+    def test_near_regular_degrees_bounded(self):
+        degree = 4
+        graph = generators.near_regular_graph(30, degree, seed=5)
+        assert all(graph.degree(node) <= degree for node in graph.nodes())
+        check_graph_consistency(graph)
+
+    def test_near_regular_invalid_degree(self):
+        with pytest.raises(ValueError):
+            generators.near_regular_graph(5, 5, seed=0)
+
+    def test_planted_clusters(self):
+        graph, clusters = generators.planted_clusters_graph([5, 5, 5], seed=6)
+        assert graph.num_nodes() == 15
+        assert [len(c) for c in clusters] == [5, 5, 5]
+        all_nodes = sorted(node for cluster in clusters for node in cluster)
+        assert all_nodes == list(range(15))
+
+    def test_planted_clusters_invalid_probability(self):
+        with pytest.raises(ValueError):
+            generators.planted_clusters_graph([3, 3], intra_probability=1.5)
+
+    def test_from_edge_list(self):
+        graph = generators.from_edge_list(4, [(0, 1), (2, 3)])
+        assert graph.num_edges() == 2
+
+    def test_from_edge_list_out_of_range(self):
+        with pytest.raises(GraphError):
+            generators.from_edge_list(3, [(0, 5)])
+
+
+class TestFamilyDispatch:
+    @pytest.mark.parametrize("name", generators.FAMILY_NAMES)
+    def test_every_family_builds(self, name):
+        graph = generators.random_graph_family(name, 20, seed=1)
+        assert graph.num_nodes() >= 20 or name == "star"
+        check_graph_consistency(graph)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            generators.random_graph_family("nope", 20)
+
+    def test_family_needs_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.random_graph_family("erdos_renyi", 3)

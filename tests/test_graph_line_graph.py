@@ -1,0 +1,103 @@
+"""Unit tests for the line-graph reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph, GraphError, canonical_edge
+from repro.graph.line_graph import LineGraphView, line_graph_of
+from repro.graph.validation import check_graph_consistency
+
+
+class TestStaticConstruction:
+    def test_line_graph_of_path(self):
+        path = generators.path_graph(4)
+        line = line_graph_of(path)
+        assert line.num_nodes() == 3
+        assert line.num_edges() == 2
+        assert line.has_edge((0, 1), (1, 2))
+        assert not line.has_edge((0, 1), (2, 3))
+
+    def test_line_graph_of_triangle_is_triangle(self):
+        triangle = generators.complete_graph(3)
+        line = line_graph_of(triangle)
+        assert line.num_nodes() == 3
+        assert line.num_edges() == 3
+
+    def test_line_graph_of_star_is_clique(self):
+        star = generators.star_graph(5)
+        line = line_graph_of(star)
+        assert line.num_nodes() == 5
+        assert line.num_edges() == 10  # K_5
+
+    def test_line_graph_edge_count_formula(self):
+        graph = generators.erdos_renyi_graph(15, 0.3, seed=4)
+        line = line_graph_of(graph)
+        expected_edges = sum(
+            graph.degree(node) * (graph.degree(node) - 1) // 2 for node in graph.nodes()
+        )
+        assert line.num_nodes() == graph.num_edges()
+        assert line.num_edges() == expected_edges
+        check_graph_consistency(line)
+
+    def test_empty_graph(self):
+        assert line_graph_of(DynamicGraph()).num_nodes() == 0
+
+
+class TestIncrementalView:
+    def test_view_matches_batch_construction_under_churn(self):
+        base = generators.erdos_renyi_graph(12, 0.3, seed=3)
+        view = LineGraphView(base)
+        assert view.line_graph == line_graph_of(base)
+
+        view.add_node(100)
+        view.add_edge(100, 0)
+        view.add_edge(100, 1)
+        existing_edge = view.base_graph.edges()[0]
+        view.remove_edge(*existing_edge)
+        view.add_node_with_edges(101, [100, 2])
+        view.remove_node(3)
+        assert view.line_graph == line_graph_of(view.base_graph)
+
+    def test_add_edge_returns_single_derived_change(self):
+        view = LineGraphView(generators.path_graph(3))
+        changes = view.add_edge(0, 2)
+        assert len(changes) == 1
+        operation, node, neighbors = changes[0]
+        assert operation == "add_node"
+        assert node == canonical_edge(0, 2)
+        assert set(neighbors) == {canonical_edge(0, 1), canonical_edge(1, 2)}
+
+    def test_remove_edge_returns_single_derived_change(self):
+        view = LineGraphView(generators.path_graph(3))
+        changes = view.remove_edge(1, 2)
+        assert changes == [("remove_node", canonical_edge(1, 2))]
+        assert not view.base_graph.has_edge(1, 2)
+
+    def test_remove_node_produces_one_change_per_incident_edge(self):
+        view = LineGraphView(generators.star_graph(4))
+        changes = view.remove_node(0)
+        assert len(changes) == 4
+        assert all(change[0] == "remove_node" for change in changes)
+        assert view.base_graph.num_edges() == 0
+
+    def test_add_isolated_node_produces_no_derived_change(self):
+        view = LineGraphView()
+        assert view.add_node("a") == []
+        assert view.line_graph.num_nodes() == 0
+
+    def test_remove_missing_edge_raises(self):
+        view = LineGraphView(generators.path_graph(3))
+        with pytest.raises(GraphError):
+            view.remove_edge(0, 2)
+
+    def test_edge_node_is_canonical(self):
+        view = LineGraphView()
+        assert view.edge_node(5, 2) == (2, 5)
+
+    def test_base_graph_is_a_copy(self):
+        base = generators.path_graph(3)
+        view = LineGraphView(base)
+        view.remove_edge(0, 1)
+        assert base.has_edge(0, 1)

@@ -1,0 +1,93 @@
+"""Unit tests for the structural validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators, validation
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.validation import ValidationError
+
+
+class TestIndependentSetChecks:
+    def test_valid_independent_set(self, small_path):
+        validation.check_independent_set(small_path, {0, 2, 4})
+
+    def test_adjacent_members_rejected(self, small_path):
+        with pytest.raises(ValidationError):
+            validation.check_independent_set(small_path, {0, 1})
+
+    def test_member_outside_graph_rejected(self, small_path):
+        with pytest.raises(ValidationError):
+            validation.check_independent_set(small_path, {0, 99})
+
+    def test_maximality_ok(self, small_path):
+        validation.check_maximality(small_path, {0, 2, 4})
+
+    def test_maximality_violation(self, small_path):
+        with pytest.raises(ValidationError):
+            validation.check_maximality(small_path, {0})
+
+    def test_full_mis_check(self, small_star):
+        validation.check_maximal_independent_set(small_star, set(range(1, 7)))
+        validation.check_maximal_independent_set(small_star, {0})
+        with pytest.raises(ValidationError):
+            validation.check_maximal_independent_set(small_star, {1, 2})
+
+
+class TestMatchingChecks:
+    def test_valid_matching(self, small_path):
+        validation.check_matching(small_path, [(0, 1), (2, 3)])
+
+    def test_non_edge_rejected(self, small_path):
+        with pytest.raises(ValidationError):
+            validation.check_matching(small_path, [(0, 2)])
+
+    def test_overlapping_edges_rejected(self, small_path):
+        with pytest.raises(ValidationError):
+            validation.check_matching(small_path, [(0, 1), (1, 2)])
+
+    def test_maximal_matching(self, small_path):
+        validation.check_maximal_matching(small_path, [(0, 1), (2, 3)])
+        with pytest.raises(ValidationError):
+            validation.check_maximal_matching(small_path, [(1, 2)])
+
+
+class TestColoringAndClusteringChecks:
+    def test_proper_coloring(self, triangle):
+        validation.check_proper_coloring(triangle, {0: 0, 1: 1, 2: 2})
+
+    def test_improper_coloring(self, triangle):
+        with pytest.raises(ValidationError):
+            validation.check_proper_coloring(triangle, {0: 0, 1: 0, 2: 1})
+
+    def test_missing_color(self, triangle):
+        with pytest.raises(ValidationError):
+            validation.check_proper_coloring(triangle, {0: 0, 1: 1})
+
+    def test_clustering_covers_graph(self, triangle):
+        validation.check_clustering(triangle, {0: 0, 1: 0, 2: 1})
+
+    def test_clustering_missing_node(self, triangle):
+        with pytest.raises(ValidationError):
+            validation.check_clustering(triangle, {0: 0, 1: 0})
+
+    def test_clustering_extra_node(self, triangle):
+        with pytest.raises(ValidationError):
+            validation.check_clustering(triangle, {0: 0, 1: 0, 2: 1, 99: 2})
+
+    def test_partition_from_labels(self):
+        partition = validation.partition_from_labels({1: "a", 2: "a", 3: "b"})
+        assert partition == {"a": {1, 2}, "b": {3}}
+
+
+class TestGraphConsistency:
+    def test_generated_graphs_are_consistent(self):
+        for name in generators.FAMILY_NAMES:
+            validation.check_graph_consistency(generators.random_graph_family(name, 15, seed=2))
+
+    def test_detects_broken_edge_count(self):
+        graph = DynamicGraph(nodes=[1, 2], edges=[(1, 2)])
+        graph._num_edges = 5  # deliberately corrupt the cached counter
+        with pytest.raises(ValidationError):
+            validation.check_graph_consistency(graph)

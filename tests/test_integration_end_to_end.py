@@ -1,0 +1,191 @@
+"""End-to-end integration tests exercising several subsystems together.
+
+Each test tells one of the paper's stories from start to finish: engines must
+agree with each other, the applications must stay valid across long workloads,
+and the worked examples of Section 5 must come out with the numbers the paper
+states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimators import mean
+from repro.baselines.recompute import StaticRecomputeDynamicMIS
+from repro.clustering.correlation import clustering_cost
+from repro.clustering.dynamic_clustering import DynamicCorrelationClustering
+from repro.coloring.dynamic_coloring import DynamicColoring
+from repro.core.dynamic_mis import DynamicMIS
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph import generators
+from repro.graph.validation import (
+    check_maximal_independent_set,
+    check_maximal_matching,
+    check_proper_coloring,
+)
+from repro.matching.dynamic_matching import DynamicMaximalMatching
+from repro.workloads.changes import NodeDeletion
+from repro.workloads.sequences import (
+    alternative_histories,
+    build_sequence,
+    mixed_churn_sequence,
+    sliding_window_sequence,
+)
+
+
+class TestAllEnginesAgree:
+    """The template engine, both synchronous protocols and the asynchronous
+    engine all simulate the same random greedy process, so with the same seed
+    they must produce byte-identical outputs forever."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_four_engines_agree_over_mixed_churn(self, seed):
+        graph = generators.erdos_renyi_graph(24, 0.18, seed=seed)
+        engines = [
+            DynamicMIS(seed=seed + 3, initial_graph=graph),
+            BufferedMISNetwork(seed=seed + 3, initial_graph=graph),
+            DirectMISNetwork(seed=seed + 3, initial_graph=graph),
+            AsyncDirectMISNetwork(seed=seed + 3, initial_graph=graph),
+        ]
+        for change in mixed_churn_sequence(graph, 60, seed=seed + 5):
+            outputs = set()
+            for engine in engines:
+                engine.apply(change)
+                outputs.add(frozenset(engine.mis()))
+            assert len(outputs) == 1
+
+    def test_engines_agree_on_sliding_window_workload(self):
+        changes = sliding_window_sequence(num_nodes=18, window_size=20, num_changes=80, seed=2)
+        base = generators.empty_graph(18)
+        sequential = DynamicMIS(seed=9, initial_graph=base)
+        buffered = BufferedMISNetwork(seed=9, initial_graph=base)
+        for change in changes:
+            sequential.apply(change)
+            buffered.apply(change)
+        assert sequential.mis() == buffered.mis()
+        check_maximal_independent_set(buffered.graph, buffered.mis())
+
+
+class TestDynamicBeatsRecomputeBaseline:
+    def test_per_change_work_separation(self):
+        """The static/dynamic separation of experiment E4 in miniature: the
+        recompute baseline pays Theta(log n) rounds and Theta(n) broadcasts
+        per change, the paper's protocol pays O(1) of each."""
+        graph = generators.erdos_renyi_graph(60, 0.08, seed=4)
+        changes = mixed_churn_sequence(graph, 40, seed=5)
+        ours = BufferedMISNetwork(seed=6, initial_graph=graph)
+        baseline = StaticRecomputeDynamicMIS("luby", seed=6, initial_graph=graph)
+        ours.apply_sequence(changes)
+        baseline.apply_sequence(changes)
+        assert ours.metrics.mean("broadcasts") * 3 < baseline.metrics.mean("broadcasts")
+        assert ours.metrics.mean("adjustments") <= 2.0
+
+    def test_outputs_are_both_valid_mis(self):
+        graph = generators.erdos_renyi_graph(30, 0.15, seed=7)
+        changes = mixed_churn_sequence(graph, 30, seed=8)
+        ours = DirectMISNetwork(seed=9, initial_graph=graph)
+        baseline = StaticRecomputeDynamicMIS("ghaffari", seed=9, initial_graph=graph)
+        ours.apply_sequence(changes)
+        baseline.apply_sequence(changes)
+        check_maximal_independent_set(ours.graph, ours.mis())
+        check_maximal_independent_set(baseline.graph, baseline.mis())
+
+
+class TestApplicationsTogether:
+    def test_mis_matching_coloring_clustering_share_a_workload(self):
+        graph = generators.near_regular_graph(16, 3, seed=10)
+        from repro.workloads.sequences import edge_churn_sequence
+
+        changes = edge_churn_sequence(graph, 30, seed=11)
+        mis_maintainer = DynamicMIS(seed=12, initial_graph=graph)
+        matcher = DynamicMaximalMatching(seed=12, initial_graph=graph)
+        colorer = DynamicColoring(num_colors=16, seed=12, initial_graph=graph)
+        clusterer = DynamicCorrelationClustering(seed=12, initial_graph=graph)
+        for change in changes:
+            mis_maintainer.apply(change)
+            matcher.apply(change)
+            colorer.apply(change)
+            clusterer.apply(change)
+        final_graph = mis_maintainer.graph
+        check_maximal_independent_set(final_graph, mis_maintainer.mis())
+        check_maximal_matching(matcher.graph, matcher.matching())
+        check_proper_coloring(colorer.graph, colorer.colors())
+        assert clustering_cost(clusterer.graph, clusterer.clusters()) >= 0
+
+    def test_history_independence_across_applications(self):
+        """All derived structures are history independent: two different
+        histories of the same graph give identical outputs per seed."""
+        graph = generators.erdos_renyi_graph(10, 0.3, seed=13)
+        histories = alternative_histories(graph, num_histories=3, seed=14)
+        mis_outputs, matching_outputs = set(), set()
+        for history in histories:
+            maintainer = DynamicMIS(seed=21)
+            matcher = DynamicMaximalMatching(seed=21)
+            for change in history:
+                maintainer.apply(change)
+                matcher.apply(change)
+            mis_outputs.add(frozenset(maintainer.mis()))
+            matching_outputs.add(frozenset(matcher.matching()))
+        assert len(mis_outputs) == 1
+        assert len(matching_outputs) == 1
+
+
+class TestPaperExamplesEndToEnd:
+    def test_star_example_expected_mis_size(self):
+        """Example 1: on a star built by an adversary, the expected MIS size
+        is ~n-1 (within a constant factor of maximum), not the worst case 1."""
+        num_leaves = 15
+        history = build_sequence(generators.star_graph(num_leaves), seed=3)
+        sizes = []
+        for seed in range(200):
+            maintainer = DynamicMIS(seed=seed)
+            maintainer.apply_sequence(history)
+            sizes.append(len(maintainer.mis()))
+        expected = (1.0 / (num_leaves + 1)) * 1 + (num_leaves / (num_leaves + 1)) * num_leaves
+        assert abs(mean(sizes) - expected) < 1.5
+        assert mean(sizes) > num_leaves / 2
+
+    def test_three_paths_matching_example(self):
+        """Example 2: expected maximal matching size 5n/12 vs worst case n/4."""
+        num_paths = 6
+        graph = generators.disjoint_paths_graph(num_paths, edges_per_path=3)
+        sizes = []
+        for seed in range(150):
+            matcher = DynamicMaximalMatching(seed=seed, initial_graph=graph)
+            sizes.append(matcher.matching_size())
+        expected = num_paths * 5.0 / 3.0
+        worst_case = num_paths
+        assert abs(mean(sizes) - expected) < 0.6
+        assert mean(sizes) > worst_case
+
+    def test_lower_bound_instance_deterministic_vs_randomized(self):
+        from repro.lowerbounds.deterministic import (
+            run_deterministic_lower_bound,
+            run_randomized_on_lower_bound_instance,
+        )
+
+        deterministic = run_deterministic_lower_bound(12)
+        randomized_means = [
+            run_randomized_on_lower_bound_instance(12, seed=seed).mean_adjustments
+            for seed in range(10)
+        ]
+        assert deterministic.max_adjustments >= 12
+        assert mean(randomized_means) < deterministic.max_adjustments / 3
+
+
+class TestAdversarialDeletionStress:
+    def test_repeated_mis_node_deletion_stays_correct(self):
+        """An adaptive adversary keeps deleting MIS nodes; correctness and the
+        per-change validity of the output must survive (costs may grow --
+        that is exactly why the paper assumes an oblivious adversary)."""
+        graph = generators.erdos_renyi_graph(25, 0.2, seed=15)
+        maintainer = DynamicMIS(seed=16, initial_graph=graph)
+        for _ in range(15):
+            mis_nodes = sorted(maintainer.mis(), key=repr)
+            if not mis_nodes:
+                break
+            maintainer.apply(NodeDeletion(mis_nodes[0]))
+            maintainer.verify()
+            check_maximal_independent_set(maintainer.graph, maintainer.mis())

@@ -1,0 +1,63 @@
+"""Tests for the deterministic Omega(n) adjustment lower bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimators import mean
+from repro.lowerbounds.deterministic import (
+    adjustments_lower_bound_claim,
+    run_deterministic_lower_bound,
+    run_randomized_on_lower_bound_instance,
+    total_adjustments_lower_bound_claim,
+)
+
+
+class TestDeterministicLowerBound:
+    @pytest.mark.parametrize("side_size", [3, 6, 10])
+    def test_some_change_flips_a_whole_side(self, side_size):
+        result = run_deterministic_lower_bound(side_size)
+        assert result.num_changes == side_size
+        assert result.max_adjustments >= adjustments_lower_bound_claim(side_size)
+
+    @pytest.mark.parametrize("side_size", [4, 8])
+    def test_total_adjustments_at_least_k(self, side_size):
+        result = run_deterministic_lower_bound(side_size)
+        assert result.total_adjustments >= total_adjustments_lower_bound_claim(side_size)
+
+    def test_adjustments_grow_linearly_with_k(self):
+        maxima = [run_deterministic_lower_bound(k).max_adjustments for k in (4, 8, 16)]
+        assert maxima[1] >= 2 * maxima[0] - 1
+        assert maxima[2] >= 2 * maxima[1] - 1
+
+    def test_mean_adjustments_is_about_one_per_change(self):
+        # Even the deterministic algorithm averages ~1 adjustment per change
+        # over the whole sequence; the point is the single catastrophic change.
+        result = run_deterministic_lower_bound(10)
+        assert result.mean_adjustments >= 1.0
+
+
+class TestRandomizedOnSameInstance:
+    @pytest.mark.parametrize("side_size", [6, 10])
+    def test_randomized_total_is_also_at_least_k(self, side_size):
+        # The paper: *any* algorithm needs at least k adjustments in total on
+        # this sequence (the MIS must eventually flip sides).
+        result = run_randomized_on_lower_bound_instance(side_size, seed=1)
+        assert result.total_adjustments >= side_size
+
+    def test_randomized_expected_per_change_stays_small(self):
+        side_size = 10
+        means = [
+            run_randomized_on_lower_bound_instance(side_size, seed=seed).mean_adjustments
+            for seed in range(15)
+        ]
+        # Per change the randomized algorithm pays ~1-2 on average; crucially
+        # this does not grow with the side size (compare the deterministic
+        # max of `side_size` in a single change).
+        assert mean(means) < 3.0
+
+    def test_randomized_worst_change_can_still_be_large_but_rare(self):
+        # Markov-style: the expensive flip happens exactly once per sequence.
+        result = run_randomized_on_lower_bound_instance(12, seed=3)
+        expensive_changes = [value for value in result.per_change_adjustments if value >= 6]
+        assert len(expensive_changes) <= 2

@@ -1,0 +1,125 @@
+"""Tests for the history-independent dynamic maximal matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.dynamic_graph import canonical_edge
+from repro.graph.validation import check_maximal_matching
+from repro.matching.dynamic_matching import DynamicMaximalMatching
+from repro.matching.greedy_matching import (
+    expected_random_greedy_matching_size_3paths,
+    greedy_matching_in_order,
+    maximum_matching_size_3paths,
+    random_greedy_matching,
+    worst_case_maximal_matching_3paths,
+)
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion, NodeInsertion
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+class TestSequentialBaselines:
+    def test_greedy_matching_respects_order(self):
+        graph = generators.path_graph(4)
+        matching = greedy_matching_in_order(graph, [(1, 2), (0, 1), (2, 3)])
+        assert matching == {canonical_edge(1, 2)}
+
+    def test_greedy_matching_requires_all_edges(self):
+        graph = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            greedy_matching_in_order(graph, [(0, 1)])
+
+    def test_random_greedy_matching_is_maximal(self, small_random_graph):
+        matching = random_greedy_matching(small_random_graph, seed=3)
+        check_maximal_matching(small_random_graph, matching)
+
+    def test_worst_case_3paths(self):
+        graph = generators.disjoint_paths_graph(5, edges_per_path=3)
+        matching = worst_case_maximal_matching_3paths(graph)
+        check_maximal_matching(graph, matching)
+        assert len(matching) == 5
+
+    def test_worst_case_rejects_other_graphs(self):
+        with pytest.raises(ValueError):
+            worst_case_maximal_matching_3paths(generators.path_graph(6))
+
+    def test_expected_size_formulas(self):
+        assert maximum_matching_size_3paths(6) == 12
+        assert expected_random_greedy_matching_size_3paths(6) == pytest.approx(10.0)
+
+    def test_empirical_mean_matches_5_thirds_per_path(self):
+        """Example 2: the expected matching size per 3-edge path is 5/3."""
+        graph = generators.disjoint_paths_graph(8, edges_per_path=3)
+        sizes = [len(random_greedy_matching(graph, seed=seed)) for seed in range(300)]
+        average = sum(sizes) / len(sizes)
+        assert abs(average - 8 * 5 / 3) < 0.5
+
+
+class TestDynamicMatching:
+    def test_initial_graph_matching_is_maximal(self, small_random_graph):
+        matcher = DynamicMaximalMatching(seed=1, initial_graph=small_random_graph)
+        matcher.verify()
+
+    def test_edge_changes(self, small_random_graph):
+        matcher = DynamicMaximalMatching(seed=2, initial_graph=small_random_graph)
+        nodes = sorted(small_random_graph.nodes())
+        missing = next(
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not small_random_graph.has_edge(u, v)
+        )
+        matcher.insert_edge(*missing)
+        matcher.verify()
+        matcher.delete_edge(*missing)
+        matcher.verify()
+
+    def test_node_changes(self, small_random_graph):
+        matcher = DynamicMaximalMatching(seed=3, initial_graph=small_random_graph)
+        neighbors = tuple(sorted(small_random_graph.nodes())[:3])
+        matcher.insert_node("new", neighbors)
+        matcher.verify()
+        assert matcher.graph.has_node("new")
+        matcher.delete_node("new")
+        matcher.verify()
+        assert not matcher.graph.has_node("new")
+
+    def test_matched_partner_lookup(self):
+        matcher = DynamicMaximalMatching(seed=4, initial_graph=generators.path_graph(2))
+        assert matcher.matching() == {(0, 1)}
+        assert matcher.matched_partner(0) == 1
+        assert matcher.matched_partner(1) == 0
+        assert matcher.is_matched(0)
+        matcher.delete_edge(0, 1)
+        assert matcher.matched_partner(0) is None
+
+    def test_apply_dispatch(self, small_random_graph):
+        matcher = DynamicMaximalMatching(seed=5, initial_graph=small_random_graph)
+        matcher.apply(NodeInsertion("x", tuple(sorted(small_random_graph.nodes())[:2])))
+        matcher.apply(NodeDeletion("x"))
+        matcher.verify()
+        with pytest.raises(TypeError):
+            matcher.apply(object())
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_long_churn_stays_maximal(self, seed):
+        graph = generators.erdos_renyi_graph(15, 0.2, seed=seed)
+        matcher = DynamicMaximalMatching(seed=seed + 1, initial_graph=graph)
+        for change in mixed_churn_sequence(graph, 40, seed=seed + 2):
+            matcher.apply(change)
+            matcher.verify()
+
+    def test_per_edge_change_adjustments_are_small(self, small_random_graph):
+        """An edge change of G induces one line-graph change, hence O(1)
+        expected adjustments (the paper's composability argument)."""
+        matcher = DynamicMaximalMatching(seed=6, initial_graph=small_random_graph)
+        total_changes = 0
+        total_adjustments = 0
+        for change in mixed_churn_sequence(small_random_graph, 50, seed=7):
+            reports = matcher.apply(change)
+            if change.kind in ("edge_insertion", "edge_deletion"):
+                total_changes += 1
+                total_adjustments += sum(report.num_adjustments for report in reports)
+        assert total_changes > 0
+        assert total_adjustments / total_changes < 3.0

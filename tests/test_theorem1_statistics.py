@@ -1,0 +1,143 @@
+"""Statistical verification of Theorem 1 and the complexity theorems.
+
+These tests estimate the paper's expectations by Monte Carlo and check them
+with a comfortable margin (the bounds are exact expectations; the sample
+means concentrate well at these sizes).  They are the in-suite counterparts
+of benchmark experiments E1-E3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimators import mean
+from repro.core.dynamic_mis import DynamicMIS
+from repro.distributed.protocol_direct import DirectMISNetwork
+from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.graph import generators
+from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion
+from repro.workloads.sequences import edge_churn_sequence, mixed_churn_sequence
+
+
+class TestTheorem1ExpectedInfluencedSet:
+    """E_pi[|S|] <= 1 for every single topology change."""
+
+    @pytest.mark.parametrize("family", ["erdos_renyi", "preferential", "geometric", "near_regular"])
+    def test_mean_influenced_size_at_most_one_under_edge_churn(self, family):
+        sizes = []
+        for seed in range(6):
+            graph = generators.random_graph_family(family, 30, seed=seed)
+            maintainer = DynamicMIS(seed=seed + 100, initial_graph=graph)
+            for change in edge_churn_sequence(graph, 60, seed=seed + 200):
+                report = maintainer.apply(change)
+                sizes.append(report.influenced_size)
+        assert mean(sizes) <= 1.15  # sampling slack over the exact bound of 1
+
+    def test_mean_influenced_size_for_each_change_type(self):
+        """Break the bound down per change type on mixed churn workloads."""
+        by_kind = {}
+        for seed in range(8):
+            graph = generators.erdos_renyi_graph(25, 0.15, seed=seed)
+            maintainer = DynamicMIS(seed=seed + 17, initial_graph=graph)
+            for change in mixed_churn_sequence(graph, 60, seed=seed + 31):
+                report = maintainer.apply(change)
+                by_kind.setdefault(report.change_type, []).append(report.influenced_size)
+        for kind, sizes in by_kind.items():
+            # Node changes touch at most one node *in expectation* as well;
+            # allow modest sampling slack.
+            assert mean(sizes) <= 1.6, f"kind {kind} exceeded the Theorem 1 bound"
+
+    def test_single_edge_deletion_expectation_over_orders(self):
+        """Fix one change and average only over the random order (the exact
+        setting of Theorem 1)."""
+        graph = generators.erdos_renyi_graph(20, 0.25, seed=3)
+        target_edge = graph.edges()[0]
+        sizes = []
+        for seed in range(120):
+            maintainer = DynamicMIS(seed=seed, initial_graph=graph)
+            report = maintainer.delete_edge(*target_edge)
+            sizes.append(report.influenced_size)
+        assert mean(sizes) <= 1.1
+
+    def test_single_edge_insertion_expectation_over_orders(self):
+        graph = generators.erdos_renyi_graph(20, 0.25, seed=4)
+        nodes = sorted(graph.nodes())
+        non_edge = next(
+            (u, v)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if not graph.has_edge(u, v)
+        )
+        sizes = []
+        for seed in range(120):
+            maintainer = DynamicMIS(seed=seed, initial_graph=graph)
+            report = maintainer.insert_edge(*non_edge)
+            sizes.append(report.influenced_size)
+        assert mean(sizes) <= 1.1
+
+    def test_single_node_deletion_expectation_over_orders(self):
+        # Node deletions have the heaviest-tailed |S| distribution, so this
+        # check uses more samples than the edge-change ones.
+        graph = generators.erdos_renyi_graph(20, 0.25, seed=5)
+        victim = sorted(graph.nodes())[0]
+        sizes = []
+        for seed in range(400):
+            maintainer = DynamicMIS(seed=seed, initial_graph=graph)
+            report = maintainer.delete_node(victim)
+            sizes.append(report.influenced_size)
+        assert mean(sizes) <= 1.25
+
+    def test_adjustments_never_exceed_influenced_size_plus_insertion(self):
+        graph = generators.erdos_renyi_graph(25, 0.2, seed=6)
+        maintainer = DynamicMIS(seed=11, initial_graph=graph)
+        for change in mixed_churn_sequence(graph, 80, seed=7):
+            report = maintainer.apply(change)
+            assert report.num_adjustments <= report.influenced_size + 1
+
+
+class TestCorollary6AndTheorem7:
+    def test_direct_protocol_mean_rounds_about_one(self):
+        rounds = []
+        for seed in range(4):
+            graph = generators.erdos_renyi_graph(30, 0.15, seed=seed)
+            network = DirectMISNetwork(seed=seed + 5, initial_graph=graph)
+            for record in network.apply_sequence(edge_churn_sequence(graph, 60, seed=seed + 9)):
+                rounds.append(record.rounds)
+        assert mean(rounds) <= 2.0
+
+    def test_buffered_protocol_constant_rounds_and_broadcasts_for_edge_changes(self):
+        rounds, broadcasts = [], []
+        for seed in range(4):
+            graph = generators.erdos_renyi_graph(30, 0.15, seed=seed)
+            network = BufferedMISNetwork(seed=seed + 5, initial_graph=graph)
+            for record in network.apply_sequence(edge_churn_sequence(graph, 60, seed=seed + 9)):
+                rounds.append(record.rounds)
+                broadcasts.append(record.broadcasts)
+        assert mean(rounds) <= 6.0
+        assert mean(broadcasts) <= 8.0
+
+    def test_broadcast_means_do_not_grow_with_n(self):
+        """O(1) means independent of n: compare n=20 with n=80."""
+        means = []
+        for num_nodes in (20, 80):
+            graph = generators.erdos_renyi_graph(num_nodes, 3.0 / num_nodes, seed=2)
+            network = BufferedMISNetwork(seed=3, initial_graph=graph)
+            network.apply_sequence(edge_churn_sequence(graph, 80, seed=4))
+            means.append(network.metrics.mean("broadcasts"))
+        assert means[1] <= 2.5 * means[0] + 2.0
+
+    def test_abrupt_deletion_broadcasts_bounded_by_degree_term(self):
+        """Theorem 7: abrupt deletion of v* costs O(min(log n, d(v*))) broadcasts."""
+        graph = generators.star_graph(40)
+        ratios = []
+        for seed in range(10):
+            network = BufferedMISNetwork(seed=seed, initial_graph=graph)
+            center_in_mis = 0 in network.mis()
+            record = network.apply(NodeDeletion(0, graceful=False))
+            network.verify()
+            if center_in_mis:
+                ratios.append(record.broadcasts)
+        # When the hub was in the MIS, its abrupt removal wakes every leaf;
+        # Algorithm 2 still caps the work at ~3 broadcasts per influenced node.
+        for value in ratios:
+            assert value <= 3 * 40 + 5

@@ -1,0 +1,86 @@
+"""Unit tests for the adversarial sequence constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.adversary import (
+    AdaptiveAdversary,
+    adaptive_mis_deletion_adversary,
+    bipartite_lower_bound_instance,
+    lower_bound_sequence_for,
+    side_deletion_sequence,
+    star_construction_history,
+    three_paths_construction_history,
+)
+from repro.workloads.changes import NodeDeletion
+from repro.workloads.sequences import replay_on_graph
+
+
+class TestLowerBoundInstance:
+    def test_instance_structure(self):
+        graph, left, right = bipartite_lower_bound_instance(5)
+        assert graph.num_nodes() == 10
+        assert graph.num_edges() == 25
+        assert len(left) == len(right) == 5
+        assert not set(left) & set(right)
+
+    def test_side_deletion_sequence(self):
+        sequence = side_deletion_sequence([3, 1, 2], graceful=False)
+        assert [change.node for change in sequence] == [3, 1, 2]
+        assert all(isinstance(change, NodeDeletion) for change in sequence)
+        assert all(not change.graceful for change in sequence)
+
+    def test_lower_bound_targets_the_mis_side(self):
+        graph, left, right = bipartite_lower_bound_instance(4)
+        sequence = lower_bound_sequence_for(set(left), left, right)
+        assert [change.node for change in sequence] == left
+        sequence = lower_bound_sequence_for(set(right), left, right)
+        assert [change.node for change in sequence] == right
+
+    def test_lower_bound_rejects_foreign_mis(self):
+        _, left, right = bipartite_lower_bound_instance(3)
+        with pytest.raises(ValueError):
+            lower_bound_sequence_for({"zzz"}, left, right)
+
+
+class TestExampleHistories:
+    def test_star_history_builds_star(self):
+        history = star_construction_history(7, seed=2)
+        graph = replay_on_graph(DynamicGraph(), history)
+        assert graph.num_nodes() == 8
+        assert graph.degree(0) == 7
+
+    def test_three_paths_history_builds_paths(self):
+        history = three_paths_construction_history(4, seed=3)
+        graph = replay_on_graph(DynamicGraph(), history)
+        assert graph.num_nodes() == 16
+        assert graph.num_edges() == 12
+        assert len(graph.connected_components()) == 4
+
+
+class TestAdaptiveAdversary:
+    def test_adversary_always_deletes_mis_nodes(self, small_random_graph):
+        maintainer = DynamicMIS(seed=5, initial_graph=small_random_graph)
+        adversary = adaptive_mis_deletion_adversary(maintainer.mis, num_deletions=8, rng_seed=1)
+        assert isinstance(adversary, AdaptiveAdversary)
+        deletions = 0
+        for change in adversary:
+            assert change.node in maintainer.mis()
+            report = maintainer.apply(change)
+            # Deleting an MIS node is exactly the case that forces work.
+            assert report.influenced_size >= 1
+            deletions += 1
+        assert deletions == 8
+
+    def test_adversary_stops_when_mis_is_empty(self):
+        maintainer = DynamicMIS(seed=1)
+        maintainer.insert_node("only")
+        adversary = adaptive_mis_deletion_adversary(maintainer.mis, num_deletions=5, rng_seed=2)
+        changes = []
+        for change in adversary:
+            changes.append(change)
+            maintainer.apply(change)
+        assert len(changes) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the topology-change event types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.workloads.changes import (
+    CHANGE_KINDS,
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    apply_change_to_graph,
+    inverse_change,
+    validate_change,
+)
+
+
+class TestValidation:
+    def test_valid_edge_insertion(self, small_path):
+        validate_change(small_path, EdgeInsertion(0, 2))
+
+    def test_edge_insertion_missing_node(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, EdgeInsertion(0, 99))
+
+    def test_edge_insertion_self_loop(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, EdgeInsertion(0, 0))
+
+    def test_edge_insertion_duplicate(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, EdgeInsertion(0, 1))
+
+    def test_edge_deletion_missing_edge(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, EdgeDeletion(0, 3))
+
+    def test_node_insertion_existing_node(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeInsertion(0))
+
+    def test_node_insertion_unknown_neighbor(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeInsertion("x", (0, 99)))
+
+    def test_node_insertion_duplicate_neighbors(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeInsertion("x", (0, 0)))
+
+    def test_node_insertion_self_neighbor(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeInsertion("x", ("x",)))
+
+    def test_node_unmuting_validated_like_insertion(self, small_path):
+        validate_change(small_path, NodeUnmuting("x", (0, 1)))
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeUnmuting(0))
+
+    def test_node_deletion_missing_node(self, small_path):
+        with pytest.raises(GraphError):
+            validate_change(small_path, NodeDeletion("missing"))
+
+    def test_unknown_change_type(self, small_path):
+        with pytest.raises(TypeError):
+            validate_change(small_path, object())
+
+
+class TestApplication:
+    def test_apply_each_kind(self, small_path):
+        graph = small_path.copy()
+        apply_change_to_graph(graph, EdgeInsertion(0, 2))
+        assert graph.has_edge(0, 2)
+        apply_change_to_graph(graph, EdgeDeletion(0, 1))
+        assert not graph.has_edge(0, 1)
+        apply_change_to_graph(graph, NodeInsertion("x", (0, 4)))
+        assert graph.degree("x") == 2
+        apply_change_to_graph(graph, NodeUnmuting("y", ("x",)))
+        assert graph.has_edge("x", "y")
+        apply_change_to_graph(graph, NodeDeletion(4))
+        assert not graph.has_node(4)
+
+    def test_apply_validates_first(self, small_path):
+        graph = small_path.copy()
+        with pytest.raises(GraphError):
+            apply_change_to_graph(graph, EdgeInsertion(0, 1))
+
+    def test_change_kinds_constant(self):
+        assert EdgeInsertion(0, 1).kind in CHANGE_KINDS
+        assert NodeUnmuting("x").kind in CHANGE_KINDS
+        assert len(CHANGE_KINDS) == 5
+
+
+class TestInverse:
+    def test_edge_changes_invert(self, small_path):
+        graph = small_path.copy()
+        change = EdgeInsertion(0, 2)
+        inverse = inverse_change(graph, change)
+        apply_change_to_graph(graph, change)
+        apply_change_to_graph(graph, inverse)
+        assert graph == small_path
+
+    def test_node_deletion_inverts_with_neighbors(self, small_star):
+        graph = small_star.copy()
+        change = NodeDeletion(0)
+        inverse = inverse_change(graph, change)
+        apply_change_to_graph(graph, change)
+        apply_change_to_graph(graph, inverse)
+        assert graph == small_star
+
+    def test_node_insertion_inverts(self):
+        graph = DynamicGraph(nodes=[1])
+        change = NodeInsertion(2, (1,))
+        inverse = inverse_change(graph, change)
+        apply_change_to_graph(graph, change)
+        apply_change_to_graph(graph, inverse)
+        assert graph == DynamicGraph(nodes=[1])
+
+    def test_inverse_of_unknown_type_raises(self, small_path):
+        with pytest.raises(TypeError):
+            inverse_change(small_path, object())
+
+
+class TestDataclassBehaviour:
+    def test_changes_are_frozen(self):
+        change = EdgeInsertion(1, 2)
+        with pytest.raises(AttributeError):
+            change.u = 5
+
+    def test_endpoints_helper(self):
+        assert EdgeInsertion(3, 4).endpoints() == (3, 4)
+        assert EdgeDeletion(4, 3).endpoints() == (4, 3)
+
+    def test_graceful_flag_defaults(self):
+        assert EdgeDeletion(0, 1).graceful is True
+        assert NodeDeletion(0).graceful is True
+        assert NodeDeletion(0, graceful=False).graceful is False

@@ -1,0 +1,113 @@
+"""Unit tests for the workload sequence generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import EdgeInsertion, NodeInsertion
+from repro.workloads.sequences import (
+    alternative_histories,
+    build_sequence,
+    detour_build_sequence,
+    edge_churn_sequence,
+    incremental_build_sequence,
+    mixed_churn_sequence,
+    node_churn_sequence,
+    replay_on_graph,
+    sliding_window_sequence,
+    teardown_sequence,
+)
+
+
+class TestBuildSequences:
+    def test_build_sequence_reconstructs_graph(self, small_random_graph):
+        changes = build_sequence(small_random_graph)
+        rebuilt = replay_on_graph(DynamicGraph(), changes)
+        assert rebuilt == small_random_graph
+
+    def test_build_sequence_shuffled_still_reconstructs(self, small_random_graph):
+        changes = build_sequence(small_random_graph, seed=13)
+        rebuilt = replay_on_graph(DynamicGraph(), changes)
+        assert rebuilt == small_random_graph
+
+    def test_incremental_build_reconstructs(self, small_random_graph):
+        changes = incremental_build_sequence(small_random_graph, seed=5)
+        rebuilt = replay_on_graph(DynamicGraph(), changes)
+        assert rebuilt == small_random_graph
+        assert all(isinstance(change, NodeInsertion) for change in changes)
+
+    def test_detour_build_reconstructs_and_detours(self, small_random_graph):
+        changes = detour_build_sequence(small_random_graph, num_detours=4, seed=3)
+        rebuilt = replay_on_graph(DynamicGraph(), changes)
+        assert rebuilt == small_random_graph
+        plain = build_sequence(small_random_graph, seed=3)
+        assert len(changes) == len(plain) + 8  # four inserted + four removed
+
+    def test_teardown_sequence_empties_graph(self, small_random_graph):
+        changes = teardown_sequence(small_random_graph, seed=2)
+        emptied = replay_on_graph(small_random_graph, changes)
+        assert emptied.num_nodes() == 0
+
+    def test_alternative_histories_reach_same_graph(self, small_random_graph):
+        histories = alternative_histories(small_random_graph, num_histories=5, seed=1)
+        assert len(histories) == 5
+        for history in histories:
+            assert replay_on_graph(DynamicGraph(), history) == small_random_graph
+        # The histories themselves genuinely differ.
+        assert len({tuple(map(repr, history)) for history in histories}) > 1
+
+
+class TestChurnSequences:
+    def test_edge_churn_is_applicable(self, small_random_graph):
+        changes = edge_churn_sequence(small_random_graph, 80, seed=4)
+        assert len(changes) == 80
+        replay_on_graph(small_random_graph, changes)  # raises if any change is invalid
+
+    def test_edge_churn_preserves_node_set(self, small_random_graph):
+        changes = edge_churn_sequence(small_random_graph, 50, seed=5)
+        final = replay_on_graph(small_random_graph, changes)
+        assert set(final.nodes()) == set(small_random_graph.nodes())
+
+    def test_edge_churn_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            edge_churn_sequence(generators.empty_graph(1), 5)
+
+    def test_edge_churn_insert_bias(self, small_random_graph):
+        mostly_insert = edge_churn_sequence(
+            small_random_graph, 60, seed=6, insert_probability=0.95
+        )
+        inserts = sum(1 for change in mostly_insert if isinstance(change, EdgeInsertion))
+        assert inserts > 40
+
+    def test_node_churn_is_applicable(self, small_random_graph):
+        changes = node_churn_sequence(small_random_graph, 40, seed=7)
+        assert len(changes) == 40
+        replay_on_graph(small_random_graph, changes)
+
+    def test_mixed_churn_is_applicable(self, medium_random_graph):
+        changes = mixed_churn_sequence(medium_random_graph, 100, seed=8)
+        assert len(changes) == 100
+        replay_on_graph(medium_random_graph, changes)
+
+    def test_churn_is_reproducible(self, small_random_graph):
+        first = mixed_churn_sequence(small_random_graph, 30, seed=9)
+        second = mixed_churn_sequence(small_random_graph, 30, seed=9)
+        assert list(map(repr, first)) == list(map(repr, second))
+
+    def test_churn_does_not_mutate_input_graph(self, small_random_graph):
+        before = small_random_graph.copy()
+        mixed_churn_sequence(small_random_graph, 30, seed=10)
+        assert small_random_graph == before
+
+
+class TestSlidingWindow:
+    def test_sequence_is_applicable_and_respects_window(self):
+        changes = sliding_window_sequence(num_nodes=15, window_size=10, num_changes=60, seed=3)
+        graph = replay_on_graph(generators.empty_graph(15), changes)
+        assert graph.num_edges() <= 10
+
+    def test_requested_length(self):
+        changes = sliding_window_sequence(num_nodes=10, window_size=5, num_changes=40, seed=4)
+        assert len(changes) == 40

@@ -1,0 +1,139 @@
+"""Tests for workload/graph serialization (trace recording and replay)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph import generators
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+)
+from repro.workloads.sequences import mixed_churn_sequence
+from repro.workloads.trace import (
+    TraceFormatError,
+    decode_change,
+    decode_graph,
+    decode_node,
+    decode_trace,
+    encode_change,
+    encode_graph,
+    encode_node,
+    encode_trace,
+    load_trace,
+    save_trace,
+)
+
+
+class TestNodeEncoding:
+    @pytest.mark.parametrize("node", [0, 17, "sensor3", 2.5, ("a", 1), ((0, 1), 2)])
+    def test_round_trip(self, node):
+        assert decode_node(encode_node(node)) == node
+
+    def test_encoded_nodes_are_json_compatible(self):
+        json.dumps(encode_node(((1, 2), "x")))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TraceFormatError):
+            encode_node(object())
+
+    def test_bad_encodings_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_node([1, 2])
+        with pytest.raises(TraceFormatError):
+            decode_node({"wrong": []})
+
+
+class TestChangeEncoding:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            EdgeInsertion(1, 2),
+            EdgeDeletion("a", "b", graceful=False),
+            NodeInsertion("x", (1, 2)),
+            NodeUnmuting("ghost", ()),
+            NodeDeletion((0, 1), graceful=True),
+        ],
+    )
+    def test_round_trip(self, change):
+        assert decode_change(encode_change(change)) == change
+
+    def test_encoded_changes_are_json_compatible(self, small_random_graph):
+        for change in mixed_churn_sequence(small_random_graph, 30, seed=1):
+            json.dumps(encode_change(change))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_change({"kind": "teleportation"})
+        with pytest.raises(TraceFormatError):
+            decode_change({"not_a_kind": 1})
+
+    def test_unknown_change_object_rejected(self):
+        with pytest.raises(TraceFormatError):
+            encode_change("not a change")
+
+
+class TestGraphEncoding:
+    def test_round_trip(self, small_random_graph):
+        assert decode_graph(encode_graph(small_random_graph)) == small_random_graph
+
+    def test_round_trip_with_tuple_nodes(self):
+        graph = DynamicGraph(nodes=[(0, 1), (1, 2)], edges=[((0, 1), (1, 2))])
+        assert decode_graph(encode_graph(graph)) == graph
+
+    def test_malformed_graph_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_graph({"nodes": [1]})
+
+
+class TestTraceRoundTrip:
+    def test_encode_decode(self, small_random_graph):
+        changes = mixed_churn_sequence(small_random_graph, 25, seed=2)
+        record = encode_trace(changes, small_random_graph, metadata={"seed": 2})
+        decoded = decode_trace(record)
+        assert decoded["changes"] == changes
+        assert decoded["initial_graph"] == small_random_graph
+        assert decoded["metadata"] == {"seed": 2}
+
+    def test_trace_without_graph(self):
+        record = encode_trace([NodeInsertion("a")])
+        decoded = decode_trace(record)
+        assert decoded["initial_graph"] is None
+        assert decoded["metadata"] == {}
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_trace({"format": "something-else"})
+        with pytest.raises(TraceFormatError):
+            decode_trace("not a dict")
+
+    def test_save_and_load_file(self, tmp_path, small_random_graph):
+        changes = mixed_churn_sequence(small_random_graph, 20, seed=3)
+        path = tmp_path / "trace.json"
+        save_trace(path, changes, small_random_graph, metadata={"purpose": "test"})
+        loaded = load_trace(path)
+        assert loaded["changes"] == changes
+        assert loaded["initial_graph"] == small_random_graph
+        assert loaded["metadata"]["purpose"] == "test"
+
+    def test_replaying_a_saved_trace_reproduces_the_run(self, tmp_path, small_random_graph):
+        changes = mixed_churn_sequence(small_random_graph, 40, seed=4)
+        path = tmp_path / "workload.json"
+        save_trace(path, changes, small_random_graph)
+
+        original = DynamicMIS(seed=9, initial_graph=small_random_graph)
+        original.apply_sequence(changes)
+
+        loaded = load_trace(path)
+        replayed = DynamicMIS(seed=9, initial_graph=loaded["initial_graph"])
+        replayed.apply_sequence(loaded["changes"])
+
+        assert replayed.mis() == original.mis()
+        assert replayed.graph == original.graph
