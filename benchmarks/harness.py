@@ -15,9 +15,15 @@ experiment index).  The benchmarks follow a common pattern:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.reporting import format_claim_table, format_table
+from repro.core.rng import normalize_seed, spawn_seeds
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -35,3 +41,32 @@ def emit_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None
     """Print a free-form series table (for sweeps / figure-style results)."""
     print()
     print(format_table(headers, rows, title=title))
+
+
+def emit_json(name: str, payload: Dict[str, Any], results_dir: Optional[Path] = None) -> Path:
+    """Write a benchmark's measured quantities as JSON under ``benchmarks/results/``.
+
+    This is the harness's machine-readable output format: one file per
+    benchmark, overwritten on every run, so successive commits record the
+    performance trajectory in version control.  The payload is wrapped with
+    the benchmark name and a unix timestamp; everything else is up to the
+    benchmark (keep it to plain dicts/lists/numbers so diffs stay readable).
+    """
+    target_dir = Path(results_dir) if results_dir is not None else RESULTS_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name}.json"
+    document = {"benchmark": name, "created_unix": int(time.time()), "results": payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def benchmark_seeds(seed: Any, repetitions: int) -> List[int]:
+    """Independent per-repetition seeds from one master seed.
+
+    ``seed`` may be an int or a ``numpy.random.Generator`` / ``SeedSequence``
+    (anything :func:`repro.core.rng.normalize_seed` accepts -- re-exported
+    here for benchmarks that only need the coercion), so experiment scripts
+    can pass their own Generator end-to-end without touching module-level
+    randomness.
+    """
+    return spawn_seeds(seed, repetitions)

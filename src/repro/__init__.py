@@ -4,7 +4,10 @@ The library implements, from scratch, everything the paper by Censor-Hillel,
 Haramaty and Karnin describes or depends on:
 
 * the sequential *template* (Algorithm 1) and the influenced-set analysis of
-  Theorem 1 (:mod:`repro.core`),
+  Theorem 1 (:mod:`repro.core`), with two interchangeable backends -- the
+  paper-shaped template engine and the array-backed fast engine
+  (``DynamicMIS(engine="fast")``), kept bit-identical by the differential
+  conformance suite in ``tests/conformance/``,
 * a synchronous and an asynchronous message-passing simulator of the paper's
   dynamic distributed model, plus the constant-broadcast protocol of
   Section 4 (Algorithm 2) and the direct one-round protocol of Corollary 6
@@ -29,17 +32,20 @@ Quickstart
 >>> report = maintainer.insert_edge(0, 1) if not maintainer.graph.has_edge(0, 1) else None
 """
 
-from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
+from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS, MaintainerStatistics
+from repro.core.fast_engine import FastEngine
 from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
 from repro.core.template import TemplateEngine, UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynamicMIS",
     "MaintainerStatistics",
     "TemplateEngine",
+    "FastEngine",
+    "ENGINE_NAMES",
     "UpdateReport",
     "DynamicGraph",
     "RandomPriorityAssigner",

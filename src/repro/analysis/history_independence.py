@@ -57,9 +57,11 @@ def mis_distribution_over_seeds(
     return {output: count / total for output, count in counts.items()}
 
 
-def replay_history_mis(history: Iterable[TopologyChange], seed: int) -> FrozenSet[Node]:
+def replay_history_mis(
+    history: Iterable[TopologyChange], seed: int, engine: str = "template"
+) -> FrozenSet[Node]:
     """Replay a change history from the empty graph with the paper's algorithm."""
-    maintainer = DynamicMIS(seed=seed)
+    maintainer = DynamicMIS(seed=seed, engine=engine)
     for change in history:
         maintainer.apply(change)
     return frozenset(maintainer.mis())

@@ -38,10 +38,11 @@ from repro.analysis.history_independence import (
     max_pairwise_distance,
     mis_distribution_over_histories,
     outputs_identical_across_histories,
+    replay_history_mis,
 )
 from repro.analysis.reporting import format_table
 from repro.baselines.recompute import StaticRecomputeDynamicMIS
-from repro.core.dynamic_mis import DynamicMIS
+from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS
 from repro.distributed.async_network import AsyncDirectMISNetwork
 from repro.distributed.protocol_direct import DirectMISNetwork
 from repro.distributed.protocol_mis import BufferedMISNetwork
@@ -103,6 +104,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=40, help="number of nodes of the start graph")
     parser.add_argument("--changes", type=int, default=100, help="number of topology changes")
     parser.add_argument("--seed", type=int, default=0, help="seed for graph, workload and algorithm")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="template",
+        help="sequential MIS backend ('template' = paper-shaped reference, 'fast' = "
+        "array-backed, identical outputs); drives the maintainer for churn/history, "
+        "and selects the verification reference for protocol",
+    )
     parser.add_argument(
         "--save-trace",
         metavar="PATH",
@@ -168,7 +177,9 @@ def _run_churn(arguments) -> int:
     graph, changes = _resolve_workload(arguments)
 
     if arguments.structure == "matching":
-        matcher = DynamicMaximalMatching(seed=arguments.seed + 2, initial_graph=graph)
+        matcher = DynamicMaximalMatching(
+            seed=arguments.seed + 2, initial_graph=graph, engine=arguments.engine
+        )
         adjustments: List[int] = []
         for change in changes:
             reports = matcher.apply(change)
@@ -182,12 +193,14 @@ def _run_churn(arguments) -> int:
             ["final matching size", matcher.matching_size()],
         ]
     else:
-        maintainer = DynamicMIS(seed=arguments.seed + 2, initial_graph=graph)
+        maintainer = DynamicMIS(
+            seed=arguments.seed + 2, initial_graph=graph, engine=arguments.engine
+        )
         maintainer.apply_sequence(changes)
         maintainer.verify()
         stats = maintainer.statistics
         rows = [
-            ["structure", arguments.structure],
+            ["structure", f"{arguments.structure} (engine={arguments.engine})"],
             ["changes applied", stats.num_changes],
             ["mean influenced set |S| (Theorem 1: <= 1)", stats.mean_influenced_size()],
             ["mean adjustments per change (<= 1)", stats.mean_adjustments()],
@@ -218,7 +231,7 @@ def _run_protocol(arguments) -> int:
     else:
         network = AsyncDirectMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
     network.apply_sequence(changes)
-    network.verify()
+    network.verify(reference_engine=arguments.engine)
     metrics = network.metrics
     rows = []
     for kind in metrics.change_kinds():
@@ -305,10 +318,16 @@ def _run_lowerbound(arguments) -> int:
 def _run_history(arguments) -> int:
     graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
     histories = alternative_histories(graph, num_histories=arguments.histories, seed=arguments.seed + 1)
+
+    def runner(history, seed):
+        return replay_history_mis(history, seed, engine=arguments.engine)
+
     identical = all(
-        outputs_identical_across_histories(histories, seed) for seed in range(10)
+        outputs_identical_across_histories(histories, seed, runner=runner) for seed in range(10)
     )
-    distributions = mis_distribution_over_histories(histories, seeds=range(arguments.samples))
+    distributions = mis_distribution_over_histories(
+        histories, seeds=range(arguments.samples), runner=runner
+    )
     distance = max_pairwise_distance(distributions)
     print(
         format_table(

@@ -46,8 +46,11 @@ class DynamicCorrelationClustering:
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
         priorities: Optional[PriorityAssigner] = None,
+        engine: str = "template",
     ) -> None:
-        self._maintainer = DynamicMIS(seed=seed, priorities=priorities, initial_graph=initial_graph)
+        self._maintainer = DynamicMIS(
+            seed=seed, priorities=priorities, initial_graph=initial_graph, engine=engine
+        )
 
     # ------------------------------------------------------------------
     # Read access

@@ -64,9 +64,10 @@ class DynamicColoring:
         num_colors: int,
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
+        engine: str = "template",
     ) -> None:
         self._view = CliqueBlowupView(initial_graph, num_colors=num_colors)
-        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.blowup_graph)
+        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.blowup_graph, engine=engine)
 
     # ------------------------------------------------------------------
     # Read access

@@ -16,6 +16,12 @@ This subpackage implements Section 3 of the paper:
 * :mod:`repro.core.dynamic_mis` -- the user-facing dynamic MIS maintainer
   built on the template; this is the reference oracle against which the
   distributed protocols are validated.
+* :mod:`repro.core.fast_engine` -- the array-backed production backend
+  (``DynamicMIS(engine="fast")``): identical outputs to the template engine
+  (enforced by the differential conformance suite), an order of magnitude
+  lower constant factors.
+* :mod:`repro.core.rng` -- seed normalization (plain ints or numpy
+  Generators) shared by every randomized component.
 """
 
 from repro.core.priorities import (
@@ -33,7 +39,15 @@ from repro.core.invariant import (
 from repro.core.influenced import InfluencePropagation, propagate_influence
 from repro.core.template import TemplateEngine, UpdateReport
 from repro.core.batch import BatchUpdateReport, apply_batch
-from repro.core.dynamic_mis import DynamicMIS
+from repro.core.fast_engine import (
+    FastEngine,
+    FastGraphView,
+    FastUpdateReport,
+    fast_greedy_mis,
+    reference_mis,
+)
+from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS
+from repro.core.rng import normalize_seed, spawn_seeds
 
 __all__ = [
     "PriorityAssigner",
@@ -51,5 +65,13 @@ __all__ = [
     "UpdateReport",
     "BatchUpdateReport",
     "apply_batch",
+    "FastEngine",
+    "FastGraphView",
+    "FastUpdateReport",
+    "fast_greedy_mis",
+    "reference_mis",
+    "ENGINE_NAMES",
     "DynamicMIS",
+    "normalize_seed",
+    "spawn_seeds",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Set
 
+from repro.core.fast_engine import FastEngine
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.core.template import TemplateEngine, UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
@@ -38,6 +39,9 @@ from repro.workloads.changes import (
 )
 
 Node = Hashable
+
+#: Selectable engine backends for :class:`DynamicMIS`.
+ENGINE_NAMES = ("template", "fast")
 
 
 @dataclass
@@ -97,6 +101,8 @@ class DynamicMIS:
     ----------
     seed:
         Seed of the random order ``pi`` (ignored if ``priorities`` is given).
+        Accepts a plain ``int`` or a ``numpy.random.Generator`` /
+        ``SeedSequence`` (see :func:`repro.core.rng.normalize_seed`).
     priorities:
         Custom priority assigner.  Passing a
         :class:`~repro.core.priorities.DeterministicPriorityAssigner` turns
@@ -104,11 +110,17 @@ class DynamicMIS:
         lower-bound experiment.
     initial_graph:
         Optional starting graph whose MIS is computed upfront.
+    engine:
+        Backend selection: ``"template"`` (default) is the paper-shaped
+        dict/set :class:`~repro.core.template.TemplateEngine`;  ``"fast"`` is
+        the array-backed :class:`~repro.core.fast_engine.FastEngine` with
+        identical outputs (machine-checked by ``tests/conformance/``) and far
+        lower constant factors.
 
     Examples
     --------
     >>> from repro.graph.generators import path_graph
-    >>> maintainer = DynamicMIS(seed=7, initial_graph=path_graph(5))
+    >>> maintainer = DynamicMIS(seed=7, initial_graph=path_graph(5), engine="fast")
     >>> sorted(maintainer.mis())  # doctest: +SKIP
     [0, 2, 4]
     >>> report = maintainer.delete_node(2)
@@ -120,18 +132,34 @@ class DynamicMIS:
         seed: int = 0,
         priorities: Optional[PriorityAssigner] = None,
         initial_graph: Optional[DynamicGraph] = None,
+        engine: str = "template",
     ) -> None:
         if priorities is None:
-            priorities = RandomPriorityAssigner(seed)
-        self._engine = TemplateEngine(priorities=priorities, initial_graph=initial_graph)
+            priorities = RandomPriorityAssigner(seed)  # normalizes the seed itself
+        if engine == "template":
+            self._engine = TemplateEngine(priorities=priorities, initial_graph=initial_graph)
+        elif engine == "fast":
+            self._engine = FastEngine(priorities=priorities, initial_graph=initial_graph)
+        else:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+        self._engine_name = engine
         self._statistics = MaintainerStatistics()
 
     # ------------------------------------------------------------------
     # Read access
     # ------------------------------------------------------------------
     @property
+    def engine_name(self) -> str:
+        """The backend in use (``"template"`` or ``"fast"``)."""
+        return self._engine_name
+
+    @property
     def graph(self) -> DynamicGraph:
-        """The current graph (do not mutate directly)."""
+        """The current graph (do not mutate directly).
+
+        For the fast backend this is a read-only
+        :class:`~repro.core.fast_engine.FastGraphView` with the same read API.
+        """
         return self._engine.graph
 
     @property
@@ -167,19 +195,10 @@ class DynamicMIS:
         cluster of its earliest (smallest random ID) MIS neighbor.  This is
         the paper's 3-approximation for correlation clustering, maintained
         dynamically for free because it is a local function of the MIS and the
-        IDs.
+        IDs.  Delegates to the engine backend (both backends implement
+        ``clustering()`` as part of the common interface).
         """
-        centers: Dict[Node, Node] = {}
-        mis_nodes = self.mis()
-        for node in self.graph.nodes():
-            if node in mis_nodes:
-                centers[node] = node
-            else:
-                mis_neighbors = [
-                    other for other in self.graph.iter_neighbors(node) if other in mis_nodes
-                ]
-                centers[node] = self.priorities.earliest(mis_neighbors)
-        return centers
+        return self._engine.clustering()
 
     # ------------------------------------------------------------------
     # Topology changes
@@ -211,6 +230,11 @@ class DynamicMIS:
         """
         from repro.core.batch import apply_batch
 
+        if not getattr(self._engine, "supports_batch", False):
+            raise NotImplementedError(
+                f"apply_batch is not supported by engine={self._engine_name!r}; a "
+                "vectorized batch apply for the fast engine is a ROADMAP open item"
+            )
         return apply_batch(self._engine, list(changes))
 
     def insert_edge(self, u: Node, v: Node) -> UpdateReport:

@@ -90,7 +90,9 @@ class RandomPriorityAssigner(PriorityAssigner):
     ----------
     seed:
         Seed of the ID generation.  Two assigners with the same seed hand out
-        the same IDs, which makes experiments reproducible.
+        the same IDs, which makes experiments reproducible.  Accepts anything
+        :func:`repro.core.rng.normalize_seed` does (plain ints, numpy
+        Generators / SeedSequences).
 
     Notes
     -----
@@ -110,8 +112,15 @@ class RandomPriorityAssigner(PriorityAssigner):
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._seed = seed
+        from repro.core.rng import normalize_seed
+
+        self._seed = normalize_seed(seed)
         self._keys: Dict[Node, PriorityKey] = {}
+
+    @property
+    def seed(self) -> int:
+        """The normalized integer seed in use (for diagnostics and cloning)."""
+        return self._seed
 
     def assign(self, node: Node) -> PriorityKey:
         if node not in self._keys:

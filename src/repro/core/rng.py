@@ -1,0 +1,70 @@
+"""Seed normalization shared by every randomized component.
+
+The paper's algorithm is randomized only through the node order ``pi``; the
+library additionally uses seeds in workload generators and benchmarks.  To
+keep runs reproducible end-to-end, every public entry point accepts a
+``seed`` argument and this module defines what a "seed" may be:
+
+* a plain ``int`` (the common case),
+* ``None`` (meaning "use the default seed 0" -- never nondeterminism),
+* a ``numpy.random.Generator`` or ``numpy.random.SeedSequence`` (when numpy
+  is installed), from which a single 63-bit integer seed is drawn.
+
+Nothing in the library calls the *module-level* :mod:`random` functions; all
+randomness flows from explicit ``random.Random(seed)`` instances created from
+normalized seeds, so two runs with the same seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["normalize_seed", "spawn_seeds"]
+
+_SEED_BOUND = 2 ** 63
+
+
+def normalize_seed(seed: Any) -> int:
+    """Coerce ``seed`` into a plain non-negative integer seed.
+
+    Accepts ``None`` (-> 0), ``int``, and -- when numpy is available --
+    ``numpy.random.Generator`` / ``numpy.random.SeedSequence`` instances.
+    Drawing from a Generator advances it, so two distinct components seeded
+    from the same Generator get independent seeds.
+    """
+    if seed is None:
+        return 0
+    if isinstance(seed, bool):
+        return int(seed)
+    if isinstance(seed, int):
+        return seed
+    # numpy integers quack like ints but are not int instances.
+    if hasattr(seed, "__index__") and not hasattr(seed, "integers"):
+        return int(seed)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is an optional dependency
+        np = None
+    if np is not None:
+        if isinstance(seed, np.random.Generator):
+            return int(seed.integers(0, _SEED_BOUND))
+        if isinstance(seed, np.random.SeedSequence):
+            return int(seed.generate_state(1, dtype="uint64")[0] % _SEED_BOUND)
+    raise TypeError(
+        f"seed must be an int, None, or a numpy Generator/SeedSequence, got {seed!r}"
+    )
+
+
+def spawn_seeds(seed: Any, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from one master seed.
+
+    Deterministic function of ``(normalize_seed(seed), count)``; used by the
+    benchmark harness to hand every repetition its own seed without the
+    repetitions being correlated (``seed``, ``seed + 1``, ... are *not*
+    independent for hash-based generators).
+    """
+    import random as _random
+
+    master = normalize_seed(seed)
+    rng = _random.Random(f"spawn::{master}")
+    return [rng.randrange(_SEED_BOUND) for _ in range(count)]

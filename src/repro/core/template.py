@@ -102,6 +102,9 @@ class TemplateEngine:
         pass, after which every later change goes through the template.
     """
 
+    #: Whether :func:`repro.core.batch.apply_batch` can drive this engine.
+    supports_batch = True
+
     def __init__(
         self,
         priorities: Optional[PriorityAssigner] = None,
@@ -145,6 +148,26 @@ class TemplateEngine:
     def verify(self) -> None:
         """Assert that the MIS invariant holds at every node (for tests)."""
         verify_mis_invariant(self._graph, self._priorities, self._states)
+
+    def clustering(self) -> Dict[Node, Node]:
+        """Correlation clustering view: every node -> its cluster center.
+
+        MIS nodes are their own centers; every other node joins its earliest
+        (smallest random ID) MIS neighbor.  Part of the common engine-backend
+        interface (:class:`~repro.core.fast_engine.FastEngine` implements the
+        same method over arrays).
+        """
+        centers: Dict[Node, Node] = {}
+        mis_nodes = self.mis()
+        for node in self._graph.nodes():
+            if node in mis_nodes:
+                centers[node] = node
+            else:
+                mis_neighbors = [
+                    other for other in self._graph.iter_neighbors(node) if other in mis_nodes
+                ]
+                centers[node] = self._priorities.earliest(mis_neighbors)
+        return centers
 
     # ------------------------------------------------------------------
     # Topology changes

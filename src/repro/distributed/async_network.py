@@ -32,7 +32,7 @@ import heapq
 import itertools
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.greedy import greedy_mis, greedy_mis_states
+from repro.core.greedy import greedy_mis_states
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
 from repro.distributed.node import NodeRuntime, NodeState
@@ -127,9 +127,16 @@ class AsyncDirectMISNetwork:
         """Copy of the output map ``node -> in MIS?``."""
         return {node: runtime.in_mis() for node, runtime in self._runtimes.items()}
 
-    def verify(self) -> None:
-        """Assert that the outputs equal the random-greedy MIS of the graph."""
-        expected = greedy_mis(self._graph, self._priorities)
+    def verify(self, reference_engine: str = "template") -> None:
+        """Assert that the outputs equal the random-greedy MIS of the graph.
+
+        ``reference_engine="fast"`` computes the expected MIS with the
+        array-backed :func:`~repro.core.fast_engine.fast_greedy_mis` instead
+        of the dict-based greedy (same output, cheaper at scale).
+        """
+        from repro.core.fast_engine import reference_mis
+
+        expected = reference_mis(self._graph, self._priorities, reference_engine)
         actual = self.mis()
         if expected != actual:
             raise AssertionError(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.greedy import greedy_mis, greedy_mis_states
+from repro.core.greedy import greedy_mis_states
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.distributed.message import Message, MessageKind, MessageKind as _Kind
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
@@ -168,15 +168,23 @@ class SynchronousMISNetwork:
         """Round-by-round records of the most recent change (requires logging)."""
         return list(self._last_round_log)
 
-    def verify(self) -> None:
+    def verify(self, reference_engine: str = "template") -> None:
         """Assert that the outputs equal the random-greedy MIS of the graph.
 
         This is a stronger check than "the output is some MIS": it verifies
         that the protocol faithfully simulates the sequential random greedy
         algorithm under the same random IDs, which is what gives history
         independence.
+
+        Parameters
+        ----------
+        reference_engine:
+            Which reference computes the expected MIS: ``"template"`` uses
+            the dict-based :func:`~repro.core.greedy.greedy_mis`, ``"fast"``
+            the array-backed :func:`~repro.core.fast_engine.fast_greedy_mis`
+            (same output, much cheaper on large networks).
         """
-        expected = greedy_mis(self._graph, self._priorities)
+        expected = self._reference_mis(reference_engine)
         actual = self.mis()
         if expected != actual:
             missing = expected - actual
@@ -190,6 +198,12 @@ class SynchronousMISNetwork:
         ]
         if transient:
             raise AssertionError(f"nodes left in transient states: {transient[:5]}")
+
+    def _reference_mis(self, reference_engine: str) -> Set[Node]:
+        """Expected MIS from the selected sequential reference backend."""
+        from repro.core.fast_engine import reference_mis
+
+        return reference_mis(self._graph, self._priorities, reference_engine)
 
     # ------------------------------------------------------------------
     # Topology-change API

@@ -60,9 +60,14 @@ class DynamicMaximalMatching:
     >>> matcher.verify()
     """
 
-    def __init__(self, seed: int = 0, initial_graph: Optional[DynamicGraph] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        engine: str = "template",
+    ) -> None:
         self._view = LineGraphView(initial_graph)
-        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.line_graph)
+        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.line_graph, engine=engine)
 
     # ------------------------------------------------------------------
     # Read access

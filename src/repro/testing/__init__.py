@@ -1,0 +1,23 @@
+"""Reusable test harnesses shipped with the library.
+
+:mod:`repro.testing.differential` replays identical seeded change sequences
+through two engine backends and asserts step-by-step output equality; it is
+the machinery behind ``tests/conformance/`` and is importable by downstream
+users who add their own backends.
+"""
+
+from repro.testing.differential import (
+    ConformanceMismatch,
+    DifferentialResult,
+    adversarial_burst_sequence,
+    conformance_workload,
+    replay_differential,
+)
+
+__all__ = [
+    "ConformanceMismatch",
+    "DifferentialResult",
+    "adversarial_burst_sequence",
+    "conformance_workload",
+    "replay_differential",
+]

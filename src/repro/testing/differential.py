@@ -1,0 +1,234 @@
+"""Differential conformance harness for dynamic-MIS engine backends.
+
+The fast array-backed engine is only allowed to exist because it is
+*bit-identical* in output to the paper-shaped template engine.  This module
+makes that claim machine-checked: :func:`replay_differential` drives two (or
+more) backends through the same seeded change sequence and asserts, after
+every single change,
+
+* identical MIS sets,
+* identical per-change adjustment counts, influenced-set sizes and the other
+  :class:`~repro.core.dynamic_mis.MaintainerStatistics` counters,
+* identical influenced-set *membership*, and
+* identical correlation-clustering views.
+
+:func:`conformance_workload` generates the replayed sequences: mixed
+edge/node churn interleaved with adversarial deletion bursts that always
+target the *current* MIS (via
+:class:`repro.workloads.adversary.AdaptiveAdversary`), which is exactly the
+workload that maximizes influenced-set propagation and free-list churn.  The
+bursts are adaptive against the same seed the replay uses, so they hit the
+replayed engines' actual MIS nodes, including delete-then-reinsert of the
+same label.
+
+Used by ``tests/conformance/test_engine_differential.py``; importable by
+anyone adding a new backend (Rust/Cython slots are ROADMAP open items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.fast_engine import FastEngine
+from repro.core.rng import normalize_seed, spawn_seeds
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.workloads.adversary import AdaptiveAdversary
+from repro.workloads.changes import TopologyChange, apply_change_to_graph
+from repro.workloads.sequences import mixed_churn_sequence
+
+Node = Hashable
+
+REPORT_FIELDS = (
+    "change_type",
+    "num_adjustments",
+    "influenced_size",
+    "num_levels",
+    "state_flips",
+    "update_work",
+)
+
+
+class ConformanceMismatch(AssertionError):
+    """Two engine backends disagreed while replaying the same sequence."""
+
+    def __init__(self, step: int, change: TopologyChange, detail: str) -> None:
+        super().__init__(
+            f"engines diverged at step {step} applying {change!r}: {detail}"
+        )
+        self.step = step
+        self.change = change
+        self.detail = detail
+
+
+@dataclass
+class DifferentialResult:
+    """Summary of one successful differential replay."""
+
+    engines: Tuple[str, ...]
+    num_changes: int
+    total_adjustments: int
+    max_influenced_size: int
+    final_mis_size: int
+    final_num_nodes: int
+
+
+def replay_differential(
+    initial_graph: Optional[DynamicGraph],
+    changes: Sequence[TopologyChange],
+    seed: int = 0,
+    engines: Tuple[str, ...] = ("template", "fast"),
+    check_clustering: bool = True,
+    check_influenced_membership: bool = True,
+    verify_every: int = 25,
+) -> DifferentialResult:
+    """Replay ``changes`` through every backend and assert stepwise equality.
+
+    Each backend gets its own maintainer built from the same ``seed`` and a
+    copy of ``initial_graph``, so their random orders ``pi`` coincide.  Raises
+    :class:`ConformanceMismatch` at the first divergence; returns a
+    :class:`DifferentialResult` summary when all backends agree everywhere.
+
+    ``verify_every`` additionally re-checks the MIS invariant inside every
+    backend each that-many steps (0 disables; the final state is always
+    verified).
+    """
+    seed = normalize_seed(seed)
+    maintainers = [
+        DynamicMIS(seed=seed, initial_graph=initial_graph, engine=name) for name in engines
+    ]
+    reference = maintainers[0]
+    baseline_mis = reference.mis()
+    for name, maintainer in zip(engines[1:], maintainers[1:]):
+        if maintainer.mis() != baseline_mis:
+            raise ConformanceMismatch(
+                -1, None, f"initial MIS differs between {engines[0]} and {name}"
+            )
+
+    total_adjustments = 0
+    max_influenced = 0
+    for step, change in enumerate(changes):
+        reports = [maintainer.apply(change) for maintainer in maintainers]
+        head = reports[0]
+        total_adjustments += head.num_adjustments
+        max_influenced = max(max_influenced, head.influenced_size)
+        expected_mis = reference.mis()
+        for name, maintainer, report in zip(engines[1:], maintainers[1:], reports[1:]):
+            for field in REPORT_FIELDS:
+                lhs, rhs = getattr(head, field), getattr(report, field)
+                if lhs != rhs:
+                    raise ConformanceMismatch(
+                        step,
+                        change,
+                        f"{field}: {engines[0]}={lhs!r} vs {name}={rhs!r}",
+                    )
+            if check_influenced_membership and head.influenced_set != report.influenced_set:
+                raise ConformanceMismatch(
+                    step,
+                    change,
+                    f"influenced set: {engines[0]}={sorted(head.influenced_set, key=repr)} "
+                    f"vs {name}={sorted(report.influenced_set, key=repr)}",
+                )
+            actual_mis = maintainer.mis()
+            if actual_mis != expected_mis:
+                raise ConformanceMismatch(
+                    step,
+                    change,
+                    f"MIS: only-in-{engines[0]}={sorted(expected_mis - actual_mis, key=repr)} "
+                    f"only-in-{name}={sorted(actual_mis - expected_mis, key=repr)}",
+                )
+        if check_clustering:
+            expected_clusters = reference.clustering()
+            for name, maintainer in zip(engines[1:], maintainers[1:]):
+                actual_clusters = maintainer.clustering()
+                if actual_clusters != expected_clusters:
+                    diff = {
+                        node: (expected_clusters.get(node), actual_clusters.get(node))
+                        for node in set(expected_clusters) | set(actual_clusters)
+                        if expected_clusters.get(node) != actual_clusters.get(node)
+                    }
+                    raise ConformanceMismatch(
+                        step, change, f"clustering ({engines[0]} vs {name}): {diff}"
+                    )
+        if verify_every and (step + 1) % verify_every == 0:
+            _verify_all(engines, maintainers)
+
+    _verify_all(engines, maintainers)
+    return DifferentialResult(
+        engines=tuple(engines),
+        num_changes=len(changes),
+        total_adjustments=total_adjustments,
+        max_influenced_size=max_influenced,
+        final_mis_size=len(reference.mis()),
+        final_num_nodes=reference.graph.num_nodes(),
+    )
+
+
+def _verify_all(engines: Tuple[str, ...], maintainers: List[DynamicMIS]) -> None:
+    for name, maintainer in zip(engines, maintainers):
+        maintainer.verify()
+        engine = maintainer._engine
+        if isinstance(engine, FastEngine):
+            engine.check_interning_invariants()
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+def conformance_workload(
+    seed: int = 0,
+    num_changes: int = 200,
+    start_nodes: int = 30,
+    edge_probability: float = 0.12,
+    churn_segment: int = 20,
+    burst_length: int = 6,
+) -> Tuple[DynamicGraph, List[TopologyChange]]:
+    """Build ``(initial_graph, changes)`` for one conformance replay.
+
+    The sequence alternates mixed edge/node churn segments with adversarial
+    deletion bursts targeting the current MIS of a tracker maintainer that
+    runs under the *same* seed as the replay -- so the bursts are adaptive
+    against the engines being tested.  Deleted fresh labels are later reused
+    by the churn generator, exercising delete-then-reinsert interning.
+    """
+    seed = normalize_seed(seed)
+    graph = erdos_renyi_graph(start_nodes, edge_probability, seed=seed)
+    tracker = DynamicMIS(seed=seed, initial_graph=graph, engine="template")
+    sub_seeds = iter(spawn_seeds(seed, 4 * (num_changes // max(1, churn_segment) + 2)))
+
+    changes: List[TopologyChange] = []
+    while len(changes) < num_changes:
+        segment = mixed_churn_sequence(
+            tracker.graph.copy(), churn_segment, seed=next(sub_seeds)
+        )
+        for change in segment:
+            tracker.apply(change)
+            changes.append(change)
+            if len(changes) >= num_changes:
+                break
+        if len(changes) >= num_changes:
+            break
+        if tracker.graph.num_nodes() > 4:
+            burst = adversarial_burst_sequence(tracker, burst_length, seed=next(sub_seeds))
+            changes.extend(burst)
+    return graph, changes[:num_changes]
+
+
+def adversarial_burst_sequence(
+    tracker: DynamicMIS, burst_length: int, seed: int = 0
+) -> List[TopologyChange]:
+    """A burst of deletions that always hit the tracker's *current* MIS.
+
+    The tracker is advanced as the burst is generated, so every deletion in
+    the returned list targeted an MIS node at its position in the sequence.
+    """
+    adversary = AdaptiveAdversary(tracker.mis, burst_length, rng_seed=normalize_seed(seed))
+    burst: List[TopologyChange] = []
+    for change in adversary:
+        if tracker.graph.num_nodes() <= 2:
+            break
+        tracker.apply(change)
+        burst.append(change)
+    return burst

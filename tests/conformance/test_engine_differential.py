@@ -1,0 +1,127 @@
+"""Differential conformance: the fast engine must equal the template engine.
+
+The array-backed ``FastEngine`` re-implements the whole hot path (interning,
+adjacency, propagation) and is only acceptable if its observable behavior is
+*identical* to the reference ``TemplateEngine`` for every change of every
+sequence: same MIS sets, same per-change adjustment counts and statistics,
+same correlation-clustering views.
+
+The full suite (marked ``conformance``, enabled with ``--run-conformance``)
+replays 50 seeded sequences of 200+ changes each, every one interleaving
+mixed edge/node churn with adversarial deletion bursts that target the
+engines' actual current MIS.  A small smoke subset runs unmarked in tier-1
+so engine regressions surface on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rng import spawn_seeds
+from repro.graph.generators import disjoint_paths_graph, star_graph
+from repro.testing.differential import (
+    ConformanceMismatch,
+    adversarial_burst_sequence,
+    conformance_workload,
+    replay_differential,
+)
+from repro.core.dynamic_mis import DynamicMIS
+from repro.workloads.sequences import (
+    build_sequence,
+    edge_churn_sequence,
+    node_churn_sequence,
+    teardown_sequence,
+)
+
+MASTER_SEED = 20260729
+FULL_SUITE_SEEDS = spawn_seeds(MASTER_SEED, 50)
+SMOKE_SEEDS = FULL_SUITE_SEEDS[:3]
+
+
+# ----------------------------------------------------------------------
+# Tier-1 smoke subset (runs on every push)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_smoke_mixed_churn_with_bursts(seed: int) -> None:
+    graph, changes = conformance_workload(seed, num_changes=80, start_nodes=20)
+    result = replay_differential(graph, changes, seed=seed)
+    assert result.num_changes == 80
+    assert result.engines == ("template", "fast")
+
+
+def test_smoke_build_then_teardown() -> None:
+    target = disjoint_paths_graph(4, edges_per_path=3)
+    changes = build_sequence(target, seed=5) + teardown_sequence(target, seed=6)
+    result = replay_differential(None, changes, seed=11)
+    assert result.final_num_nodes == 0
+
+
+def test_smoke_pure_edge_churn() -> None:
+    graph = star_graph(8)
+    changes = edge_churn_sequence(graph, 60, seed=3)
+    replay_differential(graph, changes, seed=3)
+
+
+def test_smoke_pure_node_churn_reuses_labels() -> None:
+    graph = star_graph(6)
+    changes = node_churn_sequence(graph, 60, seed=4, insert_probability=0.5)
+    replay_differential(graph, changes, seed=4)
+
+
+def test_adversarial_bursts_alone_agree() -> None:
+    graph = disjoint_paths_graph(6, edges_per_path=3)
+    tracker = DynamicMIS(seed=9, initial_graph=graph, engine="template")
+    burst = adversarial_burst_sequence(tracker, 12, seed=9)
+    assert burst, "burst generation produced no deletions"
+    replay_differential(graph, burst, seed=9)
+
+
+def test_harness_detects_a_lying_engine(monkeypatch: pytest.MonkeyPatch) -> None:
+    """The harness must catch divergence, not vacuously pass.
+
+    Sabotage the fast engine's reported MIS (drop one member) and check the
+    replay raises :class:`ConformanceMismatch` instead of succeeding.
+    """
+    from repro.core.fast_engine import FastEngine
+
+    graph, changes = conformance_workload(1234, num_changes=20, start_nodes=16)
+    honest_mis = FastEngine.mis
+
+    def lying_mis(self):
+        result = honest_mis(self)
+        if result:
+            result.pop()
+        return result
+
+    monkeypatch.setattr(FastEngine, "mis", lying_mis)
+    with pytest.raises(ConformanceMismatch):
+        replay_differential(graph, changes, seed=1234)
+
+
+# ----------------------------------------------------------------------
+# Full suite (scheduled; --run-conformance)
+# ----------------------------------------------------------------------
+@pytest.mark.conformance
+@pytest.mark.parametrize("seed", FULL_SUITE_SEEDS)
+def test_full_conformance_sequence(seed: int) -> None:
+    """50 seeded sequences x 200+ changes, adversarial bursts included."""
+    graph, changes = conformance_workload(seed, num_changes=200, start_nodes=30)
+    assert len(changes) >= 200
+    result = replay_differential(
+        graph,
+        changes,
+        seed=seed,
+        check_clustering=True,
+        check_influenced_membership=True,
+    )
+    assert result.num_changes >= 200
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("seed", FULL_SUITE_SEEDS[:10])
+def test_full_conformance_dense_graphs(seed: int) -> None:
+    """Denser instances stress multi-level propagation chains."""
+    graph, changes = conformance_workload(
+        seed, num_changes=200, start_nodes=24, edge_probability=0.3, burst_length=10
+    )
+    replay_differential(graph, changes, seed=seed)

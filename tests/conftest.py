@@ -1,4 +1,14 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, markers and tier options for the test suite.
+
+Tiers
+-----
+* **tier-1** (default ``pytest``): everything unmarked -- fast, runs on every
+  push and is the bar the driver holds every PR to.
+* ``-m``/``--run-slow``: tests marked ``slow`` (long sweeps).
+* ``--run-conformance``: tests marked ``conformance`` -- the full
+  differential engine-conformance suite (50+ seeded sequences of 200+
+  changes each); run on a schedule in CI and before touching engine code.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +16,38 @@ import pytest
 
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph import generators
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-conformance",
+        action="store_true",
+        default=False,
+        help="run the differential engine-conformance suite (marked 'conformance')",
+    )
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked 'slow'",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "conformance: differential engine-conformance suite (off by default)"
+    )
+    config.addinivalue_line("markers", "slow: long-running test (off by default)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items) -> None:
+    skip_conformance = pytest.mark.skip(reason="needs --run-conformance")
+    skip_slow = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if item.get_closest_marker("conformance") and not config.getoption("--run-conformance"):
+            item.add_marker(skip_conformance)
+        if item.get_closest_marker("slow") and not config.getoption("--run-slow"):
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture
