@@ -1,0 +1,205 @@
+"""Benchmark trajectory report: diff the latest results against a git baseline.
+
+Every trajectory-tracked benchmark overwrites one JSON file under
+``benchmarks/results/`` per run (see ``harness.emit_json``), so successive
+commits record the performance trajectory in version control.  This script
+closes the loop (ROADMAP "benchmark trajectory tracking"): it compares the
+*working-tree* result files against the same files at a baseline git ref
+(default ``HEAD``, i.e. "what was last committed") and **fails with exit
+code 1 when any timing regresses by more than the threshold** (default 30%).
+
+Metric classification is by key name, so new benchmarks are picked up with
+zero configuration:
+
+* keys ending in ``_us`` / ``_ms`` / ``_s`` / ``_seconds`` are timings --
+  *lower is better*;
+* keys named ``speedup`` are ratios -- *higher is better*;
+* everything else (sizes, seeds, counters) is informational and ignored.
+
+Usage::
+
+    python benchmarks/report.py                  # working tree vs HEAD
+    python benchmarks/report.py --against HEAD~1 # last commit vs its parent
+    python benchmarks/report.py --threshold 0.5  # tolerate up to 50%
+
+Wired into the nightly CI workflow right after the benchmark runs; a result
+file with no baseline (a brand-new benchmark) is reported but never fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TIMING_SUFFIXES = ("_us", "_ms", "_s", "_seconds")
+HIGHER_IS_BETTER_KEYS = ("speedup",)
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: its JSON path, both values and the relative change.
+
+    ``relative_regression`` is positive when the metric got *worse* (slower
+    timing or smaller speedup), regardless of the metric's direction.
+    """
+
+    benchmark: str
+    path: str
+    baseline: float
+    current: float
+    higher_is_better: bool
+
+    @property
+    def relative_regression(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        change = (self.current - self.baseline) / abs(self.baseline)
+        return -change if self.higher_is_better else change
+
+    def describe(self) -> str:
+        arrow = f"{self.baseline:g} -> {self.current:g}"
+        direction = "higher=better" if self.higher_is_better else "lower=better"
+        return (
+            f"{self.benchmark}:{self.path} ({direction}) {arrow} "
+            f"({self.relative_regression:+.1%} regression)"
+        )
+
+
+def iter_metrics(document: Dict, path: str = "") -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(path, key, value)`` for every tracked numeric leaf.
+
+    Walks dicts and lists; list positions become ``[i]`` path segments, so
+    metrics pair up positionally between two runs of the same benchmark.
+    """
+    if isinstance(document, dict):
+        for key, value in sorted(document.items()):
+            sub_path = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from iter_metrics(value, sub_path)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key in HIGHER_IS_BETTER_KEYS or key.endswith(TIMING_SUFFIXES):
+                    yield sub_path, key, float(value)
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from iter_metrics(value, f"{path}[{index}]")
+
+
+def compare_documents(
+    name: str, current: Dict, baseline: Dict
+) -> List[MetricDelta]:
+    """Pair up the tracked metrics of two result documents by JSON path."""
+    current_metrics = {p: (k, v) for p, k, v in iter_metrics(current.get("results", current))}
+    baseline_metrics = {p: (k, v) for p, k, v in iter_metrics(baseline.get("results", baseline))}
+    deltas: List[MetricDelta] = []
+    for metric_path, (key, value) in current_metrics.items():
+        if metric_path not in baseline_metrics:
+            continue
+        deltas.append(
+            MetricDelta(
+                benchmark=name,
+                path=metric_path,
+                baseline=baseline_metrics[metric_path][1],
+                current=value,
+                higher_is_better=key in HIGHER_IS_BETTER_KEYS,
+            )
+        )
+    return deltas
+
+
+def load_baseline(relative_path: Path, ref: str) -> Optional[Dict]:
+    """The committed version of ``relative_path`` at ``ref`` (None if absent)."""
+    completed = subprocess.run(
+        ["git", "show", f"{ref}:{relative_path.as_posix()}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        return None
+    try:
+        return json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def run_report(
+    against: str = "HEAD",
+    threshold: float = 0.30,
+    results_dir: Path = RESULTS_DIR,
+    speedups_only: bool = False,
+) -> int:
+    """Print the trajectory diff; return the process exit code (1 = regression).
+
+    ``speedups_only`` restricts the gate to ratio metrics (``speedup``),
+    which are machine-portable; absolute ``*_us`` timings are only
+    comparable when baseline and current run on the same machine.
+    """
+    result_files = sorted(results_dir.glob("*.json"))
+    if not result_files:
+        print(f"no benchmark results under {results_dir}")
+        return 0
+
+    regressions: List[MetricDelta] = []
+    for result_file in result_files:
+        name = result_file.stem
+        current = json.loads(result_file.read_text())
+        baseline = load_baseline(result_file.relative_to(REPO_ROOT), against)
+        if baseline is None:
+            print(f"[new]  {name}: no baseline at {against} (first trajectory point)")
+            continue
+        deltas = compare_documents(name, current, baseline)
+        if speedups_only:
+            deltas = [d for d in deltas if d.higher_is_better]
+        worst = max(deltas, key=lambda d: d.relative_regression, default=None)
+        bad = [d for d in deltas if d.relative_regression > threshold]
+        status = "FAIL" if bad else "ok"
+        worst_text = worst.describe() if worst else "no comparable metrics"
+        print(f"[{status:4}] {name}: {len(deltas)} metrics vs {against}; worst: {worst_text}")
+        for delta in bad:
+            print(f"       REGRESSION > {threshold:.0%}: {delta.describe()}")
+        regressions.extend(bad)
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond {threshold:.0%} -- failing")
+        return 1
+    print(f"\nno regression beyond {threshold:.0%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--against",
+        default="HEAD",
+        help="git ref holding the baseline result files (default: HEAD)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="relative regression that fails the report (default: 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--speedups-only",
+        action="store_true",
+        help="gate only on speedup ratios (machine-portable); use on CI runners "
+        "whose absolute timings are not comparable to the committed baselines",
+    )
+    arguments = parser.parse_args(argv)
+    return run_report(
+        against=arguments.against,
+        threshold=arguments.threshold,
+        speedups_only=arguments.speedups_only,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

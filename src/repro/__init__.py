@@ -4,10 +4,12 @@ The library implements, from scratch, everything the paper by Censor-Hillel,
 Haramaty and Karnin describes or depends on:
 
 * the sequential *template* (Algorithm 1) and the influenced-set analysis of
-  Theorem 1 (:mod:`repro.core`), with two interchangeable backends -- the
-  paper-shaped template engine and the array-backed fast engine
-  (``DynamicMIS(engine="fast")``), kept bit-identical by the differential
-  conformance suite in ``tests/conformance/``,
+  Theorem 1 (:mod:`repro.core`), with interchangeable backends behind the
+  formal :class:`~repro.core.engine_api.MISEngine` contract -- the
+  paper-shaped template engine, the array-backed fast engine
+  (``DynamicMIS(engine="fast")``), and any third-party backend added via
+  :func:`~repro.core.engine_api.register_engine` -- kept bit-identical by
+  the differential conformance suite in ``tests/conformance/``,
 * a synchronous and an asynchronous message-passing simulator of the paper's
   dynamic distributed model, plus the constant-broadcast protocol of
   Section 4 (Algorithm 2) and the direct one-round protocol of Corollary 6
@@ -32,19 +34,45 @@ Quickstart
 >>> report = maintainer.insert_edge(0, 1) if not maintainer.graph.has_edge(0, 1) else None
 """
 
-from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS, MaintainerStatistics
+from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSnapshot,
+    MISEngine,
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    register_engine,
+    unregister_engine,
+)
 from repro.core.fast_engine import FastEngine
 from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
 from repro.core.template import TemplateEngine, UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # Live view: ``ENGINE_NAMES`` always reflects the current backend registry.
+    if name == "ENGINE_NAMES":
+        return available_engines()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DynamicMIS",
     "MaintainerStatistics",
     "TemplateEngine",
     "FastEngine",
+    "MISEngine",
+    "EngineSnapshot",
+    "BatchUpdateReport",
+    "UnknownEngineError",
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "create_engine",
     "ENGINE_NAMES",
     "UpdateReport",
     "DynamicGraph",

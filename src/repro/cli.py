@@ -42,7 +42,8 @@ from repro.analysis.history_independence import (
 )
 from repro.analysis.reporting import format_table
 from repro.baselines.recompute import StaticRecomputeDynamicMIS
-from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import available_engines
 from repro.distributed.async_network import AsyncDirectMISNetwork
 from repro.distributed.protocol_direct import DirectMISNetwork
 from repro.distributed.protocol_mis import BufferedMISNetwork
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     lowerbound = subparsers.add_parser("lowerbound", help="K_{k,k} deterministic lower bound")
     lowerbound.add_argument("--side-size", type=int, default=16, help="k, the size of each side")
     lowerbound.add_argument("--seeds", type=int, default=5, help="seeds for the randomized run")
+    _add_engine_argument(lowerbound, "drives the randomized maintainer on the K_{k,k} instance")
 
     history = subparsers.add_parser("history", help="history-independence check")
     _add_workload_arguments(history)
@@ -104,13 +106,10 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=40, help="number of nodes of the start graph")
     parser.add_argument("--changes", type=int, default=100, help="number of topology changes")
     parser.add_argument("--seed", type=int, default=0, help="seed for graph, workload and algorithm")
-    parser.add_argument(
-        "--engine",
-        choices=ENGINE_NAMES,
-        default="template",
-        help="sequential MIS backend ('template' = paper-shaped reference, 'fast' = "
-        "array-backed, identical outputs); drives the maintainer for churn/history, "
-        "and selects the verification reference for protocol",
+    _add_engine_argument(
+        parser,
+        "drives the maintainer for churn/history, and selects the verification "
+        "reference for protocol",
     )
     parser.add_argument(
         "--save-trace",
@@ -123,6 +122,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="replay a workload previously written with --save-trace instead of generating one",
+    )
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser, role: str) -> None:
+    """Add ``--engine`` with choices sourced live from the backend registry."""
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default="template",
+        help="sequential MIS backend ('template' = paper-shaped reference, 'fast' = "
+        f"array-backed, identical outputs; any registered backend works); {role}",
     )
 
 
@@ -287,7 +297,9 @@ def _run_protocol(arguments) -> int:
 def _run_lowerbound(arguments) -> int:
     deterministic = run_deterministic_lower_bound(arguments.side_size)
     randomized = [
-        run_randomized_on_lower_bound_instance(arguments.side_size, seed=seed)
+        run_randomized_on_lower_bound_instance(
+            arguments.side_size, seed=seed, engine=arguments.engine
+        )
         for seed in range(arguments.seeds)
     ]
     print(

@@ -20,6 +20,7 @@ from typing import Dict, Hashable, Iterable, List, Optional
 
 from repro.clustering.correlation import clustering_cost, clustering_from_mis
 from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import EngineSpec
 from repro.core.priorities import PriorityAssigner
 from repro.core.template import UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
@@ -46,7 +47,7 @@ class DynamicCorrelationClustering:
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
         priorities: Optional[PriorityAssigner] = None,
-        engine: str = "template",
+        engine: EngineSpec = "template",
     ) -> None:
         self._maintainer = DynamicMIS(
             seed=seed, priorities=priorities, initial_graph=initial_graph, engine=engine

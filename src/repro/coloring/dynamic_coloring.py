@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import EngineSpec
 from repro.core.template import UpdateReport
 from repro.graph.clique_blowup import CliqueBlowupView, color_assignment_from_mis
 from repro.graph.dynamic_graph import DynamicGraph
@@ -64,7 +65,7 @@ class DynamicColoring:
         num_colors: int,
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
-        engine: str = "template",
+        engine: EngineSpec = "template",
     ) -> None:
         self._view = CliqueBlowupView(initial_graph, num_colors=num_colors)
         self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.blowup_graph, engine=engine)

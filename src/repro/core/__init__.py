@@ -11,6 +11,10 @@ This subpackage implements Section 3 of the paper:
   neighbor is in M") and checkers for it.
 * :mod:`repro.core.influenced` -- the influenced sets ``S`` and ``S'`` of
   Theorem 1, computed by the propagation process the paper describes.
+* :mod:`repro.core.engine_api` -- the formal :class:`MISEngine` contract all
+  backends implement (single-change ops, batch-first ``apply_batch``, read
+  views, ``snapshot``/``restore``) and the backend registry
+  (``register_engine`` / ``available_engines`` / ``create_engine``).
 * :mod:`repro.core.template` -- Algorithm 1, the model-agnostic template that
   restores the invariant after a single topology change.
 * :mod:`repro.core.dynamic_mis` -- the user-facing dynamic MIS maintainer
@@ -37,8 +41,18 @@ from repro.core.invariant import (
     verify_mis_invariant,
 )
 from repro.core.influenced import InfluencePropagation, propagate_influence
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSnapshot,
+    MISEngine,
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    register_engine,
+    unregister_engine,
+)
 from repro.core.template import TemplateEngine, UpdateReport
-from repro.core.batch import BatchUpdateReport, apply_batch
+from repro.core.batch import apply_batch
 from repro.core.fast_engine import (
     FastEngine,
     FastGraphView,
@@ -46,8 +60,16 @@ from repro.core.fast_engine import (
     fast_greedy_mis,
     reference_mis,
 )
-from repro.core.dynamic_mis import ENGINE_NAMES, DynamicMIS
+from repro.core.dynamic_mis import DynamicMIS
 from repro.core.rng import normalize_seed, spawn_seeds
+
+
+def __getattr__(name: str):
+    # Live view: ``ENGINE_NAMES`` always reflects the current registry.
+    if name == "ENGINE_NAMES":
+        return available_engines()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "PriorityAssigner",
@@ -63,6 +85,13 @@ __all__ = [
     "propagate_influence",
     "TemplateEngine",
     "UpdateReport",
+    "MISEngine",
+    "EngineSnapshot",
+    "UnknownEngineError",
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "create_engine",
     "BatchUpdateReport",
     "apply_batch",
     "FastEngine",

@@ -1,156 +1,52 @@
 """Batched topology changes (the paper's first open question, Section 6).
 
 The paper analyses a *single* topology change at a time and asks whether the
-analysis extends to "more than a single failure at a time".  This module
-implements the natural extension of the template: apply a whole batch of
-changes to the graph at once, seed the propagation with every node whose MIS
-invariant may have broken, and restore the invariant in one propagation wave.
+analysis extends to "more than a single failure at a time".  The batched
+extension applies a whole batch of changes to the graph at once, seeds the
+repair with every node whose MIS invariant may have broken, and restores the
+invariant in one propagation wave.
 
 Formal guarantees for batches are open (and out of scope for a reproduction),
-but two facts make the batched engine useful and testable:
+but two facts make the batched extension useful and testable:
 
-* **Correctness** is unconditional: after the propagation the states equal the
-  greedy MIS of the new graph under the same order, exactly as for single
+* **Correctness** is unconditional: after the repair wave the states equal
+  the greedy MIS of the new graph under the same order, exactly as for single
   changes, because the propagation converges to the unique fixed point of the
   MIS invariant.
 * **Sub-additivity in practice**: the influenced set of a batch is typically
   much smaller than the sum of the influenced sets of its changes applied one
   by one (opposite flips cancel), which ablation A2 quantifies.
 
-The entry points are :func:`apply_batch` (operating on a
-:class:`~repro.core.template.TemplateEngine`) and
-:meth:`repro.core.dynamic_mis.DynamicMIS.apply_batch` which wraps it.
+Batch apply is a first-class method of the
+:class:`~repro.core.engine_api.MISEngine` contract: every backend implements
+:meth:`~repro.core.engine_api.MISEngine.apply_batch` natively (the template
+engine as one dict/set propagation, the fast engine as array deltas followed
+by a vectorized repair wave) and returns a
+:class:`~repro.core.engine_api.BatchUpdateReport`.  This module remains as
+the historical entry point: :func:`apply_batch` simply delegates to the
+engine's own method, and :class:`BatchUpdateReport` is re-exported here for
+callers that imported it from its original home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Sequence, Set
+from typing import Iterable
 
-from repro.core.influenced import InfluencePropagation, propagate_influence
-from repro.core.template import TemplateEngine
-from repro.graph.dynamic_graph import GraphError
-from repro.workloads.changes import (
-    EdgeDeletion,
-    EdgeInsertion,
-    NodeDeletion,
-    NodeInsertion,
-    NodeUnmuting,
-    TopologyChange,
-    validate_change,
-)
+from repro.core.engine_api import BatchUpdateReport, MISEngine
 
-Node = Hashable
+__all__ = ["BatchUpdateReport", "apply_batch"]
 
 
-@dataclass
-class BatchUpdateReport:
-    """Outcome of applying one batch of topology changes atomically.
-
-    Attributes
-    ----------
-    changes:
-        The changes of the batch, in the order they were given.
-    seed_nodes:
-        Nodes whose invariant was re-checked directly because a change touched
-        them (the batch analogue of ``v*``).
-    propagation:
-        The single propagation wave that restored the invariant.
-    """
-
-    changes: List[TopologyChange] = field(default_factory=list)
-    seed_nodes: Set[Node] = field(default_factory=set)
-    propagation: InfluencePropagation = None  # type: ignore[assignment]
-
-    @property
-    def influenced_set(self) -> Set[Node]:
-        """Nodes that changed state at some point of the propagation."""
-        return self.propagation.influenced
-
-    @property
-    def influenced_size(self) -> int:
-        """``|S|`` of the batch."""
-        return self.propagation.size
-
-    @property
-    def num_adjustments(self) -> int:
-        """Nodes whose final output differs from before the batch."""
-        return self.propagation.num_adjustments
-
-    @property
-    def num_levels(self) -> int:
-        """Depth of the propagation (rounds of a direct distributed run)."""
-        return self.propagation.num_levels
-
-    @property
-    def batch_size(self) -> int:
-        """Number of changes in the batch."""
-        return len(self.changes)
-
-
-def apply_batch(engine: TemplateEngine, changes: Sequence[TopologyChange]) -> BatchUpdateReport:
+def apply_batch(engine: MISEngine, changes: Iterable) -> BatchUpdateReport:
     """Apply ``changes`` to ``engine`` atomically and restore the MIS invariant.
 
-    The changes are validated against the *evolving* graph in the given order
-    (e.g. an edge insertion may reference a node inserted earlier in the same
-    batch), but no invariant repair happens until the whole batch has been
-    applied; the repair then runs as a single propagation.
+    Thin wrapper around :meth:`repro.core.engine_api.MISEngine.apply_batch`
+    (kept for backward compatibility -- the batch implementation used to live
+    here and reach into template-engine internals).
 
     Raises
     ------
     GraphError
         If some change in the batch is invalid at its position.
     """
-    graph = engine.graph
-    states: Dict[Node, bool] = engine.states()
-    priorities = engine.priorities
-
-    dirty: Set[Node] = set()
-    deleted: Set[Node] = set()
-    applied: List[TopologyChange] = []
-
-    for change in changes:
-        validate_change(graph, change)
-        if isinstance(change, EdgeInsertion):
-            graph.add_edge(change.u, change.v)
-            dirty.add(_later(priorities, change.u, change.v))
-        elif isinstance(change, EdgeDeletion):
-            graph.remove_edge(change.u, change.v)
-            dirty.add(_later(priorities, change.u, change.v))
-        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
-            graph.add_node_with_edges(change.node, change.neighbors)
-            priorities.assign(change.node)
-            states[change.node] = False
-            dirty.add(change.node)
-            deleted.discard(change.node)
-        elif isinstance(change, NodeDeletion):
-            was_in_mis = states.get(change.node, False)
-            later_neighbors = priorities.later_neighbors(graph, change.node)
-            graph.remove_node(change.node)
-            states.pop(change.node, None)
-            dirty.discard(change.node)
-            deleted.add(change.node)
-            if was_in_mis:
-                dirty.update(later_neighbors)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown change type: {change!r}")
-        applied.append(change)
-
-    dirty = {node for node in dirty if graph.has_node(node)}
-    propagation = propagate_influence(
-        graph,
-        priorities,
-        states,
-        source=None,
-        source_changes=False,
-        extra_dirty=sorted(dirty, key=priorities.key),
-    )
-    engine.commit_propagation(propagation)
-    for node in deleted:
-        priorities.forget(node)
-    return BatchUpdateReport(changes=applied, seed_nodes=dirty, propagation=propagation)
-
-
-def _later(priorities, u: Node, v: Node) -> Node:
-    """The endpoint that comes later in the order (the batch analogue of v*)."""
-    return u if priorities.earlier(v, u) else v
+    return engine.apply_batch(list(changes))

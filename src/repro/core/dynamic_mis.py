@@ -6,7 +6,10 @@ direct ``insert_edge`` / ``delete_edge`` / ``insert_node`` / ``delete_node``
 calls) and keeps a maximal independent set equal to the random-greedy MIS of
 the current graph under a fixed random order.
 
-It wraps :class:`~repro.core.template.TemplateEngine` and additionally
+It wraps an interchangeable :class:`~repro.core.engine_api.MISEngine`
+backend (the paper-shaped :class:`~repro.core.template.TemplateEngine` by
+default; any backend registered with
+:func:`repro.core.engine_api.register_engine` by name) and additionally
 
 * accumulates per-change statistics (influenced-set sizes, adjustments,
   propagation depths) in a :class:`MaintainerStatistics` record used by the
@@ -25,9 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Set
 
-from repro.core.fast_engine import FastEngine
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSpec,
+    available_engines,
+    create_engine,
+    engine_spec_name,
+)
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
-from repro.core.template import TemplateEngine, UpdateReport
+from repro.core.template import UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
     EdgeDeletion,
@@ -40,16 +49,30 @@ from repro.workloads.changes import (
 
 Node = Hashable
 
-#: Selectable engine backends for :class:`DynamicMIS`.
-ENGINE_NAMES = ("template", "fast")
+
+def __getattr__(name: str):
+    # ``ENGINE_NAMES`` derives from the backend registry (single source of
+    # truth): backends registered after import -- compiled third-party slots,
+    # test-only references -- appear here automatically.
+    if name == "ENGINE_NAMES":
+        return available_engines()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
 class MaintainerStatistics:
     """Aggregated per-change statistics collected by :class:`DynamicMIS`.
 
-    The lists are aligned: entry ``i`` of each list describes the ``i``-th
-    applied change.
+    Two aligned channels are kept:
+
+    * the **single-change** lists (``influenced_sizes`` ... ``change_kinds``):
+      entry ``i`` of each list describes the ``i``-th individually applied
+      change;
+    * the **per-batch** lists (``batch_sizes`` / ``batch_influenced_sizes`` /
+      ``batch_adjustments`` / ``batch_levels``): entry ``j`` of each list
+      describes the ``j``-th :meth:`DynamicMIS.apply_batch` call.  Batch
+      costs are *not* folded into the single-change channel -- a batch is one
+      atomic repair wave, so its numbers are not comparable per-change.
     """
 
     influenced_sizes: List[int] = field(default_factory=list)
@@ -58,6 +81,10 @@ class MaintainerStatistics:
     state_flips: List[int] = field(default_factory=list)
     update_work: List[int] = field(default_factory=list)
     change_kinds: List[str] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    batch_influenced_sizes: List[int] = field(default_factory=list)
+    batch_adjustments: List[int] = field(default_factory=list)
+    batch_levels: List[int] = field(default_factory=list)
 
     def record(self, report: UpdateReport) -> None:
         """Append the numbers of one :class:`UpdateReport`."""
@@ -68,10 +95,32 @@ class MaintainerStatistics:
         self.update_work.append(report.update_work)
         self.change_kinds.append(report.change_type)
 
+    def record_batch(self, report: BatchUpdateReport) -> None:
+        """Append the numbers of one :class:`~repro.core.engine_api.BatchUpdateReport`."""
+        self.batch_sizes.append(report.batch_size)
+        self.batch_influenced_sizes.append(report.influenced_size)
+        self.batch_adjustments.append(report.num_adjustments)
+        self.batch_levels.append(report.num_levels)
+
     @property
     def num_changes(self) -> int:
-        """Number of changes applied so far."""
+        """Number of single changes applied so far (batches not included)."""
         return len(self.adjustments)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches applied so far."""
+        return len(self.batch_sizes)
+
+    @property
+    def num_batched_changes(self) -> int:
+        """Total number of changes applied through batches."""
+        return sum(self.batch_sizes)
+
+    def mean_batch_adjustments_per_change(self) -> float:
+        """Mean adjustments per *individual batched change* (A2's quantity)."""
+        total = self.num_batched_changes
+        return sum(self.batch_adjustments) / total if total else 0.0
 
     def mean_influenced_size(self) -> float:
         """Sample mean of ``|S|`` (the Theorem 1 quantity)."""
@@ -111,11 +160,20 @@ class DynamicMIS:
     initial_graph:
         Optional starting graph whose MIS is computed upfront.
     engine:
-        Backend selection: ``"template"`` (default) is the paper-shaped
-        dict/set :class:`~repro.core.template.TemplateEngine`;  ``"fast"`` is
-        the array-backed :class:`~repro.core.fast_engine.FastEngine` with
-        identical outputs (machine-checked by ``tests/conformance/``) and far
-        lower constant factors.
+        Backend selection, resolved through the registry of
+        :mod:`repro.core.engine_api`; accepts
+
+        * a **registered name** -- ``"template"`` (default, the paper-shaped
+          dict/set :class:`~repro.core.template.TemplateEngine`), ``"fast"``
+          (the array-backed :class:`~repro.core.fast_engine.FastEngine` with
+          identical outputs, machine-checked by ``tests/conformance/``, and
+          far lower constant factors), or any name added via
+          :func:`repro.core.engine_api.register_engine`;
+        * an **engine class or factory** callable as
+          ``factory(priorities=..., initial_graph=...)``;
+        * a **pre-built** :class:`~repro.core.engine_api.MISEngine`
+          **instance** (``seed``/``priorities``/``initial_graph`` must then
+          be left at their defaults -- the instance already owns them).
 
     Examples
     --------
@@ -132,17 +190,24 @@ class DynamicMIS:
         seed: int = 0,
         priorities: Optional[PriorityAssigner] = None,
         initial_graph: Optional[DynamicGraph] = None,
-        engine: str = "template",
+        engine: EngineSpec = "template",
     ) -> None:
-        if priorities is None:
-            priorities = RandomPriorityAssigner(seed)  # normalizes the seed itself
-        if engine == "template":
-            self._engine = TemplateEngine(priorities=priorities, initial_graph=initial_graph)
-        elif engine == "fast":
-            self._engine = FastEngine(priorities=priorities, initial_graph=initial_graph)
+        from repro.core.engine_api import MISEngine
+
+        if isinstance(engine, MISEngine):
+            if priorities is not None or initial_graph is not None or seed != 0:
+                raise ValueError(
+                    "a pre-built engine instance already owns its priorities and "
+                    "graph; do not combine it with seed=/priorities=/initial_graph="
+                )
+            self._engine = create_engine(engine)
         else:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
-        self._engine_name = engine
+            if priorities is None:
+                priorities = RandomPriorityAssigner(seed)  # normalizes the seed itself
+            self._engine = create_engine(
+                engine, priorities=priorities, initial_graph=initial_graph
+            )
+        self._engine_name = engine_spec_name(engine)
         self._statistics = MaintainerStatistics()
 
     # ------------------------------------------------------------------
@@ -150,8 +215,13 @@ class DynamicMIS:
     # ------------------------------------------------------------------
     @property
     def engine_name(self) -> str:
-        """The backend in use (``"template"`` or ``"fast"``)."""
+        """The backend in use (a registered name, or a derived display name)."""
         return self._engine_name
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.core.engine_api.MISEngine` backend."""
+        return self._engine
 
     @property
     def graph(self) -> DynamicGraph:
@@ -219,23 +289,21 @@ class DynamicMIS:
         """Apply a whole change sequence, returning one report per change."""
         return [self.apply(change) for change in changes]
 
-    def apply_batch(self, changes: Iterable[TopologyChange]):
+    def apply_batch(self, changes: Iterable[TopologyChange]) -> BatchUpdateReport:
         """Apply a whole batch of changes atomically (Section 6 open question).
 
         The graph is updated for every change first and the MIS invariant is
-        restored by a single propagation wave afterwards.  Returns a
-        :class:`repro.core.batch.BatchUpdateReport`.  Batch reports are not
-        folded into :attr:`statistics` (which is per single change); callers
-        interested in batch costs read the returned report directly.
+        restored by a single repair wave afterwards; every backend implements
+        this natively (:meth:`~repro.core.engine_api.MISEngine.apply_batch`).
+        Returns a :class:`~repro.core.engine_api.BatchUpdateReport`; its
+        per-batch costs are folded into :attr:`statistics` on the dedicated
+        batch channel (``batch_sizes`` / ``batch_influenced_sizes`` /
+        ``batch_adjustments`` / ``batch_levels``), separate from the
+        single-change lists.
         """
-        from repro.core.batch import apply_batch
-
-        if not getattr(self._engine, "supports_batch", False):
-            raise NotImplementedError(
-                f"apply_batch is not supported by engine={self._engine_name!r}; a "
-                "vectorized batch apply for the fast engine is a ROADMAP open item"
-            )
-        return apply_batch(self._engine, list(changes))
+        report = self._engine.apply_batch(list(changes))
+        self._statistics.record_batch(report)
+        return report
 
     def insert_edge(self, u: Node, v: Node) -> UpdateReport:
         """Insert edge ``{u, v}``."""

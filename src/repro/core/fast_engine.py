@@ -33,15 +33,37 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.core.engine_api import BatchUpdateReport, EngineSnapshot, MISEngine
 from repro.core.invariant import InvariantViolation
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.graph.dynamic_graph import DynamicGraph, GraphError, canonical_edge
 
+try:  # numpy accelerates the batched repair wave; plain python fallback below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI and the image
+    _np = None
+
 Node = Hashable
 
 _NO_ID = -1
+_EMPTY_IDS = _np.empty(0, dtype=_np.int64) if _np is not None else None
+#: Flipped-set size from which the batched repair wave switches to the
+#: vectorized (numpy-mask) frontier; below it, per-call numpy overhead
+#: exceeds the plain walk over such small adjacency slices.
+_VECTOR_LEVEL_THRESHOLD = 64
 
 
 @dataclass(frozen=True)
@@ -72,12 +94,13 @@ class FastUpdateReport:
         return set(self.influenced_labels)
 
 
-class FastEngine:
+class FastEngine(MISEngine):
     """Array-backed sequential-semantics dynamic MIS maintainer.
 
-    Drop-in alternative to :class:`~repro.core.template.TemplateEngine`:
+    Drop-in alternative to :class:`~repro.core.template.TemplateEngine`
+    (both implement the :class:`~repro.core.engine_api.MISEngine` contract):
     same topology-change API, same outputs under the same seed, an order of
-    magnitude lower constant factors.  Selected via
+    magnitude lower constant factors.  Registered as ``"fast"``, selected via
     ``DynamicMIS(engine="fast")``.
 
     Parameters
@@ -94,9 +117,6 @@ class FastEngine:
         Optional starting graph whose MIS is computed with one array-based
         greedy pass.
     """
-
-    #: Batched updates are not ported to the array engine yet (ROADMAP item).
-    supports_batch = False
 
     def __init__(
         self,
@@ -128,14 +148,7 @@ class FastEngine:
     # Bootstrap
     # ------------------------------------------------------------------
     def _bootstrap(self, graph: DynamicGraph) -> None:
-        for label in graph.nodes():
-            self._intern(label)
-        id_of = self._id_of
-        for u, v in graph.edges():
-            iu, iv = id_of[u], id_of[v]
-            self._adj[iu].append(iv)
-            self._adj[iv].append(iu)
-            self._num_edges += 1
+        self._load_topology(graph.nodes(), graph.edges())
         # Greedy pass in increasing pi: any MIS neighbor was processed earlier,
         # unprocessed (hence later) neighbors still read as state 0.
         state = self._state
@@ -143,6 +156,22 @@ class FastEngine:
         for nid in order:
             if not any(state[m] for m in self._adj[nid]):
                 state[nid] = 1
+
+    def _load_topology(self, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Intern ``nodes`` and load ``edges`` into the adjacency arrays.
+
+        Shared by :meth:`_bootstrap` (followed by the greedy pass) and
+        :meth:`restore` (followed by installing the snapshot states), so the
+        interning scheme has a single build path.
+        """
+        for label in nodes:
+            self._intern(label)
+        id_of = self._id_of
+        for u, v in edges:
+            iu, iv = id_of[u], id_of[v]
+            self._adj[iu].append(iv)
+            self._adj[iv].append(iu)
+            self._num_edges += 1
 
     # ------------------------------------------------------------------
     # Interning / slot management
@@ -313,6 +342,36 @@ class FastEngine:
         assert half_edges == 2 * self._num_edges, "edge counter out of sync"
 
     # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Rebuild the interned arrays from a label-level snapshot.
+
+        The slot layout is *not* preserved -- labels are re-interned densely
+        in snapshot order -- but every observable quantity (graph, states,
+        priority keys, and therefore all future reports) is, which is all the
+        :class:`~repro.core.engine_api.MISEngine` contract promises.
+        """
+        self._labels = []
+        self._adj = []
+        self._prio = []
+        self._keys = []
+        self._state = bytearray()
+        self._alive = bytearray()
+        self._snap_stamp = []
+        self._snap_state = bytearray()
+        self._infl_stamp = []
+        self._epoch = 0
+        self._id_of = {}
+        self._free = []
+        self._num_edges = 0
+        self._priorities.restore_keys(dict(snapshot.priority_keys))
+        self._load_topology(snapshot.nodes, snapshot.edges)
+        id_of = self._id_of
+        for label, in_mis in snapshot.states.items():
+            self._state[id_of[label]] = 1 if in_mis else 0
+
+    # ------------------------------------------------------------------
     # Topology changes
     # ------------------------------------------------------------------
     def insert_edge(self, u: Node, v: Node) -> FastUpdateReport:
@@ -402,6 +461,130 @@ class FastEngine:
         )
         self._priorities.forget(label)
         self._release(nid)
+        return report
+
+    def apply_batch(self, changes: Sequence) -> BatchUpdateReport:
+        """Apply ``changes`` atomically: array deltas first, one repair wave after.
+
+        Native vectorized batch apply (the ROADMAP open item): every change
+        is validated against the *evolving* topology and applied directly to
+        the flat arrays -- no invariant repair in between -- while collecting
+        the dirty seed set (later endpoints of edge changes, inserted nodes,
+        former later-neighbors of deleted MIS nodes).  A single level-
+        synchronous repair wave then restores the invariant over the dirty
+        ids; with numpy available the wave commits each level's flips and
+        deduplicates the next frontier through vectorized masks over the id
+        space (see :meth:`_batch_frontier`).
+
+        Matches :meth:`repro.core.template.TemplateEngine.apply_batch`
+        report-for-report (influenced sets, adjustment counts, level/work
+        counters), which the batched differential conformance suite checks.
+
+        Raises
+        ------
+        GraphError
+            If some change in the batch is invalid at its position -- raised
+            by the up-front :func:`~repro.workloads.changes.validate_batch`
+            pass, *before* any array delta is applied, so a failed batch
+            leaves the engine untouched (the per-change checks inside the
+            apply loop below are a defensive net and should be unreachable).
+        """
+        from repro.workloads.changes import (
+            EdgeDeletion,
+            EdgeInsertion,
+            NodeDeletion,
+            NodeInsertion,
+            NodeUnmuting,
+            validate_batch,
+        )
+
+        validate_batch(self.graph, changes)
+        id_of = self._id_of
+        adj = self._adj
+        # Dirty nodes are tracked by *label*, exactly like the template batch:
+        # a label deleted and re-inserted inside the same batch keeps its seat
+        # in the seed set even though its id changed.
+        dirty_labels: Set[Node] = set()
+        deleted_labels: Set[Node] = set()
+        dead_slots: List[int] = []
+        applied: List = []
+
+        for change in changes:
+            if isinstance(change, EdgeInsertion):
+                iu = id_of.get(change.u)
+                iv = id_of.get(change.v)
+                if iu is None or iv is None:
+                    raise GraphError(f"edge insertion {change} references a missing node")
+                if change.u == change.v:
+                    raise GraphError("edge insertion would create a self loop")
+                if iv in adj[iu]:
+                    raise GraphError(f"edge ({change.u!r}, {change.v!r}) already exists")
+                adj[iu].append(iv)
+                adj[iv].append(iu)
+                self._num_edges += 1
+                star = iv if self._earlier(iu, iv) else iu
+                dirty_labels.add(self._labels[star])
+            elif isinstance(change, EdgeDeletion):
+                iu = id_of.get(change.u)
+                iv = id_of.get(change.v)
+                if iu is None or iv is None or iv not in adj[iu]:
+                    raise GraphError(f"edge ({change.u!r}, {change.v!r}) does not exist")
+                self._remove_half_edge(iu, iv)
+                self._remove_half_edge(iv, iu)
+                self._num_edges -= 1
+                star = iv if self._earlier(iu, iv) else iu
+                dirty_labels.add(self._labels[star])
+            elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+                if change.node in id_of:
+                    raise GraphError(f"node {change.node!r} already exists")
+                neighbor_ids: List[int] = []
+                for other in change.neighbors:
+                    if other == change.node:
+                        raise GraphError("node insertion would create a self loop")
+                    oid = id_of.get(other)
+                    if oid is None:
+                        raise GraphError(f"insertion neighbor {other!r} does not exist")
+                    neighbor_ids.append(oid)
+                if len(set(neighbor_ids)) != len(neighbor_ids):
+                    raise GraphError("duplicate neighbors in node insertion")
+                nid = self._intern(change.node)
+                row = adj[nid]
+                for oid in neighbor_ids:
+                    row.append(oid)
+                    adj[oid].append(nid)
+                self._num_edges += len(neighbor_ids)
+                dirty_labels.add(change.node)
+                deleted_labels.discard(change.node)
+            elif isinstance(change, NodeDeletion):
+                nid = id_of.get(change.node)
+                if nid is None:
+                    raise GraphError(f"node {change.node!r} does not exist")
+                if self._state[nid]:
+                    labels = self._labels
+                    dirty_labels.update(
+                        labels[m] for m in adj[nid] if self._earlier(nid, m)
+                    )
+                for m in adj[nid]:
+                    self._remove_half_edge(m, nid)
+                self._num_edges -= len(adj[nid])
+                del adj[nid][:]
+                self._alive[nid] = 0
+                del id_of[change.node]
+                dirty_labels.discard(change.node)
+                deleted_labels.add(change.node)
+                dead_slots.append(nid)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown change type: {change!r}")
+            applied.append(change)
+
+        seed_nodes = {label for label in dirty_labels if label in id_of}
+        report = self._batch_repair_wave(
+            [id_of[label] for label in seed_nodes], applied, seed_nodes
+        )
+        for label in deleted_labels:
+            self._priorities.forget(label)
+        for nid in dead_slots:
+            self._release(nid)
         return report
 
     # ------------------------------------------------------------------
@@ -506,6 +689,134 @@ class FastEngine:
             evaluations=evaluations,
             influenced_labels=frozenset(influenced_labels),
         )
+
+    def _batch_repair_wave(
+        self, dirty_ids: List[int], applied: List, seed_nodes: Set[Node]
+    ) -> BatchUpdateReport:
+        """Level-synchronous repair wave over the batch's dirty ids.
+
+        Same fixed-point iteration as :meth:`_propagate` but with no single
+        source node: every dirty id re-evaluates the invariant against the
+        level's state snapshot, all flips of a level commit together, and the
+        next frontier is the later-in-``pi`` neighborhood of the flipped set.
+        With numpy available, levels whose flipped set is large commit their
+        flips and deduplicate the next frontier through vectorized masks
+        (:meth:`_batch_frontier`); small levels use the same plain-python
+        walk as the single-change path (the numpy call overhead would
+        dominate there).  Counters are identical either way.
+        """
+        state, adj, labels = self._state, self._adj, self._labels
+        self._epoch += 1
+        epoch = self._epoch
+        snap_stamp, snap_state = self._snap_stamp, self._snap_state
+        infl_stamp = self._infl_stamp
+
+        num_levels = 0
+        state_flips = 0
+        influenced = 0
+        evaluations = 0
+        work = 0
+        touched: List[int] = []
+        influenced_labels: List[Node] = []
+
+        prio_np = None  # built lazily, on the first level large enough to vectorize
+
+        dirty: Iterable[int] = sorted(set(dirty_ids))
+        cap = 2 * len(self._id_of) + 5
+        level = 0
+        while True:
+            frontier = list(dirty)
+            if not frontier:
+                break
+            level += 1
+            if level > cap:
+                raise RuntimeError(
+                    "batch repair wave did not converge; the starting states "
+                    "probably violated the MIS invariant before the batch"
+                )
+            flipped: List[int] = []
+            for nid in frontier:
+                evaluations += 1
+                work += len(adj[nid])
+                if self._desired(nid) != state[nid]:
+                    flipped.append(nid)
+            if not flipped:
+                break
+            for nid in flipped:
+                if snap_stamp[nid] != epoch:
+                    snap_stamp[nid] = epoch
+                    snap_state[nid] = state[nid]
+                    touched.append(nid)
+                if infl_stamp[nid] != epoch:
+                    infl_stamp[nid] = epoch
+                    influenced += 1
+                    influenced_labels.append(labels[nid])
+            state_flips += len(flipped)
+            num_levels += 1
+            if _np is not None and len(flipped) >= _VECTOR_LEVEL_THRESHOLD:
+                if prio_np is None:
+                    prio_np = _np.asarray(self._prio, dtype=_np.float64)
+                flipped_arr = _np.asarray(flipped, dtype=_np.int64)
+                _np.frombuffer(state, dtype=_np.uint8)[flipped_arr] ^= 1
+                dirty = self._batch_frontier(flipped_arr, prio_np)
+            else:
+                for nid in flipped:
+                    state[nid] ^= 1
+                next_dirty: Set[int] = set()
+                prio, keys = self._prio, self._keys
+                for nid in flipped:
+                    np_, nk = prio[nid], keys[nid]
+                    for m in adj[nid]:
+                        if prio[m] > np_ or (prio[m] == np_ and keys[m] > nk):
+                            next_dirty.add(m)
+                dirty = next_dirty
+
+        alive = self._alive
+        adjustments = sum(
+            1 for nid in touched if alive[nid] and state[nid] != snap_state[nid]
+        )
+        return BatchUpdateReport(
+            changes=applied,
+            seed_nodes=seed_nodes,
+            influenced_labels=frozenset(influenced_labels),
+            influenced_size=influenced,
+            num_adjustments=adjustments,
+            num_levels=num_levels,
+            state_flips=state_flips,
+            update_work=work,
+            evaluations=evaluations,
+        )
+
+    def _batch_frontier(self, flipped_arr, prio_np):
+        """Vectorized next-frontier: later-in-``pi`` neighbors of the flipped set.
+
+        Concatenates the flipped nodes' adjacency rows (zero-copy views over
+        the ``array('q')`` buffers), keeps entries whose priority float
+        exceeds their source's (ties -- astronomically unlikely under the
+        random order but possible under deterministic assigners -- fall back
+        to the full-key comparison), and deduplicates with ``np.unique``.
+        """
+        adj, keys = self._adj, self._keys
+        rows = [
+            _np.frombuffer(adj[int(nid)], dtype=_np.int64) if len(adj[int(nid)]) else _EMPTY_IDS
+            for nid in flipped_arr
+        ]
+        if not rows:
+            return []
+        neighbors = _np.concatenate(rows)
+        if neighbors.size == 0:
+            return []
+        sources = _np.repeat(flipped_arr, [row.size for row in rows])
+        later = prio_np[neighbors] > prio_np[sources]
+        ties = prio_np[neighbors] == prio_np[sources]
+        if ties.any():
+            tie_breaks = [
+                keys[int(m)] > keys[int(s)]
+                for m, s in zip(neighbors[ties], sources[ties])
+            ]
+            later = later.copy()
+            later[_np.flatnonzero(ties)] = tie_breaks
+        return [int(nid) for nid in _np.unique(neighbors[later])]
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -619,19 +930,26 @@ def fast_greedy_mis(graph: DynamicGraph, priorities: PriorityAssigner) -> Set[No
 
 
 def reference_mis(graph: DynamicGraph, priorities: PriorityAssigner, engine: str) -> Set[Node]:
-    """From-scratch greedy MIS via the selected backend name.
+    """From-scratch greedy MIS via the selected backend.
 
     Single dispatch point for every reference-validation path (the
-    distributed networks' ``verify(reference_engine=...)``); adding a new
-    backend means extending this function only.
+    distributed networks' ``verify(reference_engine=...)``).  Resolves
+    ``engine`` through the backend registry
+    (:func:`repro.core.engine_api.create_engine`), so any registered
+    third-party backend is usable as a verification reference with no edits
+    here; ``"template"`` short-circuits to the plain greedy pass (building a
+    full template engine just to read its MIS would copy the graph twice).
     """
-    if engine == "fast":
-        return fast_greedy_mis(graph, priorities)
     if engine == "template":
         from repro.core.greedy import greedy_mis
 
         return greedy_mis(graph, priorities)
-    raise ValueError(f"unknown reference engine {engine!r}")
+    from repro.core.engine_api import create_engine
+
+    built = create_engine(
+        engine, priorities=_ReadOnlyPriorities(priorities), initial_graph=graph
+    )
+    return built.mis()
 
 
 class _ReadOnlyPriorities(PriorityAssigner):

@@ -52,6 +52,21 @@ class PriorityAssigner:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Snapshot support (engine snapshot/restore -- see repro.core.engine_api)
+    # ------------------------------------------------------------------
+    def export_keys(self) -> Dict[Node, PriorityKey]:
+        """Copy of the full ``node -> key`` assignment (for engine snapshots).
+
+        Implementations backed by an explicit key map override this; orders
+        computed on the fly (read-only adapters) may leave it unimplemented.
+        """
+        raise NotImplementedError
+
+    def restore_keys(self, keys: Dict[Node, PriorityKey]) -> None:
+        """Replace the full assignment with ``keys`` (engine restore path)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # Conveniences shared by all implementations
     # ------------------------------------------------------------------
     def earlier(self, u: Node, v: Node) -> bool:
@@ -140,6 +155,12 @@ class RandomPriorityAssigner(PriorityAssigner):
     def knows(self, node: Node) -> bool:
         return node in self._keys
 
+    def export_keys(self) -> Dict[Node, PriorityKey]:
+        return dict(self._keys)
+
+    def restore_keys(self, keys: Dict[Node, PriorityKey]) -> None:
+        self._keys = dict(keys)
+
     def known_nodes(self) -> List[Node]:
         """All nodes that currently hold a priority (mainly for tests)."""
         return list(self._keys)
@@ -177,6 +198,12 @@ class DeterministicPriorityAssigner(PriorityAssigner):
 
     def knows(self, node: Node) -> bool:
         return node in self._known
+
+    def export_keys(self) -> Dict[Node, PriorityKey]:
+        return dict(self._known)
+
+    def restore_keys(self, keys: Dict[Node, PriorityKey]) -> None:
+        self._known = dict(keys)
 
     @staticmethod
     def _key_for(node: Node) -> PriorityKey:

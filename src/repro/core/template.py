@@ -20,8 +20,9 @@ are validated against it, and the Theorem 1 experiment (E1) measures
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
+from repro.core.engine_api import BatchUpdateReport, EngineSnapshot, MISEngine
 from repro.core.greedy import greedy_mis_states
 from repro.core.influenced import InfluencePropagation, propagate_influence
 from repro.core.invariant import desired_state, verify_mis_invariant
@@ -86,8 +87,11 @@ class UpdateReport:
         return self.propagation.work
 
 
-class TemplateEngine:
+class TemplateEngine(MISEngine):
     """Sequential-semantics dynamic MIS maintainer (the paper's template).
+
+    The reference implementation of the :class:`~repro.core.engine_api.MISEngine`
+    contract, registered as ``"template"``.
 
     Parameters
     ----------
@@ -101,9 +105,6 @@ class TemplateEngine:
         Optional starting graph.  Its MIS is computed with a single greedy
         pass, after which every later change goes through the template.
     """
-
-    #: Whether :func:`repro.core.batch.apply_batch` can drive this engine.
-    supports_batch = True
 
     def __init__(
         self,
@@ -250,6 +251,93 @@ class TemplateEngine:
         del old_state
         return UpdateReport("node_deletion", node, node, propagation)
 
+    def apply_batch(self, changes: Sequence) -> BatchUpdateReport:
+        """Apply ``changes`` atomically and restore the invariant in one wave.
+
+        The changes are validated against the *evolving* graph in the given
+        order (e.g. an edge insertion may reference a node inserted earlier in
+        the same batch), but no invariant repair happens until the whole batch
+        has been applied; the repair then runs as a single propagation seeded
+        with every node whose invariant may have broken (the batch analogue of
+        ``v*``).  See :mod:`repro.core.batch` for the extension's rationale.
+
+        Raises
+        ------
+        GraphError
+            If some change in the batch is invalid at its position -- raised
+            by the up-front :func:`~repro.workloads.changes.validate_batch`
+            pass, *before* any graph delta is applied, so a failed batch
+            leaves the engine untouched.
+        """
+        from repro.workloads.changes import (
+            EdgeDeletion,
+            EdgeInsertion,
+            NodeDeletion,
+            NodeInsertion,
+            NodeUnmuting,
+            validate_batch,
+        )
+
+        graph = self._graph
+        validate_batch(graph, changes)
+        states: Dict[Node, bool] = dict(self._states)
+        priorities = self._priorities
+
+        dirty: Set[Node] = set()
+        deleted: Set[Node] = set()
+        applied: List = []
+
+        for change in changes:
+            if isinstance(change, EdgeInsertion):
+                graph.add_edge(change.u, change.v)
+                dirty.add(self._order_endpoints(change.u, change.v)[0])
+            elif isinstance(change, EdgeDeletion):
+                graph.remove_edge(change.u, change.v)
+                dirty.add(self._order_endpoints(change.u, change.v)[0])
+            elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+                graph.add_node_with_edges(change.node, change.neighbors)
+                priorities.assign(change.node)
+                states[change.node] = False
+                dirty.add(change.node)
+                deleted.discard(change.node)
+            elif isinstance(change, NodeDeletion):
+                was_in_mis = states.get(change.node, False)
+                later_neighbors = priorities.later_neighbors(graph, change.node)
+                graph.remove_node(change.node)
+                states.pop(change.node, None)
+                dirty.discard(change.node)
+                deleted.add(change.node)
+                if was_in_mis:
+                    dirty.update(later_neighbors)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown change type: {change!r}")
+            applied.append(change)
+
+        dirty = {node for node in dirty if graph.has_node(node)}
+        propagation = propagate_influence(
+            graph,
+            priorities,
+            states,
+            source=None,
+            source_changes=False,
+            extra_dirty=sorted(dirty, key=priorities.key),
+        )
+        self._commit(propagation)
+        for node in deleted:
+            priorities.forget(node)
+        return BatchUpdateReport(
+            changes=applied,
+            seed_nodes=dirty,
+            influenced_labels=frozenset(propagation.influenced),
+            influenced_size=propagation.size,
+            num_adjustments=propagation.num_adjustments,
+            num_levels=propagation.num_levels,
+            state_flips=propagation.state_flips,
+            update_work=propagation.work,
+            evaluations=propagation.evaluations,
+            propagation=propagation,
+        )
+
     def commit_propagation(self, propagation: InfluencePropagation) -> None:
         """Replace the engine's states with a propagation's final states.
 
@@ -258,6 +346,15 @@ class TemplateEngine:
         states in one step.
         """
         self._commit(propagation)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Reset graph, states and priority keys to a previous snapshot."""
+        self._graph = DynamicGraph(nodes=snapshot.nodes, edges=snapshot.edges)
+        self._states = dict(snapshot.states)
+        self._priorities.restore_keys(dict(snapshot.priority_keys))
 
     # ------------------------------------------------------------------
     # Internal helpers

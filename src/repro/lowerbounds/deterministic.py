@@ -68,7 +68,9 @@ def run_deterministic_lower_bound(side_size: int) -> DeterministicLowerBoundResu
     return _run_sequence(algorithm, sequence, side_size)
 
 
-def run_randomized_on_lower_bound_instance(side_size: int, seed: int = 0) -> DeterministicLowerBoundResult:
+def run_randomized_on_lower_bound_instance(
+    side_size: int, seed: int = 0, engine: str = "template"
+) -> DeterministicLowerBoundResult:
     """Run the same style of adversarial sequence against the randomized algorithm.
 
     The adversary is oblivious, so it must fix the targeted side in advance;
@@ -76,9 +78,13 @@ def run_randomized_on_lower_bound_instance(side_size: int, seed: int = 0) -> Det
     start with (the worst oblivious choice), which still cannot push the
     *expected* per-change adjustment count above ~1 -- only the single
     unavoidable flip change is expensive.
+
+    ``engine`` selects the :class:`~repro.core.dynamic_mis.DynamicMIS`
+    backend (any registered name); the adjustment counts are
+    backend-independent.
     """
     graph, left, right = bipartite_lower_bound_instance(side_size)
-    algorithm = DynamicMIS(seed=seed, initial_graph=graph)
+    algorithm = DynamicMIS(seed=seed, initial_graph=graph, engine=engine)
     sequence = lower_bound_sequence_for(algorithm.mis(), left, right)
     return _run_sequence(algorithm, sequence, side_size)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import EngineSpec
 from repro.core.template import UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.line_graph import LineGraphView
@@ -50,6 +51,11 @@ class DynamicMaximalMatching:
     initial_graph:
         Optional starting graph; its matching is computed by building the
         line graph and taking the greedy MIS.
+    engine:
+        MIS backend for the underlying maintainer: any
+        :class:`~repro.core.engine_api.EngineSpec` accepted by
+        :class:`~repro.core.dynamic_mis.DynamicMIS` (registered name,
+        engine class, or instance).
 
     Examples
     --------
@@ -64,7 +70,7 @@ class DynamicMaximalMatching:
         self,
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
-        engine: str = "template",
+        engine: EngineSpec = "template",
     ) -> None:
         self._view = LineGraphView(initial_graph)
         self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.line_graph, engine=engine)

@@ -11,7 +11,9 @@ from repro.testing.differential import (
     DifferentialResult,
     adversarial_burst_sequence,
     conformance_workload,
+    replay_batch_differential,
     replay_differential,
+    split_into_batches,
 )
 
 __all__ = [
@@ -19,5 +21,7 @@ __all__ = [
     "DifferentialResult",
     "adversarial_burst_sequence",
     "conformance_workload",
+    "replay_batch_differential",
     "replay_differential",
+    "split_into_batches",
 ]

@@ -21,16 +21,29 @@ bursts are adaptive against the same seed the replay uses, so they hit the
 replayed engines' actual MIS nodes, including delete-then-reinsert of the
 same label.
 
-Used by ``tests/conformance/test_engine_differential.py``; importable by
-anyone adding a new backend (Rust/Cython slots are ROADMAP open items).
+Both entry points drive **any registered engine pair** through the public
+backend registry (:mod:`repro.core.engine_api`): pass registered names in
+``engines=(...)`` and the harness builds each backend with
+:class:`~repro.core.dynamic_mis.DynamicMIS` -- validating a new
+(third-party, compiled) backend requires no edits anywhere in core.
+:func:`replay_batch_differential` extends the check to batch semantics
+(:meth:`~repro.core.engine_api.MISEngine.apply_batch`): per-batch equality of
+MIS sets, influenced sets and every cost counter, plus -- via the engines'
+``snapshot()``/``restore()`` pair -- agreement between the batched and the
+one-at-a-time application of every single batch.
+
+Used by ``tests/conformance/``; importable by anyone adding a new backend
+(Rust/Cython slots are ROADMAP open items).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import BATCH_REPORT_FIELDS
 from repro.core.fast_engine import FastEngine
 from repro.core.rng import normalize_seed, spawn_seeds
 from repro.graph.dynamic_graph import DynamicGraph
@@ -169,9 +182,154 @@ def replay_differential(
 def _verify_all(engines: Tuple[str, ...], maintainers: List[DynamicMIS]) -> None:
     for name, maintainer in zip(engines, maintainers):
         maintainer.verify()
-        engine = maintainer._engine
+        engine = maintainer.engine
         if isinstance(engine, FastEngine):
             engine.check_interning_invariants()
+
+
+# ----------------------------------------------------------------------
+# Batched replay
+# ----------------------------------------------------------------------
+def split_into_batches(
+    changes: Sequence[TopologyChange], seed: int = 0, max_batch: int = 8
+) -> List[List[TopologyChange]]:
+    """Deterministically split ``changes`` into variable-size batches.
+
+    Batch sizes are drawn uniformly from ``1..max_batch`` with the given
+    seed, so a replay exercises singleton batches, medium batches and
+    everything in between.
+    """
+    rng = random.Random(normalize_seed(seed))
+    batches: List[List[TopologyChange]] = []
+    position = 0
+    while position < len(changes):
+        size = rng.randint(1, max(1, max_batch))
+        batches.append(list(changes[position : position + size]))
+        position += size
+    return batches
+
+
+def replay_batch_differential(
+    initial_graph: Optional[DynamicGraph],
+    changes: Sequence[TopologyChange],
+    seed: int = 0,
+    engines: Tuple[str, ...] = ("template", "fast"),
+    max_batch: int = 8,
+    check_clustering: bool = True,
+    check_against_sequence: bool = True,
+    verify_every: int = 5,
+) -> DifferentialResult:
+    """Replay ``changes`` in batches through every backend; assert equality.
+
+    The sequence is deterministically chunked into variable-size batches
+    (:func:`split_into_batches` with the same ``seed``), every batch is
+    applied through :meth:`DynamicMIS.apply_batch` on every backend, and
+    after each batch the harness asserts
+
+    * equality of every :data:`~repro.core.engine_api.BATCH_REPORT_FIELDS`
+      counter, the influenced-set membership and the seed-node sets,
+    * identical MIS sets (and clustering views with ``check_clustering``),
+      and
+    * with ``check_against_sequence``, that the *reference* backend reaches
+      exactly the same states applying the batch one change at a time --
+      checked by rewinding it with the engine ``snapshot()``/``restore()``
+      pair, so batched and sequential semantics are machine-tied together.
+
+    Raises :class:`ConformanceMismatch` at the first divergence; returns a
+    :class:`DifferentialResult` (``num_changes`` counts individual changes).
+    """
+    seed = normalize_seed(seed)
+    maintainers = [
+        DynamicMIS(seed=seed, initial_graph=initial_graph, engine=name) for name in engines
+    ]
+    reference = maintainers[0]
+    baseline_mis = reference.mis()
+    for name, maintainer in zip(engines[1:], maintainers[1:]):
+        if maintainer.mis() != baseline_mis:
+            raise ConformanceMismatch(
+                -1, None, f"initial MIS differs between {engines[0]} and {name}"
+            )
+
+    batches = split_into_batches(changes, seed=seed, max_batch=max_batch)
+    total_adjustments = 0
+    max_influenced = 0
+    for step, batch in enumerate(batches):
+        sequential_states = None
+        if check_against_sequence:
+            rewind = reference.engine.snapshot()
+            for change in batch:
+                reference.apply(change)
+            sequential_states = reference.states()
+            reference.engine.restore(rewind)
+
+        reports = [maintainer.apply_batch(batch) for maintainer in maintainers]
+        head = reports[0]
+        total_adjustments += head.num_adjustments
+        max_influenced = max(max_influenced, head.influenced_size)
+
+        if sequential_states is not None and reference.states() != sequential_states:
+            diff = {
+                node: (sequential_states.get(node), reference.states().get(node))
+                for node in set(sequential_states) | set(reference.states())
+                if sequential_states.get(node) != reference.states().get(node)
+            }
+            raise ConformanceMismatch(
+                step,
+                batch[0] if batch else None,
+                f"{engines[0]} batched states diverge from its own one-at-a-time "
+                f"application of the same batch: {diff}",
+            )
+
+        expected_mis = reference.mis()
+        for name, maintainer, report in zip(engines[1:], maintainers[1:], reports[1:]):
+            for field in BATCH_REPORT_FIELDS:
+                lhs, rhs = getattr(head, field), getattr(report, field)
+                if lhs != rhs:
+                    raise ConformanceMismatch(
+                        step,
+                        batch[0] if batch else None,
+                        f"batch {field}: {engines[0]}={lhs!r} vs {name}={rhs!r}",
+                    )
+            if head.influenced_set != report.influenced_set:
+                raise ConformanceMismatch(
+                    step,
+                    batch[0] if batch else None,
+                    f"batch influenced set: "
+                    f"{engines[0]}={sorted(head.influenced_set, key=repr)} "
+                    f"vs {name}={sorted(report.influenced_set, key=repr)}",
+                )
+            if head.seed_nodes != report.seed_nodes:
+                raise ConformanceMismatch(
+                    step,
+                    batch[0] if batch else None,
+                    f"batch seed nodes: {engines[0]}={sorted(head.seed_nodes, key=repr)} "
+                    f"vs {name}={sorted(report.seed_nodes, key=repr)}",
+                )
+            actual_mis = maintainer.mis()
+            if actual_mis != expected_mis:
+                raise ConformanceMismatch(
+                    step,
+                    batch[0] if batch else None,
+                    f"MIS after batch: "
+                    f"only-in-{engines[0]}={sorted(expected_mis - actual_mis, key=repr)} "
+                    f"only-in-{name}={sorted(actual_mis - expected_mis, key=repr)}",
+                )
+            if check_clustering and maintainer.clustering() != reference.clustering():
+                raise ConformanceMismatch(
+                    step, batch[0] if batch else None, f"clustering ({engines[0]} vs {name})"
+                )
+        if verify_every and (step + 1) % verify_every == 0:
+            _verify_all(engines, maintainers)
+
+    _verify_all(engines, maintainers)
+    return DifferentialResult(
+        engines=tuple(engines),
+        num_changes=len(changes),
+        total_adjustments=total_adjustments,
+        max_influenced_size=max_influenced,
+        final_mis_size=len(reference.mis()),
+        final_num_nodes=reference.graph.num_nodes(),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Tuple, Union
 
-from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.graph.dynamic_graph import DynamicGraph, GraphError, canonical_edge
 
 Node = Hashable
 
@@ -135,6 +135,83 @@ def validate_change(graph: DynamicGraph, change: TopologyChange) -> None:
             raise GraphError(f"node {change.node!r} does not exist")
     else:  # pragma: no cover - defensive
         raise TypeError(f"unknown change type: {change!r}")
+
+
+def validate_batch(graph, changes) -> None:
+    """Validate a whole batch against the *evolving* topology without mutating it.
+
+    Engines call this before applying any graph delta of
+    :meth:`~repro.core.engine_api.MISEngine.apply_batch`, so an invalid
+    change anywhere in the batch raises :class:`GraphError` while the engine
+    is still untouched (atomic failure).  ``graph`` only needs ``has_node`` /
+    ``has_edge``, so both :class:`~repro.graph.dynamic_graph.DynamicGraph`
+    and the fast engine's read view qualify.
+
+    The evolving state is tracked as an overlay: ``presence`` overrides node
+    existence, ``added_edges`` / ``removed_edges`` override edge existence,
+    and any node inserted or deleted within the batch is *touched* -- the
+    base graph's edges stop counting for it (deletion destroyed them; a
+    re-inserted label starts fresh with only its declared neighbors).
+    """
+    presence: dict = {}
+    touched: set = set()
+    added_edges: set = set()
+    removed_edges: set = set()
+
+    def node_exists(node: Node) -> bool:
+        return presence[node] if node in presence else graph.has_node(node)
+
+    def edge_exists(u: Node, v: Node) -> bool:
+        edge = canonical_edge(u, v)
+        if edge in added_edges:
+            return True
+        if edge in removed_edges:
+            return False
+        if u in touched or v in touched:
+            return False
+        return graph.has_edge(u, v)
+
+    for change in changes:
+        if isinstance(change, EdgeInsertion):
+            if not node_exists(change.u) or not node_exists(change.v):
+                raise GraphError(f"edge insertion {change} references a missing node")
+            if change.u == change.v:
+                raise GraphError("edge insertion would create a self loop")
+            if edge_exists(change.u, change.v):
+                raise GraphError(f"edge ({change.u!r}, {change.v!r}) already exists")
+            edge = canonical_edge(change.u, change.v)
+            added_edges.add(edge)
+            removed_edges.discard(edge)
+        elif isinstance(change, EdgeDeletion):
+            if not edge_exists(change.u, change.v):
+                raise GraphError(f"edge ({change.u!r}, {change.v!r}) does not exist")
+            edge = canonical_edge(change.u, change.v)
+            removed_edges.add(edge)
+            added_edges.discard(edge)
+        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+            if node_exists(change.node):
+                raise GraphError(f"node {change.node!r} already exists")
+            for other in change.neighbors:
+                if other == change.node:
+                    raise GraphError("node insertion would create a self loop")
+                if not node_exists(other):
+                    raise GraphError(f"insertion neighbor {other!r} does not exist")
+            if len(set(change.neighbors)) != len(change.neighbors):
+                raise GraphError("duplicate neighbors in node insertion")
+            presence[change.node] = True
+            touched.add(change.node)
+            for other in change.neighbors:
+                added_edges.add(canonical_edge(change.node, other))
+        elif isinstance(change, NodeDeletion):
+            if not node_exists(change.node):
+                raise GraphError(f"node {change.node!r} does not exist")
+            presence[change.node] = False
+            touched.add(change.node)
+            added_edges = {
+                edge for edge in added_edges if change.node not in edge
+            }
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown change type: {change!r}")
 
 
 def apply_change_to_graph(graph: DynamicGraph, change: TopologyChange) -> None:

@@ -1,0 +1,320 @@
+"""Batched differential conformance: fast-engine batches must equal template batches.
+
+The fast engine's native :meth:`~repro.core.fast_engine.FastEngine.apply_batch`
+(flat-array graph deltas + one vectorized repair wave) re-implements the
+batched Section 6 extension from scratch, so -- exactly like the single-change
+path -- it is only acceptable if it is report-for-report identical to the
+template's batch apply.  :func:`repro.testing.differential.replay_batch_differential`
+checks per batch: every cost counter of
+:data:`~repro.core.engine_api.BATCH_REPORT_FIELDS`, influenced-set and
+seed-node membership, MIS sets, clustering views, and (via engine
+``snapshot()``/``restore()``) that batched application agrees with
+one-at-a-time application of the same changes.
+
+The file also registers a toy third backend -- a recompute-based
+``RecomputeReferenceEngine`` -- through the *public* registry alone and runs
+it through both replay harnesses, demonstrating (and pinning down) that new
+backends need zero edits to ``dynamic_mis.py`` or any other core module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Set
+
+import pytest
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSnapshot,
+    MISEngine,
+    register_engine,
+    unregister_engine,
+)
+from repro.core.greedy import greedy_mis_states
+from repro.core.rng import spawn_seeds
+from repro.core.template import TemplateEngine
+from repro.graph.generators import disjoint_paths_graph, star_graph
+from repro.testing.differential import (
+    ConformanceMismatch,
+    conformance_workload,
+    replay_batch_differential,
+    split_into_batches,
+)
+from repro.workloads.sequences import edge_churn_sequence, node_churn_sequence
+
+Node = Hashable
+
+MASTER_SEED = 20260730
+# >= 25 seeds in tier-1: the acceptance bar for the native fast batch path.
+BATCH_SUITE_SEEDS = spawn_seeds(MASTER_SEED, 25)
+
+
+# ----------------------------------------------------------------------
+# Tier-1: template vs fast over 25 seeded batched sequences
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", BATCH_SUITE_SEEDS)
+def test_batched_replay_template_vs_fast(seed: int) -> None:
+    graph, changes = conformance_workload(seed, num_changes=40, start_nodes=18)
+    result = replay_batch_differential(graph, changes, seed=seed, max_batch=8)
+    assert result.num_changes == 40
+    assert result.engines == ("template", "fast")
+
+
+def test_batched_replay_pure_edge_churn() -> None:
+    graph = star_graph(8)
+    changes = edge_churn_sequence(graph, 60, seed=3)
+    replay_batch_differential(graph, changes, seed=3, max_batch=12)
+
+
+def test_batched_replay_node_churn_reuses_labels() -> None:
+    graph = star_graph(6)
+    changes = node_churn_sequence(graph, 60, seed=4, insert_probability=0.5)
+    replay_batch_differential(graph, changes, seed=4, max_batch=6)
+
+
+def test_split_into_batches_partitions_the_sequence() -> None:
+    graph, changes = conformance_workload(7, num_changes=30, start_nodes=12)
+    batches = split_into_batches(changes, seed=7, max_batch=5)
+    flattened = [change for batch in batches for change in batch]
+    assert flattened == list(changes)
+    assert all(1 <= len(batch) <= 5 for batch in batches)
+
+
+def _counting_frontier(monkeypatch: pytest.MonkeyPatch):
+    """Wrap the fast engine's vectorized frontier with a call counter."""
+    from repro.core.fast_engine import FastEngine
+
+    calls = {"count": 0}
+    original = FastEngine._batch_frontier
+
+    def counted(self, flipped_arr, prio_np):
+        calls["count"] += 1
+        return original(self, flipped_arr, prio_np)
+
+    monkeypatch.setattr(FastEngine, "_batch_frontier", counted)
+    return calls
+
+
+def test_batched_replay_forced_through_vectorized_frontier(
+    monkeypatch: pytest.MonkeyPatch,
+) -> None:
+    """Full batched replay with the numpy-mask frontier forced on every level.
+
+    The production threshold only engages the vectorized path on levels with
+    >= 64 flips, which conformance-scale workloads never reach; dropping the
+    threshold to 1 sends *every* level through `_batch_frontier`, so the
+    whole replay (counters, influenced sets, MIS, clustering) machine-checks
+    the vectorized path against the template.
+    """
+    from repro.core import fast_engine
+
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    monkeypatch.setattr(fast_engine, "_VECTOR_LEVEL_THRESHOLD", 1)
+    calls = _counting_frontier(monkeypatch)
+    graph, changes = conformance_workload(77, num_changes=60, start_nodes=20)
+    replay_batch_differential(graph, changes, seed=77, max_batch=8)
+    assert calls["count"] > 0, "the vectorized frontier never ran"
+
+
+def test_natural_large_wave_uses_vectorized_frontier(
+    monkeypatch: pytest.MonkeyPatch,
+) -> None:
+    """A 100-flip repair level crosses the threshold organically.
+
+    100 isolated nodes are all in the MIS; inserting a node adjacent to all
+    of them under a seed where the newcomer is *earliest* makes it join and
+    evicts every neighbor in one level -- well above the 64-flip threshold.
+    """
+    from repro.core import fast_engine
+    from repro.core.priorities import RandomPriorityAssigner
+    from repro.graph.dynamic_graph import DynamicGraph
+    from repro.workloads.changes import NodeInsertion
+
+    leaves = list(range(100))
+    found = None
+    for seed in range(2000):
+        assigner = RandomPriorityAssigner(seed)
+        newcomer_key = assigner.assign("x")
+        if all(newcomer_key < assigner.assign(leaf) for leaf in leaves):
+            found = seed
+            break
+    assert found is not None, "no seed makes 'x' earliest; widen the search"
+
+    graph = DynamicGraph(nodes=leaves)
+    batch = [NodeInsertion("x", tuple(leaves))]
+    template = DynamicMIS(seed=found, initial_graph=graph, engine="template")
+    fast = DynamicMIS(seed=found, initial_graph=graph, engine="fast")
+    calls = _counting_frontier(monkeypatch)
+    report_t = template.apply_batch(batch)
+    report_f = fast.apply_batch(batch)
+    if fast_engine._np is not None:
+        assert calls["count"] > 0, "100-flip level should vectorize"
+    # x joins the MIS and evicts all 100 leaves, in both engines.
+    assert template.mis() == fast.mis() == {"x"}
+    assert report_t.num_adjustments == report_f.num_adjustments == 101
+    assert report_t.num_levels == report_f.num_levels == 2
+    assert report_t.influenced_set == report_f.influenced_set
+    assert report_t.update_work == report_f.update_work
+    template.verify()
+    fast.verify()
+
+
+def test_batched_harness_detects_a_lying_engine(monkeypatch: pytest.MonkeyPatch) -> None:
+    """The batched harness must catch divergence, not vacuously pass."""
+    from repro.core.fast_engine import FastEngine
+
+    graph, changes = conformance_workload(99, num_changes=24, start_nodes=14)
+    honest = FastEngine.apply_batch
+
+    def lying_apply_batch(self, batch):
+        report = honest(self, batch)
+        report.num_adjustments += 1
+        return report
+
+    monkeypatch.setattr(FastEngine, "apply_batch", lying_apply_batch)
+    with pytest.raises(ConformanceMismatch):
+        replay_batch_differential(graph, changes, seed=99)
+
+
+# ----------------------------------------------------------------------
+# A toy third backend through the public registry (zero core edits)
+# ----------------------------------------------------------------------
+class RecomputeReferenceEngine(MISEngine):
+    """Recompute-based backend: reports from the shared template machinery,
+    read views from a from-scratch greedy recompute on every query.
+
+    The point is differential: if the incremental maintenance of the inner
+    template ever diverged from the from-scratch greedy MIS of the current
+    graph, this backend's ``mis()``/``states()``/``clustering()`` would
+    disagree with the template column of the replay and the harness would
+    flag it.  It exists only in this test module and reaches the maintainers
+    purely through :func:`repro.core.engine_api.register_engine`.
+    """
+
+    def __init__(self, priorities=None, initial_graph=None) -> None:
+        self._inner = TemplateEngine(priorities=priorities, initial_graph=initial_graph)
+
+    # -- delegated topology changes (report source) ---------------------
+    def insert_edge(self, u, v):
+        return self._inner.insert_edge(u, v)
+
+    def delete_edge(self, u, v):
+        return self._inner.delete_edge(u, v)
+
+    def insert_node(self, node, neighbors=()):
+        return self._inner.insert_node(node, neighbors)
+
+    def delete_node(self, node):
+        return self._inner.delete_node(node)
+
+    def apply_batch(self, changes: Sequence) -> BatchUpdateReport:
+        return self._inner.apply_batch(changes)
+
+    # -- recomputed read views ------------------------------------------
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def priorities(self):
+        return self._inner.priorities
+
+    def _recomputed(self) -> Dict[Node, bool]:
+        return greedy_mis_states(self.graph, self.priorities)
+
+    def mis(self) -> Set[Node]:
+        return {node for node, in_mis in self._recomputed().items() if in_mis}
+
+    def states(self) -> Dict[Node, bool]:
+        return self._recomputed()
+
+    def in_mis(self, node) -> bool:
+        return self._recomputed()[node]
+
+    def clustering(self) -> Dict[Node, Node]:
+        states = self._recomputed()
+        centers: Dict[Node, Node] = {}
+        for node in self.graph.nodes():
+            if states[node]:
+                centers[node] = node
+            else:
+                centers[node] = self.priorities.earliest(
+                    other for other in self.graph.iter_neighbors(node) if states[other]
+                )
+        return centers
+
+    def verify(self) -> None:
+        self._inner.verify()
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        self._inner.restore(snapshot)
+
+
+@pytest.fixture
+def recompute_backend():
+    name = "recompute-test"
+    unregister_engine(name)
+    register_engine(name, RecomputeReferenceEngine)
+    yield name
+    unregister_engine(name)
+
+
+def test_third_backend_passes_replay_differential(recompute_backend) -> None:
+    """Acceptance: a registered toy backend passes the single-change replay."""
+    from repro.testing.differential import replay_differential
+
+    graph, changes = conformance_workload(31, num_changes=40, start_nodes=16)
+    result = replay_differential(
+        graph, changes, seed=31, engines=("template", recompute_backend, "fast")
+    )
+    assert result.engines == ("template", "recompute-test", "fast")
+
+
+def test_third_backend_passes_batched_replay(recompute_backend) -> None:
+    graph, changes = conformance_workload(32, num_changes=30, start_nodes=14)
+    replay_batch_differential(
+        graph, changes, seed=32, engines=("template", recompute_backend)
+    )
+
+
+def test_third_backend_selectable_via_cli_choices(recompute_backend) -> None:
+    """The CLI sources --engine choices live from the registry."""
+    from repro.cli import build_parser
+
+    arguments = build_parser().parse_args(
+        ["churn", "--nodes", "8", "--changes", "5", "--engine", recompute_backend]
+    )
+    assert arguments.engine == recompute_backend
+
+
+# ----------------------------------------------------------------------
+# Full suite (scheduled; --run-conformance)
+# ----------------------------------------------------------------------
+@pytest.mark.conformance
+@pytest.mark.parametrize("seed", spawn_seeds(MASTER_SEED + 1, 50))
+def test_full_batched_conformance(seed: int) -> None:
+    """50 seeded batched sequences x 150 changes, adversarial bursts included."""
+    graph, changes = conformance_workload(seed, num_changes=150, start_nodes=26)
+    result = replay_batch_differential(graph, changes, seed=seed, max_batch=12)
+    assert result.num_changes == 150
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("seed", spawn_seeds(MASTER_SEED + 2, 10))
+def test_full_batched_conformance_dense(seed: int) -> None:
+    graph, changes = conformance_workload(
+        seed, num_changes=120, start_nodes=22, edge_probability=0.3, burst_length=10
+    )
+    replay_batch_differential(graph, changes, seed=seed, max_batch=10)
+
+
+@pytest.mark.conformance
+def test_batched_teardown_to_empty() -> None:
+    target = disjoint_paths_graph(5, edges_per_path=3)
+    from repro.workloads.sequences import build_sequence, teardown_sequence
+
+    changes = build_sequence(target, seed=5) + teardown_sequence(target, seed=6)
+    result = replay_batch_differential(None, changes, seed=11, max_batch=7)
+    assert result.final_num_nodes == 0

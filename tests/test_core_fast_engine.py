@@ -131,10 +131,19 @@ def test_clustering_matches_template_view() -> None:
     assert fast.clustering() == template.clustering()
 
 
-def test_apply_batch_not_supported_on_fast_engine() -> None:
+def test_apply_batch_native_on_fast_engine() -> None:
+    """The fast engine applies batches natively (no template fallback)."""
+    from repro.workloads.changes import EdgeDeletion, NodeInsertion
+
     maintainer = DynamicMIS(seed=0, initial_graph=path_graph(3), engine="fast")
-    with pytest.raises(NotImplementedError):
-        maintainer.apply_batch([])
+    empty = maintainer.apply_batch([])
+    assert empty.batch_size == 0 and empty.influenced_size == 0
+    report = maintainer.apply_batch([EdgeDeletion(0, 1), NodeInsertion("x", (0,))])
+    maintainer.verify()
+    maintainer.engine.check_interning_invariants()
+    assert report.batch_size == 2
+    assert report.propagation is None  # scalar counters only, no dict/set trace
+    assert maintainer.statistics.num_batches == 2
 
 
 def test_fast_greedy_mis_equals_dict_greedy(any_seed: int) -> None:

@@ -1,0 +1,184 @@
+"""Unit tests for the formal engine contract and backend registry.
+
+Covers :mod:`repro.core.engine_api`: registry registration/lookup semantics,
+did-you-mean errors, the three accepted ``DynamicMIS(engine=...)`` spec forms
+(name / class / instance), live ``ENGINE_NAMES`` derivation, and the
+``snapshot()``/``restore()`` pair on both built-in backends (including
+cross-backend restores, which the batched differential harness relies on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSnapshot,
+    MISEngine,
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    engine_spec_name,
+    get_engine_factory,
+    register_engine,
+    unregister_engine,
+)
+from repro.core.fast_engine import FastEngine
+from repro.core.template import TemplateEngine
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.workloads.sequences import mixed_churn_sequence
+
+
+@pytest.fixture
+def scratch_engine_name():
+    """A registry slot that is guaranteed to be cleaned up after the test."""
+    name = "scratch-test-engine"
+    unregister_engine(name)
+    yield name
+    unregister_engine(name)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert "template" in available_engines()
+        assert "fast" in available_engines()
+
+    def test_engine_names_derive_from_registry(self, scratch_engine_name):
+        import repro.core
+        import repro.core.dynamic_mis as dynamic_mis_module
+
+        register_engine(scratch_engine_name, TemplateEngine)
+        assert scratch_engine_name in available_engines()
+        # The package-level and module-level ENGINE_NAMES are live views.
+        assert scratch_engine_name in repro.ENGINE_NAMES
+        assert scratch_engine_name in repro.core.ENGINE_NAMES
+        assert scratch_engine_name in dynamic_mis_module.ENGINE_NAMES
+        unregister_engine(scratch_engine_name)
+        assert scratch_engine_name not in repro.ENGINE_NAMES
+
+    def test_duplicate_registration_raises_without_overwrite(self, scratch_engine_name):
+        register_engine(scratch_engine_name, TemplateEngine)
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(scratch_engine_name, FastEngine)
+        register_engine(scratch_engine_name, FastEngine, overwrite=True)
+        assert get_engine_factory(scratch_engine_name) is FastEngine
+
+    def test_invalid_registrations_rejected(self):
+        with pytest.raises(ValueError):
+            register_engine("", TemplateEngine)
+        with pytest.raises(TypeError):
+            register_engine("not-callable", object())
+
+    def test_unknown_engine_has_did_you_mean_hint(self):
+        with pytest.raises(UnknownEngineError, match="did you mean 'fast'"):
+            get_engine_factory("fsat")
+        with pytest.raises(UnknownEngineError, match="did you mean 'template'"):
+            DynamicMIS(engine="templte")
+
+    def test_unknown_engine_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            DynamicMIS(engine="turbo")
+
+
+# ----------------------------------------------------------------------
+# create_engine / DynamicMIS engine specs
+# ----------------------------------------------------------------------
+class TestEngineSpecs:
+    def test_dynamic_mis_accepts_engine_class(self):
+        graph = path_graph(5)
+        by_class = DynamicMIS(seed=3, initial_graph=graph, engine=FastEngine)
+        by_name = DynamicMIS(seed=3, initial_graph=graph, engine="fast")
+        assert by_class.mis() == by_name.mis()
+        assert isinstance(by_class.engine, FastEngine)
+
+    def test_dynamic_mis_accepts_prebuilt_instance(self):
+        engine = TemplateEngine(seed=5, initial_graph=path_graph(4))
+        maintainer = DynamicMIS(engine=engine)
+        assert maintainer.engine is engine
+        maintainer.insert_node("x", (0,))
+        maintainer.verify()
+
+    def test_prebuilt_instance_rejects_conflicting_arguments(self):
+        engine = TemplateEngine(seed=5)
+        with pytest.raises(ValueError, match="pre-built engine"):
+            DynamicMIS(engine=engine, initial_graph=path_graph(3))
+        with pytest.raises(ValueError, match="pre-built engine"):
+            DynamicMIS(engine=engine, seed=7)  # would silently lose the seed
+        with pytest.raises(ValueError):
+            create_engine(engine, initial_graph=path_graph(3))
+
+    def test_create_engine_rejects_non_engine_results(self):
+        with pytest.raises(TypeError, match="not a MISEngine"):
+            create_engine(lambda priorities=None, initial_graph=None: object())
+        with pytest.raises(TypeError, match="registered name"):
+            create_engine(42)
+
+    def test_engine_spec_name_forms(self):
+        assert engine_spec_name("fast") == "fast"
+        assert engine_spec_name(FastEngine) == "fastengine"
+        assert engine_spec_name(TemplateEngine(seed=0)) == "templateengine"
+        assert DynamicMIS(engine=FastEngine).engine_name == "fastengine"
+
+    def test_both_builtins_are_misengines(self):
+        assert isinstance(create_engine("template"), MISEngine)
+        assert isinstance(create_engine("fast"), MISEngine)
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_name", ["template", "fast"])
+class TestSnapshotRestore:
+    def _churned(self, engine_name):
+        graph = erdos_renyi_graph(18, 0.2, seed=9)
+        maintainer = DynamicMIS(seed=9, initial_graph=graph, engine=engine_name)
+        maintainer.apply_sequence(mixed_churn_sequence(graph, 25, seed=10))
+        return maintainer
+
+    def test_restore_rewinds_observable_state(self, engine_name):
+        maintainer = self._churned(engine_name)
+        snap = maintainer.engine.snapshot()
+        assert isinstance(snap, EngineSnapshot)
+        states_then = maintainer.states()
+        keys_then = {n: maintainer.priorities.key(n) for n in maintainer.graph.nodes()}
+        maintainer.apply_sequence(
+            mixed_churn_sequence(maintainer.graph.copy(), 20, seed=11)
+        )
+        maintainer.engine.restore(snap)
+        maintainer.verify()
+        assert maintainer.states() == states_then
+        assert {n: maintainer.priorities.key(n) for n in maintainer.graph.nodes()} == keys_then
+        # The rewound engine evolves exactly like an engine that never diverged.
+        replay = DynamicMIS(seed=9, initial_graph=maintainer.graph.copy(), engine=engine_name)
+        follow_up = mixed_churn_sequence(maintainer.graph.copy(), 15, seed=12)
+        maintainer.apply_sequence(follow_up)
+        replay.apply_sequence(follow_up)
+        assert maintainer.states() == replay.states()
+
+    def test_cross_backend_restore(self, engine_name):
+        """A snapshot taken from one backend restores into the other."""
+        maintainer = self._churned(engine_name)
+        snap = maintainer.engine.snapshot()
+        other_name = "fast" if engine_name == "template" else "template"
+        other = DynamicMIS(seed=9, engine=other_name)
+        other.engine.restore(snap)
+        other.verify()
+        assert other.states() == maintainer.states()
+        assert other.graph.num_edges() == maintainer.graph.num_edges()
+
+    def test_restore_keeps_interning_sound(self, engine_name):
+        maintainer = self._churned(engine_name)
+        snap = maintainer.engine.snapshot()
+        maintainer.engine.restore(snap)
+        if isinstance(maintainer.engine, FastEngine):
+            maintainer.engine.check_interning_invariants()
+        report = maintainer.engine.apply_batch(
+            mixed_churn_sequence(maintainer.graph.copy(), 10, seed=13)
+        )
+        assert isinstance(report, BatchUpdateReport)
+        maintainer.verify()
