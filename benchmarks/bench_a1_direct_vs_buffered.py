@@ -62,10 +62,20 @@ def run_experiment() -> Dict:
     direct.apply_sequence(changes)
     buffered.apply_sequence(changes)
     average_rows = [
-        ["direct (Corollary 6)", direct.metrics.mean("rounds"), direct.metrics.mean("broadcasts"),
-         direct.metrics.mean("state_changes"), direct.metrics.mean("adjustments")],
-        ["Algorithm 2 (buffered)", buffered.metrics.mean("rounds"), buffered.metrics.mean("broadcasts"),
-         buffered.metrics.mean("state_changes"), buffered.metrics.mean("adjustments")],
+        [
+            "direct (Corollary 6)",
+            direct.metrics.mean("rounds"),
+            direct.metrics.mean("broadcasts"),
+            direct.metrics.mean("state_changes"),
+            direct.metrics.mean("adjustments"),
+        ],
+        [
+            "Algorithm 2 (buffered)",
+            buffered.metrics.mean("rounds"),
+            buffered.metrics.mean("broadcasts"),
+            buffered.metrics.mean("state_changes"),
+            buffered.metrics.mean("adjustments"),
+        ],
     ]
 
     # Part (b): the worst-case gadget, deterministic order so the wave always fires.
@@ -134,7 +144,8 @@ def test_a1_direct_vs_buffered_ablation(benchmark):
     assert abs(result["average_rows"][0][4] - result["average_rows"][1][4]) < 1e-9
     # On the gadget the buffered protocol's per-node state changes stay at 3
     # while the direct one pays extra re-flips (the far endpoint flips twice).
-    for path_length, direct_changes, buffered_changes, direct_rounds, buffered_rounds in result["gadget_rows"]:
+    for row in result["gadget_rows"]:
+        path_length, direct_changes, buffered_changes, direct_rounds, buffered_rounds = row
         influenced = path_length + 2  # v*, the path, and the far endpoint
         assert buffered_changes <= 3 * (influenced + 1)
         assert direct_changes >= influenced  # at least one flip per influenced node

@@ -81,7 +81,12 @@ def test_a2_batched_changes_extension(benchmark):
 
     emit_table(
         "A2 -- batched simultaneous changes: cost per individual change",
-        ["batch size", "mean |S| / change", "mean adjustments / change", "mean propagation depth / batch"],
+        [
+            "batch size",
+            "mean |S| / change",
+            "mean adjustments / change",
+            "mean propagation depth / batch",
+        ],
         result["rows"],
     )
     emit(

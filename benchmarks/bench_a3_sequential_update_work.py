@@ -77,7 +77,9 @@ def test_a3_sequential_update_work(benchmark):
                 "row": "update work grows with Delta",
                 "paper": "O(Delta) per influenced node (Section 6)",
                 "measured": result["work_series"][-1] / max(result["work_series"][0], 0.1),
-                "verdict": "pass" if result["work_series"][-1] > result["work_series"][0] else "CHECK",
+                "verdict": "pass"
+                if result["work_series"][-1] > result["work_series"][0]
+                else "CHECK",
                 "detail": "ratio between densest and sparsest setting",
             },
             {

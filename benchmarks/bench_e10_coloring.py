@@ -94,7 +94,9 @@ def test_e10_coloring_examples(benchmark):
                 "row": "coloring remains proper with Delta+1 colors",
                 "paper": "reduction preserves correctness + history independence",
                 "measured": result["dynamic_colors_used"],
-                "verdict": "pass" if result["dynamic_colors_used"] <= result["palette"] else "CHECK",
+                "verdict": "pass"
+                if result["dynamic_colors_used"] <= result["palette"]
+                else "CHECK",
                 "detail": f"palette {result['palette']}",
             },
             {

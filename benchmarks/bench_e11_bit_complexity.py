@@ -59,7 +59,12 @@ def test_e11_bit_complexity(benchmark):
 
     emit_table(
         "E11 -- bits per change vs n (edge churn, Algorithm 2)",
-        ["n", "mean broadcasts", "mean bits (explicit IDs, O(log n)/msg)", "mean bits (comparison model, O(1)/msg)"],
+        [
+            "n",
+            "mean broadcasts",
+            "mean bits (explicit IDs, O(log n)/msg)",
+            "mean bits (comparison model, O(1)/msg)",
+        ],
         result["rows"],
     )
     emit(

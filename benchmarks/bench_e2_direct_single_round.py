@@ -21,7 +21,7 @@ from repro.distributed.scheduler import AdversarialDelayScheduler, RandomDelaySc
 from repro.graph.generators import erdos_renyi_graph
 from repro.workloads.sequences import mixed_churn_sequence
 
-from harness import emit, emit_table, run_once
+from harness import emit, run_once
 
 NUM_NODES = 50
 CHANGES = 120

@@ -124,7 +124,14 @@ def test_e3_theorem7_per_change_type_costs(benchmark):
 
     emit_table(
         "E3 / Theorem 7 -- Algorithm 2 cost per change type",
-        ["change type", "paper broadcasts", "mean broadcasts", "mean rounds", "mean adjustments", "mean degree"],
+        [
+            "change type",
+            "paper broadcasts",
+            "mean broadcasts",
+            "mean rounds",
+            "mean adjustments",
+            "mean degree",
+        ],
         [
             [
                 kind,
@@ -159,7 +166,10 @@ def test_e3_theorem7_per_change_type_costs(benchmark):
     for kind in ("edge_insertion", "edge_deletion", "graceful_node_deletion", "node_unmuting"):
         assert result[kind]["mean_broadcasts"] <= 12.0, kind
     # Node insertion is allowed its Theta(d) discovery cost but not much more.
-    assert result["node_insertion"]["mean_broadcasts"] <= result["node_insertion"]["mean_degree"] + 8.0
+    assert (
+        result["node_insertion"]["mean_broadcasts"]
+        <= result["node_insertion"]["mean_degree"] + 8.0
+    )
     # Every change type keeps the single-adjustment expectation (with slack).
     for kind, stats in result.items():
         assert stats["mean_adjustments"] <= 1.6, kind

@@ -48,22 +48,36 @@ def run_experiment() -> Dict:
         average_cost = mean(costs)
         ratio = average_cost / max(optimal_cost, 1)
         ratios.append(ratio)
-        ratio_rows.append([f"G({num_nodes},{probability}) seed={seed}", optimal_cost, average_cost, ratio])
+        ratio_rows.append(
+            [f"G({num_nodes},{probability}) seed={seed}", optimal_cost, average_cost, ratio]
+        )
 
     # Part (b): planted clusters, with churn applied on top, against baselines.
-    graph, planted = planted_clusters_graph(PLANTED_SIZES, intra_probability=0.9, inter_probability=0.05, seed=7)
-    planted_labels = {node: index for index, cluster in enumerate(planted) for node in cluster}
+    graph, planted = planted_clusters_graph(
+        PLANTED_SIZES, intra_probability=0.9, inter_probability=0.05, seed=7
+    )
+    planted_labels = {
+        node: index for index, cluster in enumerate(planted) for node in cluster
+    }
     planted_cost = clustering_cost(graph, planted_labels)
     clusterer = DynamicCorrelationClustering(seed=11, initial_graph=graph)
     clusterer.apply_sequence(edge_churn_sequence(graph, 60, seed=12))
     final_graph = clusterer.graph
     ours_cost = clusterer.cost()
     baseline_rows = [
-        ["planted partition (reference)", clustering_cost(final_graph, {n: planted_labels[n] for n in final_graph.nodes()})],
+        [
+            "planted partition (reference)",
+            clustering_cost(
+                final_graph, {n: planted_labels[n] for n in final_graph.nodes()}
+            ),
+        ],
         ["dynamic random greedy (ours)", ours_cost],
         ["singletons", clustering_cost(final_graph, singleton_clustering(final_graph))],
         ["one cluster", clustering_cost(final_graph, single_cluster_clustering(final_graph))],
-        ["connected components", clustering_cost(final_graph, connected_component_clustering(final_graph))],
+        [
+            "connected components",
+            clustering_cost(final_graph, connected_component_clustering(final_graph)),
+        ],
     ]
     return {
         "ratio_rows": ratio_rows,

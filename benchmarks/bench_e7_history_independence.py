@@ -20,7 +20,6 @@ from repro.analysis.history_independence import (
     max_pairwise_distance,
     mis_distribution_over_histories,
     outputs_identical_across_histories,
-    replay_history_mis,
 )
 from repro.baselines.deterministic_dynamic import NaturalGreedyDynamicMIS
 from repro.graph.generators import erdos_renyi_graph, star_graph

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.reporting import format_claim_table, format_table
-from repro.core.rng import normalize_seed, spawn_seeds
+from repro.core.rng import spawn_seeds
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -64,8 +64,7 @@ def benchmark_seeds(seed: Any, repetitions: int) -> List[int]:
     """Independent per-repetition seeds from one master seed.
 
     ``seed`` may be an int or a ``numpy.random.Generator`` / ``SeedSequence``
-    (anything :func:`repro.core.rng.normalize_seed` accepts -- re-exported
-    here for benchmarks that only need the coercion), so experiment scripts
+    (anything :func:`repro.core.rng.normalize_seed` accepts), so experiment scripts
     can pass their own Generator end-to-end without touching module-level
     randomness.
     """

@@ -130,6 +130,28 @@ def load_baseline(relative_path: Path, ref: str) -> Optional[Dict]:
         return None
 
 
+def baseline_ref_exists(ref: str) -> bool:
+    """Whether ``ref`` resolves to a commit in this checkout.
+
+    Returns False -- instead of exploding later on every ``git show`` -- on
+    shallow checkouts that did not fetch the ref, on first-commit or empty
+    repositories where ``HEAD``/``HEAD~1`` does not exist yet, and when
+    ``git`` itself is unavailable.  :func:`run_report` turns that into a
+    clear skip message with exit code 0, so the trajectory gate degrades
+    gracefully instead of failing CI for reasons unrelated to performance.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", f"{ref}^{{commit}}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+    except OSError:
+        return False
+    return completed.returncode == 0
+
+
 def run_report(
     against: str = "HEAD",
     threshold: float = 0.30,
@@ -145,6 +167,12 @@ def run_report(
     result_files = sorted(results_dir.glob("*.json"))
     if not result_files:
         print(f"no benchmark results under {results_dir}")
+        return 0
+    if not baseline_ref_exists(against):
+        print(
+            f"baseline ref {against!r} not found (shallow checkout, first commit, "
+            f"or git unavailable); skipping the trajectory comparison"
+        )
         return 0
 
     regressions: List[MetricDelta] = []

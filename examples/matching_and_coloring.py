@@ -51,7 +51,10 @@ def main() -> None:
             [
                 ["active (matched) links", matcher.matching_size()],
                 ["ports covered", 2 * matcher.matching_size()],
-                ["mean matching adjustments per cable change", sum(adjustments) / len(adjustments)],
+                [
+                    "mean matching adjustments per cable change",
+                    sum(adjustments) / len(adjustments),
+                ],
                 ["max matching adjustments for one cable change", max(adjustments)],
             ],
             title="History-independent maximal matching under cable churn",

@@ -45,8 +45,16 @@ def main() -> None:
                 ["changes applied", "-", stats.num_changes],
                 ["mean influenced set |S|", "<= 1 (Theorem 1)", stats.mean_influenced_size()],
                 ["mean adjustments per change", "<= 1", stats.mean_adjustments()],
-                ["mean propagation depth (rounds)", "1 in expectation", stats.mean_propagation_depth()],
-                ["worst single-change adjustments", "rare, unbounded only w.p. 1/k", stats.max_adjustments()],
+                [
+                    "mean propagation depth (rounds)",
+                    "1 in expectation",
+                    stats.mean_propagation_depth(),
+                ],
+                [
+                    "worst single-change adjustments",
+                    "rare, unbounded only w.p. 1/k",
+                    stats.max_adjustments(),
+                ],
                 ["final MIS size", "-", len(maintainer.mis())],
             ],
             title="Dynamic MIS under 300 topology changes",
@@ -62,8 +70,16 @@ def main() -> None:
         format_table(
             ["algorithm", "mean rounds / change", "mean broadcasts / change"],
             [
-                ["dynamic MIS (this paper)", stats.mean_propagation_depth(), stats.mean_influenced_size()],
-                ["Luby recompute baseline", baseline.metrics.mean("rounds"), baseline.metrics.mean("broadcasts")],
+                [
+                    "dynamic MIS (this paper)",
+                    stats.mean_propagation_depth(),
+                    stats.mean_influenced_size(),
+                ],
+                [
+                    "Luby recompute baseline",
+                    baseline.metrics.mean("rounds"),
+                    baseline.metrics.mean("broadcasts"),
+                ],
             ],
             title="Why dynamic beats recompute",
         )

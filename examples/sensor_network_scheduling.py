@@ -119,7 +119,11 @@ def main() -> None:
             ["algorithm", "mean rounds / event", "mean broadcasts / event"],
             [
                 ["Algorithm 2 (this paper)", metrics.mean("rounds"), metrics.mean("broadcasts")],
-                ["Luby recompute after every event", baseline.metrics.mean("rounds"), baseline.metrics.mean("broadcasts")],
+                [
+                    "Luby recompute after every event",
+                    baseline.metrics.mean("rounds"),
+                    baseline.metrics.mean("broadcasts"),
+                ],
             ],
             title="Total repair cost comparison",
             float_format=".2f",

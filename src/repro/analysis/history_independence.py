@@ -26,7 +26,6 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence
 
 from repro.core.dynamic_mis import DynamicMIS
-from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import TopologyChange
 
 Node = Hashable

@@ -10,7 +10,7 @@ wrapper around both static baselines.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Set
 
 from repro.baselines.ghaffari import GhaffariStyleMIS
 from repro.baselines.luby import LubyMIS, StaticRunMetrics
@@ -42,7 +42,9 @@ class StaticRecomputeDynamicMIS:
         initial_graph: Optional[DynamicGraph] = None,
     ) -> None:
         self._runner = self._make_runner(algorithm, seed)
-        self._algorithm_name = algorithm if isinstance(algorithm, str) else type(algorithm).__name__
+        self._algorithm_name = (
+            algorithm if isinstance(algorithm, str) else type(algorithm).__name__
+        )
         self._graph = initial_graph.copy() if initial_graph is not None else DynamicGraph()
         self._mis: Set[Node] = self._runner.run(self._graph)
         self._aggregator = MetricsAggregator()

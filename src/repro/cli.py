@@ -44,9 +44,7 @@ from repro.analysis.reporting import format_table
 from repro.baselines.recompute import StaticRecomputeDynamicMIS
 from repro.core.dynamic_mis import DynamicMIS
 from repro.core.engine_api import available_engines
-from repro.distributed.async_network import AsyncDirectMISNetwork
-from repro.distributed.protocol_direct import DirectMISNetwork
-from repro.distributed.protocol_mis import BufferedMISNetwork
+from repro.distributed.network_api import NETWORK_NAMES, create_network
 from repro.graph.generators import FAMILY_NAMES, random_graph_family
 from repro.lowerbounds.deterministic import (
     run_deterministic_lower_bound,
@@ -82,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="buffered = Algorithm 2, direct = Corollary 6, async = event-driven",
     )
     protocol.add_argument(
+        "--network",
+        choices=NETWORK_NAMES,
+        default="dict",
+        help="network state core ('dict' = paper-shaped runtimes, 'fast' = id-interned "
+        "arrays; identical metrics and outputs for buffered/direct -- async uses the "
+        "global-stream random scheduler, whose delay assignment is core-specific; "
+        "any registered backend works)",
+    )
+    protocol.add_argument(
         "--compare-recompute",
         action="store_true",
         help="also run the Luby-recompute baseline on the same workload",
@@ -105,7 +112,9 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--family", choices=FAMILY_NAMES, default="erdos_renyi")
     parser.add_argument("--nodes", type=int, default=40, help="number of nodes of the start graph")
     parser.add_argument("--changes", type=int, default=100, help="number of topology changes")
-    parser.add_argument("--seed", type=int, default=0, help="seed for graph, workload and algorithm")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for graph, workload and algorithm"
+    )
     _add_engine_argument(
         parser,
         "drives the maintainer for churn/history, and selects the verification "
@@ -153,7 +162,11 @@ def _resolve_workload(arguments):
             arguments.save_trace,
             changes,
             graph,
-            metadata={"family": arguments.family, "nodes": arguments.nodes, "seed": arguments.seed},
+            metadata={
+                "family": arguments.family,
+                "nodes": arguments.nodes,
+                "seed": arguments.seed,
+            },
         )
     return graph, changes
 
@@ -234,12 +247,15 @@ def _run_churn(arguments) -> int:
 
 def _run_protocol(arguments) -> int:
     graph, changes = _resolve_workload(arguments)
-    if arguments.protocol == "buffered":
-        network = BufferedMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
-    elif arguments.protocol == "direct":
-        network = DirectMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
-    else:
-        network = AsyncDirectMISNetwork(seed=arguments.seed + 2, initial_graph=graph)
+    protocol = {"buffered": "buffered", "direct": "direct", "async": "async-direct"}[
+        arguments.protocol
+    ]
+    network = create_network(
+        protocol,
+        network=arguments.network,
+        seed=arguments.seed + 2,
+        initial_graph=graph,
+    )
     network.apply_sequence(changes)
     network.verify(reference_engine=arguments.engine)
     metrics = network.metrics
@@ -304,7 +320,12 @@ def _run_lowerbound(arguments) -> int:
     ]
     print(
         format_table(
-            ["algorithm", "worst single-change adjustments", "total adjustments", "mean per change"],
+            [
+                "algorithm",
+                "worst single-change adjustments",
+                "total adjustments",
+                "mean per change",
+            ],
             [
                 [
                     "deterministic greedy",
@@ -329,7 +350,9 @@ def _run_lowerbound(arguments) -> int:
 
 def _run_history(arguments) -> int:
     graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
-    histories = alternative_histories(graph, num_histories=arguments.histories, seed=arguments.seed + 1)
+    histories = alternative_histories(
+        graph, num_histories=arguments.histories, seed=arguments.seed + 1
+    )
 
     def runner(history, seed):
         return replay_history_mis(history, seed, engine=arguments.engine)

@@ -68,7 +68,9 @@ class DynamicColoring:
         engine: EngineSpec = "template",
     ) -> None:
         self._view = CliqueBlowupView(initial_graph, num_colors=num_colors)
-        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.blowup_graph, engine=engine)
+        self._maintainer = DynamicMIS(
+            seed=seed, initial_graph=self._view.blowup_graph, engine=engine
+        )
 
     # ------------------------------------------------------------------
     # Read access

@@ -30,7 +30,7 @@ the property-based tests check this relationship on random instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.invariant import desired_state
 from repro.core.priorities import PriorityAssigner, PriorityKey
@@ -250,21 +250,19 @@ def forced_minimal_influence(
         )
         baseline[node] = not earlier_in_mis
 
+    # No extra dirty seeds in either case: the forced flip of the source
+    # itself seeds the propagation, whether or not the source is a node of
+    # ``graph`` (kept as a parameter for API stability and documentation).
+    del present_source
     result = propagate_influence(
         graph,
         forced,
         baseline,
         source=source,
         source_changes=True,
-        extra_dirty=() if present_source and graph.has_node(source) else _later_neighbors_of_missing(graph, forced, source),
+        extra_dirty=(),
     )
     return result.influenced
-
-
-def _later_neighbors_of_missing(graph: DynamicGraph, priorities: PriorityAssigner, source: Node) -> List[Node]:
-    if graph.has_node(source):
-        return []
-    return []
 
 
 class _ForcedMinimalOrder(PriorityAssigner):

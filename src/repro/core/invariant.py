@@ -21,7 +21,9 @@ class InvariantViolation(AssertionError):
     """Raised when the MIS invariant is expected to hold but does not."""
 
 
-def desired_state(graph: DynamicGraph, priorities: PriorityAssigner, states: States, node: Node) -> bool:
+def desired_state(
+    graph: DynamicGraph, priorities: PriorityAssigner, states: States, node: Node
+) -> bool:
     """The state the MIS invariant dictates for ``node`` given its earlier neighbors.
 
     ``True`` means the node must be in M (no earlier neighbor is in M),

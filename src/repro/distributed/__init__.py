@@ -15,7 +15,12 @@ The subpackage contains
   one round in expectation (:mod:`repro.distributed.protocol_direct`),
 * an asynchronous event-driven execution of the direct protocol with
   adversarial/random message delays (:mod:`repro.distributed.async_network`,
-  :mod:`repro.distributed.scheduler`).
+  :mod:`repro.distributed.scheduler`),
+* the id-interned flat-array state core running the same three protocols at
+  protocol-benchmark scale (:mod:`repro.distributed.fast_network`), selected
+  through the network-backend registry
+  (:mod:`repro.distributed.network_api`) or by passing ``network="fast"`` to
+  any simulator constructor.
 """
 
 from repro.distributed.message import Message, MessageKind, id_message_bits, state_message_bits
@@ -24,6 +29,18 @@ from repro.distributed.node import NodeRuntime, NodeState
 from repro.distributed.protocol_direct import DirectMISNetwork
 from repro.distributed.protocol_mis import BufferedMISNetwork
 from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.fast_network import (
+    FastAsyncDirectMISNetwork,
+    FastBufferedMISNetwork,
+    FastDirectMISNetwork,
+)
+from repro.distributed.network_api import (
+    NETWORK_NAMES,
+    available_networks,
+    create_network,
+    register_network,
+    unregister_network,
+)
 from repro.distributed.scheduler import (
     AdversarialDelayScheduler,
     FixedDelayScheduler,
@@ -42,6 +59,14 @@ __all__ = [
     "BufferedMISNetwork",
     "DirectMISNetwork",
     "AsyncDirectMISNetwork",
+    "FastBufferedMISNetwork",
+    "FastDirectMISNetwork",
+    "FastAsyncDirectMISNetwork",
+    "NETWORK_NAMES",
+    "available_networks",
+    "create_network",
+    "register_network",
+    "unregister_network",
     "RandomDelayScheduler",
     "FixedDelayScheduler",
     "AdversarialDelayScheduler",

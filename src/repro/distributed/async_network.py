@@ -67,6 +67,29 @@ class AsyncDirectMISNetwork:
     """
 
     MAX_EVENTS_FACTOR = 50
+    #: protocol name in the network-backend registry.
+    PROTOCOL = "async-direct"
+
+    def __new__(cls, *args, network: str = "dict", **kwargs):
+        """Dispatch through the network-backend registry when ``network != "dict"``.
+
+        ``AsyncDirectMISNetwork(seed=3, network="fast")`` returns the
+        id-interned
+        :class:`~repro.distributed.fast_network.FastAsyncDirectMISNetwork`.
+        """
+        if network != "dict":
+            if "PROTOCOL" not in cls.__dict__:
+                # A subclass inheriting PROTOCOL would silently lose its
+                # overrides to the stock registered twin -- fail loudly.
+                raise TypeError(
+                    f"{cls.__name__} subclasses a registered protocol; register it "
+                    f"as its own network backend and select it by name instead of "
+                    f"network={network!r}"
+                )
+            from repro.distributed.network_api import resolve_network
+
+            return resolve_network(network, cls.PROTOCOL)(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -74,7 +97,12 @@ class AsyncDirectMISNetwork:
         initial_graph: Optional[DynamicGraph] = None,
         scheduler: Optional[DelayScheduler] = None,
         priorities: Optional[PriorityAssigner] = None,
+        *,
+        network: str = "dict",
     ) -> None:
+        # Keyword-only, mirroring __new__: a positional value here would be
+        # invisible to the dispatch and silently build the dict core.
+        del network  # "dict" by construction; other values dispatched in __new__
         self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
         self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
         self._graph = DynamicGraph()
@@ -102,7 +130,9 @@ class AsyncDirectMISNetwork:
             self._runtimes[node] = runtime
         for node, runtime in self._runtimes.items():
             for other in runtime.neighbors:
-                runtime.learn_neighbor(other, self._runtimes[other].key, self._runtimes[other].state)
+                runtime.learn_neighbor(
+                    other, self._runtimes[other].key, self._runtimes[other].state
+                )
 
     @property
     def graph(self) -> DynamicGraph:
@@ -140,7 +170,8 @@ class AsyncDirectMISNetwork:
         actual = self.mis()
         if expected != actual:
             raise AssertionError(
-                f"async protocol diverged from random greedy: expected {sorted(expected, key=repr)[:5]}..., "
+                f"async protocol diverged from random greedy: "
+                f"expected {sorted(expected, key=repr)[:5]}..., "
                 f"got {sorted(actual, key=repr)[:5]}..."
             )
 

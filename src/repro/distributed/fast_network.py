@@ -1,0 +1,1191 @@
+"""Id-interned, flat-array network core for the distributed simulators.
+
+The dict-based :class:`~repro.distributed.network.SynchronousMISNetwork`
+keeps one :class:`~repro.distributed.node.NodeRuntime` per node -- sets of
+neighbor labels, dicts of learned keys and states -- and its round loop
+iterates *every* runtime every round.  That is faithful to the paper's model
+but caps protocol experiments at a few thousand nodes: each change pays
+``O(n)`` for the before/after output snapshots and ``O(n log n)`` per round
+for the full sorted sweep, even when the repair wave touches three nodes.
+
+This module rebuilds the whole subsystem with the same discipline as
+:class:`~repro.core.fast_engine.FastEngine`:
+
+* node labels are *interned* to dense integer ids on arrival; ids of deleted
+  nodes go to a free list and are reused, so the parallel arrays never grow
+  beyond the historical peak node count;
+* adjacency is one ``array('q')`` row of neighbor ids per node; each node's
+  *local knowledge* (the last state heard from each neighbor, and whether its
+  random ID is known) lives in ``bytearray`` rows aligned index-for-index
+  with the adjacency row -- dropping a neighbor swap-deletes all three rows
+  in tandem, so the protocol rules are cache-friendly integer scans with no
+  hashing on the hot path;
+* per-round message buffers are lists of small integer tuples delivered
+  through the adjacency rows, instead of per-node dict queues;
+* the round loop only visits the *active* set -- inbox receivers plus nodes
+  in transient states -- and the adjustment count is computed from an
+  epoch-stamped touched list, never from an ``O(n)`` state snapshot.
+
+The three simulators here -- :class:`FastBufferedMISNetwork` (Algorithm 2),
+:class:`FastDirectMISNetwork` (the direct template protocol) and
+:class:`FastAsyncDirectMISNetwork` (the event-driven asynchronous execution)
+-- are *observably identical* to their dict twins: same per-change metrics
+(rounds, broadcasts, bits, state changes, adjustments and the adjusted-node
+sets), same round-by-round traces under round logging, same outputs under
+the same seed.  That claim is machine-checked by
+:func:`repro.testing.protocol_differential.replay_protocol_differential` and
+``tests/conformance/test_protocol_differential.py``; the speedup is measured
+by ``benchmarks/bench_a5_distributed.py``.
+
+Select a backend through the network registry
+(:mod:`repro.distributed.network_api`) or simply pass ``network="fast"`` to
+any of the dict simulator classes -- their constructors dispatch through the
+registry, so existing call sites pick the fast core up with zero edits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from array import array
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.fast_engine import FastGraphView, reference_mis
+from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.distributed.message import MessageKind, id_message_bits, state_message_bits
+from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
+from repro.distributed.async_network import AsyncDirectMISNetwork
+from repro.distributed.network import ProtocolError, RoundRecord, SynchronousMISNetwork
+from repro.distributed.node import CODE_TO_STATE, NodeRuntime, NodeState
+from repro.distributed.scheduler import DelayScheduler, RandomDelayScheduler
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+    validate_change,
+)
+
+Node = Hashable
+
+# State codes (see repro.distributed.node.STATE_CODES): outputs first.
+CODE_M = NodeState.M.code
+CODE_M_BAR = NodeState.M_BAR.code
+CODE_C = NodeState.C.code
+CODE_R = NodeState.R.code
+#: Knowledge rows use one extra code for "state never heard".
+CODE_UNKNOWN = 4
+
+_KIND_STATE = 0
+_KIND_ID = 1
+_KIND_VALUES = (MessageKind.STATE.value, MessageKind.ID_AND_STATE.value)
+_STATE_VALUES = tuple(state.value for state in CODE_TO_STATE)
+
+#: A broadcast in flight: ``(sender_id, kind_code, state_code, requests_introduction)``.
+FastMessage = Tuple[int, int, int, bool]
+
+
+class FastNetworkCore:
+    """Interned storage shared by the synchronous and asynchronous fast simulators.
+
+    Holds the parallel id-indexed arrays (labels, adjacency, knowledge,
+    priorities, protocol state), the label interning with free-list reuse,
+    and the epoch-stamped adjustment accounting.  Subclasses add the round
+    loop / event loop and the topology-change controller.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        priorities: Optional[PriorityAssigner] = None,
+    ) -> None:
+        self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
+        # id-indexed parallel arrays (grown together by _new_slot).
+        self._labels: List[Optional[Node]] = []  # id -> label (None = free slot)
+        self._adj: List[array] = []  # id -> array('q') of neighbor ids
+        self._nstate: List[bytearray] = []  # id -> known state per adjacency slot
+        self._nkey: List[bytearray] = []  # id -> 1 iff that neighbor's key is known
+        self._prio: List[float] = []  # id -> float part of the priority key
+        self._keys: List[Optional[Tuple]] = []  # id -> full priority key
+        self._state = bytearray()  # id -> protocol state code
+        self._alive = bytearray()  # id -> 1 iff node currently exists
+        self._retiring = bytearray()  # id -> 1 while a graceful deletion relays
+        self._entered_c = array("q")  # id -> round it last entered C (-1 = never)
+        # Per-change adjustment accounting (epoch stamps avoid O(n) clears).
+        self._snap_stamp: List[int] = []  # id -> epoch of the output snapshot
+        self._snap_bit = bytearray()  # id -> output bit at snapshot time
+        self._epoch = 0
+        self._touched: List[int] = []  # ids whose state changed this change
+        # Label interning.
+        self._id_of: Dict[Node, int] = {}
+        self._free: List[int] = []
+        self._num_edges = 0
+        self._aggregator = MetricsAggregator()
+        if initial_graph is not None:
+            self._bootstrap(initial_graph)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def _bootstrap(self, graph: DynamicGraph) -> None:
+        for node in graph.nodes():
+            self._intern(node, snapshot=False)
+        id_of = self._id_of
+        for u, v in graph.edges():
+            iu, iv = id_of[u], id_of[v]
+            self._add_half_edge(iu, iv)
+            self._add_half_edge(iv, iu)
+            self._num_edges += 1
+        # Greedy pass in increasing pi: any MIS neighbor was processed
+        # earlier, unprocessed (hence later) neighbors still read as non-MIS.
+        state = self._state
+        order = sorted(range(len(self._labels)), key=lambda i: self._keys[i])
+        for nid in order:
+            if not any(state[m] == CODE_M for m in self._adj[nid]):
+                state[nid] = CODE_M
+        # The system starts stable: every node knows every neighbor's random
+        # ID and current output (exactly as the dict bootstrap installs).
+        for nid in order:
+            row = self._adj[nid]
+            nstate = self._nstate[nid]
+            nkey = self._nkey[nid]
+            for position, m in enumerate(row):
+                nstate[position] = state[m]
+                nkey[position] = 1
+
+    # ------------------------------------------------------------------
+    # Interning / slot management
+    # ------------------------------------------------------------------
+    def _new_slot(self) -> int:
+        nid = len(self._labels)
+        self._labels.append(None)
+        self._adj.append(array("q"))
+        self._nstate.append(bytearray())
+        self._nkey.append(bytearray())
+        self._prio.append(0.0)
+        self._keys.append(None)
+        self._state.append(CODE_M_BAR)
+        self._alive.append(0)
+        self._retiring.append(0)
+        self._entered_c.append(-1)
+        self._snap_stamp.append(0)
+        self._snap_bit.append(0)
+        return nid
+
+    def _intern(self, label: Node, snapshot: bool = True) -> int:
+        """Assign ``label`` a dense id (reusing a free slot) and its priority.
+
+        With ``snapshot`` (the default, used for mid-change insertions) the
+        new node is stamped into the touched set with a non-MIS "before"
+        output, matching the dict controller's ``before.get(node, False)``.
+        """
+        nid = self._free.pop() if self._free else self._new_slot()
+        key = self._priorities.assign(label)
+        self._labels[nid] = label
+        self._prio[nid] = float(key[0])
+        self._keys[nid] = tuple(key)
+        self._state[nid] = CODE_M_BAR
+        self._alive[nid] = 1
+        self._retiring[nid] = 0
+        self._entered_c[nid] = -1
+        del self._adj[nid][:]
+        del self._nstate[nid][:]
+        del self._nkey[nid][:]
+        self._id_of[label] = nid
+        if snapshot:
+            self._snap_stamp[nid] = self._epoch
+            self._snap_bit[nid] = 0
+            self._touched.append(nid)
+        return nid
+
+    def _release(self, nid: int) -> None:
+        """Return a dead id to the free list (its label was already unmapped)."""
+        self._labels[nid] = None
+        self._keys[nid] = None
+        del self._adj[nid][:]
+        del self._nstate[nid][:]
+        del self._nkey[nid][:]
+        self._free.append(nid)
+
+    def _require(self, label: Node) -> int:
+        nid = self._id_of.get(label)
+        if nid is None:
+            raise GraphError(f"node {label!r} is not in the graph")
+        return nid
+
+    def _detach_node(self, nid: int, label: Node) -> None:
+        """Remove a node from the topology, the arrays and its neighbors' views.
+
+        The slot stays allocated (``_release`` returns it to the free list
+        once the change that deleted the node has been fully accounted).
+        """
+        row = self._adj[nid]
+        for m in list(row):
+            self._remove_half_edge(m, nid)
+        self._num_edges -= len(row)
+        del row[:]
+        del self._nstate[nid][:]
+        del self._nkey[nid][:]
+        self._alive[nid] = 0
+        del self._id_of[label]
+        self._priorities.forget(label)
+
+    # ------------------------------------------------------------------
+    # Aligned adjacency + knowledge rows
+    # ------------------------------------------------------------------
+    def _add_half_edge(
+        self, nid: int, other: int, known_state: int = CODE_UNKNOWN, known_key: int = 0
+    ) -> None:
+        self._adj[nid].append(other)
+        self._nstate[nid].append(known_state)
+        self._nkey[nid].append(known_key)
+
+    def _remove_half_edge(self, nid: int, other: int) -> None:
+        row = self._adj[nid]
+        position = row.index(other)
+        last = len(row) - 1
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        if position != last:
+            row[position] = row[last]
+            nstate[position] = nstate[last]
+            nkey[position] = nkey[last]
+        del row[last]
+        del nstate[last]
+        del nkey[last]
+
+    def _earlier(self, a: int, b: int) -> bool:
+        """True iff id ``a`` comes before id ``b`` in ``pi``."""
+        pa, pb = self._prio[a], self._prio[b]
+        if pa != pb:
+            return pa < pb
+        return self._keys[a] < self._keys[b]
+
+    # ------------------------------------------------------------------
+    # Local-knowledge views (the protocol rules)
+    # ------------------------------------------------------------------
+    def _no_earlier_neighbor_in_mis(self, nid: int) -> bool:
+        """MIS-invariant test from local knowledge: no known earlier neighbor in M."""
+        row = self._adj[nid]
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        prio, keys = self._prio, self._keys
+        p, key = prio[nid], keys[nid]
+        for position, m in enumerate(row):
+            if nstate[position] == CODE_M and nkey[position]:
+                if prio[m] < p or (prio[m] == p and keys[m] < key):
+                    return False
+        return True
+
+    def _no_later_neighbor_in_c(self, nid: int) -> bool:
+        """Rule 3 guard: no known later neighbor is (to local knowledge) in C."""
+        row = self._adj[nid]
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        prio, keys = self._prio, self._keys
+        p, key = prio[nid], keys[nid]
+        for position, m in enumerate(row):
+            if nstate[position] == CODE_C and nkey[position]:
+                if prio[m] > p or (prio[m] == p and keys[m] > key):
+                    return False
+        return True
+
+    def _all_earlier_neighbors_in_output_states(self, nid: int) -> bool:
+        """Rule 4 guard: every known earlier neighbor is known to be in M or M_BAR."""
+        row = self._adj[nid]
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        prio, keys = self._prio, self._keys
+        p, key = prio[nid], keys[nid]
+        for position, m in enumerate(row):
+            if nkey[position] and (prio[m] < p or (prio[m] == p and keys[m] < key)):
+                if nstate[position] > CODE_M_BAR:
+                    return False
+        return True
+
+    def _knows_all_neighbor_keys(self, nid: int) -> bool:
+        return 0 not in self._nkey[nid]
+
+    # ------------------------------------------------------------------
+    # State changes and adjustment accounting
+    # ------------------------------------------------------------------
+    def _set_state(self, nid: int, code: int) -> None:
+        if self._snap_stamp[nid] != self._epoch:
+            self._snap_stamp[nid] = self._epoch
+            self._snap_bit[nid] = 1 if self._state[nid] == CODE_M else 0
+            self._touched.append(nid)
+        self._state[nid] = code
+
+    def _begin_change(self) -> None:
+        self._epoch += 1
+        self._touched = []
+
+    def _finalize(self, metrics: ChangeMetrics) -> None:
+        """Adjustment complexity from the touched set (no O(n) snapshots)."""
+        state, alive, labels = self._state, self._alive, self._labels
+        snap_bit = self._snap_bit
+        adjusted: Set[Node] = set()
+        for nid in self._touched:
+            if alive[nid] and (1 if state[nid] == CODE_M else 0) != snap_bit[nid]:
+                adjusted.add(labels[nid])
+        metrics.adjusted_nodes = adjusted
+        metrics.adjustments = len(adjusted)
+
+    # ------------------------------------------------------------------
+    # Read access (shared public surface)
+    # ------------------------------------------------------------------
+    @property
+    def priorities(self) -> PriorityAssigner:
+        """The order ``pi``."""
+        return self._priorities
+
+    @property
+    def metrics(self) -> MetricsAggregator:
+        """Per-change metrics accumulated so far."""
+        return self._aggregator
+
+    @property
+    def graph(self) -> FastGraphView:
+        """Read-only :class:`DynamicGraph`-shaped view of the current topology."""
+        return FastGraphView(self)
+
+    def num_nodes(self) -> int:
+        """Number of live nodes."""
+        return len(self._id_of)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def capacity(self) -> int:
+        """Number of allocated id slots (live + free); never shrinks."""
+        return len(self._labels)
+
+    def free_slots(self) -> int:
+        """Number of ids currently waiting on the free list."""
+        return len(self._free)
+
+    def nodes(self) -> List[Node]:
+        """All live node labels."""
+        return list(self._id_of)
+
+    def has_node(self, label: Node) -> bool:
+        """Whether ``label`` is a live node."""
+        return label in self._id_of
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        iu = self._id_of.get(u)
+        iv = self._id_of.get(v)
+        return iu is not None and iv is not None and iv in self._adj[iu]
+
+    def degree(self, label: Node) -> int:
+        """Degree of ``label`` (raises :class:`GraphError` if absent)."""
+        return len(self._adj[self._require(label)])
+
+    def neighbor_labels(self, label: Node) -> List[Node]:
+        """The neighbor labels of ``label``."""
+        labels = self._labels
+        return [labels[m] for m in self._adj[self._require(label)]]
+
+    def mis(self) -> Set[Node]:
+        """The current maximal independent set (outputs of all nodes)."""
+        state = self._state
+        return {label for label, nid in self._id_of.items() if state[nid] == CODE_M}
+
+    def states(self) -> Dict[Node, bool]:
+        """Copy of the output map ``node -> in MIS?``."""
+        state = self._state
+        return {label: state[nid] == CODE_M for label, nid in self._id_of.items()}
+
+    def node_runtime(self, label: Node) -> NodeRuntime:
+        """Materialize a :class:`NodeRuntime` view of one node (tests/debugging).
+
+        The returned record is a *copy* of the interned state -- mutating it
+        does not affect the simulation (unlike the dict simulators, whose
+        runtimes are live).
+        """
+        nid = self._require(label)
+        labels = self._labels
+        row = self._adj[nid]
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        runtime = NodeRuntime(
+            node_id=label,
+            key=self._keys[nid],
+            state=CODE_TO_STATE[self._state[nid]],
+            neighbors={labels[m] for m in row},
+        )
+        for position, m in enumerate(row):
+            runtime.learn_neighbor(
+                labels[m],
+                self._keys[m] if nkey[position] else None,
+                CODE_TO_STATE[nstate[position]] if nstate[position] != CODE_UNKNOWN else None,
+            )
+        entered = self._entered_c[nid]
+        runtime.entered_c_round = None if entered < 0 else int(entered)
+        runtime.retiring = bool(self._retiring[nid])
+        return runtime
+
+    def verify(self, reference_engine: str = "fast") -> None:
+        """Assert that the outputs equal the random-greedy MIS of the graph.
+
+        Identical contract to the dict simulators' ``verify``; the default
+        reference is the array-backed ``"fast"`` engine because this core
+        exists for networks where the dict recompute is the bottleneck.  Any
+        registered engine backend name is accepted.
+        """
+        expected = reference_mis(self.graph, self._priorities, reference_engine)
+        actual = self.mis()
+        if expected != actual:
+            missing = expected - actual
+            extra = actual - expected
+            raise AssertionError(
+                f"protocol output diverged from random greedy: "
+                f"missing={sorted(missing, key=repr)[:5]}, extra={sorted(extra, key=repr)[:5]}"
+            )
+        transient = [
+            self._labels[nid]
+            for nid in self._id_of.values()
+            if self._state[nid] > CODE_M_BAR
+        ]
+        if transient:
+            raise AssertionError(f"nodes left in transient states: {transient[:5]}")
+
+    def check_interning_invariants(self, expect_stable: bool = True) -> None:
+        """Assert the interning / knowledge / adjacency bookkeeping is sound.
+
+        With ``expect_stable`` (between changes) additionally asserts the
+        quiescence knowledge invariant: every node knows every neighbor's key
+        and *current* state -- which is exactly what makes the protocols'
+        local decisions agree with the global greedy MIS between repairs.
+        """
+        if not __debug__:  # pragma: no cover - -O strips the asserts below
+            raise RuntimeError(
+                "check_interning_invariants needs assertions enabled (do not run "
+                "the conformance suite under python -O)"
+            )
+        capacity = len(self._labels)
+        parallels = (
+            self._adj,
+            self._nstate,
+            self._nkey,
+            self._prio,
+            self._keys,
+            self._snap_stamp,
+        )
+        for parallel in parallels:
+            assert len(parallel) == capacity, "parallel arrays diverged in length"
+        for byte_array in (self._state, self._alive, self._retiring, self._snap_bit):
+            assert len(byte_array) == capacity
+        assert len(self._entered_c) == capacity
+        free = set(self._free)
+        assert len(free) == len(self._free), "duplicate ids on the free list"
+        live = set(self._id_of.values())
+        assert not (free & live), "id is both free and live"
+        assert free | live == set(range(capacity)), "leaked id slot"
+        half_edges = 0
+        for label, nid in self._id_of.items():
+            assert self._alive[nid] and self._labels[nid] == label, "intern map broken"
+            assert self._keys[nid] is not None and self._prio[nid] == self._keys[nid][0]
+            assert self._priorities.knows(label), "live node lost its priority"
+            row = self._adj[nid]
+            assert len(self._nstate[nid]) == len(row) == len(self._nkey[nid])
+            assert len(set(row)) == len(row), "duplicate adjacency entry"
+            for position, m in enumerate(row):
+                assert m != nid, "self loop"
+                assert self._alive[m], "edge to a dead node"
+                assert nid in self._adj[m], "asymmetric adjacency"
+                if expect_stable:
+                    assert self._nkey[nid][position], "neighbor key unknown at stability"
+                    assert self._nstate[nid][position] == self._state[m], (
+                        "stale neighbor-state knowledge at stability"
+                    )
+            half_edges += len(row)
+            if expect_stable:
+                assert self._state[nid] <= CODE_M_BAR, "transient state at stability"
+        for nid in free:
+            assert not self._alive[nid], "free id still alive"
+            assert self._labels[nid] is None and self._keys[nid] is None
+            assert len(self._adj[nid]) == 0, "free id kept adjacency"
+        assert half_edges == 2 * self._num_edges, "edge counter out of sync"
+
+
+class FastSynchronousMISNetwork(FastNetworkCore):
+    """Array-backed twin of :class:`~repro.distributed.network.SynchronousMISNetwork`.
+
+    Implements the same synchronous round loop and topology-change controller
+    (model-level notifications, discovery phases, metric accounting, round
+    caps) over the interned arrays, visiting only the active node set each
+    round.  The per-round protocol state machine is supplied by the two
+    concrete subclasses, exactly mirroring the dict protocol classes.
+    """
+
+    # Shared with the dict twin by reference, so the safety caps can never
+    # drift between the two backends.
+    ROUND_CAP_FACTOR = SynchronousMISNetwork.ROUND_CAP_FACTOR
+    ROUND_CAP_SLACK = SynchronousMISNetwork.ROUND_CAP_SLACK
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        priorities: Optional[PriorityAssigner] = None,
+    ) -> None:
+        self._round_logging = False
+        self._last_round_log: List[RoundRecord] = []
+        self._introduced: Set[int] = set()
+        self._transient: Set[int] = set()
+        super().__init__(seed=seed, initial_graph=initial_graph, priorities=priorities)
+
+    # ------------------------------------------------------------------
+    # Observability (same surface as the dict simulator)
+    # ------------------------------------------------------------------
+    def enable_round_logging(self, enabled: bool = True) -> None:
+        """Turn per-round observability records on or off (off by default)."""
+        self._round_logging = enabled
+        if not enabled:
+            self._last_round_log = []
+
+    def last_change_trace(self) -> List[RoundRecord]:
+        """Round-by-round records of the most recent change (requires logging)."""
+        return list(self._last_round_log)
+
+    # ------------------------------------------------------------------
+    # Topology-change API
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> ChangeMetrics:
+        """Apply one topology change, run the protocol to stability, return metrics."""
+        validate_change(self.graph, change)
+        self._begin_change()
+        self._introduced = set()
+        if isinstance(change, EdgeInsertion):
+            metrics = self._apply_edge_insertion(change)
+        elif isinstance(change, EdgeDeletion):
+            metrics = self._apply_edge_deletion(change)
+        elif isinstance(change, NodeInsertion):
+            metrics = self._apply_node_insertion(change)
+        elif isinstance(change, NodeUnmuting):
+            metrics = self._apply_node_unmuting(change)
+        elif isinstance(change, NodeDeletion):
+            metrics = self._apply_node_deletion(change)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown change type: {change!r}")
+        self._aggregator.add(metrics)
+        return metrics
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[ChangeMetrics]:
+        """Apply a whole change sequence, returning one metrics record per change."""
+        return [self.apply(change) for change in changes]
+
+    # ------------------------------------------------------------------
+    # Change handlers (mirror the dict controller step for step)
+    # ------------------------------------------------------------------
+    def _apply_edge_insertion(self, change: EdgeInsertion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_insertion")
+        iu, iv = self._require(change.u), self._require(change.v)
+        self._add_half_edge(iu, iv)
+        self._add_half_edge(iv, iu)
+        self._num_edges += 1
+        # Section 4.1: both endpoints broadcast their random ID and state in
+        # the first round so that each learns the other's order and output.
+        seeds = [self._id_broadcast(iu), self._id_broadcast(iv)]
+        self._introduced.update((iu, iv))
+        self._run_until_stable(metrics, seeds)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_edge_deletion(self, change: EdgeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_deletion")
+        iu, iv = self._require(change.u), self._require(change.v)
+        self._remove_half_edge(iu, iv)
+        self._remove_half_edge(iv, iu)
+        self._num_edges -= 1
+        # Both endpoints are notified by the model; only the later one can be
+        # in violation, and it can tell purely from local knowledge.
+        later = iu if self._earlier(iv, iu) else iv
+        seeds = self._maybe_seed_violation(later, metrics)
+        self._run_until_stable(metrics, seeds)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_node_insertion(self, change: NodeInsertion) -> ChangeMetrics:
+        metrics = ChangeMetrics("node_insertion")
+        neighbor_ids = [self._id_of[other] for other in change.neighbors]
+        nid = self._intern(change.node)
+        for oid in neighbor_ids:
+            self._add_half_edge(nid, oid)
+            self._add_half_edge(oid, nid)
+        self._num_edges += len(neighbor_ids)
+        # Section 4.1: the new node broadcasts its ID and a provisional
+        # non-MIS state; neighbors introduce themselves back (O(d(v*))
+        # broadcasts), after which the new node can check the invariant.  An
+        # isolated node has nobody to hear from and checks immediately.
+        seeds = [self._id_broadcast(nid, requests_introduction=True)]
+        self._introduced.add(nid)
+        if not neighbor_ids:
+            seeds.extend(self._maybe_seed_violation(nid, metrics))
+        self._run_until_stable(metrics, seeds)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_node_unmuting(self, change: NodeUnmuting) -> ChangeMetrics:
+        metrics = ChangeMetrics("node_unmuting")
+        neighbor_ids = [self._id_of[other] for other in change.neighbors]
+        nid = self._intern(change.node)
+        # The unmuted node overheard its neighbors all along: it already knows
+        # their IDs and current states without any extra broadcast.
+        for oid in neighbor_ids:
+            self._add_half_edge(nid, oid, known_state=self._state[oid], known_key=1)
+            self._add_half_edge(oid, nid)
+        self._num_edges += len(neighbor_ids)
+        # It announces itself once; nobody needs to introduce themselves back.
+        seeds = [self._id_broadcast(nid, requests_introduction=False)]
+        self._introduced.add(nid)
+        seeds.extend(self._maybe_seed_violation(nid, metrics))
+        self._run_until_stable(metrics, seeds)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_node_deletion(self, change: NodeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("node_deletion")
+        nid = self._require(change.node)
+        was_in_mis = self._state[nid] == CODE_M
+        if change.graceful and was_in_mis:
+            # Graceful deletion: the node keeps relaying until the system is
+            # stable.  It seeds the repair itself, with its final output
+            # forced to non-MIS, and only then retires.
+            self._retiring[nid] = 1
+            seeds = self._seed_retirement(nid, metrics)
+            self._run_until_stable(metrics, seeds)
+            self._detach_node(nid, change.node)
+        elif change.graceful:
+            # A non-MIS node retires silently: no neighbor's invariant changes.
+            self._detach_node(nid, change.node)
+            self._run_until_stable(metrics, [])
+        else:
+            # Abrupt deletion: neighbors merely observe that the node is gone.
+            former_neighbors = list(self._adj[nid])
+            self._detach_node(nid, change.node)
+            seeds: List[FastMessage] = []
+            if was_in_mis:
+                # Section 4.2: every former neighbor whose invariant broke
+                # (it was non-MIS and its only earlier MIS neighbor was the
+                # deleted node) switches to C in the first round.
+                former_neighbors.sort(key=self._keys.__getitem__)
+                for other in former_neighbors:
+                    seeds.extend(self._maybe_seed_violation(other, metrics))
+            self._run_until_stable(metrics, seeds)
+        self._finalize(metrics)
+        self._release(nid)
+        return metrics
+
+    def _detach_node(self, nid: int, label: Node) -> None:
+        super()._detach_node(nid, label)
+        self._transient.discard(nid)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks (implemented by subclasses, at id level)
+    # ------------------------------------------------------------------
+    def _node_step(
+        self, nid: int, inbox: Sequence[FastMessage], round_no: int
+    ) -> Tuple[List[FastMessage], bool]:
+        """Run one round of the protocol state machine at one node."""
+        raise NotImplementedError
+
+    def _seed_violation(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        """Reaction of a node that locally detects an MIS-invariant violation."""
+        raise NotImplementedError
+
+    def _seed_retirement(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        """Reaction of a gracefully deleted MIS node (it must hand off its role)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Simulator core
+    # ------------------------------------------------------------------
+    def _run_until_stable(
+        self, metrics: ChangeMetrics, seed_messages: List[FastMessage]
+    ) -> None:
+        """Run synchronous rounds until the system is stable again.
+
+        Identical round semantics to the dict simulator, but each round only
+        visits the *active* set -- inbox receivers plus nodes in transient
+        states -- instead of sweeping every runtime.  A node outside that set
+        provably does nothing in both protocol state machines, so the visit
+        order (ascending ``pi`` within the active set) and every observable
+        outcome coincide with the full sorted sweep.
+        """
+        self._last_round_log = []
+        labels = self._labels
+        pending = list(seed_messages)
+        if pending:
+            self._account_broadcasts(metrics, pending)
+            metrics.rounds = max(metrics.rounds, 1)
+            if self._round_logging:
+                seed_record = RoundRecord(1)
+                seed_record.broadcasts = [
+                    (labels[sender], _KIND_VALUES[kind], _STATE_VALUES[state_code])
+                    for sender, kind, state_code, _ in pending
+                ]
+                self._last_round_log.append(seed_record)
+        last_active = metrics.rounds
+        round_no = 1
+        cap = self.ROUND_CAP_FACTOR * max(1, len(self._id_of)) + self.ROUND_CAP_SLACK
+        sort_key = self._keys.__getitem__
+        while True:
+            round_no += 1
+            if round_no > cap:
+                raise ProtocolError(
+                    f"protocol did not stabilize within {cap} rounds "
+                    f"(change kind {metrics.change_kind})"
+                )
+            inboxes, delivered = self._deliver(pending)
+            pending = []
+            activity = False
+            record = RoundRecord(round_no) if self._round_logging else None
+            if record is not None:
+                record.messages_delivered = delivered
+            active = set(inboxes)
+            active.update(self._transient)
+            for nid in sorted(active, key=sort_key):
+                outgoing, changed = self._node_step(nid, inboxes.get(nid, ()), round_no)
+                if outgoing:
+                    pending.extend(outgoing)
+                    if record is not None:
+                        record.broadcasts.extend(
+                            (labels[sender], _KIND_VALUES[kind], _STATE_VALUES[state_code])
+                            for sender, kind, state_code, _ in outgoing
+                        )
+                    activity = True
+                if changed:
+                    metrics.state_changes += 1
+                    if record is not None:
+                        record.state_changes += 1
+                    activity = True
+            if pending:
+                self._account_broadcasts(metrics, pending)
+            if activity:
+                last_active = round_no
+            if record is not None and (activity or record.messages_delivered):
+                self._last_round_log.append(record)
+            if not pending and not activity and not self._transient:
+                break
+        metrics.rounds = max(metrics.rounds, last_active)
+
+    def _deliver(
+        self, messages: List[FastMessage]
+    ) -> Tuple[Dict[int, List[FastMessage]], int]:
+        """Deliver each broadcast to all *current* neighbors of its sender."""
+        inboxes: Dict[int, List[FastMessage]] = {}
+        delivered = 0
+        alive = self._alive
+        adj = self._adj
+        for message in messages:
+            sender = message[0]
+            if not alive[sender]:
+                continue
+            for receiver in adj[sender]:
+                inbox = inboxes.get(receiver)
+                if inbox is None:
+                    inbox = inboxes[receiver] = []
+                inbox.append(message)
+                delivered += 1
+        return inboxes, delivered
+
+    def _account_broadcasts(self, metrics: ChangeMetrics, messages: List[FastMessage]) -> None:
+        bound = max(2, len(self._id_of))
+        id_bits = id_message_bits(bound)
+        state_bits = state_message_bits()
+        for message in messages:
+            metrics.broadcasts += 1
+            metrics.bits += id_bits if message[1] == _KIND_ID else state_bits
+
+    # ------------------------------------------------------------------
+    # Shared helpers for change handlers and protocols
+    # ------------------------------------------------------------------
+    def _id_broadcast(self, nid: int, requests_introduction: bool = True) -> FastMessage:
+        return (nid, _KIND_ID, self._state[nid], requests_introduction)
+
+    def _state_broadcast(self, nid: int) -> FastMessage:
+        return (nid, _KIND_STATE, self._state[nid], False)
+
+    def _maybe_seed_violation(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        """Check the MIS invariant from local knowledge; seed the repair if broken."""
+        if self._state[nid] > CODE_M_BAR:
+            return []
+        should_be_in_mis = self._no_earlier_neighbor_in_mis(nid)
+        if should_be_in_mis == (self._state[nid] == CODE_M):
+            return []
+        return self._seed_violation(nid, metrics)
+
+    def _handle_inbox(
+        self, nid: int, inbox: Sequence[FastMessage], round_no: int
+    ) -> Tuple[List[FastMessage], bool, bool]:
+        """Shared inbox processing: update knowledge, handle introductions.
+
+        Returns ``(introduction broadcasts, learned a previously unknown
+        neighbor key, received C from a known earlier neighbor)``.  The C
+        trigger is evaluated against the keys known *after* the whole inbox
+        was absorbed, exactly like the dict protocol's two-pass handling.
+        """
+        del round_no
+        outgoing: List[FastMessage] = []
+        learned_new_key = False
+        row = self._adj[nid]
+        nstate = self._nstate[nid]
+        nkey = self._nkey[nid]
+        positions: List[Tuple[int, int, int]] = []  # (sender, position, state_code)
+        for sender, kind, state_code, requests_introduction in inbox:
+            try:
+                position = row.index(sender)
+            except ValueError:
+                # Stale message from a node that is no longer a neighbor.
+                continue
+            key_was_known = nkey[position]
+            if kind == _KIND_ID:
+                nkey[position] = 1
+            nstate[position] = state_code
+            positions.append((sender, position, state_code))
+            if kind == _KIND_ID and not key_was_known:
+                learned_new_key = True
+                if requests_introduction and nid not in self._introduced:
+                    outgoing.append(self._id_broadcast(nid))
+                    self._introduced.add(nid)
+        c_trigger = False
+        prio, keys = self._prio, self._keys
+        p, key = prio[nid], keys[nid]
+        for sender, position, state_code in positions:
+            if state_code != CODE_C or not nkey[position]:
+                continue
+            if prio[sender] < p or (prio[sender] == p and keys[sender] < key):
+                c_trigger = True
+                break
+        return outgoing, learned_new_key, c_trigger
+
+    def _enter_transient(self, nid: int, code: int, round_no: int) -> None:
+        self._set_state(nid, code)
+        if code == CODE_C:
+            self._entered_c[nid] = round_no
+        self._transient.add(nid)
+
+    def _settle_output(self, nid: int, code: int) -> None:
+        self._set_state(nid, code)
+        self._transient.discard(nid)
+
+
+class FastBufferedMISNetwork(FastSynchronousMISNetwork):
+    """Array-backed Algorithm 2 (states M, M_BAR, C, R; the paper's protocol).
+
+    Observably identical to
+    :class:`~repro.distributed.protocol_mis.BufferedMISNetwork` -- same
+    metrics, traces and outputs under the same seed -- at a per-change cost
+    proportional to the repair wave instead of the network size.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import erdos_renyi_graph
+    >>> network = FastBufferedMISNetwork(seed=3, initial_graph=erdos_renyi_graph(20, 0.2, seed=1))
+    >>> network.verify()
+    >>> from repro.workloads.changes import EdgeDeletion
+    >>> edge = network.graph.edges()[0]
+    >>> metrics = network.apply(EdgeDeletion(*edge))
+    >>> metrics.broadcasts <= 3 * network.graph.num_nodes()
+    True
+    """
+
+    PROTOCOL = "buffered"
+
+    # ------------------------------------------------------------------
+    # Seeding hooks
+    # ------------------------------------------------------------------
+    def _seed_violation(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        self._enter_transient(nid, CODE_C, round_no=1)
+        metrics.state_changes += 1
+        return [self._state_broadcast(nid)]
+
+    def _seed_retirement(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        # A gracefully deleted MIS node hands off its role by entering C; its
+        # final output is forced to non-MIS by the ``retiring`` flag.
+        self._enter_transient(nid, CODE_C, round_no=1)
+        metrics.state_changes += 1
+        return [self._state_broadcast(nid)]
+
+    # ------------------------------------------------------------------
+    # The per-round state machine (rules 1-4 of Algorithm 2)
+    # ------------------------------------------------------------------
+    def _node_step(
+        self, nid: int, inbox: Sequence[FastMessage], round_no: int
+    ) -> Tuple[List[FastMessage], bool]:
+        outgoing, learned_new_key, c_trigger = self._handle_inbox(nid, inbox, round_no)
+        changed = False
+        state_code = self._state[nid]
+
+        if state_code <= CODE_M_BAR and not self._retiring[nid]:
+            if c_trigger and (state_code == CODE_M or self._no_earlier_neighbor_in_mis(nid)):
+                # Rules 1 and 2: join the repair wave (a non-MIS node only if
+                # no other earlier neighbor is still in M).
+                self._enter_transient(nid, CODE_C, round_no)
+                changed = True
+                outgoing.append(self._state_broadcast(nid))
+            elif learned_new_key and self._knows_all_neighbor_keys(nid):
+                # A new neighbor was discovered (edge or node insertion): the
+                # node re-checks the MIS invariant from local knowledge and
+                # starts the repair if it broke (this is v*'s detection step).
+                if self._no_earlier_neighbor_in_mis(nid) != (state_code == CODE_M):
+                    self._enter_transient(nid, CODE_C, round_no)
+                    changed = True
+                    outgoing.append(self._state_broadcast(nid))
+        elif state_code == CODE_C:
+            entered = self._entered_c[nid]
+            if entered >= 0 and round_no - entered >= 2 and self._no_later_neighbor_in_c(nid):
+                self._enter_transient(nid, CODE_R, round_no)
+                changed = True
+                outgoing.append(self._state_broadcast(nid))
+        elif state_code == CODE_R:
+            if self._all_earlier_neighbors_in_output_states(nid):
+                if self._retiring[nid]:
+                    self._settle_output(nid, CODE_M_BAR)
+                elif self._no_earlier_neighbor_in_mis(nid):
+                    self._settle_output(nid, CODE_M)
+                else:
+                    self._settle_output(nid, CODE_M_BAR)
+                changed = True
+                outgoing.append(self._state_broadcast(nid))
+        return outgoing, changed
+
+
+class FastDirectMISNetwork(FastSynchronousMISNetwork):
+    """Array-backed direct template protocol (Corollary 6; states M / M_BAR).
+
+    Observably identical to
+    :class:`~repro.distributed.protocol_direct.DirectMISNetwork`.
+    """
+
+    PROTOCOL = "direct"
+
+    # ------------------------------------------------------------------
+    # Seeding hooks
+    # ------------------------------------------------------------------
+    def _seed_violation(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        code = CODE_M if self._no_earlier_neighbor_in_mis(nid) else CODE_M_BAR
+        self._settle_output(nid, code)
+        metrics.state_changes += 1
+        return [self._state_broadcast(nid)]
+
+    def _seed_retirement(self, nid: int, metrics: ChangeMetrics) -> List[FastMessage]:
+        # A gracefully deleted MIS node simply announces that it leaves the
+        # MIS; its neighbors react as if it had been deleted already.
+        self._settle_output(nid, CODE_M_BAR)
+        metrics.state_changes += 1
+        return [self._state_broadcast(nid)]
+
+    # ------------------------------------------------------------------
+    # The per-round behavior
+    # ------------------------------------------------------------------
+    def _node_step(
+        self, nid: int, inbox: Sequence[FastMessage], round_no: int
+    ) -> Tuple[List[FastMessage], bool]:
+        outgoing, learned_new_key, _ = self._handle_inbox(nid, inbox, round_no)
+        changed = False
+        if (inbox or learned_new_key) and self._knows_all_neighbor_keys(nid):
+            if self._retiring[nid]:
+                desired = CODE_M_BAR
+            elif self._no_earlier_neighbor_in_mis(nid):
+                desired = CODE_M
+            else:
+                desired = CODE_M_BAR
+            if desired != self._state[nid]:
+                self._settle_output(nid, desired)
+                changed = True
+                outgoing.append(self._state_broadcast(nid))
+        return outgoing, changed
+
+
+class FastAsyncDirectMISNetwork(FastNetworkCore):
+    """Array-backed twin of :class:`~repro.distributed.async_network.AsyncDirectMISNetwork`.
+
+    Event-driven execution of the direct template protocol under adversarial
+    message delays, over the interned arrays.  In the asynchronous model the
+    topology-change notifications include the new neighbors' IDs, so only the
+    per-directed-edge *state* knowledge lags behind broadcasts; keys are
+    always known.
+
+    For differential comparison against the dict twin, use a
+    *channel-deterministic* scheduler (``FixedDelayScheduler`` or
+    ``AdversarialDelayScheduler``): the default ``RandomDelayScheduler``
+    draws delays from one global stream whose assignment to receivers
+    depends on neighbor iteration order, which an interned core cannot (and
+    should not) reproduce byte-for-byte.
+    """
+
+    PROTOCOL = "async-direct"
+    # Shared with the dict twin by reference (same cap, can never drift).
+    MAX_EVENTS_FACTOR = AsyncDirectMISNetwork.MAX_EVENTS_FACTOR
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_graph: Optional[DynamicGraph] = None,
+        scheduler: Optional[DelayScheduler] = None,
+        priorities: Optional[PriorityAssigner] = None,
+    ) -> None:
+        self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
+        self._sequence = itertools.count()
+        super().__init__(seed=seed, initial_graph=initial_graph, priorities=priorities)
+
+    # ------------------------------------------------------------------
+    # Topology-change API
+    # ------------------------------------------------------------------
+    def apply(self, change: TopologyChange) -> ChangeMetrics:
+        """Apply one topology change and run the event loop to quiescence."""
+        validate_change(self.graph, change)
+        self._begin_change()
+        if isinstance(change, EdgeInsertion):
+            metrics = self._apply_edge_insertion(change)
+        elif isinstance(change, EdgeDeletion):
+            metrics = self._apply_edge_deletion(change)
+        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+            metrics = self._apply_node_insertion(change)
+        elif isinstance(change, NodeDeletion):
+            metrics = self._apply_node_deletion(change)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown change type: {change!r}")
+        self._aggregator.add(metrics)
+        return metrics
+
+    def apply_sequence(self, changes: Iterable[TopologyChange]) -> List[ChangeMetrics]:
+        """Apply a whole change sequence."""
+        return [self.apply(change) for change in changes]
+
+    # ------------------------------------------------------------------
+    # Change handlers (model-level notifications include IDs)
+    # ------------------------------------------------------------------
+    def _connect(self, iu: int, iv: int) -> None:
+        """Model-level notification of a new adjacency, including IDs and states."""
+        self._add_half_edge(iu, iv, known_state=self._state[iv], known_key=1)
+        self._add_half_edge(iv, iu, known_state=self._state[iu], known_key=1)
+
+    def _apply_edge_insertion(self, change: EdgeInsertion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_insertion")
+        iu, iv = self._require(change.u), self._require(change.v)
+        self._connect(iu, iv)
+        self._num_edges += 1
+        later = iu if self._earlier(iv, iu) else iv
+        seeds = self._evaluate_and_flip(later, metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_edge_deletion(self, change: EdgeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("edge_deletion")
+        iu, iv = self._require(change.u), self._require(change.v)
+        later = iu if self._earlier(iv, iu) else iv
+        self._remove_half_edge(iu, iv)
+        self._remove_half_edge(iv, iu)
+        self._num_edges -= 1
+        seeds = self._evaluate_and_flip(later, metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_node_insertion(self, change) -> ChangeMetrics:
+        metrics = ChangeMetrics(change.kind)
+        neighbor_ids = [self._id_of[other] for other in change.neighbors]
+        nid = self._intern(change.node)
+        for oid in neighbor_ids:
+            self._connect(nid, oid)
+        self._num_edges += len(neighbor_ids)
+        seeds = self._evaluate_and_flip(nid, metrics)
+        self._run_events(seeds, metrics)
+        self._finalize(metrics)
+        return metrics
+
+    def _apply_node_deletion(self, change: NodeDeletion) -> ChangeMetrics:
+        metrics = ChangeMetrics("node_deletion")
+        nid = self._require(change.node)
+        was_in_mis = self._state[nid] == CODE_M
+        former_neighbors = list(self._adj[nid])
+        self._detach_node(nid, change.node)
+        seeds: List[Tuple[int, int, int]] = []
+        if was_in_mis:
+            former_neighbors.sort(key=self._keys.__getitem__)
+            for other in former_neighbors:
+                seeds.extend(self._evaluate_and_flip(other, metrics))
+        self._run_events(seeds, metrics)
+        self._finalize(metrics)
+        self._release(nid)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _run_events(
+        self, seed_broadcasts: List[Tuple[int, int, int]], metrics: ChangeMetrics
+    ) -> None:
+        """Run the discrete-event loop until no message is in flight.
+
+        ``seed_broadcasts`` is a list of ``(sender_id, state_code, depth)``
+        broadcast requests produced by the change handler.
+        """
+        queue: List[Tuple[float, int, int, int, int, int]] = []
+        channel_clock: Dict[Tuple[int, int], float] = {}
+        max_depth = 0
+        processed = 0
+        limit = self.MAX_EVENTS_FACTOR * max(1, len(self._id_of)) ** 2 + 100
+        alive, adj, labels = self._alive, self._adj, self._labels
+        scheduler, sequence = self._scheduler, self._sequence
+
+        def broadcast(sender: int, state_code: int, depth: int, now: float) -> None:
+            nonlocal max_depth
+            if not alive[sender]:
+                return
+            metrics.broadcasts += 1
+            metrics.bits += 2
+            max_depth = max(max_depth, depth)
+            sender_label = labels[sender]
+            for receiver in adj[sender]:
+                delay = scheduler.delay(sender_label, labels[receiver], next(sequence))
+                deliver_at = now + max(delay, 1e-9)
+                channel = (sender, receiver)
+                deliver_at = max(deliver_at, channel_clock.get(channel, 0.0) + 1e-9)
+                channel_clock[channel] = deliver_at
+                heapq.heappush(
+                    queue, (deliver_at, next(sequence), sender, receiver, state_code, depth)
+                )
+
+        for sender, state_code, depth in seed_broadcasts:
+            broadcast(sender, state_code, depth, now=0.0)
+
+        while queue:
+            processed += 1
+            if processed > limit:
+                raise RuntimeError("asynchronous execution did not quiesce")
+            deliver_at, _, sender, receiver, state_code, depth = heapq.heappop(queue)
+            if not alive[receiver]:
+                continue
+            try:
+                position = adj[receiver].index(sender)
+            except ValueError:
+                continue
+            self._nstate[receiver][position] = state_code
+            flips = self._evaluate_and_flip(receiver, metrics, depth=depth + 1)
+            for flip_sender, flip_state, flip_depth in flips:
+                broadcast(flip_sender, flip_state, flip_depth, now=deliver_at)
+        metrics.async_causal_depth = max_depth
+        metrics.rounds = max_depth
+
+    def _evaluate_and_flip(
+        self, nid: int, metrics: ChangeMetrics, depth: int = 1
+    ) -> List[Tuple[int, int, int]]:
+        """Re-evaluate the MIS invariant at a node; flip and request a broadcast if needed."""
+        desired = CODE_M if self._no_earlier_neighbor_in_mis(nid) else CODE_M_BAR
+        if desired == self._state[nid]:
+            return []
+        self._set_state(nid, desired)
+        metrics.state_changes += 1
+        return [(nid, desired, depth)]

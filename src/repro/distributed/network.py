@@ -33,7 +33,7 @@ from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.distributed.message import Message, MessageKind, MessageKind as _Kind
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
 from repro.distributed.node import NodeRuntime, NodeState
-from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
     EdgeDeletion,
     EdgeInsertion,
@@ -94,13 +94,48 @@ class SynchronousMISNetwork:
     ROUND_CAP_FACTOR = 6
     #: additive safety cap on the number of rounds per change.
     ROUND_CAP_SLACK = 30
+    #: protocol name in the network-backend registry (set by concrete protocols).
+    PROTOCOL: Optional[str] = None
+
+    def __new__(cls, *args, network: str = "dict", **kwargs):
+        """Dispatch through the network-backend registry when ``network != "dict"``.
+
+        ``BufferedMISNetwork(seed=3, network="fast")`` returns the
+        id-interned :class:`~repro.distributed.fast_network.FastBufferedMISNetwork`
+        (and likewise for the direct protocol), so existing call sites select
+        a state core with zero edits.  See
+        :mod:`repro.distributed.network_api`.
+        """
+        if network != "dict":
+            if cls.PROTOCOL is None:
+                raise TypeError(
+                    f"{cls.__name__} is not a concrete protocol; select a backend "
+                    f"via repro.distributed.network_api.create_network instead"
+                )
+            if "PROTOCOL" not in cls.__dict__:
+                # A subclass inheriting PROTOCOL would silently lose its
+                # overrides to the stock registered twin -- fail loudly.
+                raise TypeError(
+                    f"{cls.__name__} subclasses a registered protocol; register it "
+                    f"as its own network backend and select it by name instead of "
+                    f"network={network!r}"
+                )
+            from repro.distributed.network_api import resolve_network
+
+            return resolve_network(network, cls.PROTOCOL)(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
         seed: int = 0,
         initial_graph: Optional[DynamicGraph] = None,
         priorities: Optional[PriorityAssigner] = None,
+        *,
+        network: str = "dict",
     ) -> None:
+        # Keyword-only, mirroring __new__: a positional value here would be
+        # invisible to the dispatch and silently build the dict core.
+        del network  # "dict" by construction; other values dispatched in __new__
         self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
         self._graph = DynamicGraph()
         self._runtimes: Dict[Node, NodeRuntime] = {}
@@ -129,7 +164,9 @@ class SynchronousMISNetwork:
             self._runtimes[node] = runtime
         for node, runtime in self._runtimes.items():
             for other in runtime.neighbors:
-                runtime.learn_neighbor(other, self._runtimes[other].key, self._runtimes[other].state)
+                runtime.learn_neighbor(
+                    other, self._runtimes[other].key, self._runtimes[other].state
+                )
 
     @property
     def graph(self) -> DynamicGraph:
@@ -190,7 +227,8 @@ class SynchronousMISNetwork:
             missing = expected - actual
             extra = actual - expected
             raise AssertionError(
-                f"protocol output diverged from random greedy: missing={sorted(missing, key=repr)[:5]}, "
+                f"protocol output diverged from random greedy: "
+                f"missing={sorted(missing, key=repr)[:5]}, "
                 f"extra={sorted(extra, key=repr)[:5]}"
             )
         transient = [
@@ -520,7 +558,9 @@ class SynchronousMISNetwork:
         metrics.adjusted_nodes = adjusted
         metrics.adjustments = len(adjusted)
 
-    def _handle_inbox(self, runtime: NodeRuntime, inbox: List[Message], round_no: int) -> Tuple[List[Message], bool]:
+    def _handle_inbox(
+        self, runtime: NodeRuntime, inbox: List[Message], round_no: int
+    ) -> Tuple[List[Message], bool]:
         """Shared inbox processing: update knowledge, handle introductions.
 
         Returns (introduction broadcasts to send, whether a previously unknown

@@ -1,0 +1,203 @@
+"""The network-backend registry for the distributed simulators.
+
+The distributed subsystem ships two interchangeable *state cores*: the
+paper-shaped dict/set runtimes (:mod:`repro.distributed.network` and
+friends) and the id-interned flat-array core
+(:mod:`repro.distributed.fast_network`).  Both run the same three protocols
+-- ``"buffered"`` (Algorithm 2), ``"direct"`` (the direct template
+implementation) and ``"async-direct"`` (the event-driven asynchronous
+execution) -- and are observably identical under the same seed, which the
+protocol differential harness
+(:func:`repro.testing.protocol_differential.replay_protocol_differential`)
+machine-checks.
+
+This module is the registry tying them together, mirroring the engine
+registry (:mod:`repro.core.engine_api`):
+
+* :func:`register_network` registers a backend name with one factory per
+  protocol; third-party cores plug in without touching any simulator module;
+* :func:`create_network` builds a simulator from ``(protocol, network)``;
+* the simulator classes' constructors dispatch through
+  :func:`resolve_network` when called with ``network="..."``, so existing
+  call sites (CLI, benchmarks, tests) select a core with zero edits:
+  ``BufferedMISNetwork(seed=3, network="fast")`` returns the array-backed
+  twin.
+
+``NETWORK_NAMES`` is a live view of the registered backend names, used by
+the CLI for its ``--network`` choices.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+#: Signature of a registered backend factory: the simulator constructor
+#: keyword arguments (``seed``, ``initial_graph``, ``priorities`` and, for
+#: the asynchronous protocol, ``scheduler``), returning a ready simulator.
+NetworkFactory = Callable[..., object]
+
+#: The protocols every complete backend provides.
+PROTOCOL_NAMES = ("buffered", "direct", "async-direct")
+
+
+class UnknownNetworkError(ValueError):
+    """A network or protocol name that is not registered (with a did-you-mean hint)."""
+
+    def __init__(self, kind: str, name: str, known: Sequence[str]) -> None:
+        hint = ""
+        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
+        if close:
+            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
+        super().__init__(
+            f"unknown {kind} {name!r}; registered {kind}s: {tuple(known)}{hint}"
+        )
+        self.name = name
+        self.known = tuple(known)
+
+
+_REGISTRY: Dict[str, Dict[str, NetworkFactory]] = {}
+
+
+def register_network(
+    name: str, protocols: Mapping[str, NetworkFactory], overwrite: bool = False
+) -> None:
+    """Register a network state core under ``name``.
+
+    ``protocols`` maps protocol names (usually a subset of
+    :data:`PROTOCOL_NAMES`) to simulator factories.  A factory must accept
+    the keyword arguments ``seed``, ``initial_graph`` and ``priorities``
+    (plus ``scheduler`` for ``"async-direct"``) and return a ready simulator
+    exposing the shared surface: ``apply`` / ``apply_sequence``, ``mis`` /
+    ``states``, ``metrics``, ``graph``, ``priorities`` and
+    ``verify(reference_engine=...)``.
+
+    Re-registering an existing name raises unless ``overwrite=True`` (guards
+    against accidental shadowing of the built-in cores).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"network name must be a non-empty string, got {name!r}")
+    if not protocols:
+        raise ValueError(f"network {name!r} must register at least one protocol")
+    for protocol, factory in protocols.items():
+        if not callable(factory):
+            raise TypeError(
+                f"factory for network {name!r} protocol {protocol!r} must be "
+                f"callable, got {factory!r}"
+            )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"network {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = dict(protocols)
+
+
+def unregister_network(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent; mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_networks() -> Tuple[str, ...]:
+    """The registered backend names, built-ins first, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def network_protocols(name: str) -> Tuple[str, ...]:
+    """The protocol names backend ``name`` provides."""
+    try:
+        return tuple(_REGISTRY[name])
+    except KeyError:
+        raise UnknownNetworkError("network", name, available_networks()) from None
+
+
+def resolve_network(name: str, protocol: str) -> NetworkFactory:
+    """The factory for ``(network name, protocol)``; raises with a hint otherwise."""
+    protocols = _REGISTRY.get(name)
+    if protocols is None:
+        raise UnknownNetworkError("network", name, available_networks())
+    try:
+        return protocols[protocol]
+    except KeyError:
+        raise UnknownNetworkError("protocol", protocol, tuple(protocols)) from None
+
+
+def create_network(protocol: str = "buffered", network: str = "dict", **kwargs):
+    """Build a distributed simulator from a ``(protocol, network)`` pair.
+
+    ``kwargs`` are passed to the resolved factory (``seed``,
+    ``initial_graph``, ``priorities``, and ``scheduler`` for the
+    asynchronous protocol).
+    """
+    return resolve_network(network, protocol)(**kwargs)
+
+
+class _LiveNetworkNames(Sequence):
+    """Read-only live view of the registered backend names (CLI choices)."""
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __getitem__(self, index):
+        return available_networks()[index]
+
+    def __contains__(self, name) -> bool:
+        return name in _REGISTRY
+
+    def __iter__(self):
+        return iter(available_networks())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(available_networks())
+
+
+#: Live view of the registered backend names (kept in sync with the registry).
+NETWORK_NAMES = _LiveNetworkNames()
+
+
+# ----------------------------------------------------------------------
+# Built-in backends (lazy factories -- no circular imports)
+# ----------------------------------------------------------------------
+def _dict_buffered(*args, **kwargs):
+    from repro.distributed.protocol_mis import BufferedMISNetwork
+
+    return BufferedMISNetwork(*args, **kwargs)
+
+
+def _dict_direct(*args, **kwargs):
+    from repro.distributed.protocol_direct import DirectMISNetwork
+
+    return DirectMISNetwork(*args, **kwargs)
+
+
+def _dict_async_direct(*args, **kwargs):
+    from repro.distributed.async_network import AsyncDirectMISNetwork
+
+    return AsyncDirectMISNetwork(*args, **kwargs)
+
+
+def _fast_buffered(*args, **kwargs):
+    from repro.distributed.fast_network import FastBufferedMISNetwork
+
+    return FastBufferedMISNetwork(*args, **kwargs)
+
+
+def _fast_direct(*args, **kwargs):
+    from repro.distributed.fast_network import FastDirectMISNetwork
+
+    return FastDirectMISNetwork(*args, **kwargs)
+
+
+def _fast_async_direct(*args, **kwargs):
+    from repro.distributed.fast_network import FastAsyncDirectMISNetwork
+
+    return FastAsyncDirectMISNetwork(*args, **kwargs)
+
+
+register_network(
+    "dict",
+    {"buffered": _dict_buffered, "direct": _dict_direct, "async-direct": _dict_async_direct},
+)
+register_network(
+    "fast",
+    {"buffered": _fast_buffered, "direct": _fast_direct, "async-direct": _fast_async_direct},
+)

@@ -40,6 +40,21 @@ class NodeState(enum.Enum):
         """True for the two output states (MIS / non-MIS)."""
         return self in (NodeState.M, NodeState.M_BAR)
 
+    @property
+    def code(self) -> int:
+        """Dense integer code of this state (see :data:`STATE_CODES`)."""
+        return STATE_CODES[self]
+
+
+#: Dense integer codes of the protocol states, shared by the dict runtimes and
+#: the array-backed network core (:mod:`repro.distributed.fast_network`), which
+#: stores states in ``bytearray`` slots.  The two output states come first so
+#: ``code <= CODE_M_BAR`` tests "is an output state".
+STATE_CODES = {NodeState.M: 0, NodeState.M_BAR: 1, NodeState.C: 2, NodeState.R: 3}
+
+#: Inverse of :data:`STATE_CODES`, indexable by code.
+CODE_TO_STATE = tuple(sorted(STATE_CODES, key=STATE_CODES.get))
+
 
 @dataclass
 class NodeRuntime:
@@ -130,7 +145,9 @@ class NodeRuntime:
     # ------------------------------------------------------------------
     # Knowledge updates
     # ------------------------------------------------------------------
-    def learn_neighbor(self, other: Node, key: Optional[PriorityKey], state: Optional[NodeState]) -> None:
+    def learn_neighbor(
+        self, other: Node, key: Optional[PriorityKey], state: Optional[NodeState]
+    ) -> None:
         """Record information about a neighbor (from a broadcast or the model)."""
         if key is not None:
             self.neighbor_keys[other] = key

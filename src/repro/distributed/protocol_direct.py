@@ -35,7 +35,13 @@ class DirectMISNetwork(SynchronousMISNetwork):
     >>> from repro.workloads.changes import NodeDeletion
     >>> metrics = network.apply(NodeDeletion(0, graceful=False))
     >>> network.verify()
+
+    Passing ``network="fast"`` to the constructor returns the id-interned
+    array-backed twin
+    (:class:`~repro.distributed.fast_network.FastDirectMISNetwork`).
     """
+
+    PROTOCOL = "direct"
 
     # ------------------------------------------------------------------
     # Seeding hooks

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.distributed.message import Message, MessageKind
+from repro.distributed.message import Message
 from repro.distributed.metrics import ChangeMetrics
 from repro.distributed.network import SynchronousMISNetwork
 from repro.distributed.node import NodeRuntime, NodeState
@@ -48,7 +48,14 @@ class BufferedMISNetwork(SynchronousMISNetwork):
     >>> metrics = network.apply(EdgeDeletion(*edge))
     >>> metrics.broadcasts <= 3 * network.graph.num_nodes()
     True
+
+    Passing ``network="fast"`` to the constructor returns the id-interned
+    array-backed twin
+    (:class:`~repro.distributed.fast_network.FastBufferedMISNetwork`), which
+    is observably identical at a fraction of the per-change cost.
     """
+
+    PROTOCOL = "buffered"
 
     # ------------------------------------------------------------------
     # Seeding hooks

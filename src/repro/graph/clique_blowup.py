@@ -160,7 +160,9 @@ def color_assignment_from_mis(view_or_graph, mis_nodes: Iterable[CopyNode]) -> d
     for copy in mis_nodes:
         base_node, color = copy
         if base_node in colors:
-            raise ValueError(f"two copies of {base_node!r} selected: {colors[base_node]} and {color}")
+            raise ValueError(
+                f"two copies of {base_node!r} selected: {colors[base_node]} and {color}"
+            )
         colors[base_node] = color
     return colors
 

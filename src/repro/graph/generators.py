@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.graph.dynamic_graph import DynamicGraph, GraphError
 
@@ -167,7 +167,9 @@ def gnm_random_graph(num_nodes: int, num_edges: int, seed: int = 0) -> DynamicGr
     return graph
 
 
-def preferential_attachment_graph(num_nodes: int, edges_per_node: int, seed: int = 0) -> DynamicGraph:
+def preferential_attachment_graph(
+    num_nodes: int, edges_per_node: int, seed: int = 0
+) -> DynamicGraph:
     """Barabasi-Albert style preferential attachment graph.
 
     Starts from a clique on ``edges_per_node + 1`` nodes; every subsequent

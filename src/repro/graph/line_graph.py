@@ -96,7 +96,9 @@ class LineGraphView:
     def add_edge(self, u: Node, v: Node) -> List[DerivedChange]:
         """Insert edge ``{u, v}`` in ``G``; one node appears in ``L(G)``."""
         new_edge = canonical_edge(u, v)
-        neighbors = self._incident_edge_nodes(u, exclude=v) + self._incident_edge_nodes(v, exclude=u)
+        neighbors = self._incident_edge_nodes(u, exclude=v) + self._incident_edge_nodes(
+            v, exclude=u
+        )
         self._base.add_edge(u, v)
         self._line.add_node_with_edges(new_edge, neighbors)
         return [("add_node", new_edge, tuple(neighbors))]

@@ -46,7 +46,8 @@ def check_independent_set(graph: DynamicGraph, independent_set: Iterable[Node]) 
         conflict = members & set(graph.neighbors(node))
         if conflict:
             raise ValidationError(
-                f"nodes {node!r} and {sorted(conflict, key=repr)[0]!r} are adjacent but both selected"
+                f"nodes {node!r} and {sorted(conflict, key=repr)[0]!r} are adjacent "
+                f"but both selected"
             )
 
 

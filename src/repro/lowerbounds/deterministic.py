@@ -24,7 +24,7 @@ Consequences verified by experiment E5:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 from repro.baselines.deterministic_dynamic import DeterministicDynamicMIS
 from repro.core.dynamic_mis import DynamicMIS
@@ -95,7 +95,9 @@ def _run_sequence(algorithm, sequence, side_size: int) -> DeterministicLowerBoun
         report = algorithm.apply(change)
         result.per_change_adjustments.append(report.num_adjustments)
     result.total_adjustments = sum(result.per_change_adjustments)
-    result.max_adjustments = max(result.per_change_adjustments) if result.per_change_adjustments else 0
+    result.max_adjustments = (
+        max(result.per_change_adjustments) if result.per_change_adjustments else 0
+    )
     return result
 
 

@@ -21,7 +21,7 @@ the matching's distribution depends only on the current graph.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dynamic_mis import DynamicMIS
 from repro.core.engine_api import EngineSpec
@@ -73,7 +73,9 @@ class DynamicMaximalMatching:
         engine: EngineSpec = "template",
     ) -> None:
         self._view = LineGraphView(initial_graph)
-        self._maintainer = DynamicMIS(seed=seed, initial_graph=self._view.line_graph, engine=engine)
+        self._maintainer = DynamicMIS(
+            seed=seed, initial_graph=self._view.line_graph, engine=engine
+        )
 
     # ------------------------------------------------------------------
     # Read access

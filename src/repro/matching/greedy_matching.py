@@ -11,7 +11,7 @@ line graph simulates).
 from __future__ import annotations
 
 import random
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, Sequence, Set, Tuple
 
 from repro.graph.dynamic_graph import DynamicGraph, canonical_edge
 

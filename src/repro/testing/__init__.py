@@ -1,9 +1,11 @@
 """Reusable test harnesses shipped with the library.
 
 :mod:`repro.testing.differential` replays identical seeded change sequences
-through two engine backends and asserts step-by-step output equality; it is
-the machinery behind ``tests/conformance/`` and is importable by downstream
-users who add their own backends.
+through two engine backends and asserts step-by-step output equality;
+:mod:`repro.testing.protocol_differential` does the same for the distributed
+network backends, round by round.  Both are the machinery behind
+``tests/conformance/`` and are importable by downstream users who add their
+own backends.
 """
 
 from repro.testing.differential import (
@@ -15,13 +17,19 @@ from repro.testing.differential import (
     replay_differential,
     split_into_batches,
 )
+from repro.testing.protocol_differential import (
+    ProtocolDifferentialResult,
+    replay_protocol_differential,
+)
 
 __all__ = [
     "ConformanceMismatch",
     "DifferentialResult",
+    "ProtocolDifferentialResult",
     "adversarial_burst_sequence",
     "conformance_workload",
     "replay_batch_differential",
     "replay_differential",
+    "replay_protocol_differential",
     "split_into_batches",
 ]

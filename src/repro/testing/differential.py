@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.dynamic_mis import DynamicMIS
 from repro.core.engine_api import BATCH_REPORT_FIELDS
@@ -49,7 +49,7 @@ from repro.core.rng import normalize_seed, spawn_seeds
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import erdos_renyi_graph
 from repro.workloads.adversary import AdaptiveAdversary
-from repro.workloads.changes import TopologyChange, apply_change_to_graph
+from repro.workloads.changes import TopologyChange
 from repro.workloads.sequences import mixed_churn_sequence
 
 Node = Hashable

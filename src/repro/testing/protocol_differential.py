@@ -1,0 +1,299 @@
+"""Differential conformance harness for the distributed network backends.
+
+The id-interned network core (:mod:`repro.distributed.fast_network`) is only
+allowed to exist because it is *observably identical* to the dict/set
+simulators.  :func:`replay_protocol_differential` makes that claim
+machine-checked: it drives every requested network backend through the same
+seeded change sequence under the same protocol and asserts, after every
+single change,
+
+* identical per-change metrics -- rounds, broadcasts, bits, state changes,
+  adjustment counts and the adjusted-node *sets* (plus the causal depth for
+  the asynchronous protocol),
+* identical round-by-round traces (messages delivered, broadcasts in order,
+  state changes per round) for the synchronous protocols, and
+* identical output maps ``node -> in MIS?``.
+
+Backends are resolved through the network registry
+(:mod:`repro.distributed.network_api`), so a third-party core is validated
+by passing its registered name in ``networks=(...)`` -- no edits anywhere in
+the distributed subsystem.
+
+When the replay diverges, the harness writes a JSON *divergence dump* --
+the offending step and change, both backends' metrics, round traces and
+output maps, and the exact field that differed -- before raising
+:class:`~repro.testing.differential.ConformanceMismatch`.  The dump
+directory defaults to the ``REPRO_PROTOCOL_DIFF_DUMP_DIR`` environment
+variable (CI points it at an uploaded artifact path) and can be overridden
+per call; without either, no file is written.
+
+The asynchronous protocol needs a *channel-deterministic* scheduler (the
+delay must be a function of the channel, not of the global message
+sequence): the harness builds one
+:class:`~repro.distributed.scheduler.AdversarialDelayScheduler` per backend
+by default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rng import normalize_seed
+from repro.distributed.network_api import create_network
+from repro.distributed.scheduler import AdversarialDelayScheduler, DelayScheduler
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.testing.differential import ConformanceMismatch
+from repro.workloads.changes import TopologyChange
+
+#: Per-change metric fields every backend must agree on, protocol by protocol.
+PROTOCOL_METRIC_FIELDS = (
+    "change_kind",
+    "rounds",
+    "broadcasts",
+    "bits",
+    "adjustments",
+    "state_changes",
+)
+ASYNC_METRIC_FIELDS = PROTOCOL_METRIC_FIELDS + ("async_causal_depth",)
+
+#: Environment variable pointing divergence dumps at a directory (used by CI
+#: to upload them as failure artifacts).
+DUMP_DIR_ENV = "REPRO_PROTOCOL_DIFF_DUMP_DIR"
+
+_SYNC_PROTOCOLS = ("buffered", "direct")
+
+
+@dataclass
+class ProtocolDifferentialResult:
+    """Summary of one successful protocol differential replay."""
+
+    protocol: str
+    networks: Tuple[str, ...]
+    num_changes: int
+    total_broadcasts: int
+    total_rounds: int
+    max_rounds: int
+    final_mis_size: int
+    final_num_nodes: int
+
+
+def replay_protocol_differential(
+    initial_graph: Optional[DynamicGraph],
+    changes: Sequence[TopologyChange],
+    seed: int = 0,
+    protocol: str = "buffered",
+    networks: Tuple[str, ...] = ("dict", "fast"),
+    compare_round_traces: bool = True,
+    reference_engine: str = "fast",
+    verify_every: int = 10,
+    scheduler_factory: Optional[Callable[[str], DelayScheduler]] = None,
+    dump_dir: Optional[Path] = None,
+) -> ProtocolDifferentialResult:
+    """Replay ``changes`` through every network backend; assert equality.
+
+    Each backend gets its own simulator built from the same ``seed`` and a
+    copy of ``initial_graph``, so their random orders ``pi`` coincide.
+    Raises :class:`ConformanceMismatch` at the first divergence (after
+    writing a divergence dump, see the module docstring); returns a
+    :class:`ProtocolDifferentialResult` when all backends agree everywhere.
+
+    Parameters
+    ----------
+    protocol:
+        ``"buffered"``, ``"direct"`` or ``"async-direct"``.
+    networks:
+        Registered backend names; the first is the reference.
+    compare_round_traces:
+        Also assert the round-by-round observability traces (synchronous
+        protocols only; the asynchronous protocol has no round structure).
+    reference_engine:
+        Engine backend computing the expected MIS in the periodic
+        ``verify()`` calls.
+    verify_every:
+        Verify every backend against the sequential reference each
+        that-many steps (0 disables; the final state is always verified).
+    scheduler_factory:
+        For the asynchronous protocol: builds one delay scheduler per
+        backend name.  Must be channel-deterministic; defaults to
+        ``AdversarialDelayScheduler(seed)``.
+    dump_dir:
+        Where to write divergence dumps; defaults to the
+        ``REPRO_PROTOCOL_DIFF_DUMP_DIR`` environment variable.
+    """
+    if len(networks) < 2:
+        raise ValueError("need at least two network backends to compare")
+    seed = normalize_seed(seed)
+    is_async = protocol not in _SYNC_PROTOCOLS
+    trace_enabled = compare_round_traces and not is_async
+
+    simulators = []
+    for name in networks:
+        kwargs = {"seed": seed, "initial_graph": initial_graph}
+        if is_async:
+            factory = scheduler_factory or (lambda _name: AdversarialDelayScheduler(seed))
+            kwargs["scheduler"] = factory(name)
+        simulator = create_network(protocol, network=name, **kwargs)
+        if trace_enabled:
+            simulator.enable_round_logging(True)
+        simulators.append(simulator)
+
+    reference = simulators[0]
+    metric_fields = ASYNC_METRIC_FIELDS if is_async else PROTOCOL_METRIC_FIELDS
+
+    def mismatch(step: int, change, detail: str) -> ConformanceMismatch:
+        _write_divergence_dump(
+            dump_dir, protocol, networks, seed, step, change, detail, simulators, trace_enabled
+        )
+        return ConformanceMismatch(step, change, detail)
+
+    baseline_states = reference.states()
+    for name, simulator in zip(networks[1:], simulators[1:]):
+        if simulator.states() != baseline_states:
+            raise mismatch(-1, None, f"initial states differ between {networks[0]} and {name}")
+
+    total_broadcasts = 0
+    total_rounds = 0
+    max_rounds = 0
+    for step, change in enumerate(changes):
+        metrics_records = [simulator.apply(change) for simulator in simulators]
+        head = metrics_records[0]
+        total_broadcasts += head.broadcasts
+        total_rounds += head.rounds
+        max_rounds = max(max_rounds, head.rounds)
+        expected_states = reference.states()
+        expected_trace = _trace_tuples(reference) if trace_enabled else None
+        for name, simulator, record in zip(networks[1:], simulators[1:], metrics_records[1:]):
+            for field in metric_fields:
+                lhs, rhs = getattr(head, field), getattr(record, field)
+                if lhs != rhs:
+                    raise mismatch(
+                        step, change, f"{field}: {networks[0]}={lhs!r} vs {name}={rhs!r}"
+                    )
+            if head.adjusted_nodes != record.adjusted_nodes:
+                raise mismatch(
+                    step,
+                    change,
+                    f"adjusted nodes: "
+                    f"{networks[0]}={sorted(head.adjusted_nodes, key=repr)} "
+                    f"vs {name}={sorted(record.adjusted_nodes, key=repr)}",
+                )
+            if trace_enabled:
+                actual_trace = _trace_tuples(simulator)
+                if actual_trace != expected_trace:
+                    raise mismatch(
+                        step,
+                        change,
+                        f"round trace ({networks[0]} vs {name}): "
+                        f"{expected_trace!r} vs {actual_trace!r}",
+                    )
+            actual_states = simulator.states()
+            if actual_states != expected_states:
+                diff = {
+                    node: (expected_states.get(node), actual_states.get(node))
+                    for node in set(expected_states) | set(actual_states)
+                    if expected_states.get(node) != actual_states.get(node)
+                }
+                raise mismatch(
+                    step, change, f"states ({networks[0]} vs {name}): {diff}"
+                )
+        if verify_every and (step + 1) % verify_every == 0:
+            _verify_all(networks, simulators, reference_engine)
+
+    _verify_all(networks, simulators, reference_engine)
+    return ProtocolDifferentialResult(
+        protocol=protocol,
+        networks=tuple(networks),
+        num_changes=len(changes),
+        total_broadcasts=total_broadcasts,
+        total_rounds=total_rounds,
+        max_rounds=max_rounds,
+        final_mis_size=len(reference.mis()),
+        final_num_nodes=reference.graph.num_nodes(),
+    )
+
+
+def _trace_tuples(simulator) -> List[Tuple[int, int, int, List[Tuple]]]:
+    """The last change's round trace as comparable plain tuples."""
+    return [
+        (record.round_number, record.messages_delivered, record.state_changes, record.broadcasts)
+        for record in simulator.last_change_trace()
+    ]
+
+
+def _verify_all(networks: Tuple[str, ...], simulators: List, reference_engine: str) -> None:
+    for name, simulator in zip(networks, simulators):
+        simulator.verify(reference_engine=reference_engine)
+        checker = getattr(simulator, "check_interning_invariants", None)
+        if checker is not None:
+            checker()
+
+
+# ----------------------------------------------------------------------
+# Divergence dumps (uploaded as CI artifacts on nightly failures)
+# ----------------------------------------------------------------------
+def _write_divergence_dump(
+    dump_dir: Optional[Path],
+    protocol: str,
+    networks: Tuple[str, ...],
+    seed: int,
+    step: int,
+    change,
+    detail: str,
+    simulators: List,
+    trace_enabled: bool,
+) -> Optional[Path]:
+    """Write one JSON dump describing a divergent replay step (best effort)."""
+    if dump_dir is None:
+        from_env = os.environ.get(DUMP_DIR_ENV)
+        if not from_env:
+            return None
+        dump_dir = Path(from_env)
+    try:
+        dump_dir = Path(dump_dir)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "protocol": protocol,
+            "networks": list(networks),
+            "seed": seed,
+            "step": step,
+            "change": repr(change),
+            "detail": detail,
+            "backends": {
+                name: _describe_simulator(simulator, trace_enabled)
+                for name, simulator in zip(networks, simulators)
+            },
+        }
+        path = dump_dir / f"divergence_{protocol}_seed{seed}_step{step}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True, default=repr) + "\n")
+        return path
+    except OSError:  # pragma: no cover - never fail the assertion over a dump
+        return None
+
+
+def _describe_simulator(simulator, trace_enabled: bool) -> Dict:
+    """One backend's post-divergence state, JSON-ready."""
+    last = simulator.metrics.records[-1] if simulator.metrics.records else None
+    description: Dict = {
+        "num_nodes": simulator.graph.num_nodes(),
+        "num_edges": simulator.graph.num_edges(),
+        "mis": sorted(simulator.mis(), key=repr),
+        "states": {repr(node): in_mis for node, in_mis in sorted(
+            simulator.states().items(), key=lambda item: repr(item[0])
+        )},
+        "last_change_metrics": last.as_dict() if last is not None else None,
+    }
+    if trace_enabled:
+        description["last_change_trace"] = [
+            {
+                "round": record.round_number,
+                "messages_delivered": record.messages_delivered,
+                "state_changes": record.state_changes,
+                "broadcasts": [list(map(repr, entry)) for entry in record.broadcasts],
+            }
+            for record in simulator.last_change_trace()
+        ]
+    return description

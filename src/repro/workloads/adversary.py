@@ -100,7 +100,9 @@ def adaptive_mis_deletion_adversary(
 class AdaptiveAdversary:
     """Iterator of deletions that always target a node of the current MIS."""
 
-    def __init__(self, current_mis: Callable[[], Set], num_deletions: int, rng_seed: int = 0) -> None:
+    def __init__(
+        self, current_mis: Callable[[], Set], num_deletions: int, rng_seed: int = 0
+    ) -> None:
         self._current_mis = current_mis
         self._remaining = num_deletions
         self._rng = random.Random(rng_seed)

@@ -189,9 +189,13 @@ def mixed_churn_sequence(
         nodes = sorted(working.nodes(), key=repr)
         if rng.random() < edge_change_probability and len(nodes) >= 2:
             if rng.random() < 0.5:
-                change = _random_missing_edge(working, nodes, rng) or _random_present_edge(working, rng)
+                change = _random_missing_edge(working, nodes, rng) or _random_present_edge(
+                    working, rng
+                )
             else:
-                change = _random_present_edge(working, rng) or _random_missing_edge(working, nodes, rng)
+                change = _random_present_edge(working, rng) or _random_missing_edge(
+                    working, nodes, rng
+                )
         else:
             if rng.random() < 0.5 or len(nodes) <= 2:
                 fresh_counter += 1
@@ -282,7 +286,9 @@ def alternative_histories(
         elif style == 1:
             histories.append(incremental_build_sequence(graph, seed=seed + index))
         else:
-            histories.append(detour_build_sequence(graph, num_detours=3 + index, seed=seed + index))
+            histories.append(
+                detour_build_sequence(graph, num_detours=3 + index, seed=seed + index)
+            )
     return histories
 
 

@@ -19,7 +19,7 @@ encoded as tagged lists so that round-trips are exact.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Hashable, Iterable, List, Sequence
+from typing import Any, Dict, Hashable, Sequence
 
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
@@ -123,7 +123,9 @@ def decode_change(record: Dict[str, Any]) -> TopologyChange:
             tuple(decode_node(other) for other in record.get("neighbors", [])),
         )
     if kind == "node_deletion":
-        return NodeDeletion(decode_node(record["node"]), graceful=bool(record.get("graceful", True)))
+        return NodeDeletion(
+            decode_node(record["node"]), graceful=bool(record.get("graceful", True))
+        )
     raise TraceFormatError(f"unknown change kind {kind!r}")
 
 
@@ -169,7 +171,7 @@ def encode_trace(
 
 
 def decode_trace(record: Dict[str, Any]) -> Dict[str, Any]:
-    """Decode a workload into ``{"changes": [...], "initial_graph": graph|None, "metadata": dict}``."""
+    """Decode a workload into ``{"changes", "initial_graph", "metadata"}`` keys."""
     if not isinstance(record, dict) or record.get("format") != "repro-trace-v1":
         raise TraceFormatError("not a repro-trace-v1 record")
     changes = [decode_change(entry) for entry in record.get("changes", [])]

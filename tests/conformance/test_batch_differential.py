@@ -19,7 +19,7 @@ backends need zero edits to ``dynamic_mis.py`` or any other core module.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence, Set
+from typing import Dict, Hashable, Sequence, Set
 
 import pytest
 

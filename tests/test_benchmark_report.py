@@ -65,6 +65,7 @@ def test_run_report_fails_on_large_regression(tmp_path, monkeypatch):
     monkeypatch.setattr(
         report, "load_baseline", lambda path, ref: document([{"per_batch_us": 100.0}])
     )
+    monkeypatch.setattr(report, "baseline_ref_exists", lambda ref: True)
     monkeypatch.setattr(report, "REPO_ROOT", tmp_path)
     assert report.run_report(results_dir=results_dir, threshold=0.30) == 1
     # A generous threshold tolerates the same delta.
@@ -76,8 +77,44 @@ def test_run_report_tolerates_missing_baseline(tmp_path, monkeypatch):
     results_dir.mkdir()
     (results_dir / "fresh.json").write_text(json.dumps(document([{"per_batch_us": 1.0}])))
     monkeypatch.setattr(report, "load_baseline", lambda path, ref: None)
+    monkeypatch.setattr(report, "baseline_ref_exists", lambda ref: True)
     monkeypatch.setattr(report, "REPO_ROOT", tmp_path)
     assert report.run_report(results_dir=results_dir) == 0
+
+
+def test_run_report_skips_cleanly_without_the_baseline_ref(tmp_path, monkeypatch, capsys):
+    """First-commit / shallow checkouts must degrade to a skip, not a failure.
+
+    An empty ``git init`` repository has no ``HEAD`` commit, which is exactly
+    the state of a brand-new project (or a shallow CI checkout that did not
+    fetch the baseline ref): the report must explain and exit 0.
+    """
+    import subprocess
+
+    subprocess.run(["git", "init", "--quiet", str(tmp_path)], check=True)
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    (results_dir / "demo.json").write_text(json.dumps(document([{"per_batch_us": 1.0}])))
+    monkeypatch.setattr(report, "REPO_ROOT", tmp_path)
+    assert report.run_report(against="HEAD", results_dir=results_dir) == 0
+    assert "skipping the trajectory comparison" in capsys.readouterr().out
+
+
+def test_run_report_skips_cleanly_when_git_is_unavailable(tmp_path, monkeypatch, capsys):
+    def no_git(*args, **kwargs):
+        raise FileNotFoundError("git not installed")
+
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    (results_dir / "demo.json").write_text(json.dumps(document([{"per_batch_us": 1.0}])))
+    monkeypatch.setattr(report.subprocess, "run", no_git)
+    assert report.run_report(against="HEAD", results_dir=results_dir) == 0
+    assert "skipping the trajectory comparison" in capsys.readouterr().out
+
+
+def test_baseline_ref_exists_distinguishes_real_and_missing_refs():
+    assert report.baseline_ref_exists("HEAD")
+    assert not report.baseline_ref_exists("no-such-ref-anywhere")
 
 
 def test_report_runs_against_the_real_repository():

@@ -22,6 +22,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["churn", "--family", "hypercube"])
 
+    def test_network_choices_come_from_the_registry(self):
+        arguments = build_parser().parse_args(["protocol", "--network", "fast"])
+        assert arguments.network == "fast"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["protocol", "--network", "no-such-core"])
+
 
 class TestCommands:
     def test_families(self, capsys):
@@ -46,15 +52,38 @@ class TestCommands:
 
     def test_churn_clustering(self, capsys):
         exit_code = main(
-            ["churn", "--structure", "clustering", "--nodes", "15", "--changes", "20", "--seed", "4"]
+            [
+                "churn",
+                "--structure",
+                "clustering",
+                "--nodes",
+                "15",
+                "--changes",
+                "20",
+                "--seed",
+                "4",
+            ]
         )
         assert exit_code == 0
         assert "clusters" in capsys.readouterr().out
 
     @pytest.mark.parametrize("protocol", ["buffered", "direct", "async"])
-    def test_protocol_commands(self, protocol, capsys):
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    def test_protocol_commands(self, protocol, network, capsys):
         exit_code = main(
-            ["protocol", "--protocol", protocol, "--nodes", "18", "--changes", "25", "--seed", "5"]
+            [
+                "protocol",
+                "--protocol",
+                protocol,
+                "--network",
+                network,
+                "--nodes",
+                "18",
+                "--changes",
+                "25",
+                "--seed",
+                "5",
+            ]
         )
         assert exit_code == 0
         output = capsys.readouterr().out
@@ -120,7 +149,9 @@ class TestCommands:
         assert "randomized" in output
 
     def test_history(self, capsys):
-        exit_code = main(["history", "--nodes", "10", "--changes", "10", "--samples", "10", "--seed", "7"])
+        exit_code = main(
+            ["history", "--nodes", "10", "--changes", "10", "--samples", "10", "--seed", "7"]
+        )
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "identical output per seed" in output

@@ -14,7 +14,6 @@ from repro.core.batch import apply_batch
 from repro.core.dynamic_mis import DynamicMIS
 from repro.core.greedy import greedy_mis
 from repro.core.template import TemplateEngine
-from repro.graph import generators
 from repro.graph.dynamic_graph import GraphError
 from repro.graph.validation import check_maximal_independent_set
 from repro.workloads.changes import (
@@ -257,7 +256,9 @@ class TestBatchEfficiency:
         batched = build_engine(engine_name, 17, medium_random_graph)
         sequential = DynamicMIS(seed=17, initial_graph=medium_random_graph, engine=engine_name)
         batch_report = batched.apply_batch(sequence)
-        total_single = sum(report.influenced_size for report in sequential.apply_sequence(sequence))
+        total_single = sum(
+            report.influenced_size for report in sequential.apply_sequence(sequence)
+        )
         assert batched.mis() == sequential.mis()
         assert batch_report.influenced_size <= total_single + 1
 

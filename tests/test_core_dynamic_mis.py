@@ -7,7 +7,6 @@ import pytest
 from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
 from repro.core.greedy import greedy_mis
 from repro.core.priorities import DeterministicPriorityAssigner
-from repro.graph import generators
 from repro.graph.validation import check_maximal_independent_set
 from repro.workloads.changes import (
     EdgeDeletion,

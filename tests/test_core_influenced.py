@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.greedy import greedy_mis, greedy_mis_states
+from repro.core.greedy import greedy_mis_states
 from repro.core.influenced import forced_minimal_influence, propagate_influence
 from repro.core.invariant import verify_mis_invariant
 from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner

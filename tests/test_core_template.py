@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.greedy import greedy_mis
-from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.core.priorities import DeterministicPriorityAssigner
 from repro.core.template import TemplateEngine
 from repro.graph import generators
 from repro.graph.dynamic_graph import GraphError

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.greedy import greedy_mis
 from repro.distributed.async_network import AsyncDirectMISNetwork
 from repro.distributed.scheduler import (
     AdversarialDelayScheduler,

@@ -1,0 +1,244 @@
+"""Unit tests for the id-interned network core and the network registry.
+
+The round-by-round equivalence with the dict simulators is pinned down by
+``tests/conformance/test_protocol_differential.py``; this file covers the
+pieces around it: the backend registry and its error messages, the
+``network=`` constructor selector, label interning with free-list reuse,
+the materialized runtime views, and the scheduler channel cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    AsyncDirectMISNetwork,
+    BufferedMISNetwork,
+    DirectMISNetwork,
+    FastAsyncDirectMISNetwork,
+    FastBufferedMISNetwork,
+    FastDirectMISNetwork,
+)
+from repro.distributed.network_api import (
+    NETWORK_NAMES,
+    UnknownNetworkError,
+    available_networks,
+    create_network,
+    network_protocols,
+    register_network,
+    resolve_network,
+    unregister_network,
+)
+from repro.distributed.scheduler import AdversarialDelayScheduler
+from repro.graph.generators import erdos_renyi_graph, star_graph
+from repro.workloads.changes import EdgeDeletion, NodeDeletion, NodeInsertion
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_builtin_networks_are_registered() -> None:
+    assert available_networks() == ("dict", "fast")
+    assert set(network_protocols("fast")) == {"buffered", "direct", "async-direct"}
+    assert "fast" in NETWORK_NAMES and list(NETWORK_NAMES) == ["dict", "fast"]
+
+
+def test_unknown_network_has_did_you_mean_hint() -> None:
+    with pytest.raises(UnknownNetworkError, match="did you mean 'fast'"):
+        resolve_network("fats", "buffered")
+    with pytest.raises(UnknownNetworkError, match="did you mean 'buffered'"):
+        resolve_network("fast", "bufferd")
+    with pytest.raises(UnknownNetworkError):
+        network_protocols("nope")
+
+
+def test_create_network_builds_each_backend() -> None:
+    graph = star_graph(5)
+    for network, expected in (("dict", BufferedMISNetwork), ("fast", FastBufferedMISNetwork)):
+        simulator = create_network("buffered", network=network, seed=2, initial_graph=graph)
+        assert type(simulator) is expected
+        simulator.verify(reference_engine="template")
+
+
+def test_register_network_guards() -> None:
+    with pytest.raises(ValueError, match="already registered"):
+        register_network("fast", {"buffered": FastBufferedMISNetwork})
+    with pytest.raises(ValueError, match="at least one protocol"):
+        register_network("empty", {})
+    with pytest.raises(TypeError, match="must be callable"):
+        register_network("bad", {"buffered": "not-a-factory"})
+    register_network("custom-test", {"buffered": FastBufferedMISNetwork})
+    try:
+        assert "custom-test" in available_networks()
+        simulator = create_network("buffered", network="custom-test", seed=1)
+        assert isinstance(simulator, FastBufferedMISNetwork)
+    finally:
+        unregister_network("custom-test")
+    assert "custom-test" not in available_networks()
+
+
+def test_third_backend_passes_protocol_differential() -> None:
+    """A backend registered purely through the public registry is comparable."""
+    from repro.testing.differential import conformance_workload
+    from repro.testing.protocol_differential import replay_protocol_differential
+
+    register_network("fast-clone-test", {"buffered": FastBufferedMISNetwork})
+    try:
+        graph, changes = conformance_workload(13, num_changes=25, start_nodes=14)
+        result = replay_protocol_differential(
+            graph, changes, seed=13, networks=("dict", "fast-clone-test", "fast")
+        )
+        assert result.networks == ("dict", "fast-clone-test", "fast")
+    finally:
+        unregister_network("fast-clone-test")
+
+
+# ----------------------------------------------------------------------
+# The network= constructor selector (zero call-site edits)
+# ----------------------------------------------------------------------
+def test_network_selector_dispatches_to_fast_twins() -> None:
+    graph = erdos_renyi_graph(12, 0.3, seed=4)
+    assert type(BufferedMISNetwork(seed=1, initial_graph=graph, network="fast")) is (
+        FastBufferedMISNetwork
+    )
+    assert type(DirectMISNetwork(seed=1, initial_graph=graph, network="fast")) is (
+        FastDirectMISNetwork
+    )
+    assert type(AsyncDirectMISNetwork(seed=1, initial_graph=graph, network="fast")) is (
+        FastAsyncDirectMISNetwork
+    )
+    # The default stays the dict implementation.
+    assert type(BufferedMISNetwork(seed=1, initial_graph=graph)) is BufferedMISNetwork
+    assert type(
+        BufferedMISNetwork(seed=1, initial_graph=graph, network="dict")
+    ) is BufferedMISNetwork
+
+
+def test_network_selector_rejects_unknown_backend() -> None:
+    with pytest.raises(UnknownNetworkError):
+        BufferedMISNetwork(seed=0, network="no-such-core")
+
+
+def test_network_selector_works_with_positional_arguments() -> None:
+    """Existing call sites pass seed/graph positionally; dispatch must survive that."""
+    graph = star_graph(5)
+    assert type(BufferedMISNetwork(3, graph, network="fast")) is FastBufferedMISNetwork
+    assert type(AsyncDirectMISNetwork(3, graph, network="fast")) is FastAsyncDirectMISNetwork
+
+
+def test_network_selector_rejects_protocol_subclasses() -> None:
+    """A subclass's overrides would be silently dropped by the dispatch, so
+    the selector only works on the registered protocol classes themselves."""
+
+    class TweakedBuffered(BufferedMISNetwork):
+        pass
+
+    assert type(TweakedBuffered(seed=0)) is TweakedBuffered
+    with pytest.raises(TypeError, match="register it"):
+        TweakedBuffered(seed=0, network="fast")
+
+    class TweakedAsync(AsyncDirectMISNetwork):
+        pass
+
+    with pytest.raises(TypeError, match="register it"):
+        TweakedAsync(seed=0, network="fast")
+
+
+def test_network_selector_is_keyword_only() -> None:
+    """A positional value in network's slot must fail loudly, never silently
+    bind past the dispatch and hand back the dict core."""
+    with pytest.raises(TypeError):
+        BufferedMISNetwork(0, None, None, "fast")
+    with pytest.raises(TypeError):
+        AsyncDirectMISNetwork(0, None, None, None, "fast")
+
+
+def test_fast_selector_matches_dict_outputs() -> None:
+    graph = erdos_renyi_graph(20, 0.2, seed=3)
+    dict_network = BufferedMISNetwork(seed=9, initial_graph=graph)
+    fast_network = BufferedMISNetwork(seed=9, initial_graph=graph, network="fast")
+    assert dict_network.states() == fast_network.states()
+    edge = dict_network.graph.edges()[0]
+    dict_network.apply(EdgeDeletion(*edge))
+    fast_network.apply(EdgeDeletion(*edge))
+    assert dict_network.states() == fast_network.states()
+
+
+# ----------------------------------------------------------------------
+# Interning, free-list reuse and views
+# ----------------------------------------------------------------------
+def test_free_list_reuse_keeps_capacity_bounded() -> None:
+    network = FastBufferedMISNetwork(seed=5, initial_graph=star_graph(6))
+    base_capacity = network.capacity()
+    for wave in range(4):
+        label = ("fresh", wave)
+        network.apply(NodeInsertion(label, (0,)))
+        network.apply(NodeDeletion(label, graceful=False))
+        network.check_interning_invariants()
+    assert network.capacity() <= base_capacity + 1
+    assert network.free_slots() >= 1
+    network.verify()
+
+
+def test_graph_view_matches_dict_topology() -> None:
+    graph = erdos_renyi_graph(15, 0.25, seed=6)
+    network = FastBufferedMISNetwork(seed=2, initial_graph=graph)
+    view = network.graph
+    assert view.num_nodes() == graph.num_nodes()
+    assert view.num_edges() == graph.num_edges()
+    assert sorted(view.nodes()) == sorted(graph.nodes())
+    assert view.edges() == graph.edges()
+    for node in graph.nodes():
+        assert view.degree(node) == graph.degree(node)
+        assert view.neighbors(node) == graph.neighbors(node)
+    assert view.copy() == graph
+
+
+def test_node_runtime_view_matches_dict_runtime() -> None:
+    graph = erdos_renyi_graph(14, 0.3, seed=8)
+    dict_network = BufferedMISNetwork(seed=4, initial_graph=graph)
+    fast_network = FastBufferedMISNetwork(seed=4, initial_graph=graph)
+    for node in graph.nodes():
+        expected = dict_network.node_runtime(node)
+        actual = fast_network.node_runtime(node)
+        assert actual.node_id == expected.node_id
+        assert actual.key == expected.key
+        assert actual.state is expected.state
+        assert actual.neighbors == expected.neighbors
+        assert actual.neighbor_keys == expected.neighbor_keys
+        assert actual.neighbor_states == expected.neighbor_states
+
+
+def test_verify_accepts_registered_reference_engines() -> None:
+    network = FastBufferedMISNetwork(seed=3, initial_graph=star_graph(8))
+    network.verify()  # default: fast
+    network.verify(reference_engine="template")
+    from repro.core.engine_api import UnknownEngineError
+
+    with pytest.raises(UnknownEngineError):
+        network.verify(reference_engine="no-such-engine")
+
+
+def test_metrics_surface_matches_dict(small_random_graph) -> None:
+    dict_network = BufferedMISNetwork(seed=7, initial_graph=small_random_graph)
+    fast_network = FastBufferedMISNetwork(seed=7, initial_graph=small_random_graph)
+    edge = dict_network.graph.edges()[2]
+    dict_metrics = dict_network.apply(EdgeDeletion(*edge))
+    fast_metrics = fast_network.apply(EdgeDeletion(*edge))
+    assert dict_metrics.as_dict() == fast_metrics.as_dict()
+    assert dict_network.metrics.summary() == fast_network.metrics.summary()
+
+
+# ----------------------------------------------------------------------
+# Scheduler channel cache
+# ----------------------------------------------------------------------
+def test_adversarial_scheduler_cache_is_consistent() -> None:
+    fresh = AdversarialDelayScheduler(seed=11)
+    cached = AdversarialDelayScheduler(seed=11)
+    pairs = [(u, v) for u in range(6) for v in range(6) if u != v]
+    first = {pair: cached.delay(pair[0], pair[1], 0) for pair in pairs}
+    # Cached re-reads and a fresh instance both reproduce the same delays.
+    for pair in pairs:
+        assert cached.delay(pair[0], pair[1], 99) == first[pair]
+        assert fresh.delay(pair[0], pair[1], 7) == first[pair]
+    assert any(delay > 10 for delay in first.values()), "no slow channel drawn"

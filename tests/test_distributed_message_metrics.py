@@ -39,7 +39,9 @@ class TestMessageBits:
         assert expected_comparison_bits() == pytest.approx(4.0)
 
     def test_message_defaults(self):
-        message = Message(sender="a", kind=MessageKind.ID_AND_STATE, state="M_BAR", random_id=(0.1,))
+        message = Message(
+            sender="a", kind=MessageKind.ID_AND_STATE, state="M_BAR", random_id=(0.1,)
+        )
         assert message.requests_introduction is True
         assert message.round_sent == 0
 
@@ -61,9 +63,15 @@ class TestChangeMetrics:
 class TestMetricsAggregator:
     def _populated(self) -> MetricsAggregator:
         aggregator = MetricsAggregator()
-        aggregator.add(ChangeMetrics("edge_insertion", rounds=2, broadcasts=3, bits=10, adjustments=1))
-        aggregator.add(ChangeMetrics("edge_insertion", rounds=4, broadcasts=1, bits=4, adjustments=0))
-        aggregator.add(ChangeMetrics("node_deletion", rounds=6, broadcasts=9, bits=20, adjustments=3))
+        aggregator.add(
+            ChangeMetrics("edge_insertion", rounds=2, broadcasts=3, bits=10, adjustments=1)
+        )
+        aggregator.add(
+            ChangeMetrics("edge_insertion", rounds=4, broadcasts=1, bits=4, adjustments=0)
+        )
+        aggregator.add(
+            ChangeMetrics("node_deletion", rounds=6, broadcasts=9, bits=20, adjustments=3)
+        )
         return aggregator
 
     def test_counts_and_means(self):

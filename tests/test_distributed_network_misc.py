@@ -17,7 +17,9 @@ from repro.workloads.sequences import build_sequence, mixed_churn_sequence
 class TestGrowFromEmptyNetwork:
     """The distributed engines can start from nothing and build the whole graph online."""
 
-    @pytest.mark.parametrize("engine_class", [BufferedMISNetwork, DirectMISNetwork, AsyncDirectMISNetwork])
+    @pytest.mark.parametrize(
+        "engine_class", [BufferedMISNetwork, DirectMISNetwork, AsyncDirectMISNetwork]
+    )
     def test_build_a_graph_online(self, engine_class, small_random_graph):
         network = engine_class(seed=5)
         history = build_sequence(small_random_graph, seed=3)
@@ -111,6 +113,8 @@ class TestMetricsBookkeeping:
         from repro.workloads.changes import NodeUnmuting
 
         network = BufferedMISNetwork(seed=11, initial_graph=small_random_graph)
-        metrics = network.apply(NodeUnmuting("ghost", tuple(sorted(small_random_graph.nodes())[:2])))
+        metrics = network.apply(
+            NodeUnmuting("ghost", tuple(sorted(small_random_graph.nodes())[:2]))
+        )
         assert metrics.change_kind == "node_unmuting"
         assert network.metrics.change_kinds() == ["node_unmuting"]

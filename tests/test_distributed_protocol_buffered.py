@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.greedy import greedy_mis
-from repro.distributed.network import ProtocolError
 from repro.distributed.protocol_mis import BufferedMISNetwork
 from repro.graph import generators
 from repro.graph.validation import check_maximal_independent_set

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.greedy import greedy_mis
 from repro.distributed.protocol_direct import DirectMISNetwork
 from repro.distributed.protocol_mis import BufferedMISNetwork
 from repro.graph import generators

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.priorities import DeterministicPriorityAssigner
 from repro.distributed.node import NodeState

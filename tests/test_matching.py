@@ -15,7 +15,7 @@ from repro.matching.greedy_matching import (
     random_greedy_matching,
     worst_case_maximal_matching_3paths,
 )
-from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion, NodeInsertion
+from repro.workloads.changes import NodeDeletion, NodeInsertion
 from repro.workloads.sequences import mixed_churn_sequence
 
 

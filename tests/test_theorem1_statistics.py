@@ -15,14 +15,16 @@ from repro.core.dynamic_mis import DynamicMIS
 from repro.distributed.protocol_direct import DirectMISNetwork
 from repro.distributed.protocol_mis import BufferedMISNetwork
 from repro.graph import generators
-from repro.workloads.changes import EdgeDeletion, EdgeInsertion, NodeDeletion
+from repro.workloads.changes import NodeDeletion
 from repro.workloads.sequences import edge_churn_sequence, mixed_churn_sequence
 
 
 class TestTheorem1ExpectedInfluencedSet:
     """E_pi[|S|] <= 1 for every single topology change."""
 
-    @pytest.mark.parametrize("family", ["erdos_renyi", "preferential", "geometric", "near_regular"])
+    @pytest.mark.parametrize(
+        "family", ["erdos_renyi", "preferential", "geometric", "near_regular"]
+    )
     def test_mean_influenced_size_at_most_one_under_edge_churn(self, family):
         sizes = []
         for seed in range(6):

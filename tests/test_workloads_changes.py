@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph import generators
 from repro.graph.dynamic_graph import DynamicGraph, GraphError
 from repro.workloads.changes import (
     CHANGE_KINDS,

@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.core.dynamic_mis import DynamicMIS
-from repro.graph import generators
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
     EdgeDeletion,
