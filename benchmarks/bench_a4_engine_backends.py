@@ -22,14 +22,11 @@ performance trajectory is recorded in version control.
 from __future__ import annotations
 
 import sys
-import time
 from typing import Dict, List
 
-from repro.core.dynamic_mis import DynamicMIS
-from repro.graph.generators import erdos_renyi_graph
-from repro.workloads.sequences import edge_churn_sequence
+from repro.scenario import BackendSpec, GraphSpec, ScenarioSpec, WorkloadSpec
 
-from harness import benchmark_seeds, emit, emit_json, emit_table, run_once
+from harness import benchmark_seeds, emit, emit_json, emit_table, run_once, run_scenario_session
 
 SIZES = (500, 1000, 2000, 5000)
 AVERAGE_DEGREE = 8
@@ -38,18 +35,31 @@ MASTER_SEED = 20260729
 TARGET_SPEEDUP_AT_5000 = 3.0
 
 
-def _time_engine(engine: str, graph, changes, seed: int) -> Dict:
-    maintainer = DynamicMIS(seed=seed, initial_graph=graph, engine=engine)
-    start = time.perf_counter()
-    maintainer.apply_sequence(changes)
-    elapsed = time.perf_counter() - start
-    maintainer.verify()
+def _scenario(n: int, graph_seed: int, workload_seed: int, engine_seed: int) -> ScenarioSpec:
+    """One sweep point as a declarative scenario (the backend is swept over it)."""
+    return ScenarioSpec(
+        name=f"a4-edge-churn-n{n}",
+        seed=engine_seed,
+        graph=GraphSpec(
+            family="erdos_renyi",
+            nodes=n,
+            seed=graph_seed,
+            params={"edge_probability": AVERAGE_DEGREE / (n - 1)},
+        ),
+        workload=WorkloadSpec(kind="edge_churn", num_changes=NUM_CHANGES, seed=workload_seed),
+        backend=BackendSpec(runner="sequential"),
+    )
+
+
+def _time_engine(engine: str, spec: ScenarioSpec) -> Dict:
+    result, session = run_scenario_session(spec.with_backend(engine=engine))
     return {
         "engine": engine,
-        "per_change_us": elapsed / len(changes) * 1e6,
-        "total_s": elapsed,
-        "final_mis": maintainer.mis(),
-        "mean_adjustments": maintainer.statistics.mean_adjustments(),
+        "per_change_us": result.per_change_us,
+        "total_s": result.elapsed_s,
+        "num_changes": result.num_changes,
+        "final_mis": session.mis(),
+        "mean_adjustments": session.maintainer.statistics.mean_adjustments(),
     }
 
 
@@ -58,10 +68,9 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
     rows: List[List] = []
     series: List[Dict] = []
     for n in SIZES:
-        graph = erdos_renyi_graph(n, AVERAGE_DEGREE / (n - 1), seed=graph_seed)
-        changes = edge_churn_sequence(graph, NUM_CHANGES, seed=workload_seed)
-        template = _time_engine("template", graph, changes, engine_seed)
-        fast = _time_engine("fast", graph, changes, engine_seed)
+        spec = _scenario(n, graph_seed, workload_seed, engine_seed)
+        template = _time_engine("template", spec)
+        fast = _time_engine("fast", spec)
         assert template["final_mis"] == fast["final_mis"], "backends diverged!"
         assert template["mean_adjustments"] == fast["mean_adjustments"]
         speedup = template["per_change_us"] / fast["per_change_us"]
@@ -71,7 +80,7 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
         series.append(
             {
                 "n": n,
-                "num_changes": len(changes),
+                "num_changes": template["num_changes"],
                 "template_per_change_us": round(template["per_change_us"], 3),
                 "fast_per_change_us": round(fast["per_change_us"], 3),
                 "speedup": round(speedup, 3),

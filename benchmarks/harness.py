@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_claim_table, format_table
 from repro.core.rng import spawn_seeds
@@ -51,13 +51,83 @@ def emit_json(name: str, payload: Dict[str, Any], results_dir: Optional[Path] = 
     performance trajectory in version control.  The payload is wrapped with
     the benchmark name and a unix timestamp; everything else is up to the
     benchmark (keep it to plain dicts/lists/numbers so diffs stay readable).
+
+    Overwriting is never silent: when the target file already exists, the
+    previous numeric values that changed are printed first, so a local run
+    shows its delta against the committed trajectory point immediately
+    (the same values ``report.py`` would diff against the git baseline).
     """
     target_dir = Path(results_dir) if results_dir is not None else RESULTS_DIR
     target_dir.mkdir(parents=True, exist_ok=True)
     path = target_dir / f"{name}.json"
     document = {"benchmark": name, "created_unix": int(time.time()), "results": payload}
+    previous = _load_previous_result(path)
+    if previous is not None:
+        _log_overwrite(path, previous, document)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def _load_previous_result(path: Path) -> Optional[Dict[str, Any]]:
+    if not path.exists():
+        return None
+    try:
+        loaded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def _numeric_leaves(document: Any, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, value)`` for every numeric leaf (bools excluded)."""
+    if isinstance(document, dict):
+        for key, value in sorted(document.items()):
+            yield from _numeric_leaves(value, f"{path}.{key}" if path else str(key))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from _numeric_leaves(value, f"{path}[{index}]")
+    elif isinstance(document, (int, float)) and not isinstance(document, bool):
+        yield path, float(document)
+
+
+def _log_overwrite(
+    path: Path, previous: Dict[str, Any], document: Dict[str, Any], limit: int = 16
+) -> None:
+    """Print the numeric deltas of an ``emit_json`` overwrite (best effort)."""
+    created = previous.get("created_unix")
+    print(f"emit_json: overwriting {path} (previous created_unix={created})")
+    old = dict(_numeric_leaves(previous.get("results", {})))
+    new = dict(_numeric_leaves(document.get("results", {})))
+    changed = [(p, old[p], new[p]) for p in sorted(old) if p in new and old[p] != new[p]]
+    for leaf_path, old_value, new_value in changed[:limit]:
+        print(f"  {leaf_path}: {old_value:g} -> {new_value:g}")
+    if len(changed) > limit:
+        print(f"  ... and {len(changed) - limit} more changed values")
+    dropped = sorted(set(old) - set(new))
+    if dropped:
+        print(f"  dropped values: {dropped[:limit]}")
+
+
+def run_scenario_session(spec, observers: Iterable = (), verify: bool = True):
+    """Benchmark entry for the declarative scenario API: run one spec.
+
+    Builds a :class:`repro.scenario.Session` for ``spec``, streams it to the
+    end and returns ``(result, session)`` -- the
+    :class:`~repro.scenario.session.ScenarioResult` carries the wall-clock
+    numbers (``elapsed_s`` covers only the apply calls), the session gives
+    access to final states for cross-backend equality asserts.  Sweeps call
+    this once per point of a ``spec x backend`` grid (see
+    ``bench_a4_engine_backends.py`` / ``bench_a5_distributed.py``).
+
+    Deliberately *not* named ``run_scenario``: that name is the library
+    entry (:func:`repro.scenario.run_scenario`) with a different return
+    contract (the result alone).
+    """
+    from repro.scenario import Session
+
+    session = Session(spec, observers=observers)
+    result = session.run(verify=verify)
+    return result, session
 
 
 def benchmark_seeds(seed: Any, repetitions: int) -> List[int]:

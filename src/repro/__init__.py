@@ -23,7 +23,12 @@ Haramaty and Karnin describes or depends on:
   :mod:`repro.matching`, :mod:`repro.coloring`),
 * workload generation, adversaries, lower-bound constructions, statistics and
   reporting used by the experiment suite (:mod:`repro.workloads`,
-  :mod:`repro.lowerbounds`, :mod:`repro.analysis`).
+  :mod:`repro.lowerbounds`, :mod:`repro.analysis`),
+* the declarative scenario front door (:mod:`repro.scenario`): serializable
+  :class:`~repro.scenario.spec.ScenarioSpec` experiment descriptions and the
+  streaming :class:`~repro.scenario.session.Session` runner with
+  checkpoint/resume and pluggable metric sinks, driving any registered
+  engine or network backend.
 
 Quickstart
 ----------
@@ -49,6 +54,14 @@ from repro.core.fast_engine import FastEngine
 from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
 from repro.core.template import TemplateEngine, UpdateReport
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.scenario import (
+    BackendSpec,
+    GraphSpec,
+    ScenarioSpec,
+    Session,
+    WorkloadSpec,
+    run_scenario,
+)
 
 __version__ = "1.2.0"
 
@@ -76,6 +89,12 @@ __all__ = [
     "ENGINE_NAMES",
     "UpdateReport",
     "DynamicGraph",
+    "ScenarioSpec",
+    "GraphSpec",
+    "WorkloadSpec",
+    "BackendSpec",
+    "Session",
+    "run_scenario",
     "RandomPriorityAssigner",
     "DeterministicPriorityAssigner",
     "__version__",

@@ -1,6 +1,15 @@
 """Command-line interface for quick experiments.
 
-The CLI exposes the most common workflows without writing any Python:
+The CLI is a thin layer over the declarative scenario API
+(:mod:`repro.scenario`): the workload-driving subcommands build a
+:class:`~repro.scenario.spec.ScenarioSpec` from their flags and stream it
+through a :class:`~repro.scenario.session.Session`, so anything the CLI runs
+can also be saved as a spec file (``--save-scenario``) and replayed,
+reparameterized or handed to the conformance harness later.
+
+``repro-mis run``
+    Execute a serialized scenario file end-to-end (``--scenario spec.json``)
+    on any registered engine/network backend and print the cost summary.
 
 ``repro-mis churn``
     Maintain an MIS (or matching / clustering) over a random change sequence
@@ -22,6 +31,9 @@ The CLI exposes the most common workflows without writing any Python:
 ``repro-mis families``
     List the available graph families.
 
+``repro-mis --list-engines`` / ``--list-networks``
+    Print the live backend registries with their capability flags.
+
 Run ``repro-mis <command> --help`` for the options of each command.  The CLI
 only prints plain-text tables (via :mod:`repro.analysis.reporting`), so its
 output can be pasted into notes or issues directly.
@@ -31,7 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.estimators import mean
 from repro.analysis.history_independence import (
@@ -42,16 +54,28 @@ from repro.analysis.history_independence import (
 )
 from repro.analysis.reporting import format_table
 from repro.baselines.recompute import StaticRecomputeDynamicMIS
-from repro.core.dynamic_mis import DynamicMIS
-from repro.core.engine_api import available_engines
-from repro.distributed.network_api import NETWORK_NAMES, create_network
-from repro.graph.generators import FAMILY_NAMES, random_graph_family
+from repro.core.engine_api import available_engines, create_engine
+from repro.distributed.network_api import (
+    NETWORK_NAMES,
+    available_networks,
+    network_protocols,
+    resolve_network,
+)
+from repro.graph.generators import FAMILY_NAMES
 from repro.lowerbounds.deterministic import (
     run_deterministic_lower_bound,
     run_randomized_on_lower_bound_instance,
 )
 from repro.matching.dynamic_matching import DynamicMaximalMatching
-from repro.workloads.sequences import alternative_histories, mixed_churn_sequence
+from repro.scenario import (
+    BackendSpec,
+    GraphSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    Session,
+    WorkloadSpec,
+)
+from repro.workloads.sequences import alternative_histories
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,7 +84,50 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-mis",
         description="Dynamic distributed MIS reproduction -- quick experiments",
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--list-engines",
+        action="store_true",
+        help="print the registered sequential engine backends with capability flags",
+    )
+    parser.add_argument(
+        "--list-networks",
+        action="store_true",
+        help="print the registered distributed network backends with their protocols",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=False)
+
+    run = subparsers.add_parser(
+        "run", help="execute a serialized scenario spec file end-to-end"
+    )
+    run.add_argument(
+        "--scenario",
+        metavar="PATH",
+        required=True,
+        help="scenario spec file (JSON, see the README's 'Scenarios' section)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="override the spec's engine backend",
+    )
+    run.add_argument(
+        "--network",
+        choices=NETWORK_NAMES,
+        default=None,
+        help="override the spec's network backend (protocol runner)",
+    )
+    run.add_argument(
+        "--protocol",
+        choices=("buffered", "direct", "async-direct"),
+        default=None,
+        help="override the spec's distributed protocol (protocol runner)",
+    )
+    run.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the final invariant verification (timing runs)",
+    )
 
     churn = subparsers.add_parser("churn", help="sequential maintainer under random churn")
     _add_workload_arguments(churn)
@@ -132,6 +199,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="replay a workload previously written with --save-trace instead of generating one",
     )
+    parser.add_argument(
+        "--save-scenario",
+        metavar="PATH",
+        default=None,
+        help="also write the scenario spec this command builds from its flags "
+        "(replayable with 'repro-mis run --scenario PATH')",
+    )
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser, role: str) -> None:
@@ -145,38 +219,85 @@ def _add_engine_argument(parser: argparse.ArgumentParser, role: str) -> None:
     )
 
 
-def _resolve_workload(arguments):
-    """Return (graph, changes) from a trace file or by generating them."""
-    from repro.workloads.trace import load_trace, save_trace
-
+# ----------------------------------------------------------------------
+# Spec building (the CLI's flags -> ScenarioSpec translation)
+# ----------------------------------------------------------------------
+def _workload_parts_from_arguments(arguments) -> Tuple[Optional[GraphSpec], WorkloadSpec]:
+    """The (graph, workload) spec parts a churn/protocol/history command describes."""
     if getattr(arguments, "load_trace", None):
-        loaded = load_trace(arguments.load_trace)
-        graph = loaded["initial_graph"]
-        if graph is None:
-            raise SystemExit("the trace file does not contain an initial graph")
-        return graph, loaded["changes"]
-    graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
-    changes = mixed_churn_sequence(graph, arguments.changes, seed=arguments.seed + 1)
-    if getattr(arguments, "save_trace", None):
-        save_trace(
-            arguments.save_trace,
-            changes,
-            graph,
-            metadata={
-                "family": arguments.family,
-                "nodes": arguments.nodes,
-                "seed": arguments.seed,
-            },
-        )
-    return graph, changes
+        return None, WorkloadSpec(kind="trace", path=arguments.load_trace)
+    graph = GraphSpec(family=arguments.family, nodes=arguments.nodes, seed=arguments.seed)
+    workload = WorkloadSpec(
+        kind="mixed_churn", num_changes=arguments.changes, seed=arguments.seed + 1
+    )
+    return graph, workload
+
+
+def _scenario_from_arguments(arguments, backend: BackendSpec, name: str) -> ScenarioSpec:
+    graph, workload = _workload_parts_from_arguments(arguments)
+    spec = ScenarioSpec(
+        name=name,
+        seed=arguments.seed + 2,
+        graph=graph,
+        workload=workload,
+        backend=backend,
+    )
+    if getattr(arguments, "save_scenario", None):
+        spec.save(arguments.save_scenario)
+        print(f"scenario spec written to {arguments.save_scenario}")
+    return spec
+
+
+def _session_or_exit(spec: ScenarioSpec) -> Session:
+    try:
+        return Session(spec)
+    except ScenarioSpecError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _materialize_or_exit(spec: ScenarioSpec):
+    try:
+        return spec.materialize()
+    except ScenarioSpecError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _maybe_save_trace(arguments, graph, changes) -> None:
+    if not getattr(arguments, "save_trace", None):
+        return
+    from repro.workloads.trace import save_trace
+
+    metadata = None
+    if not getattr(arguments, "load_trace", None):
+        metadata = {
+            "family": arguments.family,
+            "nodes": arguments.nodes,
+            "seed": arguments.seed,
+        }
+    save_trace(arguments.save_trace, changes, graph, metadata=metadata)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    arguments = build_parser().parse_args(argv)
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
     command = arguments.command
+    if arguments.list_engines or arguments.list_networks:
+        if command is not None:
+            parser.error(
+                "--list-engines / --list-networks cannot be combined with a command"
+            )
+        if arguments.list_engines:
+            _print_engine_registry()
+        if arguments.list_networks:
+            _print_network_registry()
+        return 0
+    if command is None:
+        parser.error("a command is required (or --list-engines / --list-networks)")
     if command == "families":
         return _run_families()
+    if command == "run":
+        return _run_scenario_command(arguments)
     if command == "churn":
         return _run_churn(arguments)
     if command == "protocol":
@@ -189,6 +310,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # ----------------------------------------------------------------------
+# Registry introspection
+# ----------------------------------------------------------------------
+def _print_engine_registry() -> None:
+    rows = []
+    for name in available_engines():
+        try:
+            engine = create_engine(name)
+        except Exception as error:  # a broken third-party factory: still list it
+            rows.append([name, f"<factory error: {error}>", "-", "-"])
+            continue
+        cls = type(engine)
+        batch = "native" if "apply_batch" in vars(cls) else "inherited"
+        snapshot = "custom" if "snapshot" in vars(cls) else "label-level"
+        rows.append([name, f"{cls.__module__}.{cls.__name__}", batch, snapshot])
+    print(
+        format_table(
+            ["engine", "implementation", "batch", "snapshot"],
+            rows,
+            title="Registered engine backends (repro.core.engine_api)",
+        )
+    )
+
+
+def _print_network_registry() -> None:
+    rows = []
+    for name in available_networks():
+        for protocol in network_protocols(name):
+            factory = resolve_network(name, protocol)
+            rows.append([name, protocol, getattr(factory, "__name__", repr(factory))])
+    print(
+        format_table(
+            ["network", "protocol", "factory"],
+            rows,
+            title="Registered network backends (repro.distributed.network_api)",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
 # Command implementations
 # ----------------------------------------------------------------------
 def _run_families() -> int:
@@ -196,10 +356,61 @@ def _run_families() -> int:
     return 0
 
 
+def _run_scenario_command(arguments) -> int:
+    try:
+        spec = ScenarioSpec.load(arguments.scenario)
+        overrides = {}
+        if arguments.engine:
+            overrides["engine"] = arguments.engine
+        if arguments.network:
+            overrides["network"] = arguments.network
+        if arguments.protocol:
+            overrides["protocol"] = arguments.protocol
+        if spec.backend.runner != "protocol" and (arguments.network or arguments.protocol):
+            raise ScenarioSpecError(
+                "--network/--protocol only apply to protocol-runner scenarios; "
+                f"{arguments.scenario} declares runner={spec.backend.runner!r}"
+            )
+        if overrides:
+            spec = spec.with_backend(**overrides)
+        session = Session(spec)
+    except (ScenarioSpecError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    result = session.run(verify=not arguments.no_verify)
+    rows = [
+        ["runner", result.runner],
+        ["backend", result.backend],
+        ["changes applied", result.num_changes],
+        ["elapsed seconds", result.elapsed_s],
+        ["per-change microseconds", result.per_change_us],
+        ["final MIS size", result.final_mis_size],
+        ["final node count", result.final_num_nodes],
+        ["verified", "yes" if result.verified else "skipped"],
+    ]
+    for key, value in sorted(result.summary.items()):
+        if isinstance(value, dict):
+            rows.append([key, value.get("mean", "")])
+        else:
+            rows.append([key, value])
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"scenario {result.name or arguments.scenario}",
+            float_format=".3f",
+        )
+    )
+    return 0
+
+
 def _run_churn(arguments) -> int:
-    graph, changes = _resolve_workload(arguments)
+    backend = BackendSpec(runner="sequential", engine=arguments.engine)
+    spec = _scenario_from_arguments(arguments, backend, name=f"churn-{arguments.structure}")
 
     if arguments.structure == "matching":
+        # Only the materialized workload is shared; the matcher maintains
+        # its own structure (no MIS session is built).
+        graph, changes = _materialize_or_exit(spec)
         matcher = DynamicMaximalMatching(
             seed=arguments.seed + 2, initial_graph=graph, engine=arguments.engine
         )
@@ -208,6 +419,7 @@ def _run_churn(arguments) -> int:
             reports = matcher.apply(change)
             adjustments.append(sum(report.num_adjustments for report in reports))
         matcher.verify()
+        _maybe_save_trace(arguments, graph, changes)
         rows = [
             ["structure", "maximal matching (MIS on L(G))"],
             ["changes applied", len(changes)],
@@ -216,22 +428,21 @@ def _run_churn(arguments) -> int:
             ["final matching size", matcher.matching_size()],
         ]
     else:
-        maintainer = DynamicMIS(
-            seed=arguments.seed + 2, initial_graph=graph, engine=arguments.engine
-        )
-        maintainer.apply_sequence(changes)
-        maintainer.verify()
-        stats = maintainer.statistics
+        session = _session_or_exit(spec)
+        graph, changes = session.initial_graph, session.changes
+        session.run(verify=True)
+        _maybe_save_trace(arguments, graph, changes)
+        stats = session.maintainer.statistics
         rows = [
             ["structure", f"{arguments.structure} (engine={arguments.engine})"],
             ["changes applied", stats.num_changes],
             ["mean influenced set |S| (Theorem 1: <= 1)", stats.mean_influenced_size()],
             ["mean adjustments per change (<= 1)", stats.mean_adjustments()],
             ["max adjustments for one change", stats.max_adjustments()],
-            ["final MIS size", len(maintainer.mis())],
+            ["final MIS size", len(session.mis())],
         ]
         if arguments.structure == "clustering":
-            rows.append(["clusters (= MIS size)", len(maintainer.mis())])
+            rows.append(["clusters (= MIS size)", len(session.mis())])
             rows.append(["cluster assignment of every node", "node -> earliest MIS neighbor"])
     print(
         format_table(
@@ -246,19 +457,21 @@ def _run_churn(arguments) -> int:
 
 
 def _run_protocol(arguments) -> int:
-    graph, changes = _resolve_workload(arguments)
     protocol = {"buffered": "buffered", "direct": "direct", "async": "async-direct"}[
         arguments.protocol
     ]
-    network = create_network(
-        protocol,
+    backend = BackendSpec(
+        runner="protocol",
+        engine=arguments.engine,
         network=arguments.network,
-        seed=arguments.seed + 2,
-        initial_graph=graph,
+        protocol=protocol,
     )
-    network.apply_sequence(changes)
-    network.verify(reference_engine=arguments.engine)
-    metrics = network.metrics
+    spec = _scenario_from_arguments(arguments, backend, name=f"protocol-{arguments.protocol}")
+    session = _session_or_exit(spec)
+    graph, changes = session.initial_graph, session.changes
+    session.run(verify=True)
+    _maybe_save_trace(arguments, graph, changes)
+    metrics = session.network.metrics
     rows = []
     for kind in metrics.change_kinds():
         rows.append(
@@ -349,7 +562,10 @@ def _run_lowerbound(arguments) -> int:
 
 
 def _run_history(arguments) -> int:
-    graph = random_graph_family(arguments.family, arguments.nodes, seed=arguments.seed)
+    graph_spec = GraphSpec(
+        family=arguments.family, nodes=arguments.nodes, seed=arguments.seed
+    )
+    graph = graph_spec.build()
     histories = alternative_histories(
         graph, num_histories=arguments.histories, seed=arguments.seed + 1
     )

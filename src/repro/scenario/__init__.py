@@ -1,0 +1,64 @@
+"""``repro.scenario`` -- the declarative front door of the library.
+
+One :class:`ScenarioSpec` (graph family + workload + backend + metric sinks,
+with exact dict/JSON round-trips) describes a whole experiment; one
+:class:`Session` streams it through any registered engine or network backend
+with checkpoint/resume and pluggable observers.  The CLI's ``run`` command,
+the benchmark harness's ``run_scenario`` entry and the differential
+conformance harnesses all build on this package -- see the README's
+"Scenarios" section for a worked example.
+"""
+
+from repro.scenario.session import (
+    CheckpointUnsupportedError,
+    ScenarioResult,
+    Session,
+    SessionCheckpoint,
+    run_scenario,
+    run_scenario_grid,
+)
+from repro.scenario.sinks import (
+    CallbackSink,
+    JsonlSink,
+    ScenarioObserver,
+    SummarySink,
+    UnknownSinkError,
+    available_sinks,
+    create_sink,
+    register_sink,
+    unregister_sink,
+)
+from repro.scenario.spec import (
+    RUNNER_NAMES,
+    WORKLOAD_KINDS,
+    BackendSpec,
+    GraphSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "GraphSpec",
+    "WorkloadSpec",
+    "BackendSpec",
+    "ScenarioSpecError",
+    "WORKLOAD_KINDS",
+    "RUNNER_NAMES",
+    "Session",
+    "SessionCheckpoint",
+    "ScenarioResult",
+    "CheckpointUnsupportedError",
+    "run_scenario",
+    "run_scenario_grid",
+    "ScenarioObserver",
+    "SummarySink",
+    "JsonlSink",
+    "CallbackSink",
+    "UnknownSinkError",
+    "register_sink",
+    "unregister_sink",
+    "available_sinks",
+    "create_sink",
+]

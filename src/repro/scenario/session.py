@@ -1,0 +1,433 @@
+"""The streaming :class:`Session` runner: drive any spec through any backend.
+
+A session materializes a :class:`~repro.scenario.spec.ScenarioSpec` into
+``(initial_graph, changes)``, builds the requested backend (a sequential
+:class:`~repro.core.dynamic_mis.DynamicMIS` or a distributed simulator from
+the network registry) and streams the workload through it:
+
+* :meth:`Session.step` applies the next change (or batch) and notifies the
+  attached observers (:mod:`repro.scenario.sinks`);
+* :meth:`Session.run` streams to the end, verifies, and returns a
+  :class:`ScenarioResult`;
+* :meth:`Session.checkpoint` captures a resumable
+  :class:`SessionCheckpoint` between steps (sequential runner only -- it
+  rides on the engines' :meth:`~repro.core.engine_api.MISEngine.snapshot` /
+  :meth:`~repro.core.engine_api.MISEngine.restore` pair), and
+  :meth:`Session.resume` continues it in a fresh session.
+
+Checkpoint/resume is *exact*: node priorities are a pure function of
+``(seed, node)`` (see :class:`~repro.core.priorities.RandomPriorityAssigner`),
+so a resumed session applies the identical remaining workload to the
+identical restored state and lands on the same outputs, statistics included
+-- machine-checked by the checkpoint differential test in
+``tests/test_scenario_session.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
+from repro.core.engine_api import EngineSnapshot
+from repro.distributed.network_api import create_network
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.scenario.sinks import ScenarioObserver, create_sink
+from repro.scenario.spec import ScenarioSpec
+from repro.workloads.changes import TopologyChange
+
+Node = Hashable
+
+
+class CheckpointUnsupportedError(RuntimeError):
+    """Checkpointing was requested on a runner that cannot snapshot."""
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """A resumable point of a sequential scenario session.
+
+    Holds the spec (the workload re-materializes from it deterministically),
+    the number of changes already applied, the engine's label-level
+    :class:`~repro.core.engine_api.EngineSnapshot` and a copy of the
+    statistics so far.  Because the snapshot is label-level, a checkpoint
+    taken on one engine backend can resume on another
+    (``resume(checkpoint, engine="fast")``) -- the cross-backend analogue of
+    the differential harness's rewind.
+    """
+
+    spec: ScenarioSpec
+    position: int
+    snapshot: EngineSnapshot
+    statistics: MaintainerStatistics
+
+    @property
+    def remaining_changes(self) -> int:
+        """How many workload changes are still to be applied after this point."""
+        return self.spec_total_changes - self.position
+
+    @property
+    def spec_total_changes(self) -> int:
+        """Total workload length of the underlying spec."""
+        _, changes = self.spec.materialize()
+        return len(changes)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one completed scenario run."""
+
+    name: str
+    runner: str
+    backend: str
+    num_changes: int
+    elapsed_s: float
+    final_mis_size: int
+    final_num_nodes: int
+    verified: bool
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def per_change_us(self) -> float:
+        """Mean wall-clock microseconds per applied change."""
+        return self.elapsed_s / self.num_changes * 1e6 if self.num_changes else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by benchmark payloads)."""
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "backend": self.backend,
+            "num_changes": self.num_changes,
+            "elapsed_s": self.elapsed_s,
+            "per_change_us": self.per_change_us,
+            "final_mis_size": self.final_mis_size,
+            "final_num_nodes": self.final_num_nodes,
+            "verified": self.verified,
+            "summary": dict(self.summary),
+        }
+
+
+class Session:
+    """Stream one scenario through one backend, notifying observers.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run (validated and materialized upfront).
+    observers:
+        Extra :class:`~repro.scenario.sinks.ScenarioObserver` instances, on
+        top of the sinks named in ``spec.sinks``.
+
+    Use :meth:`Session.resume` (not the constructor) to continue from a
+    :class:`SessionCheckpoint`.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        observers: Iterable[ScenarioObserver] = (),
+        _checkpoint: Optional[SessionCheckpoint] = None,
+    ) -> None:
+        spec.validate()
+        self._spec = spec
+        self._initial_graph, self._changes = spec.materialize()
+        self._batches = self._chunk(self._changes, spec.batch_size)
+        self._observers: List[ScenarioObserver] = [
+            create_sink(name) for name in spec.sinks
+        ]
+        self._observers.extend(observers)
+        self._position = 0  # changes applied
+        self._unit_index = 0  # batches applied (== position when unbatched)
+        self._elapsed = 0.0
+        self._started = False
+
+        self._maintainer: Optional[DynamicMIS] = None
+        self._network = None
+        if spec.backend.runner == "sequential":
+            engine = spec.backend.engine
+            if _checkpoint is None:
+                self._maintainer = DynamicMIS(
+                    seed=spec.seed, initial_graph=self._initial_graph, engine=engine
+                )
+            else:
+                # Rebuild the engine empty, then restore the label-level
+                # snapshot; priorities are a pure function of (seed, node),
+                # so future insertions draw the same IDs as an uninterrupted
+                # run (which is what makes resume exact).
+                self._maintainer = DynamicMIS(seed=spec.seed, engine=engine)
+                self._maintainer.engine.restore(_checkpoint.snapshot)
+                self._maintainer._statistics = copy.deepcopy(_checkpoint.statistics)
+                self._position = _checkpoint.position
+                self._unit_index = self._unit_for_position(_checkpoint.position)
+        else:
+            if _checkpoint is not None:  # pragma: no cover - guarded by checkpoint()
+                raise CheckpointUnsupportedError(
+                    "protocol sessions cannot be resumed from a checkpoint"
+                )
+            self._network = create_network(
+                spec.backend.protocol,
+                network=spec.backend.network,
+                seed=spec.seed,
+                initial_graph=self._initial_graph,
+            )
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The scenario being run."""
+        return self._spec
+
+    @property
+    def initial_graph(self) -> DynamicGraph:
+        """The materialized starting graph (do not mutate)."""
+        return self._initial_graph
+
+    @property
+    def changes(self) -> List[TopologyChange]:
+        """The materialized workload (the full list, including applied ones)."""
+        return self._changes
+
+    @property
+    def maintainer(self) -> Optional[DynamicMIS]:
+        """The sequential maintainer (``None`` for protocol sessions)."""
+        return self._maintainer
+
+    @property
+    def network(self):
+        """The distributed simulator (``None`` for sequential sessions)."""
+        return self._network
+
+    @property
+    def position(self) -> int:
+        """Number of individual changes applied so far."""
+        return self._position
+
+    @property
+    def num_changes(self) -> int:
+        """Total workload length."""
+        return len(self._changes)
+
+    @property
+    def done(self) -> bool:
+        """Whether the whole workload has been applied."""
+        return self._unit_index >= len(self._batches)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds spent inside apply calls by *this* session."""
+        return self._elapsed
+
+    def mis(self) -> Set[Node]:
+        """The backend's current maximal independent set."""
+        return self._runner.mis()
+
+    def states(self) -> Dict[Node, bool]:
+        """The backend's full output map ``node -> in MIS?``."""
+        return self._runner.states()
+
+    @property
+    def graph(self):
+        """The backend's current graph view."""
+        return self._runner.graph
+
+    def verify(self) -> None:
+        """Assert the backend's invariant (protocol: against the spec engine)."""
+        if self._maintainer is not None:
+            self._maintainer.verify()
+        else:
+            self._network.verify(reference_engine=self._spec.backend.engine)
+
+    @property
+    def _runner(self):
+        return self._maintainer if self._maintainer is not None else self._network
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def step(self):
+        """Apply the next change (or batch); notify observers; return the record.
+
+        Returns ``None`` when the workload is exhausted.
+        """
+        if self.done:
+            return None
+        self._notify_start()
+        unit = self._batches[self._unit_index]
+        start = time.perf_counter()
+        if self._spec.batch_size and self._maintainer is not None:
+            record = self._maintainer.apply_batch(unit)
+        elif self._maintainer is not None:
+            record = self._maintainer.apply(unit[0])
+        else:
+            record = self._network.apply(unit[0])
+        self._elapsed += time.perf_counter() - start
+        if self._spec.batch_size:
+            for observer in self._observers:
+                observer.on_batch(self._unit_index, unit, record)
+        else:
+            for observer in self._observers:
+                observer.on_change(self._position, unit[0], record)
+        self._unit_index += 1
+        self._position += len(unit)
+        return record
+
+    def __iter__(self) -> Iterator:
+        """Yield the per-unit records while streaming to the end."""
+        while not self.done:
+            yield self.step()
+
+    def run(self, verify: bool = True) -> ScenarioResult:
+        """Stream to the end and return the :class:`ScenarioResult`.
+
+        ``elapsed_s`` covers only the apply calls made by this session (a
+        resumed session reports the time of its own remaining stretch).
+        """
+        self._notify_start()
+        while not self.done:
+            self.step()
+        if verify:
+            self.verify()
+        result = self._build_result(verified=verify)
+        for observer in self._observers:
+            observer.on_end(self, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> SessionCheckpoint:
+        """Capture a resumable checkpoint of the current state.
+
+        Sequential runner only: the distributed simulators keep per-node
+        message state that has no snapshot/restore pair yet, so protocol
+        sessions raise :class:`CheckpointUnsupportedError`.
+        """
+        if self._maintainer is None:
+            raise CheckpointUnsupportedError(
+                "protocol sessions cannot checkpoint (no network snapshot/restore); "
+                "use the sequential runner"
+            )
+        return SessionCheckpoint(
+            spec=self._spec,
+            position=self._position,
+            snapshot=self._maintainer.engine.snapshot(),
+            statistics=copy.deepcopy(self._maintainer.statistics),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: SessionCheckpoint,
+        observers: Iterable[ScenarioObserver] = (),
+        engine: Optional[str] = None,
+    ) -> "Session":
+        """Continue a checkpointed scenario in a fresh session.
+
+        ``engine`` optionally resumes on a *different* registered backend
+        (the snapshot is label-level, so any engine can restore it).  The
+        override is folded into the resumed session's spec, so results
+        attribute the right backend and a re-checkpoint keeps it.
+        """
+        if engine is not None:
+            checkpoint = dataclasses.replace(
+                checkpoint, spec=checkpoint.spec.with_backend(engine=engine)
+            )
+        return cls(checkpoint.spec, observers=observers, _checkpoint=checkpoint)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _notify_start(self) -> None:
+        if not self._started:
+            self._started = True
+            for observer in self._observers:
+                observer.on_start(self)
+
+    def _chunk(
+        self, changes: Sequence[TopologyChange], batch_size: int
+    ) -> List[List[TopologyChange]]:
+        if not batch_size:
+            return [[change] for change in changes]
+        return [
+            list(changes[start : start + batch_size])
+            for start in range(0, len(changes), batch_size)
+        ]
+
+    def _unit_for_position(self, position: int) -> int:
+        consumed = 0
+        for index, unit in enumerate(self._batches):
+            if consumed == position:
+                return index
+            consumed += len(unit)
+        if consumed != position:
+            raise ValueError(
+                f"checkpoint position {position} does not align with the batch "
+                f"boundaries of batch_size={self._spec.batch_size}"
+            )
+        return len(self._batches)
+
+    def _build_result(self, verified: bool) -> ScenarioResult:
+        summary: Dict[str, Any]
+        if self._maintainer is not None:
+            stats = self._maintainer.statistics
+            summary = {
+                "mean_influenced_size": stats.mean_influenced_size(),
+                "mean_adjustments": stats.mean_adjustments(),
+                "max_adjustments": stats.max_adjustments(),
+                "mean_update_work": stats.mean_update_work(),
+            }
+            if stats.num_batches:
+                summary["num_batches"] = stats.num_batches
+                summary["mean_batch_adjustments_per_change"] = (
+                    stats.mean_batch_adjustments_per_change()
+                )
+        else:
+            summary = self._network.metrics.summary()
+        return ScenarioResult(
+            name=self._spec.name,
+            runner=self._spec.backend.runner,
+            backend=self._spec.backend.describe(),
+            num_changes=self._position,
+            elapsed_s=self._elapsed,
+            final_mis_size=len(self.mis()),
+            final_num_nodes=self.graph.num_nodes(),
+            verified=verified,
+            summary=summary,
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    observers: Iterable[ScenarioObserver] = (),
+    verify: bool = True,
+) -> ScenarioResult:
+    """Build a :class:`Session` for ``spec``, run it to the end, return the result."""
+    return Session(spec, observers=observers).run(verify=verify)
+
+
+def run_scenario_grid(
+    spec: ScenarioSpec,
+    backends: Sequence[Tuple[str, Dict[str, Any]]],
+    verify: bool = True,
+) -> List[ScenarioResult]:
+    """Run the *same* scenario across a grid of backend overrides.
+
+    ``backends`` is a list of ``(label, overrides)`` pairs; each override
+    dict is applied to the spec's :class:`~repro.scenario.spec.BackendSpec`
+    (e.g. ``("fast", {"engine": "fast"})``).  The workload is identical by
+    construction -- it re-materializes from the same spec -- which is what
+    benchmark sweeps and conformance comparisons need.
+    """
+    results = []
+    for label, overrides in backends:
+        variant = spec.with_backend(**overrides)
+        result = run_scenario(variant, verify=verify)
+        result.name = f"{spec.name or 'scenario'}[{label}]"
+        results.append(result)
+    return results

@@ -1,0 +1,259 @@
+"""Streaming metric sinks (observers) for scenario sessions.
+
+A :class:`~repro.scenario.session.Session` notifies its observers while the
+scenario streams: once at the start, once per applied change (or batch), and
+once at the end with the final :class:`~repro.scenario.session.ScenarioResult`.
+Observers never influence the run -- they are pure measurement taps, which is
+what keeps "same scenario, two backends" runs comparable.
+
+The per-change ``record`` is whatever the runner produces:
+an :class:`~repro.core.template.UpdateReport` for the sequential runner, a
+:class:`~repro.distributed.metrics.ChangeMetrics` for the protocol runner,
+and a :class:`~repro.core.engine_api.BatchUpdateReport` for batched
+sequential sessions.  :data:`TRACKED_ATTRIBUTES` lists the numeric fields a
+generic sink may probe; absent fields are simply skipped, so one sink
+implementation serves every runner.
+
+Sinks referenced *by name* in a :class:`~repro.scenario.spec.ScenarioSpec`
+resolve through the registry here (:func:`register_sink` /
+:func:`create_sink`), mirroring the engine and network registries including
+the did-you-mean errors.  A name may carry one argument after a colon, e.g.
+``"jsonl:/tmp/changes.jsonl"``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Numeric per-change fields a generic sink probes on each record (sequential
+#: report fields first, protocol metric fields second; a record exposes a
+#: subset of these).
+TRACKED_ATTRIBUTES = (
+    "num_adjustments",
+    "influenced_size",
+    "num_levels",
+    "state_flips",
+    "update_work",
+    "rounds",
+    "broadcasts",
+    "bits",
+    "adjustments",
+    "state_changes",
+)
+
+
+class ScenarioObserver:
+    """Base class for session observers; all hooks default to no-ops.
+
+    Subclass and override any subset of the hooks.  ``on_change`` fires once
+    per individually applied change, ``on_batch`` once per applied batch
+    (batched sequential sessions fire ``on_batch`` only).
+    """
+
+    def on_start(self, session) -> None:
+        """The session is about to apply its first change."""
+
+    def on_change(self, step: int, change, record) -> None:
+        """Change ``step`` (0-based) was applied; ``record`` is its report."""
+
+    def on_batch(self, index: int, changes: Sequence, report) -> None:
+        """Batch ``index`` (0-based) was applied atomically."""
+
+    def on_end(self, session, result) -> None:
+        """The session finished; ``result`` is its ScenarioResult."""
+
+
+class SummarySink(ScenarioObserver):
+    """Aggregate every tracked numeric field over the streamed records.
+
+    After the run, :meth:`summary` returns ``{field: {"mean", "max",
+    "total"}}`` for each field the records actually carried, plus the change
+    count -- a runner-agnostic cost profile of the scenario.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, List[float]] = {}
+        self._changes = 0
+        self._batches = 0
+
+    def on_change(self, step: int, change, record) -> None:
+        self._changes += 1
+        self._collect(record)
+
+    def on_batch(self, index: int, changes: Sequence, report) -> None:
+        self._changes += len(changes)
+        self._batches += 1
+        self._collect(report)
+
+    def _collect(self, record) -> None:
+        for attribute in TRACKED_ATTRIBUTES:
+            value = getattr(record, attribute, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._values.setdefault(attribute, []).append(float(value))
+
+    @property
+    def num_changes(self) -> int:
+        """Number of individual changes observed (batched changes included)."""
+        return self._changes
+
+    def summary(self) -> Dict[str, Any]:
+        """Mean/max/total of every observed field plus the change count."""
+        summary: Dict[str, Any] = {"num_changes": self._changes}
+        if self._batches:
+            summary["num_batches"] = self._batches
+        for attribute, values in sorted(self._values.items()):
+            summary[attribute] = {
+                "mean": sum(values) / len(values),
+                "max": max(values),
+                "total": sum(values),
+            }
+        return summary
+
+
+class JsonlSink(ScenarioObserver):
+    """Append one JSON line per change (or batch) to a file.
+
+    Lines carry the step index, the change (its ``repr``) and every tracked
+    numeric field present on the record -- a cheap machine-readable
+    per-change log for offline analysis.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ValueError("jsonl sink needs a file path, e.g. 'jsonl:out.jsonl'")
+        self._path = path
+        self._handle = None
+
+    def on_start(self, session) -> None:
+        # A resumed session (position > 0) appends, so the pre-checkpoint
+        # lines of an interrupted run survive in the same file.
+        mode = "a" if session.position else "w"
+        self._handle = open(self._path, mode, encoding="utf-8")
+
+    def _emit(self, document: Dict[str, Any]) -> None:
+        if self._handle is not None:
+            self._handle.write(json.dumps(document, sort_keys=True) + "\n")
+            # Lines land on disk immediately, so an interrupted (later
+            # resumed) session leaves a complete per-change log behind.
+            self._handle.flush()
+
+    def on_change(self, step: int, change, record) -> None:
+        document: Dict[str, Any] = {"step": step, "change": repr(change)}
+        for attribute in TRACKED_ATTRIBUTES:
+            value = getattr(record, attribute, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                document[attribute] = value
+        self._emit(document)
+
+    def on_batch(self, index: int, changes: Sequence, report) -> None:
+        document: Dict[str, Any] = {"batch": index, "batch_size": len(changes)}
+        for attribute in TRACKED_ATTRIBUTES:
+            value = getattr(report, attribute, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                document[attribute] = value
+        self._emit(document)
+
+    def on_end(self, session, result) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(ScenarioObserver):
+    """Adapt a plain callable into an observer (called per change/batch)."""
+
+    def __init__(self, callback: Callable[[int, Any, Any], None]) -> None:
+        self._callback = callback
+
+    def on_change(self, step: int, change, record) -> None:
+        self._callback(step, change, record)
+
+    def on_batch(self, index: int, changes: Sequence, report) -> None:
+        self._callback(index, changes, report)
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors the engine/network registries)
+# ----------------------------------------------------------------------
+class UnknownSinkError(ValueError):
+    """A sink name that is not registered (with a did-you-mean hint)."""
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        hint = ""
+        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
+        if close:
+            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
+        super().__init__(f"unknown sink {name!r}; registered sinks: {tuple(known)}{hint}")
+        self.name = name
+        self.known = tuple(known)
+
+
+#: A registered factory takes the optional ``:argument`` suffix (None when
+#: the name had none) and returns a ready observer.
+SinkFactory = Callable[[Optional[str]], ScenarioObserver]
+
+_REGISTRY: Dict[str, SinkFactory] = {}
+
+
+def register_sink(name: str, factory: SinkFactory, overwrite: bool = False) -> None:
+    """Register an observer factory under ``name`` (see the module docstring)."""
+    if not isinstance(name, str) or not name or ":" in name:
+        raise ValueError(f"sink name must be a non-empty string without ':', got {name!r}")
+    if not callable(factory):
+        raise TypeError(f"sink factory for {name!r} must be callable, got {factory!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"sink {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_sink(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent; mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_sinks() -> Tuple[str, ...]:
+    """The registered sink names, built-ins first, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _split(sink_name: str) -> Tuple[str, Optional[str]]:
+    name, _, argument = str(sink_name).partition(":")
+    return name, (argument or None)
+
+
+def create_sink(sink_name: str) -> ScenarioObserver:
+    """Build an observer from a spec sink name (``"name"`` or ``"name:arg"``)."""
+    name, argument = _split(sink_name)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownSinkError(name, available_sinks()) from None
+    return factory(argument)
+
+
+def check_sink_names(sink_names: Iterable[str]) -> None:
+    """Validate sink names without instantiating (spec validation path)."""
+    for sink_name in sink_names:
+        name, _ = _split(sink_name)
+        if name not in _REGISTRY:
+            raise UnknownSinkError(name, available_sinks())
+
+
+def _summary_factory(argument: Optional[str]) -> ScenarioObserver:
+    if argument is not None:
+        raise ValueError("the summary sink takes no argument")
+    return SummarySink()
+
+
+def _jsonl_factory(argument: Optional[str]) -> ScenarioObserver:
+    if argument is None:
+        raise ValueError("the jsonl sink needs a path: 'jsonl:<path>'")
+    return JsonlSink(argument)
+
+
+register_sink("summary", _summary_factory)
+register_sink("jsonl", _jsonl_factory)

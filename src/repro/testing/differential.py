@@ -32,6 +32,14 @@ MIS sets, influenced sets and every cost counter, plus -- via the engines'
 ``snapshot()``/``restore()`` pair -- agreement between the batched and the
 one-at-a-time application of every single batch.
 
+Both replays also accept a declarative scenario
+(:class:`repro.scenario.spec.ScenarioSpec`) in place of an explicit
+``(initial_graph, changes)`` pair: pass ``scenario=spec`` and the harness
+materializes the workload and takes the algorithm seed from the spec, so a
+conformance run is "same scenario, two backends" *by construction* -- the
+exact same spec a benchmark or the CLI ran can be handed to the harness
+unchanged.
+
 Used by ``tests/conformance/``; importable by anyone adding a new backend
 (Rust/Cython slots are ROADMAP open items).
 """
@@ -64,6 +72,25 @@ REPORT_FIELDS = (
 )
 
 
+def resolve_scenario_inputs(initial_graph, changes, seed, scenario):
+    """Shared ``scenario=`` handling of the replay entry points.
+
+    With ``scenario`` given, the explicit ``initial_graph``/``changes``/
+    ``seed`` must be left unset (they would be silently overridden
+    otherwise); the workload is materialized from the spec and the
+    algorithm seed is the spec's ``seed``.  Returns the resolved
+    ``(initial_graph, changes, seed)`` triple.
+    """
+    if scenario is None:
+        return initial_graph, changes, (0 if seed is None else seed)
+    if initial_graph is not None or (changes is not None and len(changes)) or seed is not None:
+        raise ValueError(
+            "pass either scenario= or explicit initial_graph/changes/seed, not both"
+        )
+    graph, materialized = scenario.materialize()
+    return graph, materialized, scenario.seed
+
+
 class ConformanceMismatch(AssertionError):
     """Two engine backends disagreed while replaying the same sequence."""
 
@@ -89,13 +116,14 @@ class DifferentialResult:
 
 
 def replay_differential(
-    initial_graph: Optional[DynamicGraph],
-    changes: Sequence[TopologyChange],
-    seed: int = 0,
+    initial_graph: Optional[DynamicGraph] = None,
+    changes: Optional[Sequence[TopologyChange]] = None,
+    seed: Optional[int] = None,
     engines: Tuple[str, ...] = ("template", "fast"),
     check_clustering: bool = True,
     check_influenced_membership: bool = True,
     verify_every: int = 25,
+    scenario=None,
 ) -> DifferentialResult:
     """Replay ``changes`` through every backend and assert stepwise equality.
 
@@ -104,10 +132,19 @@ def replay_differential(
     :class:`ConformanceMismatch` at the first divergence; returns a
     :class:`DifferentialResult` summary when all backends agree everywhere.
 
+    Instead of explicit ``initial_graph``/``changes``/``seed``, pass
+    ``scenario=`` (a :class:`repro.scenario.spec.ScenarioSpec`) to replay a
+    declarative scenario -- same workload and seed on every backend by
+    construction.
+
     ``verify_every`` additionally re-checks the MIS invariant inside every
     backend each that-many steps (0 disables; the final state is always
     verified).
     """
+    initial_graph, changes, seed = resolve_scenario_inputs(
+        initial_graph, changes, seed, scenario
+    )
+    changes = list(changes or ())
     seed = normalize_seed(seed)
     maintainers = [
         DynamicMIS(seed=seed, initial_graph=initial_graph, engine=name) for name in engines
@@ -210,14 +247,15 @@ def split_into_batches(
 
 
 def replay_batch_differential(
-    initial_graph: Optional[DynamicGraph],
-    changes: Sequence[TopologyChange],
-    seed: int = 0,
+    initial_graph: Optional[DynamicGraph] = None,
+    changes: Optional[Sequence[TopologyChange]] = None,
+    seed: Optional[int] = None,
     engines: Tuple[str, ...] = ("template", "fast"),
     max_batch: int = 8,
     check_clustering: bool = True,
     check_against_sequence: bool = True,
     verify_every: int = 5,
+    scenario=None,
 ) -> DifferentialResult:
     """Replay ``changes`` in batches through every backend; assert equality.
 
@@ -235,9 +273,16 @@ def replay_batch_differential(
       checked by rewinding it with the engine ``snapshot()``/``restore()``
       pair, so batched and sequential semantics are machine-tied together.
 
+    Accepts ``scenario=`` in place of explicit inputs, exactly like
+    :func:`replay_differential`.
+
     Raises :class:`ConformanceMismatch` at the first divergence; returns a
     :class:`DifferentialResult` (``num_changes`` counts individual changes).
     """
+    initial_graph, changes, seed = resolve_scenario_inputs(
+        initial_graph, changes, seed, scenario
+    )
+    changes = list(changes or ())
     seed = normalize_seed(seed)
     maintainers = [
         DynamicMIS(seed=seed, initial_graph=initial_graph, engine=name) for name in engines

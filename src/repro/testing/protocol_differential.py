@@ -46,7 +46,7 @@ from repro.core.rng import normalize_seed
 from repro.distributed.network_api import create_network
 from repro.distributed.scheduler import AdversarialDelayScheduler, DelayScheduler
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.testing.differential import ConformanceMismatch
+from repro.testing.differential import ConformanceMismatch, resolve_scenario_inputs
 from repro.workloads.changes import TopologyChange
 
 #: Per-change metric fields every backend must agree on, protocol by protocol.
@@ -82,16 +82,17 @@ class ProtocolDifferentialResult:
 
 
 def replay_protocol_differential(
-    initial_graph: Optional[DynamicGraph],
-    changes: Sequence[TopologyChange],
-    seed: int = 0,
-    protocol: str = "buffered",
+    initial_graph: Optional[DynamicGraph] = None,
+    changes: Optional[Sequence[TopologyChange]] = None,
+    seed: Optional[int] = None,
+    protocol: Optional[str] = None,
     networks: Tuple[str, ...] = ("dict", "fast"),
     compare_round_traces: bool = True,
-    reference_engine: str = "fast",
+    reference_engine: Optional[str] = None,
     verify_every: int = 10,
     scheduler_factory: Optional[Callable[[str], DelayScheduler]] = None,
     dump_dir: Optional[Path] = None,
+    scenario=None,
 ) -> ProtocolDifferentialResult:
     """Replay ``changes`` through every network backend; assert equality.
 
@@ -103,8 +104,15 @@ def replay_protocol_differential(
 
     Parameters
     ----------
+    scenario:
+        A :class:`repro.scenario.spec.ScenarioSpec` replacing the explicit
+        ``initial_graph``/``changes``/``seed`` *and* ``protocol`` /
+        ``reference_engine`` (taken from the spec's backend part; passing
+        any of them alongside ``scenario`` raises): the conformance run
+        replays the exact scenario on every requested network backend --
+        "same scenario, two backends" by construction.
     protocol:
-        ``"buffered"``, ``"direct"`` or ``"async-direct"``.
+        ``"buffered"`` (the default), ``"direct"`` or ``"async-direct"``.
     networks:
         Registered backend names; the first is the reference.
     compare_round_traces:
@@ -126,6 +134,19 @@ def replay_protocol_differential(
     """
     if len(networks) < 2:
         raise ValueError("need at least two network backends to compare")
+    initial_graph, changes, seed = resolve_scenario_inputs(
+        initial_graph, changes, seed, scenario
+    )
+    if scenario is not None:
+        if protocol is not None or reference_engine is not None:
+            raise ValueError(
+                "pass either scenario= or explicit protocol/reference_engine, not both"
+            )
+        protocol = scenario.backend.protocol
+        reference_engine = scenario.backend.engine
+    protocol = protocol or "buffered"
+    reference_engine = reference_engine or "fast"
+    changes = list(changes or ())
     seed = normalize_seed(seed)
     is_async = protocol not in _SYNC_PROTOCOLS
     trace_enabled = compare_round_traces and not is_async

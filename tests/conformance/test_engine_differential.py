@@ -19,6 +19,7 @@ import pytest
 
 from repro.core.rng import spawn_seeds
 from repro.graph.generators import disjoint_paths_graph, star_graph
+from repro.scenario import GraphSpec, ScenarioSpec, WorkloadSpec
 from repro.testing.differential import (
     ConformanceMismatch,
     adversarial_burst_sequence,
@@ -56,10 +57,31 @@ def test_smoke_build_then_teardown() -> None:
     assert result.final_num_nodes == 0
 
 
-def test_smoke_pure_edge_churn() -> None:
+def test_smoke_pure_edge_churn_from_scenario() -> None:
+    # Rebuilt on the declarative scenario API: the spec materializes the
+    # exact workload the hand-built version used (star_graph(8) is the
+    # "star" family on 9 nodes), so both backends replay the same scenario
+    # by construction.
+    spec = ScenarioSpec(
+        name="conformance-edge-churn",
+        seed=3,
+        graph=GraphSpec(family="star", nodes=9, seed=3),
+        workload=WorkloadSpec(kind="edge_churn", num_changes=60, seed=3),
+    )
+    by_spec = replay_differential(scenario=spec)
     graph = star_graph(8)
     changes = edge_churn_sequence(graph, 60, seed=3)
-    replay_differential(graph, changes, seed=3)
+    by_hand = replay_differential(graph, changes, seed=3)
+    assert by_spec == by_hand  # unchanged results vs the pre-scenario harness
+
+
+def test_scenario_conflicts_with_explicit_inputs() -> None:
+    spec = ScenarioSpec(workload=WorkloadSpec(kind="mixed_churn", num_changes=5))
+    with pytest.raises(ValueError, match="not both"):
+        replay_differential(star_graph(4), [], seed=1, scenario=spec)
+    # An explicit seed alone is also rejected (it would be silently ignored).
+    with pytest.raises(ValueError, match="not both"):
+        replay_differential(seed=1, scenario=spec)
 
 
 def test_smoke_pure_node_churn_reuses_labels() -> None:

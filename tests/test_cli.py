@@ -9,8 +9,9 @@ from repro.cli import build_parser, main
 
 class TestParser:
     def test_requires_a_command(self):
+        # A bare invocation (no command, no --list-* flag) still exits.
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
 
     def test_defaults(self):
         arguments = build_parser().parse_args(["churn"])
@@ -140,6 +141,84 @@ class TestCommands:
         path.write_text(json.dumps({"format": "repro-trace-v1", "changes": []}))
         with pytest.raises(SystemExit):
             main(["churn", "--load-trace", str(path)])
+
+    def test_list_engines_and_networks(self, capsys):
+        assert main(["--list-engines", "--list-networks"]) == 0
+        output = capsys.readouterr().out
+        assert "template" in output and "fast" in output
+        assert "TemplateEngine" in output and "FastEngine" in output
+        assert "native" in output  # batch capability flag
+        assert "buffered" in output and "async-direct" in output
+
+    def test_run_scenario_file(self, tmp_path, capsys):
+        from repro.scenario import ScenarioSpec, WorkloadSpec
+
+        path = tmp_path / "spec.json"
+        ScenarioSpec(
+            name="cli-run", workload=WorkloadSpec(kind="mixed_churn", num_changes=15)
+        ).save(path)
+        assert main(["run", "--scenario", str(path), "--engine", "fast"]) == 0
+        output = capsys.readouterr().out
+        assert "cli-run" in output
+        assert "engine=fast" in output
+        assert "final MIS size" in output
+
+    def test_run_scenario_protocol_override(self, tmp_path, capsys):
+        from repro.scenario import BackendSpec, ScenarioSpec, WorkloadSpec
+
+        path = tmp_path / "spec.json"
+        ScenarioSpec(
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=12),
+            backend=BackendSpec(runner="protocol"),
+        ).save(path)
+        assert main(["run", "--scenario", str(path), "--network", "fast"]) == 0
+        assert "network=fast" in capsys.readouterr().out
+
+    def test_list_flags_reject_a_command(self):
+        with pytest.raises(SystemExit):
+            main(["--list-engines", "churn"])
+
+    def test_run_rejects_network_override_on_sequential_spec(self, tmp_path):
+        from repro.scenario import ScenarioSpec, WorkloadSpec
+
+        path = tmp_path / "seq.json"
+        ScenarioSpec(workload=WorkloadSpec(kind="mixed_churn", num_changes=5)).save(path)
+        with pytest.raises(SystemExit, match="protocol-runner"):
+            main(["run", "--scenario", str(path), "--network", "fast"])
+
+    def test_run_scenario_rejects_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"format": "repro-scenario-v1", "wrkload": {}}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scenario", str(path)])
+        assert "workload" in str(excinfo.value)  # did-you-mean hint
+
+    def test_churn_save_scenario_roundtrips_through_run(self, tmp_path, capsys):
+        spec_path = tmp_path / "churn.json"
+        assert (
+            main(
+                [
+                    "churn",
+                    "--nodes",
+                    "15",
+                    "--changes",
+                    "20",
+                    "--seed",
+                    "8",
+                    "--save-scenario",
+                    str(spec_path),
+                ]
+            )
+            == 0
+        )
+        churn_output = capsys.readouterr().out
+        assert spec_path.exists()
+        assert main(["run", "--scenario", str(spec_path)]) == 0
+        run_output = capsys.readouterr().out
+        # The replayed scenario lands on the identical final MIS.
+        (churn_mis_line,) = [li for li in churn_output.splitlines() if "final MIS size" in li]
+        (run_mis_line,) = [li for li in run_output.splitlines() if "final MIS size" in li]
+        assert churn_mis_line.split()[-1] == run_mis_line.split()[-1]
 
     def test_lowerbound(self, capsys):
         exit_code = main(["lowerbound", "--side-size", "6", "--seeds", "3"])

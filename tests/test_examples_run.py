@@ -38,6 +38,14 @@ def _load_example(name: str):
             ["Correlation-clustering disagreement cost", "per-change maintenance cost"],
         ),
         (
+            "scenario_session",
+            [
+                "Same scenario across backends",
+                "Checkpoint/resume is exact",
+                "yes (asserted)",
+            ],
+        ),
+        (
             "matching_and_coloring",
             [
                 "History-independent maximal matching",

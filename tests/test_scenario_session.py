@@ -1,0 +1,274 @@
+"""Tests for the streaming :class:`~repro.scenario.session.Session` runner.
+
+The load-bearing guarantee here is the checkpoint/resume differential: a
+session interrupted at *any* point and resumed in a fresh process-state must
+land on exactly the outputs and statistics of an uninterrupted run, on every
+engine backend and even when resuming on a *different* backend (the
+snapshot is label-level).  The rest pins down the runner surface: sequential
+vs protocol sessions, batched application, observers/sinks and the
+``spec x backend`` grid helper.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.scenario import (
+    BackendSpec,
+    CallbackSink,
+    CheckpointUnsupportedError,
+    GraphSpec,
+    JsonlSink,
+    ScenarioSpec,
+    Session,
+    SummarySink,
+    WorkloadSpec,
+    run_scenario,
+    run_scenario_grid,
+)
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="session-test",
+        seed=5,
+        graph=GraphSpec(family="erdos_renyi", nodes=18, seed=1),
+        workload=WorkloadSpec(kind="mixed_churn", num_changes=40, seed=2),
+        backend=BackendSpec(runner="sequential", engine="template"),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestSequentialSession:
+    def test_matches_a_hand_driven_maintainer(self):
+        spec = small_spec()
+        session = Session(spec)
+        result = session.run()
+
+        graph, changes = spec.materialize()
+        maintainer = DynamicMIS(seed=spec.seed, initial_graph=graph, engine="template")
+        maintainer.apply_sequence(changes)
+        assert session.states() == maintainer.states()
+        assert session.mis() == maintainer.mis()
+        assert (
+            session.maintainer.statistics.adjustments == maintainer.statistics.adjustments
+        )
+        assert result.num_changes == len(changes)
+        assert result.verified
+        assert result.final_mis_size == len(maintainer.mis())
+
+    def test_streaming_iteration_yields_one_record_per_change(self):
+        session = Session(small_spec())
+        records = list(session)
+        assert len(records) == session.num_changes
+        assert session.done
+        assert session.step() is None
+
+    def test_batched_session_matches_manual_batches(self):
+        spec = small_spec(batch_size=7)
+        session = Session(spec)
+        session.run()
+
+        graph, changes = spec.materialize()
+        maintainer = DynamicMIS(seed=spec.seed, initial_graph=graph, engine="template")
+        for start in range(0, len(changes), 7):
+            maintainer.apply_batch(changes[start : start + 7])
+        assert session.states() == maintainer.states()
+        assert (
+            session.maintainer.statistics.batch_sizes == maintainer.statistics.batch_sizes
+        )
+
+    def test_result_per_change_us_is_consistent(self):
+        result = run_scenario(small_spec())
+        assert result.per_change_us == pytest.approx(
+            result.elapsed_s / result.num_changes * 1e6
+        )
+        document = result.to_dict()
+        assert document["num_changes"] == result.num_changes
+        json.dumps(document)  # JSON-ready
+
+
+class TestProtocolSession:
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    def test_runs_and_verifies(self, network):
+        spec = small_spec(
+            backend=BackendSpec(
+                runner="protocol", protocol="buffered", network=network, engine="fast"
+            )
+        )
+        result = run_scenario(spec)
+        assert result.runner == "protocol"
+        assert result.num_changes == 40
+        assert "mean_broadcasts" in result.summary
+
+    def test_networks_agree_on_the_same_scenario(self):
+        spec = small_spec(
+            backend=BackendSpec(runner="protocol", protocol="buffered", engine="fast")
+        )
+        sessions = []
+        for network in ("dict", "fast"):
+            session = Session(spec.with_backend(network=network))
+            session.run()
+            sessions.append(session)
+        assert sessions[0].states() == sessions[1].states()
+
+    def test_checkpoint_unsupported(self):
+        session = Session(
+            small_spec(backend=BackendSpec(runner="protocol", protocol="buffered"))
+        )
+        with pytest.raises(CheckpointUnsupportedError, match="protocol sessions"):
+            session.checkpoint()
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("engine", ["template", "fast"])
+    @pytest.mark.parametrize("stop_at", [0, 1, 13, 39, 40])
+    def test_resumed_run_equals_uninterrupted_run(self, engine, stop_at):
+        spec = small_spec(backend=BackendSpec(runner="sequential", engine=engine))
+        uninterrupted = Session(spec)
+        full_result = uninterrupted.run()
+
+        interrupted = Session(spec)
+        for _ in range(stop_at):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        assert checkpoint.position == stop_at
+        assert checkpoint.remaining_changes == 40 - stop_at
+        del interrupted  # the resumed session rebuilds everything from the checkpoint
+
+        resumed = Session.resume(checkpoint)
+        resumed_result = resumed.run()
+
+        assert resumed.states() == uninterrupted.states()
+        assert resumed.mis() == uninterrupted.mis()
+        stats, full_stats = resumed.maintainer.statistics, uninterrupted.maintainer.statistics
+        assert stats.adjustments == full_stats.adjustments
+        assert stats.influenced_sizes == full_stats.influenced_sizes
+        assert stats.change_kinds == full_stats.change_kinds
+        assert resumed_result.summary == full_result.summary
+        assert resumed_result.final_mis_size == full_result.final_mis_size
+        assert resumed_result.num_changes == full_result.num_changes
+
+    def test_cross_engine_resume(self):
+        # The snapshot is label-level, so a checkpoint taken on the template
+        # engine resumes on the fast engine with identical outputs.
+        spec = small_spec(backend=BackendSpec(runner="sequential", engine="template"))
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(17):
+            interrupted.step()
+        resumed = Session.resume(interrupted.checkpoint(), engine="fast")
+        resumed.run()
+        assert resumed.states() == reference.states()
+        assert (
+            resumed.maintainer.statistics.adjustments
+            == reference.maintainer.statistics.adjustments
+        )
+
+    def test_cross_engine_resume_updates_the_spec(self):
+        # The engine override is folded into the resumed session's spec, so
+        # results attribute the right backend and a chained checkpoint/resume
+        # stays on the overridden engine.
+        spec = small_spec(backend=BackendSpec(runner="sequential", engine="template"))
+        reference = Session(spec)
+        reference.run()
+
+        first = Session(spec)
+        for _ in range(10):
+            first.step()
+        second = Session.resume(first.checkpoint(), engine="fast")
+        assert second.spec.backend.engine == "fast"
+        for _ in range(10):
+            second.step()
+        chained = Session.resume(second.checkpoint())
+        assert chained.spec.backend.engine == "fast"
+        result = chained.run()
+        assert result.backend == "engine=fast"
+        assert chained.states() == reference.states()
+
+    def test_jsonl_sink_survives_a_resume(self, tmp_path):
+        path = tmp_path / "resumed.jsonl"
+        spec = small_spec(sinks=(f"jsonl:{path}",))
+        session = Session(spec)
+        for _ in range(15):
+            session.step()
+        checkpoint = session.checkpoint()
+        del session
+        Session.resume(checkpoint).run()
+        # The resumed session appends: all 40 per-change lines survive.
+        assert len(path.read_text().splitlines()) == 40
+
+    def test_batched_checkpoint_resume(self):
+        spec = small_spec(batch_size=6)
+        uninterrupted = Session(spec)
+        uninterrupted.run()
+
+        interrupted = Session(spec)
+        interrupted.step()
+        interrupted.step()
+        resumed = Session.resume(interrupted.checkpoint())
+        resumed.run()
+        assert resumed.states() == uninterrupted.states()
+        assert (
+            resumed.maintainer.statistics.batch_sizes
+            == uninterrupted.maintainer.statistics.batch_sizes
+        )
+
+
+class TestObservers:
+    def test_summary_sink_sees_every_change(self):
+        sink = SummarySink()
+        run_scenario(small_spec(), observers=(sink,))
+        assert sink.num_changes == 40
+        summary = sink.summary()
+        assert summary["num_changes"] == 40
+        assert "num_adjustments" in summary
+        assert summary["num_adjustments"]["total"] >= 0
+
+    def test_summary_sink_works_for_protocol_records(self):
+        sink = SummarySink()
+        run_scenario(
+            small_spec(backend=BackendSpec(runner="protocol", protocol="buffered")),
+            observers=(sink,),
+        )
+        assert "broadcasts" in sink.summary()
+
+    def test_jsonl_sink_writes_one_line_per_change(self, tmp_path):
+        path = tmp_path / "changes.jsonl"
+        run_scenario(small_spec(), observers=(JsonlSink(str(path)),))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 40
+        assert all("change" in line and "num_adjustments" in line for line in lines)
+
+    def test_spec_named_sinks_are_attached(self, tmp_path):
+        path = tmp_path / "spec-sink.jsonl"
+        spec = small_spec(sinks=("summary", f"jsonl:{path}"))
+        run_scenario(spec)
+        assert len(path.read_text().splitlines()) == 40
+
+    def test_callback_sink_and_batch_hook(self):
+        seen = []
+        spec = small_spec(batch_size=10)
+        run_scenario(spec, observers=(CallbackSink(lambda i, unit, r: seen.append(i)),))
+        assert seen == [0, 1, 2, 3]  # 40 changes / batch_size 10
+
+
+class TestGrid:
+    def test_same_scenario_across_backends(self):
+        results = run_scenario_grid(
+            small_spec(),
+            [("template", {"engine": "template"}), ("fast", {"engine": "fast"})],
+        )
+        assert [result.name for result in results] == [
+            "session-test[template]",
+            "session-test[fast]",
+        ]
+        # Identical workload + seed => identical outputs and costs.
+        assert results[0].final_mis_size == results[1].final_mis_size
+        assert results[0].summary == results[1].summary

@@ -1,0 +1,86 @@
+"""Tier-1 smoke gate for the scenario front door (CI: runs on every PR).
+
+A tiny scenario must execute end-to-end through :func:`repro.scenario.run_scenario`
+on **every** registered engine backend (sequential runner) and **every**
+registered network backend under every protocol (protocol runner), from a
+serialized JSON spec -- exactly the path ``repro-mis run --scenario`` takes.
+The parametrization reads the live registries, so a future backend is gated
+here the moment it registers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine_api import available_engines
+from repro.distributed.network_api import available_networks, network_protocols
+from repro.scenario import (
+    BackendSpec,
+    GraphSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+TINY_GRAPH = GraphSpec(family="erdos_renyi", nodes=12, seed=1)
+TINY_WORKLOAD = WorkloadSpec(kind="mixed_churn", num_changes=15, seed=2)
+
+
+def _through_json(spec: ScenarioSpec) -> ScenarioSpec:
+    """Serialize/deserialize, so the smoke run covers the spec-file path."""
+    return ScenarioSpec.from_json(spec.to_json())
+
+
+@pytest.mark.parametrize("engine", available_engines())
+def test_tiny_scenario_on_every_engine_backend(engine: str) -> None:
+    spec = _through_json(
+        ScenarioSpec(
+            name=f"smoke-{engine}",
+            seed=3,
+            graph=TINY_GRAPH,
+            workload=TINY_WORKLOAD,
+            backend=BackendSpec(runner="sequential", engine=engine),
+        )
+    )
+    result = run_scenario(spec)
+    assert result.verified
+    assert result.num_changes == 15
+    assert result.final_mis_size > 0
+
+
+@pytest.mark.parametrize(
+    "network, protocol",
+    [
+        (network, protocol)
+        for network in available_networks()
+        for protocol in network_protocols(network)
+    ],
+)
+def test_tiny_scenario_on_every_network_backend(network: str, protocol: str) -> None:
+    spec = _through_json(
+        ScenarioSpec(
+            name=f"smoke-{network}-{protocol}",
+            seed=3,
+            graph=TINY_GRAPH,
+            workload=TINY_WORKLOAD,
+            backend=BackendSpec(
+                runner="protocol", network=network, protocol=protocol, engine="fast"
+            ),
+        )
+    )
+    result = run_scenario(spec)
+    assert result.verified
+    assert result.num_changes == 15
+    assert result.summary["num_changes"] == 15.0
+
+
+def test_engine_backends_agree_on_the_smoke_scenario() -> None:
+    """The smoke spec is also a conformance probe: all engines, same outputs."""
+    spec = ScenarioSpec(
+        seed=3, graph=TINY_GRAPH, workload=TINY_WORKLOAD, backend=BackendSpec()
+    )
+    mis_sizes = {
+        engine: run_scenario(spec.with_backend(engine=engine)).final_mis_size
+        for engine in available_engines()
+    }
+    assert len(set(mis_sizes.values())) == 1, mis_sizes

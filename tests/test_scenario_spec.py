@@ -1,0 +1,286 @@
+"""Tests for the declarative scenario specs (``repro.scenario.spec``).
+
+Pins down the satellite guarantees of the scenario API:
+
+* ``spec -> dict/JSON -> spec`` is the identity (hypothesis-checked across
+  the whole spec space),
+* unknown keys and unknown enumeration values raise
+  :class:`~repro.scenario.spec.ScenarioSpecError` with a did-you-mean hint,
+* bad backend names surface the *registries'* did-you-mean errors
+  (:class:`~repro.core.engine_api.UnknownEngineError` /
+  :class:`~repro.distributed.network_api.UnknownNetworkError`), and
+* materialization is deterministic in the spec alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine_api import UnknownEngineError
+from repro.distributed.network_api import UnknownNetworkError
+from repro.graph.generators import erdos_renyi_graph, random_graph_family
+from repro.scenario import (
+    BackendSpec,
+    GraphSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    UnknownSinkError,
+    WorkloadSpec,
+)
+from repro.workloads.sequences import mixed_churn_sequence
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def graph_specs(draw):
+    family = draw(st.sampled_from(("erdos_renyi", "sparse", "star", "path", "near_regular")))
+    params = {}
+    if family == "erdos_renyi" and draw(st.booleans()):
+        params["edge_probability"] = draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+    return GraphSpec(
+        family=family,
+        nodes=draw(st.integers(min_value=4, max_value=60)),
+        seed=draw(SEEDS),
+        params=params,
+    )
+
+
+@st.composite
+def workload_specs(draw):
+    kind = draw(st.sampled_from(("mixed_churn", "edge_churn", "node_churn", "build", "teardown")))
+    churn = kind in ("mixed_churn", "edge_churn", "node_churn")
+    return WorkloadSpec(
+        kind=kind,
+        num_changes=draw(st.integers(min_value=1, max_value=60)) if churn else 0,
+        seed=draw(SEEDS),
+    )
+
+
+@st.composite
+def scenario_specs(draw):
+    runner = draw(st.sampled_from(("sequential", "protocol")))
+    backend = BackendSpec(
+        runner=runner,
+        engine=draw(st.sampled_from(("template", "fast"))),
+        network=draw(st.sampled_from(("dict", "fast"))),
+        protocol=draw(st.sampled_from(("buffered", "direct", "async-direct"))),
+    )
+    batch_size = draw(st.integers(min_value=0, max_value=6)) if runner == "sequential" else 0
+    sinks = tuple(draw(st.sets(st.sampled_from(("summary", "jsonl:out.jsonl")), max_size=2)))
+    return ScenarioSpec(
+        name=draw(st.text(alphabet="abcdefg-", max_size=10)),
+        seed=draw(SEEDS),
+        graph=draw(graph_specs()),
+        workload=draw(workload_specs()),
+        backend=backend,
+        batch_size=batch_size,
+        sinks=sinks,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_json_round_trip_is_identity(self, spec: ScenarioSpec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ScenarioSpec(
+            name="file-trip",
+            seed=9,
+            graph=GraphSpec(family="sparse", nodes=12, seed=4),
+            workload=WorkloadSpec(kind="node_churn", num_changes=7, seed=5),
+            backend=BackendSpec(runner="protocol", network="fast", protocol="direct"),
+            sinks=("summary",),
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_trace_workload_round_trips(self, tmp_path):
+        from repro.workloads.trace import save_trace
+
+        graph = erdos_renyi_graph(10, 0.3, seed=1)
+        changes = mixed_churn_sequence(graph, 12, seed=2)
+        trace_path = tmp_path / "trace.json"
+        save_trace(trace_path, changes, graph)
+        spec = ScenarioSpec(
+            graph=None, workload=WorkloadSpec(kind="trace", path=str(trace_path))
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        loaded_graph, loaded_changes = spec.materialize()
+        assert loaded_changes == changes
+        assert set(loaded_graph.edges()) == set(graph.edges())
+
+    def test_defaults_decode_from_minimal_record(self):
+        spec = ScenarioSpec.from_dict({"workload": {"num_changes": 10}})
+        assert spec.graph == GraphSpec()
+        assert spec.backend == BackendSpec()
+        assert spec.workload.num_changes == 10
+
+
+class TestShippedSpecFiles:
+    def test_example_spec_files_load_and_validate(self):
+        from pathlib import Path
+
+        spec_dir = Path(__file__).resolve().parent.parent / "examples" / "scenario_specs"
+        files = sorted(spec_dir.glob("*.json"))
+        assert files, "examples/scenario_specs/ must ship at least one spec"
+        for path in files:
+            spec = ScenarioSpec.load(path)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestMaterialization:
+    def test_deterministic_in_the_spec_alone(self):
+        spec = ScenarioSpec(
+            graph=GraphSpec(family="erdos_renyi", nodes=18, seed=3),
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=25, seed=4),
+        )
+        graph_a, changes_a = spec.materialize()
+        graph_b, changes_b = spec.materialize()
+        assert changes_a == changes_b
+        assert set(graph_a.edges()) == set(graph_b.edges())
+
+    def test_matches_the_raw_generators(self):
+        spec = ScenarioSpec(
+            graph=GraphSpec(family="near_regular", nodes=14, seed=6),
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=20, seed=7),
+        )
+        graph, changes = spec.materialize()
+        reference_graph = random_graph_family("near_regular", 14, seed=6)
+        assert set(graph.edges()) == set(reference_graph.edges())
+        assert changes == mixed_churn_sequence(reference_graph, 20, seed=7)
+
+    def test_graph_params_override_the_family_defaults(self):
+        spec = GraphSpec(
+            family="erdos_renyi", nodes=30, seed=2, params={"edge_probability": 0.5}
+        )
+        assert set(spec.build().edges()) == set(erdos_renyi_graph(30, 0.5, seed=2).edges())
+
+    def test_build_workload_starts_from_the_empty_graph(self):
+        spec = ScenarioSpec(
+            graph=GraphSpec(family="path", nodes=6, seed=0),
+            workload=WorkloadSpec(kind="build", seed=1),
+        )
+        initial, changes = spec.materialize()
+        assert initial.num_nodes() == 0
+        assert len(changes) == 6 + 5  # node insertions + path edges
+
+
+class TestStrictDecoding:
+    def test_unknown_top_level_key_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'workload'"):
+            ScenarioSpec.from_dict({"wrkload": {}})
+
+    @pytest.mark.parametrize(
+        "record, fragment",
+        [
+            ({"graph": {"famly": "star"}}, "family"),
+            ({"workload": {"num_changes": 3, "sed": 1}}, "seed"),
+            ({"backend": {"runer": "protocol"}}, "runner"),
+        ],
+    )
+    def test_unknown_nested_keys_have_did_you_mean(self, record, fragment):
+        with pytest.raises(ScenarioSpecError, match=f"did you mean '{fragment}'"):
+            ScenarioSpec.from_dict(record)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="unsupported scenario format"):
+            ScenarioSpec.from_dict({"format": "repro-scenario-v0"})
+
+    def test_unknown_family_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'erdos_renyi'"):
+            GraphSpec(family="erdos_reny").validate()
+
+    def test_unknown_workload_kind_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'mixed_churn'"):
+            WorkloadSpec(kind="mixed_chrun", num_changes=5).validate()
+
+    def test_unknown_runner_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'sequential'"):
+            BackendSpec(runner="sequental").validate()
+
+    def test_bad_engine_name_raises_the_registry_error(self):
+        with pytest.raises(UnknownEngineError, match="did you mean 'fast'"):
+            BackendSpec(engine="fsat").validate()
+
+    def test_bad_network_name_raises_the_registry_error(self):
+        with pytest.raises(UnknownNetworkError, match="did you mean 'dict'"):
+            BackendSpec(runner="protocol", network="dcit").validate()
+
+    def test_bad_protocol_name_raises_the_registry_error(self):
+        with pytest.raises(UnknownNetworkError, match="did you mean 'buffered'"):
+            BackendSpec(runner="protocol", protocol="bufered").validate()
+
+    def test_bad_sink_name_has_did_you_mean(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=5), sinks=("sumary",)
+        )
+        with pytest.raises(UnknownSinkError, match="did you mean 'summary'"):
+            spec.validate()
+
+
+class TestValidation:
+    def test_churn_needs_positive_num_changes(self):
+        with pytest.raises(ScenarioSpecError, match="num_changes > 0"):
+            WorkloadSpec(kind="edge_churn", num_changes=0).validate()
+
+    def test_derived_kinds_reject_num_changes(self):
+        with pytest.raises(ScenarioSpecError, match="derives its length"):
+            WorkloadSpec(kind="build", num_changes=10).validate()
+
+    def test_trace_needs_a_path(self):
+        with pytest.raises(ScenarioSpecError, match="needs a path"):
+            WorkloadSpec(kind="trace").validate()
+
+    def test_non_trace_rejects_a_path(self):
+        with pytest.raises(ScenarioSpecError, match="takes no path"):
+            WorkloadSpec(kind="mixed_churn", num_changes=3, path="x.json").validate()
+
+    def test_batching_needs_the_sequential_runner(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=5),
+            backend=BackendSpec(runner="protocol"),
+            batch_size=4,
+        )
+        with pytest.raises(ScenarioSpecError, match="sequential"):
+            spec.validate()
+
+    def test_graphless_spec_needs_a_trace_workload(self):
+        spec = ScenarioSpec(
+            graph=None, workload=WorkloadSpec(kind="mixed_churn", num_changes=5)
+        )
+        with pytest.raises(ScenarioSpecError, match="needs a graph"):
+            spec.validate()
+
+    def test_params_on_nonparametric_family_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="takes no params"):
+            GraphSpec(family="star", params={"radius": 0.5}).validate()
+
+    def test_unknown_graph_param_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="edge_probability"):
+            GraphSpec(family="erdos_renyi", params={"probability": 0.5}).validate()
+
+    def test_bad_workload_params_fail_at_materialization(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                kind="edge_churn", num_changes=5, params={"insert_prob": 0.9}
+            )
+        )
+        with pytest.raises(ScenarioSpecError, match="bad params"):
+            spec.materialize()
+
+    def test_with_backend_builds_validated_variants(self):
+        spec = ScenarioSpec(workload=WorkloadSpec(kind="mixed_churn", num_changes=5))
+        fast = spec.with_backend(engine="fast")
+        assert fast.backend.engine == "fast"
+        assert spec.backend.engine == "template"  # original untouched
+        with pytest.raises(UnknownEngineError):
+            spec.with_backend(engine="no-such-engine")
