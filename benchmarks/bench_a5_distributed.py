@@ -27,6 +27,13 @@ fast cores' stays flat, with the buffered gap at n >= 20000 far beyond the
 10x acceptance bar.  Identical outputs and complexity metrics are asserted
 per size -- a free conformance check on every benchmark run.
 
+Additionally measures the checkpoint overhead of the network
+snapshot/restore pair (:mod:`repro.distributed.state`): one knowledge-level
+``snapshot()`` plus a ``restore()`` into a fresh simulator, per backend --
+the cost a scenario session pays each time ``--checkpoint-every`` fires.
+The table reports the amortized per-change overhead at a 1k-change
+checkpoint cadence (roundtrip / 1000).
+
 Results are emitted as a table and as JSON
 (``benchmarks/results/a5_distributed.json``) so the trajectory points are
 recorded in version control and gated by ``benchmarks/report.py``.
@@ -50,6 +57,11 @@ NUM_CHANGES = 40
 PROTOCOL = "buffered"
 MASTER_SEED = 20260731
 TARGET_SPEEDUP_AT_MAX_N = 10.0
+#: Repetitions per sweep point; the fastest is recorded.  A 40-change run on
+#: the fast core finishes in ~1 ms, so single-shot timings are dominated by
+#: scheduler jitter on shared runners -- best-of-N keeps the committed
+#: speedup trajectory stable enough for the regression gate.
+TIMING_REPS = 3
 
 
 def _scenario(n: int, graph_seed: int, workload_seed: int, network_seed: int) -> ScenarioSpec:
@@ -69,7 +81,14 @@ def _scenario(n: int, graph_seed: int, workload_seed: int, network_seed: int) ->
 
 
 def _time_network(network: str, spec: ScenarioSpec) -> Dict:
-    result, session = run_scenario_session(spec.with_backend(network=network))
+    # Keep the whole best repetition, so every recorded number (per-change
+    # time, total, metrics, outputs) shares one measurement's provenance.
+    best = None
+    for _ in range(TIMING_REPS):
+        result, session = run_scenario_session(spec.with_backend(network=network))
+        if best is None or result.elapsed_s < best[0].elapsed_s:
+            best = (result, session)
+    result, session = best
     metrics = session.network.metrics
     return {
         "network": network,
@@ -80,23 +99,41 @@ def _time_network(network: str, spec: ScenarioSpec) -> Dict:
         "mean_broadcasts": metrics.mean("broadcasts"),
         "mean_rounds": metrics.mean("rounds"),
         "total_adjustments": metrics.total("adjustments"),
+        "checkpoint_us": _checkpoint_roundtrip_us(network, spec, session),
     }
 
 
+def _checkpoint_roundtrip_us(network: str, spec: ScenarioSpec, session) -> float:
+    """Best-of-3 cost of one knowledge-level snapshot + restore roundtrip."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        snapshot = session.network.snapshot()
+        fresh = create_network(spec.backend.protocol, network=network, seed=spec.seed)
+        fresh.restore(snapshot)
+        best = min(best, time.perf_counter() - start)
+    assert fresh.states() == session.states(), "restore diverged from the source"
+    return best * 1e6
+
+
 def _time_async_network(network: str, spec: ScenarioSpec) -> Dict:
-    """Asynchronous sweep point: built directly (the event loop needs a
-    channel-deterministic scheduler, which specs do not carry)."""
+    """Asynchronous sweep point (best-of-reps, like the buffered sweep)."""
     graph, changes = spec.materialize()
-    simulator = create_network(
-        "async-direct",
-        network=network,
-        seed=spec.seed,
-        initial_graph=graph,
-        scheduler=AdversarialDelayScheduler(spec.seed),
-    )
-    start = time.perf_counter()
-    simulator.apply_sequence(changes)
-    elapsed = time.perf_counter() - start
+    elapsed, best_simulator = float("inf"), None
+    for _ in range(TIMING_REPS):
+        simulator = create_network(
+            "async-direct",
+            network=network,
+            seed=spec.seed,
+            initial_graph=graph.copy(),
+            scheduler=AdversarialDelayScheduler(spec.seed),
+        )
+        start = time.perf_counter()
+        simulator.apply_sequence(changes)
+        rep_elapsed = time.perf_counter() - start
+        if rep_elapsed < elapsed:
+            elapsed, best_simulator = rep_elapsed, simulator
+    simulator = best_simulator
     simulator.verify(reference_engine="fast")
     metrics = simulator.metrics
     return {
@@ -113,6 +150,7 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
     graph_seed, workload_seed, network_seed = benchmark_seeds(master_seed, 3)
     rows: List[List] = []
     async_rows: List[List] = []
+    checkpoint_rows: List[List] = []
     series: List[Dict] = []
     async_series: List[Dict] = []
     for n in SIZES:
@@ -126,6 +164,9 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
         assert dict_run["mean_rounds"] == fast_run["mean_rounds"]
         speedup = dict_run["per_change_us"] / fast_run["per_change_us"]
         rows.append([n, dict_run["per_change_us"], fast_run["per_change_us"], speedup])
+        checkpoint_rows.append(
+            [n, dict_run["checkpoint_us"], fast_run["checkpoint_us"]]
+        )
         series.append(
             {
                 "n": n,
@@ -133,6 +174,11 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
                 "dict_per_change_us": round(dict_run["per_change_us"], 3),
                 "fast_per_change_us": round(fast_run["per_change_us"], 3),
                 "speedup": round(speedup, 3),
+                "dict_checkpoint_us": round(dict_run["checkpoint_us"], 3),
+                "fast_checkpoint_us": round(fast_run["checkpoint_us"], 3),
+                "checkpoint_speedup": round(
+                    dict_run["checkpoint_us"] / fast_run["checkpoint_us"], 3
+                ),
                 "mean_broadcasts": round(fast_run["mean_broadcasts"], 4),
                 "mean_rounds": round(fast_run["mean_rounds"], 4),
                 "final_mis_size": sum(fast_run["final_states"].values()),
@@ -163,6 +209,7 @@ def run_experiment(master_seed: int = MASTER_SEED) -> Dict:
     return {
         "rows": rows,
         "async_rows": async_rows,
+        "checkpoint_rows": checkpoint_rows,
         "series": series,
         "async_series": async_series,
         "speedup_at_max_n": rows[-1][3],
@@ -196,6 +243,15 @@ def test_a5_distributed_network_backends(benchmark):
         "A5b: per-change asynchronous protocol time, dict vs fast event loop",
         ["n", "dict us/change", "fast us/change", "speedup"],
         [[n, f"{d:.1f}", f"{f:.1f}", f"{s:.1f}x"] for n, d, f, s in results["async_rows"]],
+    )
+    emit_table(
+        "A5c: checkpoint snapshot+restore roundtrip (buffered; per-change "
+        "overhead at a 1k-change checkpoint cadence)",
+        ["n", "dict us/ckpt", "fast us/ckpt", "dict us/change@1k", "fast us/change@1k"],
+        [
+            [n, f"{d:.0f}", f"{f:.0f}", f"{d / 1000:.2f}", f"{f / 1000:.2f}"]
+            for n, d, f in results["checkpoint_rows"]
+        ],
     )
     emit(
         "A5: id-interned network core",
@@ -240,4 +296,6 @@ if __name__ == "__main__":
     for row in outcome["rows"]:
         print(row)
     for row in outcome["async_rows"]:
+        print(row)
+    for row in outcome["checkpoint_rows"]:
         print(row)

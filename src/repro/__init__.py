@@ -52,7 +52,9 @@ from repro.core.engine_api import (
 )
 from repro.core.fast_engine import FastEngine
 from repro.core.priorities import DeterministicPriorityAssigner, RandomPriorityAssigner
+from repro.core.state_api import Checkpointable
 from repro.core.template import TemplateEngine, UpdateReport
+from repro.distributed.state import NetworkSnapshot
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.scenario import (
     BackendSpec,
@@ -80,6 +82,8 @@ __all__ = [
     "FastEngine",
     "MISEngine",
     "EngineSnapshot",
+    "NetworkSnapshot",
+    "Checkpointable",
     "BatchUpdateReport",
     "UnknownEngineError",
     "register_engine",

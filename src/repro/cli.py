@@ -10,6 +10,11 @@ reparameterized or handed to the conformance harness later.
 ``repro-mis run``
     Execute a serialized scenario file end-to-end (``--scenario spec.json``)
     on any registered engine/network backend and print the cost summary.
+    ``--checkpoint-every N --checkpoint-path p.json`` writes a resumable
+    JSON checkpoint every N changes (both runners -- protocol sessions
+    checkpoint through the simulators' knowledge-level snapshots);
+    ``--resume-from p.json`` continues one, optionally on a different
+    backend via ``--engine`` / ``--network``.
 
 ``repro-mis churn``
     Maintain an MIS (or matching / clustering) over a random change sequence
@@ -31,8 +36,8 @@ reparameterized or handed to the conformance harness later.
 ``repro-mis families``
     List the available graph families.
 
-``repro-mis --list-engines`` / ``--list-networks``
-    Print the live backend registries with their capability flags.
+``repro-mis --list-engines`` / ``--list-networks`` / ``--list-sinks``
+    Print the live backend and sink registries with their capability flags.
 
 Run ``repro-mis <command> --help`` for the options of each command.  The CLI
 only prints plain-text tables (via :mod:`repro.analysis.reporting`), so its
@@ -69,12 +74,17 @@ from repro.lowerbounds.deterministic import (
 from repro.matching.dynamic_matching import DynamicMaximalMatching
 from repro.scenario import (
     BackendSpec,
+    CheckpointFormatError,
     GraphSpec,
     ScenarioSpec,
     ScenarioSpecError,
     Session,
     WorkloadSpec,
+    available_sinks,
+    load_checkpoint,
+    save_checkpoint,
 )
+from repro.scenario.sinks import get_sink_factory
 from repro.workloads.sequences import alternative_histories
 
 
@@ -94,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered distributed network backends with their protocols",
     )
+    parser.add_argument(
+        "--list-sinks",
+        action="store_true",
+        help="print the registered metric sinks (spec 'sinks' entries)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=False)
 
     run = subparsers.add_parser(
@@ -102,8 +117,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scenario",
         metavar="PATH",
-        required=True,
-        help="scenario spec file (JSON, see the README's 'Scenarios' section)",
+        default=None,
+        help="scenario spec file (JSON, see the README's 'Scenarios' section); "
+        "required unless --resume-from is given",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=0,
+        help="write a resumable checkpoint after every N applied changes "
+        "(requires --checkpoint-path; works for sequential and protocol scenarios)",
+    )
+    run.add_argument(
+        "--checkpoint-path",
+        metavar="PATH",
+        default=None,
+        help="where to write the checkpoint JSON (atomically overwritten each time)",
+    )
+    run.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        default=None,
+        help="continue a run from a checkpoint written by --checkpoint-path "
+        "(--engine/--network switch the backend; the snapshots are label-keyed)",
     )
     run.add_argument(
         "--engine",
@@ -282,18 +319,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     command = arguments.command
-    if arguments.list_engines or arguments.list_networks:
+    if arguments.list_engines or arguments.list_networks or arguments.list_sinks:
         if command is not None:
             parser.error(
-                "--list-engines / --list-networks cannot be combined with a command"
+                "--list-engines / --list-networks / --list-sinks cannot be "
+                "combined with a command"
             )
         if arguments.list_engines:
             _print_engine_registry()
         if arguments.list_networks:
             _print_network_registry()
+        if arguments.list_sinks:
+            _print_sink_registry()
         return 0
     if command is None:
-        parser.error("a command is required (or --list-engines / --list-networks)")
+        parser.error(
+            "a command is required (or --list-engines / --list-networks / --list-sinks)"
+        )
     if command == "families":
         return _run_families()
     if command == "run":
@@ -348,6 +390,21 @@ def _print_network_registry() -> None:
     )
 
 
+def _print_sink_registry() -> None:
+    rows = []
+    for name in available_sinks():
+        factory = get_sink_factory(name)
+        doc = (factory.__doc__ or "").strip().splitlines()
+        rows.append([name, getattr(factory, "__name__", repr(factory)), doc[0] if doc else ""])
+    print(
+        format_table(
+            ["sink", "factory", "description"],
+            rows,
+            title="Registered metric sinks (repro.scenario.sinks)",
+        )
+    )
+
+
 # ----------------------------------------------------------------------
 # Command implementations
 # ----------------------------------------------------------------------
@@ -357,26 +414,28 @@ def _run_families() -> int:
 
 
 def _run_scenario_command(arguments) -> int:
-    try:
-        spec = ScenarioSpec.load(arguments.scenario)
-        overrides = {}
-        if arguments.engine:
-            overrides["engine"] = arguments.engine
-        if arguments.network:
-            overrides["network"] = arguments.network
-        if arguments.protocol:
-            overrides["protocol"] = arguments.protocol
-        if spec.backend.runner != "protocol" and (arguments.network or arguments.protocol):
-            raise ScenarioSpecError(
-                "--network/--protocol only apply to protocol-runner scenarios; "
-                f"{arguments.scenario} declares runner={spec.backend.runner!r}"
+    from pathlib import Path
+
+    from repro.distributed.state import NetworkStateError
+
+    if arguments.checkpoint_every or arguments.checkpoint_path:
+        if not (arguments.checkpoint_every and arguments.checkpoint_path):
+            raise SystemExit("--checkpoint-every and --checkpoint-path go together")
+        if arguments.checkpoint_every < 1:
+            raise SystemExit("--checkpoint-every must be a positive change count")
+        # Fail before any change is applied, not at the first write.
+        parent = Path(arguments.checkpoint_path).resolve().parent
+        if not parent.is_dir():
+            raise SystemExit(
+                f"--checkpoint-path directory {str(parent)!r} does not exist"
             )
-        if overrides:
-            spec = spec.with_backend(**overrides)
-        session = Session(spec)
-    except (ScenarioSpecError, ValueError) as error:
+    if bool(arguments.scenario) == bool(arguments.resume_from):
+        raise SystemExit("pass exactly one of --scenario or --resume-from")
+    try:
+        session = _build_run_session(arguments)
+    except (CheckpointFormatError, NetworkStateError, ScenarioSpecError, ValueError) as error:
         raise SystemExit(str(error)) from None
-    result = session.run(verify=not arguments.no_verify)
+    result = _stream_with_checkpoints(session, arguments)
     rows = [
         ["runner", result.runner],
         ["backend", result.backend],
@@ -396,11 +455,77 @@ def _run_scenario_command(arguments) -> int:
         format_table(
             ["quantity", "value"],
             rows,
-            title=f"scenario {result.name or arguments.scenario}",
+            title=f"scenario {result.name or arguments.scenario or arguments.resume_from}",
             float_format=".3f",
         )
     )
     return 0
+
+
+def _build_run_session(arguments) -> Session:
+    """Build the ``run`` command's session, fresh or resumed from a file."""
+    overrides = {}
+    if arguments.engine:
+        overrides["engine"] = arguments.engine
+    if arguments.network:
+        overrides["network"] = arguments.network
+    if arguments.protocol:
+        overrides["protocol"] = arguments.protocol
+
+    if arguments.resume_from:
+        checkpoint = load_checkpoint(arguments.resume_from)
+        if checkpoint.runner != "protocol" and (arguments.network or arguments.protocol):
+            raise ScenarioSpecError(
+                "--network/--protocol only apply to protocol-runner scenarios; "
+                f"{arguments.resume_from} declares runner={checkpoint.runner!r}"
+            )
+        if arguments.protocol:
+            raise ScenarioSpecError(
+                "--protocol cannot change on resume (snapshots are per-protocol); "
+                "only --engine/--network switch the backend"
+            )
+        session = Session.resume(
+            checkpoint, engine=arguments.engine, network=arguments.network
+        )
+        print(
+            f"resuming from {arguments.resume_from} at change {checkpoint.position} "
+            f"({checkpoint.remaining_changes} remaining)"
+        )
+        return session
+
+    spec = ScenarioSpec.load(arguments.scenario)
+    if spec.backend.runner != "protocol" and (arguments.network or arguments.protocol):
+        raise ScenarioSpecError(
+            "--network/--protocol only apply to protocol-runner scenarios; "
+            f"{arguments.scenario} declares runner={spec.backend.runner!r}"
+        )
+    if overrides:
+        spec = spec.with_backend(**overrides)
+    return Session(spec)
+
+
+def _stream_with_checkpoints(session: Session, arguments):
+    """Stream the session, writing a checkpoint file every N applied changes."""
+    every = arguments.checkpoint_every
+    if not every:
+        return session.run(verify=not arguments.no_verify)
+    last_written = session.position
+    while not session.done:
+        if session.step() is None:
+            break
+        if session.position - last_written >= every:
+            try:
+                save_checkpoint(arguments.checkpoint_path, session.checkpoint())
+            except OSError as error:
+                raise SystemExit(
+                    f"cannot write checkpoint to {arguments.checkpoint_path}: {error}"
+                ) from None
+            last_written = session.position
+            print(
+                f"checkpoint written to {arguments.checkpoint_path} "
+                f"(position {session.position})"
+            )
+    return session.run(verify=not arguments.no_verify)
 
 
 def _run_churn(arguments) -> int:

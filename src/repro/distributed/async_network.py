@@ -29,14 +29,21 @@ benchmarked separately with :class:`repro.distributed.protocol_mis.BufferedMISNe
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.greedy import greedy_mis_states
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.core.state_api import EventSequence
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
 from repro.distributed.node import NodeRuntime, NodeState
 from repro.distributed.scheduler import DelayScheduler, RandomDelayScheduler
+from repro.distributed.state import (
+    NetworkSnapshot,
+    check_restorable,
+    copy_metric_records,
+    runtimes_from_snapshot,
+    snapshot_from_runtimes,
+)
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
     EdgeDeletion,
@@ -108,7 +115,7 @@ class AsyncDirectMISNetwork:
         self._graph = DynamicGraph()
         self._runtimes: Dict[Node, NodeRuntime] = {}
         self._aggregator = MetricsAggregator()
-        self._sequence = itertools.count()
+        self._sequence = EventSequence()
         if initial_graph is not None:
             self._bootstrap(initial_graph)
 
@@ -174,6 +181,39 @@ class AsyncDirectMISNetwork:
                 f"expected {sorted(expected, key=repr)[:5]}..., "
                 f"got {sorted(actual, key=repr)[:5]}..."
             )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the Checkpointable pair)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture the simulator's knowledge-level state between changes.
+
+        Additionally records the event-sequence cursor so a resumed
+        simulator continues scheduling exactly where this one stopped.
+        Exact resume requires a *channel-deterministic* scheduler
+        (``FixedDelayScheduler`` / ``AdversarialDelayScheduler``): the
+        default :class:`~repro.distributed.scheduler.RandomDelayScheduler`
+        draws delays from one global stream whose position a snapshot does
+        not capture.
+        """
+        return snapshot_from_runtimes(
+            type(self).PROTOCOL,
+            self._graph,
+            self._priorities,
+            self._runtimes,
+            self._aggregator.records,
+            scheduler_cursor=self._sequence.value,
+        )
+
+    def restore(self, snapshot: NetworkSnapshot) -> None:
+        """Reset the simulator to a previously captured :class:`NetworkSnapshot`."""
+        check_restorable(snapshot, type(self).PROTOCOL)
+        self._priorities.restore_keys(
+            {node: tuple(key) for node, key in snapshot.priority_keys.items()}
+        )
+        self._graph, self._runtimes = runtimes_from_snapshot(snapshot)
+        self._aggregator = MetricsAggregator(records=list(copy_metric_records(snapshot.metrics)))
+        self._sequence = EventSequence(snapshot.scheduler_cursor)
 
     # ------------------------------------------------------------------
     # Topology-change API

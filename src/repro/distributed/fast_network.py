@@ -46,18 +46,24 @@ registry, so existing call sites pick the fast core up with zero edits.
 from __future__ import annotations
 
 import heapq
-import itertools
 from array import array
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.fast_engine import FastGraphView, reference_mis
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
+from repro.core.state_api import EventSequence
 from repro.distributed.message import MessageKind, id_message_bits, state_message_bits
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
 from repro.distributed.async_network import AsyncDirectMISNetwork
 from repro.distributed.network import ProtocolError, RoundRecord, SynchronousMISNetwork
 from repro.distributed.node import CODE_TO_STATE, NodeRuntime, NodeState
 from repro.distributed.scheduler import DelayScheduler, RandomDelayScheduler
+from repro.distributed.state import (
+    NetworkSnapshot,
+    NetworkStateError,
+    check_restorable,
+    copy_metric_records,
+)
 from repro.graph.dynamic_graph import DynamicGraph, GraphError
 from repro.workloads.changes import (
     EdgeDeletion,
@@ -104,6 +110,17 @@ class FastNetworkCore:
         priorities: Optional[PriorityAssigner] = None,
     ) -> None:
         self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
+        self._aggregator = MetricsAggregator()
+        self._init_storage()
+        if initial_graph is not None:
+            self._bootstrap(initial_graph)
+
+    def _init_storage(self) -> None:
+        """(Re)initialize the interned storage to the empty network.
+
+        Factored out of ``__init__`` so :meth:`restore` can rebuild the
+        arrays from a snapshot without re-running construction.
+        """
         # id-indexed parallel arrays (grown together by _new_slot).
         self._labels: List[Optional[Node]] = []  # id -> label (None = free slot)
         self._adj: List[array] = []  # id -> array('q') of neighbor ids
@@ -124,9 +141,6 @@ class FastNetworkCore:
         self._id_of: Dict[Node, int] = {}
         self._free: List[int] = []
         self._num_edges = 0
-        self._aggregator = MetricsAggregator()
-        if initial_graph is not None:
-            self._bootstrap(initial_graph)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -456,6 +470,90 @@ class FastNetworkCore:
         if transient:
             raise AssertionError(f"nodes left in transient states: {transient[:5]}")
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the Checkpointable pair)
+    # ------------------------------------------------------------------
+    def _scheduler_cursor(self) -> int:
+        """Event-sequence position recorded in snapshots (0 for synchronous cores)."""
+        return 0
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture the simulator's knowledge-level state between changes.
+
+        The snapshot is label-keyed -- dense ids, free lists and array
+        layouts never leak into it -- so it restores into any registered
+        network backend running the same protocol, including the dict/set
+        simulators.
+        """
+        protocol = getattr(type(self), "PROTOCOL", None)
+        if protocol is None:
+            raise NetworkStateError(
+                "this simulator class declares no PROTOCOL name; only concrete "
+                "registered protocols can snapshot"
+            )
+        state, labels = self._state, self._labels
+        for nid in self._id_of.values():
+            if state[nid] > CODE_M_BAR or self._retiring[nid]:
+                raise NetworkStateError(
+                    f"node {labels[nid]!r} is mid-repair; snapshots are only "
+                    "valid between changes"
+                )
+        states: Dict[Node, str] = {}
+        priority_keys: Dict[Node, Tuple] = {}
+        knowledge: Dict[Tuple[Node, Node], Tuple[Optional[str], bool]] = {}
+        for label, nid in self._id_of.items():
+            states[label] = _STATE_VALUES[state[nid]]
+            priority_keys[label] = self._keys[nid]
+            row = self._adj[nid]
+            nstate = self._nstate[nid]
+            nkey = self._nkey[nid]
+            for position, m in enumerate(row):
+                heard = nstate[position]
+                knowledge[(label, labels[m])] = (
+                    None if heard == CODE_UNKNOWN else _STATE_VALUES[heard],
+                    bool(nkey[position]),
+                )
+        return NetworkSnapshot(
+            protocol=protocol,
+            nodes=tuple(self._id_of),
+            edges=tuple(self.graph.edges()),
+            states=states,
+            priority_keys=priority_keys,
+            knowledge=knowledge,
+            scheduler_cursor=self._scheduler_cursor(),
+            metrics=copy_metric_records(self._aggregator.records),
+        )
+
+    def restore(self, snapshot: NetworkSnapshot) -> None:
+        """Reset the simulator to a previously captured :class:`NetworkSnapshot`.
+
+        The interned storage is rebuilt from scratch: labels re-intern in
+        snapshot order, edges and the aligned knowledge rows are installed
+        verbatim, and the accumulated metrics records are restored, so a
+        resumed run is observably identical to an uninterrupted one.
+        """
+        check_restorable(snapshot, getattr(type(self), "PROTOCOL", None))
+        self._priorities.restore_keys(
+            {node: tuple(key) for node, key in snapshot.priority_keys.items()}
+        )
+        self._init_storage()
+        for node in snapshot.nodes:
+            nid = self._intern(node, snapshot=False)
+            self._state[nid] = NodeState(snapshot.states[node]).code
+        knowledge = snapshot.knowledge
+        for u, v in snapshot.edges:
+            iu, iv = self._require(u), self._require(v)
+            for nid, label, other, oid in ((iu, u, v, iv), (iv, v, u, iu)):
+                heard, key_known = knowledge.get((label, other), (None, False))
+                self._add_half_edge(
+                    nid,
+                    oid,
+                    known_state=CODE_UNKNOWN if heard is None else NodeState(heard).code,
+                    known_key=1 if key_known else 0,
+                )
+            self._num_edges += 1
+        self._aggregator = MetricsAggregator(records=list(copy_metric_records(snapshot.metrics)))
+
     def check_interning_invariants(self, expect_stable: bool = True) -> None:
         """Assert the interning / knowledge / adjacency bookkeeping is sound.
 
@@ -554,6 +652,12 @@ class FastSynchronousMISNetwork(FastNetworkCore):
     def last_change_trace(self) -> List[RoundRecord]:
         """Round-by-round records of the most recent change (requires logging)."""
         return list(self._last_round_log)
+
+    def restore(self, snapshot: NetworkSnapshot) -> None:
+        super().restore(snapshot)
+        self._introduced = set()
+        self._transient = set()
+        self._last_round_log = []
 
     # ------------------------------------------------------------------
     # Topology-change API
@@ -1035,8 +1139,18 @@ class FastAsyncDirectMISNetwork(FastNetworkCore):
         priorities: Optional[PriorityAssigner] = None,
     ) -> None:
         self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
-        self._sequence = itertools.count()
+        self._sequence = EventSequence()
         super().__init__(seed=seed, initial_graph=initial_graph, priorities=priorities)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _scheduler_cursor(self) -> int:
+        return self._sequence.value
+
+    def restore(self, snapshot: NetworkSnapshot) -> None:
+        super().restore(snapshot)
+        self._sequence = EventSequence(snapshot.scheduler_cursor)
 
     # ------------------------------------------------------------------
     # Topology-change API

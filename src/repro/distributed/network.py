@@ -33,6 +33,13 @@ from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.distributed.message import Message, MessageKind, MessageKind as _Kind
 from repro.distributed.metrics import ChangeMetrics, MetricsAggregator
 from repro.distributed.node import NodeRuntime, NodeState
+from repro.distributed.state import (
+    NetworkSnapshot,
+    check_restorable,
+    copy_metric_records,
+    runtimes_from_snapshot,
+    snapshot_from_runtimes,
+)
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.workloads.changes import (
     EdgeDeletion,
@@ -242,6 +249,42 @@ class SynchronousMISNetwork:
         from repro.core.fast_engine import reference_mis
 
         return reference_mis(self._graph, self._priorities, reference_engine)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the Checkpointable pair)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture the simulator's knowledge-level state between changes.
+
+        The snapshot is label-keyed (see
+        :class:`~repro.distributed.state.NetworkSnapshot`), so it restores
+        into *any* registered network backend running the same protocol --
+        including the id-interned fast core.
+        """
+        return snapshot_from_runtimes(
+            type(self).PROTOCOL,
+            self._graph,
+            self._priorities,
+            self._runtimes,
+            self._aggregator.records,
+        )
+
+    def restore(self, snapshot: NetworkSnapshot) -> None:
+        """Reset the simulator to a previously captured :class:`NetworkSnapshot`.
+
+        After ``restore(snap)`` the topology, node states, priority keys,
+        per-edge knowledge and accumulated metrics equal those at
+        ``snapshot()`` time; applying the identical remaining workload then
+        reproduces an uninterrupted run change for change.
+        """
+        check_restorable(snapshot, type(self).PROTOCOL)
+        self._priorities.restore_keys(
+            {node: tuple(key) for node, key in snapshot.priority_keys.items()}
+        )
+        self._graph, self._runtimes = runtimes_from_snapshot(snapshot)
+        self._aggregator = MetricsAggregator(records=list(copy_metric_records(snapshot.metrics)))
+        self._introduced = set()
+        self._last_round_log = []
 
     # ------------------------------------------------------------------
     # Topology-change API

@@ -70,7 +70,11 @@ def register_network(
     (plus ``scheduler`` for ``"async-direct"``) and return a ready simulator
     exposing the shared surface: ``apply`` / ``apply_sequence``, ``mis`` /
     ``states``, ``metrics``, ``graph``, ``priorities`` and
-    ``verify(reference_engine=...)``.
+    ``verify(reference_engine=...)``.  Backends that additionally implement
+    the label-keyed ``snapshot()`` / ``restore()`` pair of
+    :mod:`repro.distributed.state` (all built-ins do) gain session
+    checkpointing and cross-backend resume for free
+    (:meth:`repro.scenario.session.Session.checkpoint`).
 
     Re-registering an existing name raises unless ``overwrite=True`` (guards
     against accidental shadowing of the built-in cores).

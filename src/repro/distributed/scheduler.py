@@ -21,10 +21,26 @@ Three schedulers are provided:
 
 from __future__ import annotations
 
+import difflib
 import random
-from typing import Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Mapping, Sequence, Tuple
 
 Node = Hashable
+
+
+class UnknownSchedulerError(ValueError):
+    """A scheduler kind that is not registered (with a did-you-mean hint)."""
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        hint = ""
+        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
+        if close:
+            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
+        super().__init__(
+            f"unknown scheduler {name!r}; known schedulers: {tuple(known)}{hint}"
+        )
+        self.name = name
+        self.known = tuple(known)
 
 
 class DelayScheduler:
@@ -106,3 +122,59 @@ class AdversarialDelayScheduler(DelayScheduler):
                 self._channel_delays.clear()
             self._channel_delays[channel] = cached
         return cached
+
+
+# ----------------------------------------------------------------------
+# Scheduler factory (used by BackendSpec.scheduler in scenario specs)
+# ----------------------------------------------------------------------
+#: Spec-nameable scheduler kinds and the keyword parameters each accepts.
+#: ``channel_deterministic`` records which kinds assign delays as a pure
+#: function of the channel -- the property that makes cross-backend
+#: differentials and exact checkpoint/resume possible for async scenarios.
+SCHEDULER_KINDS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
+    "fixed": (FixedDelayScheduler, ("delay_value",)),
+    "random": (RandomDelayScheduler, ("seed", "min_delay", "max_delay")),
+    "adversarial": (AdversarialDelayScheduler, ("seed", "slow_fraction", "slow_factor")),
+}
+
+#: Kinds whose delay is a pure function of the channel (not of the global
+#: message sequence); ``"adversarial"`` additionally draws distinct delays
+#: per channel, which keeps simultaneous deliveries totally ordered.
+CHANNEL_DETERMINISTIC_SCHEDULERS = ("fixed", "adversarial")
+
+SCHEDULER_NAMES = tuple(SCHEDULER_KINDS)
+
+
+def create_scheduler(kind: str, **params: Any) -> DelayScheduler:
+    """Build a delay scheduler from a spec-style ``(kind, params)`` description.
+
+    Unknown kinds raise :class:`UnknownSchedulerError` with a did-you-mean
+    hint; unknown parameters raise :class:`ValueError` listing the kind's
+    accepted names (with their own hint); out-of-range values raise the
+    constructors' :class:`ValueError`.
+    """
+    try:
+        cls, allowed = SCHEDULER_KINDS[kind]
+    except (KeyError, TypeError):
+        raise UnknownSchedulerError(kind, SCHEDULER_NAMES) from None
+    unknown = [name for name in params if name not in allowed]
+    if unknown:
+        hints = ""
+        close = difflib.get_close_matches(str(unknown[0]), allowed, n=2, cutoff=0.5)
+        if close:
+            hints = f"; did you mean {' or '.join(repr(c) for c in close)}?"
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for scheduler {kind!r}; "
+            f"accepted: {allowed}{hints}"
+        )
+    return cls(**params)
+
+
+def scheduler_from_record(record: Mapping[str, Any]) -> DelayScheduler:
+    """Build a scheduler from a spec record ``{"kind": ..., <params>}``."""
+    if not isinstance(record, Mapping) or "kind" not in record:
+        raise ValueError(
+            f"a scheduler record must be a mapping with a 'kind' key, got {record!r}"
+        )
+    params = {name: value for name, value in record.items() if name != "kind"}
+    return create_scheduler(record["kind"], **params)

@@ -3,14 +3,23 @@
 One :class:`ScenarioSpec` (graph family + workload + backend + metric sinks,
 with exact dict/JSON round-trips) describes a whole experiment; one
 :class:`Session` streams it through any registered engine or network backend
-with checkpoint/resume and pluggable observers.  The CLI's ``run`` command,
-the benchmark harness's ``run_scenario`` entry and the differential
-conformance harnesses all build on this package -- see the README's
-"Scenarios" section for a worked example.
+with checkpoint/resume and pluggable observers.  Checkpoints work for every
+backend the registries know -- sequential sessions snapshot the engine,
+protocol sessions snapshot the simulator's knowledge-level state -- and
+serialize to JSON files through :mod:`repro.scenario.checkpoint_io`.  The
+CLI's ``run`` command, the benchmark harness's ``run_scenario`` entry and
+the differential conformance harnesses all build on this package -- see the
+README's "Scenarios" and "Checkpointing" sections for worked examples.
 """
 
+from repro.scenario.checkpoint_io import (
+    CheckpointFormatError,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.scenario.session import (
-    CheckpointUnsupportedError,
     ScenarioResult,
     Session,
     SessionCheckpoint,
@@ -49,9 +58,13 @@ __all__ = [
     "Session",
     "SessionCheckpoint",
     "ScenarioResult",
-    "CheckpointUnsupportedError",
     "run_scenario",
     "run_scenario_grid",
+    "CheckpointFormatError",
+    "checkpoint_to_dict",
+    "checkpoint_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
     "ScenarioObserver",
     "SummarySink",
     "JsonlSink",

@@ -1,0 +1,265 @@
+"""JSON serialization of :class:`~repro.scenario.session.SessionCheckpoint`.
+
+A checkpoint is only useful if it survives the process that took it.  This
+module flattens a session checkpoint -- the spec, the position, the backend
+snapshot (either flavor: a label-level
+:class:`~repro.core.engine_api.EngineSnapshot` or a knowledge-level
+:class:`~repro.distributed.state.NetworkSnapshot`), the sequential
+statistics and the adaptive adversary's RNG state -- into plain JSON and
+back, exactly (machine-checked by the round-trip tests in
+``tests/test_scenario_session.py``).
+
+Node labels are encoded with the trace codec
+(:func:`repro.workloads.trace.encode_node`), so every node type the library
+uses (ints, strings, nested tuples from the reductions) round-trips.  The
+CLI's ``run --checkpoint-every N --checkpoint-path p.json`` writes these
+files and ``run --resume-from p.json`` continues them -- on any registered
+backend, thanks to the label-keyed snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.engine_api import EngineSnapshot
+from repro.distributed.metrics import ChangeMetrics
+from repro.distributed.state import NetworkSnapshot
+from repro.scenario.session import SessionCheckpoint
+from repro.scenario.spec import ScenarioSpec
+from repro.workloads.trace import decode_node, encode_node
+
+FORMAT = "repro-checkpoint-v1"
+
+
+class CheckpointFormatError(ValueError):
+    """A serialized checkpoint that cannot be decoded."""
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+def _encode_key(key: Tuple) -> list:
+    return list(key)
+
+
+def _decode_key(value) -> Tuple:
+    return tuple(value)
+
+
+def _encode_nodes_edges(snapshot) -> Dict[str, Any]:
+    return {
+        "nodes": [encode_node(node) for node in snapshot.nodes],
+        "edges": [[encode_node(u), encode_node(v)] for u, v in snapshot.edges],
+        "priority_keys": [
+            [encode_node(node), _encode_key(key)]
+            for node, key in snapshot.priority_keys.items()
+        ],
+    }
+
+
+def _decode_nodes_edges(record) -> Dict[str, Any]:
+    return {
+        "nodes": tuple(decode_node(value) for value in record["nodes"]),
+        "edges": tuple((decode_node(u), decode_node(v)) for u, v in record["edges"]),
+        "priority_keys": {
+            decode_node(node): _decode_key(key) for node, key in record["priority_keys"]
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Snapshot flavors
+# ----------------------------------------------------------------------
+def _encode_engine_snapshot(snapshot: EngineSnapshot) -> Dict[str, Any]:
+    record = {"kind": "engine"}
+    record.update(_encode_nodes_edges(snapshot))
+    record["states"] = [
+        [encode_node(node), bool(in_mis)] for node, in_mis in snapshot.states.items()
+    ]
+    return record
+
+
+def _decode_engine_snapshot(record) -> EngineSnapshot:
+    parts = _decode_nodes_edges(record)
+    return EngineSnapshot(
+        nodes=parts["nodes"],
+        edges=parts["edges"],
+        states={decode_node(node): bool(in_mis) for node, in_mis in record["states"]},
+        priority_keys=parts["priority_keys"],
+    )
+
+
+def _encode_metric_record(record: ChangeMetrics) -> Dict[str, Any]:
+    return {
+        "change_kind": record.change_kind,
+        "rounds": record.rounds,
+        "broadcasts": record.broadcasts,
+        "bits": record.bits,
+        "adjustments": record.adjustments,
+        "adjusted_nodes": [encode_node(node) for node in sorted(record.adjusted_nodes, key=repr)],
+        "state_changes": record.state_changes,
+        "async_causal_depth": record.async_causal_depth,
+    }
+
+
+def _decode_metric_record(record) -> ChangeMetrics:
+    return ChangeMetrics(
+        change_kind=record["change_kind"],
+        rounds=record["rounds"],
+        broadcasts=record["broadcasts"],
+        bits=record["bits"],
+        adjustments=record["adjustments"],
+        adjusted_nodes={decode_node(node) for node in record["adjusted_nodes"]},
+        state_changes=record["state_changes"],
+        async_causal_depth=record["async_causal_depth"],
+    )
+
+
+def _encode_network_snapshot(snapshot: NetworkSnapshot) -> Dict[str, Any]:
+    record = {"kind": "network", "protocol": snapshot.protocol}
+    record.update(_encode_nodes_edges(snapshot))
+    record["states"] = [
+        [encode_node(node), value] for node, value in snapshot.states.items()
+    ]
+    record["knowledge"] = [
+        [encode_node(node), encode_node(neighbor), heard, bool(key_known)]
+        for (node, neighbor), (heard, key_known) in snapshot.knowledge.items()
+    ]
+    record["scheduler_cursor"] = snapshot.scheduler_cursor
+    record["metrics"] = [_encode_metric_record(metric) for metric in snapshot.metrics]
+    return record
+
+
+def _decode_network_snapshot(record) -> NetworkSnapshot:
+    parts = _decode_nodes_edges(record)
+    return NetworkSnapshot(
+        protocol=record["protocol"],
+        nodes=parts["nodes"],
+        edges=parts["edges"],
+        states={decode_node(node): value for node, value in record["states"]},
+        priority_keys=parts["priority_keys"],
+        knowledge={
+            (decode_node(node), decode_node(neighbor)): (heard, bool(key_known))
+            for node, neighbor, heard, key_known in record["knowledge"]
+        },
+        scheduler_cursor=record["scheduler_cursor"],
+        metrics=tuple(_decode_metric_record(metric) for metric in record["metrics"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Runner extras
+# ----------------------------------------------------------------------
+def _encode_statistics(statistics) -> Optional[Dict[str, Any]]:
+    if statistics is None:
+        return None
+    import dataclasses
+
+    return {name: list(values) for name, values in dataclasses.asdict(statistics).items()}
+
+
+def _decode_statistics(record):
+    if record is None:
+        return None
+    from repro.core.dynamic_mis import MaintainerStatistics
+
+    return MaintainerStatistics(**{name: list(values) for name, values in record.items()})
+
+
+def _encode_workload_state(state: Optional[Tuple]):
+    if state is None:
+        return None
+    tag, remaining, rng_state = state
+    version, internal, gauss = rng_state
+    return [tag, remaining, [version, list(internal), gauss]]
+
+
+def _decode_workload_state(record) -> Optional[Tuple]:
+    if record is None:
+        return None
+    tag, remaining, rng_state = record
+    version, internal, gauss = rng_state
+    # random.Random.setstate needs the exact nested tuple shape back.
+    return (tag, int(remaining), (version, tuple(internal), gauss))
+
+
+# ----------------------------------------------------------------------
+# Whole checkpoints
+# ----------------------------------------------------------------------
+def checkpoint_to_dict(checkpoint: SessionCheckpoint) -> Dict[str, Any]:
+    """Flatten a :class:`SessionCheckpoint` into a JSON-compatible dict."""
+    if isinstance(checkpoint.snapshot, NetworkSnapshot):
+        snapshot_record = _encode_network_snapshot(checkpoint.snapshot)
+    elif isinstance(checkpoint.snapshot, EngineSnapshot):
+        snapshot_record = _encode_engine_snapshot(checkpoint.snapshot)
+    else:  # pragma: no cover - defensive
+        raise CheckpointFormatError(
+            f"cannot serialize snapshot of type {type(checkpoint.snapshot).__name__}"
+        )
+    return {
+        "format": FORMAT,
+        "spec": checkpoint.spec.to_dict(),
+        "position": checkpoint.position,
+        "snapshot": snapshot_record,
+        "statistics": _encode_statistics(checkpoint.statistics),
+        "workload_state": _encode_workload_state(checkpoint.workload_state),
+        "elapsed_s": checkpoint.elapsed_s,
+    }
+
+
+def checkpoint_from_dict(record: Dict[str, Any]) -> SessionCheckpoint:
+    """Decode :func:`checkpoint_to_dict` output back into a checkpoint."""
+    if not isinstance(record, dict) or record.get("format") != FORMAT:
+        raise CheckpointFormatError(f"not a {FORMAT} record")
+    if "spec" not in record:
+        # A missing spec must not silently decode to the *default* scenario:
+        # the restored snapshot would run a wrong workload without any error.
+        raise CheckpointFormatError("malformed checkpoint record: missing 'spec'")
+    # Decoded first so spec problems surface as ScenarioSpecError (with their
+    # did-you-mean hints) instead of a generic malformed-checkpoint error.
+    spec = ScenarioSpec.from_dict(record["spec"])
+    try:
+        snapshot_record = record["snapshot"]
+        kind = snapshot_record["kind"]
+        if kind == "network":
+            snapshot = _decode_network_snapshot(snapshot_record)
+        elif kind == "engine":
+            snapshot = _decode_engine_snapshot(snapshot_record)
+        else:
+            raise CheckpointFormatError(f"unknown snapshot kind {kind!r}")
+        return SessionCheckpoint(
+            spec=spec,
+            position=int(record["position"]),
+            snapshot=snapshot,
+            statistics=_decode_statistics(record.get("statistics")),
+            workload_state=_decode_workload_state(record.get("workload_state")),
+            elapsed_s=float(record.get("elapsed_s", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, CheckpointFormatError):
+            raise
+        raise CheckpointFormatError(f"malformed checkpoint record: {error}") from None
+
+
+def save_checkpoint(path, checkpoint: SessionCheckpoint) -> None:
+    """Write a checkpoint to a JSON file (atomically replaced on rewrite)."""
+    target = Path(path)
+    text = json.dumps(checkpoint_to_dict(checkpoint), indent=2, sort_keys=True) + "\n"
+    temporary = target.with_name(target.name + ".tmp")
+    temporary.write_text(text, encoding="utf-8")
+    temporary.replace(target)
+
+
+def load_checkpoint(path) -> SessionCheckpoint:
+    """Read a checkpoint from a JSON file written by :func:`save_checkpoint`."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointFormatError(f"cannot read checkpoint file {path!r}: {error}") from None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointFormatError(f"not valid JSON: {error}") from None
+    return checkpoint_from_dict(record)

@@ -10,17 +10,36 @@ the network registry) and streams the workload through it:
 * :meth:`Session.run` streams to the end, verifies, and returns a
   :class:`ScenarioResult`;
 * :meth:`Session.checkpoint` captures a resumable
-  :class:`SessionCheckpoint` between steps (sequential runner only -- it
-  rides on the engines' :meth:`~repro.core.engine_api.MISEngine.snapshot` /
-  :meth:`~repro.core.engine_api.MISEngine.restore` pair), and
-  :meth:`Session.resume` continues it in a fresh session.
+  :class:`SessionCheckpoint` between steps, and :meth:`Session.resume`
+  continues it in a fresh session -- on the same backend or a different
+  registered one.
+
+Checkpointing works for **every** backend the registries know: sequential
+sessions ride on the engines'
+:meth:`~repro.core.engine_api.MISEngine.snapshot` /
+:meth:`~repro.core.engine_api.MISEngine.restore` pair, protocol sessions on
+the simulators' knowledge-level
+:class:`~repro.distributed.state.NetworkSnapshot` pair -- both sides of the
+shared :class:`~repro.core.state_api.Checkpointable` contract.  Because both
+snapshot flavors are label-keyed, a checkpoint taken on one backend resumes
+on another (``resume(checkpoint, engine="fast")`` for sequential sessions,
+``resume(checkpoint, network="fast")`` for protocol sessions).
 
 Checkpoint/resume is *exact*: node priorities are a pure function of
 ``(seed, node)`` (see :class:`~repro.core.priorities.RandomPriorityAssigner`),
 so a resumed session applies the identical remaining workload to the
-identical restored state and lands on the same outputs, statistics included
--- machine-checked by the checkpoint differential test in
-``tests/test_scenario_session.py``.
+identical restored state and lands on the same outputs, statistics and
+per-change metrics -- machine-checked by the checkpoint differentials in
+``tests/test_scenario_session.py`` and
+:func:`repro.testing.protocol_differential.replay_resume_differential`.  For
+asynchronous protocol scenarios, exactness additionally needs a
+channel-deterministic scheduler in the spec (``backend.scheduler`` with kind
+``"adversarial"`` or ``"fixed"``); the default random scheduler draws delays
+from a global stream a snapshot does not capture.
+
+Dynamic workloads (``workload.kind == "adaptive_adversary"``) are generated
+against the live backend one change at a time; their checkpoint carries the
+adversary's RNG state, so even an adaptive run resumes exactly.
 """
 
 from __future__ import annotations
@@ -29,40 +48,69 @@ import copy
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.dynamic_mis import DynamicMIS, MaintainerStatistics
 from repro.core.engine_api import EngineSnapshot
+from repro.core.state_api import Checkpointable
 from repro.distributed.network_api import create_network
+from repro.distributed.state import NetworkSnapshot
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.scenario.sinks import ScenarioObserver, create_sink
 from repro.scenario.spec import ScenarioSpec
+from repro.workloads.adversary import AdaptiveAdversary
 from repro.workloads.changes import TopologyChange
 
 Node = Hashable
 
 
-class CheckpointUnsupportedError(RuntimeError):
-    """Checkpointing was requested on a runner that cannot snapshot."""
-
-
 @dataclass(frozen=True)
 class SessionCheckpoint:
-    """A resumable point of a sequential scenario session.
+    """A resumable point of a scenario session, any runner.
 
-    Holds the spec (the workload re-materializes from it deterministically),
-    the number of changes already applied, the engine's label-level
-    :class:`~repro.core.engine_api.EngineSnapshot` and a copy of the
-    statistics so far.  Because the snapshot is label-level, a checkpoint
-    taken on one engine backend can resume on another
-    (``resume(checkpoint, engine="fast")``) -- the cross-backend analogue of
+    Holds the spec (static workloads re-materialize from it
+    deterministically), the number of changes already applied, the backend's
+    label-keyed snapshot (an :class:`~repro.core.engine_api.EngineSnapshot`
+    for sequential sessions, a
+    :class:`~repro.distributed.state.NetworkSnapshot` for protocol sessions)
+    and the runner-side extras: a copy of the sequential statistics, and the
+    adaptive adversary's RNG state for dynamic workloads.  Because both
+    snapshot flavors are label-keyed, a checkpoint taken on one backend can
+    resume on another (``resume(checkpoint, engine="fast")`` /
+    ``resume(checkpoint, network="fast")``) -- the cross-backend analogue of
     the differential harness's rewind.
+
+    Checkpoints serialize to JSON files through
+    :mod:`repro.scenario.checkpoint_io` (the CLI's ``--checkpoint-path`` /
+    ``--resume-from`` flags).
     """
 
     spec: ScenarioSpec
     position: int
-    snapshot: EngineSnapshot
-    statistics: MaintainerStatistics
+    snapshot: Union[EngineSnapshot, NetworkSnapshot]
+    statistics: Optional[MaintainerStatistics] = None
+    workload_state: Optional[Tuple] = None
+    #: Wall-clock seconds spent inside apply calls up to this point; the
+    #: resumed session continues the clock, so its result's ``per_change_us``
+    #: averages over the whole run, not just the resumed stretch.
+    elapsed_s: float = 0.0
+
+    @property
+    def runner(self) -> str:
+        """Which runner family took the checkpoint."""
+        return self.spec.backend.runner
 
     @property
     def remaining_changes(self) -> int:
@@ -71,7 +119,13 @@ class SessionCheckpoint:
 
     @property
     def spec_total_changes(self) -> int:
-        """Total workload length of the underlying spec."""
+        """Total workload length of the underlying spec.
+
+        For dynamic (adaptive) workloads this is the declared change budget;
+        the adversary may stop early if the backend's MIS empties out.
+        """
+        if self.spec.workload.is_dynamic:
+            return self.spec.workload.num_changes
         _, changes = self.spec.materialize()
         return len(changes)
 
@@ -117,7 +171,8 @@ class Session:
     Parameters
     ----------
     spec:
-        The scenario to run (validated and materialized upfront).
+        The scenario to run (validated and materialized upfront; adaptive
+        workloads are generated change by change against the live backend).
     observers:
         Extra :class:`~repro.scenario.sinks.ScenarioObserver` instances, on
         top of the sinks named in ``spec.sinks``.
@@ -134,8 +189,14 @@ class Session:
     ) -> None:
         spec.validate()
         self._spec = spec
-        self._initial_graph, self._changes = spec.materialize()
-        self._batches = self._chunk(self._changes, spec.batch_size)
+        self._dynamic = spec.workload.is_dynamic
+        if self._dynamic:
+            self._initial_graph = spec.graph.build()
+            self._changes: List[TopologyChange] = []
+            self._batches: List[List[TopologyChange]] = []
+        else:
+            self._initial_graph, self._changes = spec.materialize()
+            self._batches = self._chunk(self._changes, spec.batch_size)
         self._observers: List[ScenarioObserver] = [
             create_sink(name) for name in spec.sinks
         ]
@@ -144,6 +205,7 @@ class Session:
         self._unit_index = 0  # batches applied (== position when unbatched)
         self._elapsed = 0.0
         self._started = False
+        self._exhausted = False  # dynamic workload stopped early
 
         self._maintainer: Optional[DynamicMIS] = None
         self._network = None
@@ -161,19 +223,40 @@ class Session:
                 self._maintainer = DynamicMIS(seed=spec.seed, engine=engine)
                 self._maintainer.engine.restore(_checkpoint.snapshot)
                 self._maintainer._statistics = copy.deepcopy(_checkpoint.statistics)
-                self._position = _checkpoint.position
-                self._unit_index = self._unit_for_position(_checkpoint.position)
         else:
-            if _checkpoint is not None:  # pragma: no cover - guarded by checkpoint()
-                raise CheckpointUnsupportedError(
-                    "protocol sessions cannot be resumed from a checkpoint"
+            kwargs: Dict[str, Any] = {"seed": spec.seed}
+            scheduler = spec.backend.build_scheduler()
+            if scheduler is not None:
+                kwargs["scheduler"] = scheduler
+            if _checkpoint is None:
+                self._network = create_network(
+                    spec.backend.protocol,
+                    network=spec.backend.network,
+                    initial_graph=self._initial_graph,
+                    **kwargs,
                 )
-            self._network = create_network(
-                spec.backend.protocol,
-                network=spec.backend.network,
-                seed=spec.seed,
-                initial_graph=self._initial_graph,
+            else:
+                # Same shape as the sequential path: build the simulator
+                # empty, then restore the knowledge-level NetworkSnapshot
+                # (label-keyed, so the dict and fast cores restore each
+                # other's checkpoints).
+                self._network = create_network(
+                    spec.backend.protocol, network=spec.backend.network, **kwargs
+                )
+                self._network.restore(_checkpoint.snapshot)
+        if _checkpoint is not None:
+            self._position = _checkpoint.position
+            self._unit_index = self._unit_for_position(_checkpoint.position)
+            self._elapsed = _checkpoint.elapsed_s
+        self._adversary: Optional[AdaptiveAdversary] = None
+        if self._dynamic:
+            self._adversary = AdaptiveAdversary(
+                lambda: self._runner.mis(),
+                spec.workload.num_changes - self._position,
+                rng_seed=spec.workload.seed,
             )
+            if _checkpoint is not None and _checkpoint.workload_state is not None:
+                self._adversary.setstate(_checkpoint.workload_state)
 
     # ------------------------------------------------------------------
     # Read access
@@ -190,7 +273,7 @@ class Session:
 
     @property
     def changes(self) -> List[TopologyChange]:
-        """The materialized workload (the full list, including applied ones)."""
+        """The materialized workload (for dynamic workloads: generated so far)."""
         return self._changes
 
     @property
@@ -210,17 +293,22 @@ class Session:
 
     @property
     def num_changes(self) -> int:
-        """Total workload length."""
+        """Total workload length (the declared budget for dynamic workloads)."""
+        if self._dynamic:
+            return self._spec.workload.num_changes
         return len(self._changes)
 
     @property
     def done(self) -> bool:
         """Whether the whole workload has been applied."""
+        if self._dynamic:
+            return self._exhausted or self._position >= self.num_changes
         return self._unit_index >= len(self._batches)
 
     @property
     def elapsed_s(self) -> float:
-        """Wall-clock seconds spent inside apply calls by *this* session."""
+        """Wall-clock seconds spent inside apply calls (resumed sessions
+        continue the interrupted run's clock from the checkpoint)."""
         return self._elapsed
 
     def mis(self) -> Set[Node]:
@@ -253,12 +341,15 @@ class Session:
     def step(self):
         """Apply the next change (or batch); notify observers; return the record.
 
-        Returns ``None`` when the workload is exhausted.
+        Returns ``None`` when the workload is exhausted (for adaptive
+        workloads: also when the adversary finds no MIS node left to delete).
         """
         if self.done:
             return None
         self._notify_start()
-        unit = self._batches[self._unit_index]
+        unit = self._next_unit()
+        if unit is None:
+            return None
         start = time.perf_counter()
         if self._spec.batch_size and self._maintainer is not None:
             record = self._maintainer.apply_batch(unit)
@@ -277,20 +368,36 @@ class Session:
         self._position += len(unit)
         return record
 
+    def _next_unit(self) -> Optional[List[TopologyChange]]:
+        if not self._dynamic:
+            return self._batches[self._unit_index]
+        try:
+            change = next(self._adversary)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self._changes.append(change)
+        return [change]
+
     def __iter__(self) -> Iterator:
         """Yield the per-unit records while streaming to the end."""
         while not self.done:
-            yield self.step()
+            record = self.step()
+            if record is None:
+                break
+            yield record
 
     def run(self, verify: bool = True) -> ScenarioResult:
         """Stream to the end and return the :class:`ScenarioResult`.
 
-        ``elapsed_s`` covers only the apply calls made by this session (a
-        resumed session reports the time of its own remaining stretch).
+        ``elapsed_s`` covers the apply calls of the whole run: a resumed
+        session starts from the checkpoint's accumulated clock, so
+        ``per_change_us`` stays an honest whole-run average.
         """
         self._notify_start()
         while not self.done:
-            self.step()
+            if self.step() is None:
+                break
         if verify:
             self.verify()
         result = self._build_result(verified=verify)
@@ -304,20 +411,32 @@ class Session:
     def checkpoint(self) -> SessionCheckpoint:
         """Capture a resumable checkpoint of the current state.
 
-        Sequential runner only: the distributed simulators keep per-node
-        message state that has no snapshot/restore pair yet, so protocol
-        sessions raise :class:`CheckpointUnsupportedError`.
+        Works for every registered backend: sequential sessions snapshot the
+        engine (label-level), protocol sessions snapshot the simulator
+        (knowledge-level, per-edge).  The backend must satisfy the
+        :class:`~repro.core.state_api.Checkpointable` contract -- all
+        built-ins do; a third-party backend without a snapshot/restore pair
+        raises :class:`TypeError` here.
         """
-        if self._maintainer is None:
-            raise CheckpointUnsupportedError(
-                "protocol sessions cannot checkpoint (no network snapshot/restore); "
-                "use the sequential runner"
+        backend = self._maintainer.engine if self._maintainer is not None else self._network
+        if not isinstance(backend, Checkpointable):
+            raise TypeError(
+                f"backend {type(backend).__name__} implements no snapshot/restore "
+                "pair (see repro.core.state_api.Checkpointable)"
             )
         return SessionCheckpoint(
             spec=self._spec,
             position=self._position,
-            snapshot=self._maintainer.engine.snapshot(),
-            statistics=copy.deepcopy(self._maintainer.statistics),
+            snapshot=backend.snapshot(),
+            statistics=(
+                copy.deepcopy(self._maintainer.statistics)
+                if self._maintainer is not None
+                else None
+            ),
+            workload_state=(
+                self._adversary.getstate() if self._adversary is not None else None
+            ),
+            elapsed_s=self._elapsed,
         )
 
     @classmethod
@@ -326,17 +445,25 @@ class Session:
         checkpoint: SessionCheckpoint,
         observers: Iterable[ScenarioObserver] = (),
         engine: Optional[str] = None,
+        network: Optional[str] = None,
     ) -> "Session":
         """Continue a checkpointed scenario in a fresh session.
 
-        ``engine`` optionally resumes on a *different* registered backend
-        (the snapshot is label-level, so any engine can restore it).  The
-        override is folded into the resumed session's spec, so results
-        attribute the right backend and a re-checkpoint keeps it.
+        ``engine`` (sequential sessions) and ``network`` (protocol sessions)
+        optionally resume on a *different* registered backend -- both
+        snapshot flavors are label-keyed, so any backend of the same family
+        can restore them.  The override is folded into the resumed session's
+        spec, so results attribute the right backend and a re-checkpoint
+        keeps it.
         """
+        overrides = {}
         if engine is not None:
+            overrides["engine"] = engine
+        if network is not None:
+            overrides["network"] = network
+        if overrides:
             checkpoint = dataclasses.replace(
-                checkpoint, spec=checkpoint.spec.with_backend(engine=engine)
+                checkpoint, spec=checkpoint.spec.with_backend(**overrides)
             )
         return cls(checkpoint.spec, observers=observers, _checkpoint=checkpoint)
 
@@ -360,6 +487,8 @@ class Session:
         ]
 
     def _unit_for_position(self, position: int) -> int:
+        if self._dynamic:
+            return position  # dynamic workloads are never batched
         consumed = 0
         for index, unit in enumerate(self._batches):
             if consumed == position:
@@ -422,7 +551,9 @@ def run_scenario_grid(
     dict is applied to the spec's :class:`~repro.scenario.spec.BackendSpec`
     (e.g. ``("fast", {"engine": "fast"})``).  The workload is identical by
     construction -- it re-materializes from the same spec -- which is what
-    benchmark sweeps and conformance comparisons need.
+    benchmark sweeps and conformance comparisons need.  (Adaptive workloads
+    are generated per backend; because all backends are observably
+    identical, the generated streams coincide too.)
     """
     results = []
     for label, overrides in backends:

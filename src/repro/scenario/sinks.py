@@ -220,6 +220,14 @@ def available_sinks() -> Tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def get_sink_factory(name: str) -> SinkFactory:
+    """The factory registered under ``name`` (raises :class:`UnknownSinkError`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSinkError(name, available_sinks()) from None
+
+
 def _split(sink_name: str) -> Tuple[str, Optional[str]]:
     name, _, argument = str(sink_name).partition(":")
     return name, (argument or None)
@@ -244,12 +252,14 @@ def check_sink_names(sink_names: Iterable[str]) -> None:
 
 
 def _summary_factory(argument: Optional[str]) -> ScenarioObserver:
+    """Aggregate mean/max/total of every tracked field (no argument)."""
     if argument is not None:
         raise ValueError("the summary sink takes no argument")
     return SummarySink()
 
 
 def _jsonl_factory(argument: Optional[str]) -> ScenarioObserver:
+    """Append one JSON line per change to a file ('jsonl:<path>')."""
     if argument is None:
         raise ValueError("the jsonl sink needs a path: 'jsonl:<path>'")
     return JsonlSink(argument)

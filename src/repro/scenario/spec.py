@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine_api import get_engine_factory
 from repro.distributed.network_api import resolve_network
+from repro.distributed.scheduler import scheduler_from_record
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.generators import (
     FAMILY_NAMES,
@@ -63,6 +64,7 @@ from repro.workloads.sequences import (
     edge_churn_sequence,
     mixed_churn_sequence,
     node_churn_sequence,
+    sliding_window_sequence,
     teardown_sequence,
 )
 
@@ -71,7 +73,13 @@ FORMAT = "repro-scenario-v1"
 #: Workload kinds a spec may name.  The churn kinds generate forward from the
 #: starting graph; ``build`` starts from the *empty* graph and assembles the
 #: target described by :class:`GraphSpec`; ``teardown`` dismantles it;
-#: ``trace`` replays a file saved with :func:`repro.workloads.trace.save_trace`.
+#: ``trace`` replays a file saved with :func:`repro.workloads.trace.save_trace`;
+#: ``sliding_window`` streams expiring-edge churn over its own node set
+#: (``params: num_nodes, window_size``; the graph spec must be ``null``);
+#: ``adaptive_adversary`` streams graceful deletions that always target the
+#: *live backend's current MIS* (:class:`repro.workloads.adversary.AdaptiveAdversary`)
+#: -- it cannot be pre-materialized and runs through a
+#: :class:`~repro.scenario.session.Session` only.
 WORKLOAD_KINDS = (
     "mixed_churn",
     "edge_churn",
@@ -79,6 +87,8 @@ WORKLOAD_KINDS = (
     "build",
     "teardown",
     "trace",
+    "sliding_window",
+    "adaptive_adversary",
 )
 
 #: Runner kinds: sequential maintainer vs distributed protocol simulator.
@@ -240,10 +250,24 @@ class WorkloadSpec:
     sequence previously saved with :func:`repro.workloads.trace.save_trace`
     (which may additionally contain node unmutings -- the sixth change type).
 
-    ``num_changes`` is required (> 0) for the churn kinds and must be left at
-    0 for ``build``/``teardown``/``trace``, whose length is derived.
-    ``params`` forwards extra keyword arguments to the sequence generator
-    (e.g. ``insert_probability`` for ``edge_churn``).
+    Two further kinds extend the spec space beyond the generators:
+    ``sliding_window`` models link churn with expiring edges (edges arrive
+    continuously and the oldest live edge is deleted once the window is
+    full) over its own node set -- ``params`` must carry ``num_nodes`` and
+    ``window_size`` and the scenario's graph spec must be ``null``;
+    ``adaptive_adversary`` always deletes a node of the running backend's
+    *current* MIS (the adversary the paper's oblivious model excludes, used
+    by experiment E1 and the conformance suite).  Adaptive workloads are
+    *dynamic*: they query the live backend, so they cannot be
+    pre-materialized and stream only through a
+    :class:`~repro.scenario.session.Session` (checkpoint/resume included --
+    the adversary's RNG state rides along in the checkpoint).
+
+    ``num_changes`` is required (> 0) for the churn, sliding-window and
+    adaptive kinds and must be left at 0 for ``build``/``teardown``/
+    ``trace``, whose length is derived.  ``params`` forwards extra keyword
+    arguments to the sequence generator (e.g. ``insert_probability`` for
+    ``edge_churn``).
     """
 
     kind: str = "mixed_churn"
@@ -254,17 +278,24 @@ class WorkloadSpec:
 
     _FIELDS = ("kind", "num_changes", "seed", "params", "path")
     _CHURN_KINDS = ("mixed_churn", "edge_churn", "node_churn")
+    #: Kinds whose length is the explicit ``num_changes`` (all others derive it).
+    _SIZED_KINDS = _CHURN_KINDS + ("sliding_window", "adaptive_adversary")
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True iff the workload is generated against the live backend."""
+        return self.kind == "adaptive_adversary"
 
     def validate(self) -> None:
         """Raise :class:`ScenarioSpecError` if any field is out of range."""
         _check_choice(self.kind, WORKLOAD_KINDS, "workload kind")
         _check_int(self.seed, "workload seed")
         _check_int(self.num_changes, "workload num_changes", minimum=0)
-        if self.kind in self._CHURN_KINDS and self.num_changes <= 0:
+        if self.kind in self._SIZED_KINDS and self.num_changes <= 0:
             raise ScenarioSpecError(
                 f"workload kind {self.kind!r} needs num_changes > 0"
             )
-        if self.kind not in self._CHURN_KINDS and self.num_changes:
+        if self.kind not in self._SIZED_KINDS and self.num_changes:
             raise ScenarioSpecError(
                 f"workload kind {self.kind!r} derives its length; leave num_changes at 0"
             )
@@ -275,6 +306,23 @@ class WorkloadSpec:
                 raise ScenarioSpecError("workload kind 'trace' takes no params")
         elif self.path is not None:
             raise ScenarioSpecError(f"workload kind {self.kind!r} takes no path")
+        if self.kind == "sliding_window":
+            _check_keys(
+                self.params, ("num_nodes", "window_size"), "sliding_window params"
+            )
+            missing = [key for key in ("num_nodes", "window_size") if key not in self.params]
+            if missing:
+                raise ScenarioSpecError(
+                    f"workload kind 'sliding_window' needs params {missing} "
+                    "(it builds its own node set)"
+                )
+            _check_int(self.params["num_nodes"], "sliding_window num_nodes", minimum=2)
+            _check_int(self.params["window_size"], "sliding_window window_size", minimum=1)
+        elif self.kind == "adaptive_adversary" and self.params:
+            raise ScenarioSpecError(
+                "workload kind 'adaptive_adversary' takes no params "
+                "(num_changes is the deletion budget, seed drives the adversary RNG)"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (exact round-trip through :meth:`from_dict`)."""
@@ -290,14 +338,14 @@ class WorkloadSpec:
     def from_dict(cls, record: Mapping[str, Any]) -> "WorkloadSpec":
         """Decode (strict: unknown keys raise with a did-you-mean hint).
 
-        ``num_changes`` defaults to 100 for the churn kinds when absent
-        (matching the dataclass default used by
-        :class:`~repro.scenario.spec.ScenarioSpec`); the derived kinds
-        default to 0.
+        ``num_changes`` defaults to 100 for the explicitly sized kinds
+        (churn, sliding-window, adaptive) when absent (matching the
+        dataclass default used by :class:`~repro.scenario.spec.ScenarioSpec`);
+        the derived kinds default to 0.
         """
         _check_keys(record, cls._FIELDS, "workload spec")
         kind = record.get("kind", "mixed_churn")
-        default_changes = 100 if kind in cls._CHURN_KINDS else 0
+        default_changes = 100 if kind in cls._SIZED_KINDS else 0
         spec = cls(
             kind=kind,
             num_changes=record.get("num_changes", default_changes),
@@ -323,28 +371,71 @@ class BackendSpec:
     as the sequential reference of its periodic ``verify()``.  Names are
     validated against the *live* registries, so the same registry
     did-you-mean errors fire for typos here.
+
+    ``scheduler`` parameterizes the message-delay adversary of asynchronous
+    protocol scenarios: a record ``{"kind": "adversarial" | "fixed" |
+    "random", <params>}`` resolved through
+    :func:`repro.distributed.scheduler.create_scheduler` (unknown kinds and
+    parameters raise with did-you-mean hints).  Only valid with
+    ``runner="protocol"`` and ``protocol="async-direct"``; left ``None``,
+    the simulator's default random scheduler applies.  Channel-deterministic
+    kinds (``"adversarial"``, ``"fixed"``) are what make cross-backend
+    differentials and exact checkpoint/resume possible for async scenarios.
     """
 
     runner: str = "sequential"
     engine: str = "template"
     network: str = "dict"
     protocol: str = "buffered"
+    scheduler: Optional[Dict[str, Any]] = None
 
-    _FIELDS = ("runner", "engine", "network", "protocol")
+    _FIELDS = ("runner", "engine", "network", "protocol", "scheduler")
 
     def validate(self) -> None:
-        """Raise on unknown runner/engine/network/protocol names."""
+        """Raise on unknown runner/engine/network/protocol/scheduler names."""
         _check_choice(self.runner, RUNNER_NAMES, "runner")
         # Registry lookups raise UnknownEngineError / UnknownNetworkError
         # (both ValueError subclasses) with their own did-you-mean hints.
         get_engine_factory(self.engine)
         if self.runner == "protocol":
             resolve_network(self.network, self.protocol)
+        if self.scheduler is not None:
+            if self.runner != "protocol" or self.protocol != "async-direct":
+                raise ScenarioSpecError(
+                    "a scheduler only applies to protocol-runner scenarios with "
+                    f"protocol 'async-direct'; this backend declares "
+                    f"runner={self.runner!r} protocol={self.protocol!r}"
+                )
+            self.build_scheduler()
+
+    def build_scheduler(self):
+        """Instantiate the declared delay scheduler (``None`` when unset).
+
+        Unknown kinds raise the registry's
+        :class:`~repro.distributed.scheduler.UnknownSchedulerError` (with a
+        did-you-mean hint); bad parameters raise :class:`ScenarioSpecError`.
+        """
+        if self.scheduler is None:
+            return None
+        from repro.distributed.scheduler import UnknownSchedulerError
+
+        try:
+            return scheduler_from_record(self.scheduler)
+        except UnknownSchedulerError:
+            raise
+        except ValueError as error:
+            raise ScenarioSpecError(f"bad scheduler spec: {error}") from None
 
     def describe(self) -> str:
         """One-line display form used by result tables."""
         if self.runner == "protocol":
-            return f"protocol={self.protocol} network={self.network} (verify vs {self.engine})"
+            described = (
+                f"protocol={self.protocol} network={self.network} "
+                f"(verify vs {self.engine})"
+            )
+            if self.scheduler is not None:
+                described += f" scheduler={self.scheduler.get('kind')}"
+            return described
         return f"engine={self.engine}"
 
     def to_dict(self) -> Dict[str, Any]:
@@ -354,17 +445,20 @@ class BackendSpec:
             "engine": self.engine,
             "network": self.network,
             "protocol": self.protocol,
+            "scheduler": None if self.scheduler is None else dict(self.scheduler),
         }
 
     @classmethod
     def from_dict(cls, record: Mapping[str, Any]) -> "BackendSpec":
         """Decode (strict: unknown keys raise with a did-you-mean hint)."""
         _check_keys(record, cls._FIELDS, "backend spec")
+        scheduler = record.get("scheduler")
         spec = cls(
             runner=record.get("runner", "sequential"),
             engine=record.get("engine", "template"),
             network=record.get("network", "dict"),
             protocol=record.get("protocol", "buffered"),
+            scheduler=None if scheduler is None else dict(scheduler),
         )
         spec.validate()
         return spec
@@ -408,8 +502,13 @@ class ScenarioSpec:
         _check_int(self.batch_size, "batch_size", minimum=0)
         self.workload.validate()
         self.backend.validate()
+        if self.workload.kind == "sliding_window" and self.graph is not None:
+            raise ScenarioSpecError(
+                "workload kind 'sliding_window' builds its own node set "
+                "(params: num_nodes); set graph to null"
+            )
         if self.graph is None:
-            if self.workload.kind != "trace":
+            if self.workload.kind not in ("trace", "sliding_window"):
                 raise ScenarioSpecError(
                     f"workload kind {self.workload.kind!r} needs a graph spec"
                 )
@@ -417,6 +516,11 @@ class ScenarioSpec:
             self.graph.validate()
         if self.batch_size and self.backend.runner != "sequential":
             raise ScenarioSpecError("batch_size > 0 needs the sequential runner")
+        if self.batch_size and self.workload.is_dynamic:
+            raise ScenarioSpecError(
+                "adaptive workloads react to every single change; batch_size "
+                "must stay 0"
+            )
         from repro.scenario.sinks import check_sink_names
 
         check_sink_names(self.sinks)
@@ -431,8 +535,23 @@ class ScenarioSpec:
         """
         self.validate()
         workload = self.workload
+        if workload.is_dynamic:
+            raise ScenarioSpecError(
+                f"workload kind {workload.kind!r} is generated against the live "
+                "backend and cannot be pre-materialized; stream it through "
+                "repro.scenario.Session (which also checkpoints it)"
+            )
         if workload.kind == "trace":
             return self._materialize_trace()
+        if workload.kind == "sliding_window":
+            num_nodes = workload.params["num_nodes"]
+            changes = sliding_window_sequence(
+                num_nodes,
+                workload.params["window_size"],
+                workload.num_changes,
+                seed=workload.seed,
+            )
+            return DynamicGraph(nodes=range(num_nodes)), changes
         graph = self.graph.build()
         try:
             if workload.kind == "mixed_churn":

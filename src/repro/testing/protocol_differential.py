@@ -31,7 +31,14 @@ The asynchronous protocol needs a *channel-deterministic* scheduler (the
 delay must be a function of the channel, not of the global message
 sequence): the harness builds one
 :class:`~repro.distributed.scheduler.AdversarialDelayScheduler` per backend
-by default.
+by default (or the scenario's ``backend.scheduler``, when one is declared).
+
+:func:`replay_resume_differential` extends the same discipline to the
+checkpointable-state pair (:mod:`repro.distributed.state`): checkpoint a
+run mid-way on one backend, resume it on another, and assert the remaining
+run is observably identical to an uninterrupted one -- per-change metrics,
+round traces, outputs and the accumulated record list.  Failed resumes
+dump through the same artifact mechanism (``resume_divergence_*.json``).
 """
 
 from __future__ import annotations
@@ -44,7 +51,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.rng import normalize_seed
 from repro.distributed.network_api import create_network
-from repro.distributed.scheduler import AdversarialDelayScheduler, DelayScheduler
+from repro.distributed.scheduler import (
+    CHANNEL_DETERMINISTIC_SCHEDULERS,
+    AdversarialDelayScheduler,
+    DelayScheduler,
+)
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.testing.differential import ConformanceMismatch, resolve_scenario_inputs
 from repro.workloads.changes import TopologyChange
@@ -126,7 +137,8 @@ def replay_protocol_differential(
         that-many steps (0 disables; the final state is always verified).
     scheduler_factory:
         For the asynchronous protocol: builds one delay scheduler per
-        backend name.  Must be channel-deterministic; defaults to
+        backend name.  Must be channel-deterministic; defaults to the
+        scenario's ``backend.scheduler`` (when given), then to
         ``AdversarialDelayScheduler(seed)``.
     dump_dir:
         Where to write divergence dumps; defaults to the
@@ -151,12 +163,20 @@ def replay_protocol_differential(
     is_async = protocol not in _SYNC_PROTOCOLS
     trace_enabled = compare_round_traces and not is_async
 
+    if is_async and scenario is not None:
+        _check_scenario_scheduler(scenario, required=False)
     simulators = []
     for name in networks:
         kwargs = {"seed": seed, "initial_graph": initial_graph}
         if is_async:
-            factory = scheduler_factory or (lambda _name: AdversarialDelayScheduler(seed))
-            kwargs["scheduler"] = factory(name)
+            if scheduler_factory is not None:
+                kwargs["scheduler"] = scheduler_factory(name)
+            elif scenario is not None and scenario.backend.scheduler is not None:
+                # The spec's scheduler field pins the delay adversary down;
+                # one fresh instance per backend (schedulers may cache).
+                kwargs["scheduler"] = scenario.backend.build_scheduler()
+            else:
+                kwargs["scheduler"] = AdversarialDelayScheduler(seed)
         simulator = create_network(protocol, network=name, **kwargs)
         if trace_enabled:
             simulator.enable_round_logging(True)
@@ -237,6 +257,204 @@ def replay_protocol_differential(
     )
 
 
+def _check_scenario_scheduler(scenario, required: bool) -> None:
+    """Enforce the harnesses' channel-determinism precondition on async specs.
+
+    A scheduler whose delays depend on the global message sequence (the
+    ``"random"`` kind) legitimately diverges across backends and across a
+    checkpoint boundary, so feeding one to a differential would report false
+    protocol divergence.  ``required`` additionally rejects *absent*
+    schedulers (the resume differential cannot fall back to a harness-built
+    one: the resumed session rebuilds its scheduler from the spec alone).
+    """
+    declared = scenario.backend.scheduler
+    if declared is None:
+        if required:
+            raise ValueError(
+                "async resume differentials need the scenario to declare a "
+                "channel-deterministic backend.scheduler (kind 'adversarial' "
+                "or 'fixed'); without one the resumed session falls back to "
+                "the random scheduler and legitimately diverges"
+            )
+        return
+    if declared.get("kind") not in CHANNEL_DETERMINISTIC_SCHEDULERS:
+        raise ValueError(
+            f"scenario scheduler kind {declared.get('kind')!r} is not "
+            f"channel-deterministic ({CHANNEL_DETERMINISTIC_SCHEDULERS}); the "
+            "differential harnesses would report false divergence under it"
+        )
+
+
+@dataclass
+class ResumeDifferentialResult:
+    """Summary of one successful checkpoint/resume differential replay."""
+
+    protocol: str
+    networks: Tuple[str, ...]
+    positions: Tuple[int, ...]
+    num_changes: int
+    final_mis_size: int
+
+
+def replay_resume_differential(
+    scenario,
+    positions: Sequence[int],
+    networks: Tuple[str, str] = ("dict", "fast"),
+    compare_round_traces: bool = True,
+    through_json: bool = True,
+    dump_dir: Optional[Path] = None,
+) -> ResumeDifferentialResult:
+    """Checkpoint mid-run on one backend, resume on another, assert equality.
+
+    For every position ``p`` the harness runs the scenario *uninterrupted*
+    on ``networks[0]``, takes a knowledge-level checkpoint of a second run
+    at ``p`` (optionally round-tripped through the JSON codec of
+    :mod:`repro.scenario.checkpoint_io` -- the default, since that is the
+    path the CLI's ``--checkpoint-path`` files take), resumes it on
+    ``networks[1]``, and then steps both sessions in lockstep, asserting
+    after every post-resume change
+
+    * identical per-change metrics (rounds, broadcasts, bits, state changes,
+      adjustments, adjusted-node sets; plus causal depth for async),
+    * identical round-by-round traces (synchronous protocols),
+    * identical output maps, and -- at the end --
+    * identical *accumulated* metric records (the pre-checkpoint records
+      ride along in the snapshot) and a passing ``verify()`` on both sides.
+
+    Dynamic (adaptive-adversary) scenarios additionally assert that the
+    resumed adversary generates the identical deletion stream.  On
+    divergence a JSON dump is written next to the protocol-differential
+    dumps (``resume_divergence_*.json``; same
+    ``REPRO_PROTOCOL_DIFF_DUMP_DIR`` artifact mechanism) before
+    :class:`~repro.testing.differential.ConformanceMismatch` is raised.
+    """
+    from repro.scenario.checkpoint_io import checkpoint_from_dict, checkpoint_to_dict
+    from repro.scenario.session import Session
+
+    if scenario.backend.runner != "protocol":
+        raise ValueError(
+            "replay_resume_differential drives protocol scenarios; sequential "
+            "checkpoint differentials live in tests/test_scenario_session.py"
+        )
+    if len(networks) != 2:
+        raise ValueError("need exactly (source, resume) network backends")
+    source, target = networks
+    protocol = scenario.backend.protocol
+    is_async = protocol not in _SYNC_PROTOCOLS
+    if is_async:
+        _check_scenario_scheduler(scenario, required=True)
+    trace_enabled = compare_round_traces and not is_async
+    metric_fields = ASYNC_METRIC_FIELDS if is_async else PROTOCOL_METRIC_FIELDS
+
+    num_changes = 0
+    final_mis_size = 0
+    for position in positions:
+        uninterrupted = Session(scenario.with_backend(network=source))
+        if trace_enabled:
+            uninterrupted.network.enable_round_logging(True)
+        for _ in range(position):
+            if uninterrupted.step() is None:
+                raise ValueError(
+                    f"scenario exhausted before checkpoint position {position}"
+                )
+        checkpoint = uninterrupted.checkpoint()
+        if through_json:
+            checkpoint = checkpoint_from_dict(checkpoint_to_dict(checkpoint))
+        resumed = Session.resume(checkpoint, network=target)
+        if trace_enabled:
+            resumed.network.enable_round_logging(True)
+
+        def mismatch(step: int, change, detail: str) -> ConformanceMismatch:
+            _write_divergence_dump(
+                dump_dir,
+                protocol,
+                (source, target),
+                scenario.seed,
+                step,
+                change,
+                detail,
+                [uninterrupted.network, resumed.network],
+                trace_enabled,
+                tag=f"resume_divergence_pos{position}",
+            )
+            return ConformanceMismatch(step, change, detail)
+
+        while not uninterrupted.done:
+            expected_record = uninterrupted.step()
+            actual_record = resumed.step()
+            step = uninterrupted.position - 1
+            if expected_record is None or actual_record is None:
+                if (expected_record is None) != (actual_record is None):
+                    raise mismatch(
+                        step, None, "resumed run exhausted at a different point"
+                    )
+                break
+            # Session.changes is the full materialized list for static
+            # workloads and the generated-so-far list for dynamic ones; the
+            # change just applied sits at the position index either way.
+            change = uninterrupted.changes[step] if step < len(uninterrupted.changes) else None
+            if scenario.workload.is_dynamic and resumed.changes:
+                if resumed.changes[-1] != change:
+                    raise mismatch(
+                        step,
+                        change,
+                        f"resumed workload diverged: {source} applied {change!r}, "
+                        f"{target} applied {resumed.changes[-1]!r}",
+                    )
+            for field in metric_fields:
+                lhs = getattr(expected_record, field)
+                rhs = getattr(actual_record, field)
+                if lhs != rhs:
+                    raise mismatch(
+                        step,
+                        change,
+                        f"{field} after resume at {position}: "
+                        f"{source}={lhs!r} vs {target}={rhs!r}",
+                    )
+            if expected_record.adjusted_nodes != actual_record.adjusted_nodes:
+                raise mismatch(
+                    step,
+                    change,
+                    f"adjusted nodes after resume at {position}: "
+                    f"{source}={sorted(expected_record.adjusted_nodes, key=repr)} "
+                    f"vs {target}={sorted(actual_record.adjusted_nodes, key=repr)}",
+                )
+            if trace_enabled:
+                expected_trace = _trace_tuples(uninterrupted.network)
+                actual_trace = _trace_tuples(resumed.network)
+                if expected_trace != actual_trace:
+                    raise mismatch(
+                        step,
+                        change,
+                        f"round trace after resume at {position}: "
+                        f"{expected_trace!r} vs {actual_trace!r}",
+                    )
+            if uninterrupted.states() != resumed.states():
+                raise mismatch(
+                    step, change, f"states diverged after resume at {position}"
+                )
+        expected_records = [record.as_dict() for record in uninterrupted.network.metrics.records]
+        actual_records = [record.as_dict() for record in resumed.network.metrics.records]
+        if expected_records != actual_records:
+            raise mismatch(
+                -1, None, "accumulated metric records differ after resume"
+            )
+        for session in (uninterrupted, resumed):
+            session.verify()
+            checker = getattr(session.network, "check_interning_invariants", None)
+            if checker is not None:
+                checker()
+        num_changes = uninterrupted.position
+        final_mis_size = len(uninterrupted.mis())
+    return ResumeDifferentialResult(
+        protocol=protocol,
+        networks=(source, target),
+        positions=tuple(positions),
+        num_changes=num_changes,
+        final_mis_size=final_mis_size,
+    )
+
+
 def _trace_tuples(simulator) -> List[Tuple[int, int, int, List[Tuple]]]:
     """The last change's round trace as comparable plain tuples."""
     return [
@@ -266,8 +484,14 @@ def _write_divergence_dump(
     detail: str,
     simulators: List,
     trace_enabled: bool,
+    tag: str = "divergence",
 ) -> Optional[Path]:
-    """Write one JSON dump describing a divergent replay step (best effort)."""
+    """Write one JSON dump describing a divergent replay step (best effort).
+
+    ``tag`` prefixes the file name; the resume differential uses
+    ``resume_divergence_pos<p>`` so checkpoint failures are distinguishable
+    in the uploaded CI artifacts.
+    """
     if dump_dir is None:
         from_env = os.environ.get(DUMP_DIR_ENV)
         if not from_env:
@@ -288,7 +512,7 @@ def _write_divergence_dump(
                 for name, simulator in zip(networks, simulators)
             },
         }
-        path = dump_dir / f"divergence_{protocol}_seed{seed}_step{step}.json"
+        path = dump_dir / f"{tag}_{protocol}_seed{seed}_step{step}.json"
         path.write_text(json.dumps(document, indent=2, sort_keys=True, default=repr) + "\n")
         return path
     except OSError:  # pragma: no cover - never fail the assertion over a dump

@@ -98,7 +98,18 @@ def adaptive_mis_deletion_adversary(
 
 
 class AdaptiveAdversary:
-    """Iterator of deletions that always target a node of the current MIS."""
+    """Iterator of deletions that always target a node of the current MIS.
+
+    The adversary is *stateful* (its RNG advances with every deletion it
+    emits), so scenario sessions that stream it can be checkpointed:
+    :meth:`getstate` returns a picklable/JSON-encodable value capturing the
+    remaining budget and the RNG position, and :meth:`setstate` resumes an
+    adversary exactly where an interrupted one stopped -- against whatever
+    ``current_mis`` callable the resumed run provides.
+    """
+
+    #: Tag identifying :meth:`getstate` payloads (guards against garbage).
+    STATE_TAG = "adaptive-adversary-v1"
 
     def __init__(
         self, current_mis: Callable[[], Set], num_deletions: int, rng_seed: int = 0
@@ -106,6 +117,26 @@ class AdaptiveAdversary:
         self._current_mis = current_mis
         self._remaining = num_deletions
         self._rng = random.Random(rng_seed)
+
+    @property
+    def remaining(self) -> int:
+        """How many deletions the adversary will still emit (at most)."""
+        return self._remaining
+
+    def getstate(self) -> Tuple:
+        """Resumable state: ``(tag, remaining budget, RNG state)``."""
+        return (self.STATE_TAG, self._remaining, self._rng.getstate())
+
+    def setstate(self, state: Tuple) -> None:
+        """Rewind to a state captured by :meth:`getstate` (exact resume)."""
+        try:
+            tag, remaining, rng_state = state
+        except (TypeError, ValueError):
+            raise ValueError(f"not an AdaptiveAdversary state: {state!r}") from None
+        if tag != self.STATE_TAG:
+            raise ValueError(f"not an AdaptiveAdversary state: {state!r}")
+        self._remaining = int(remaining)
+        self._rng.setstate(rng_state)
 
     def __iter__(self) -> "AdaptiveAdversary":
         return self

@@ -20,17 +20,45 @@ dumps CI uploads as failure artifacts.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.core.rng import spawn_seeds
 from repro.distributed.fast_network import FastBufferedMISNetwork
+from repro.scenario import BackendSpec, GraphSpec, ScenarioSpec, WorkloadSpec
 from repro.testing.differential import ConformanceMismatch, conformance_workload
-from repro.testing.protocol_differential import replay_protocol_differential
+from repro.testing.protocol_differential import (
+    replay_protocol_differential,
+    replay_resume_differential,
+)
 
 MASTER_SEED = 20260731
 #: >= 25 seeds in tier-1: the acceptance bar for the fast network core.
 PROTOCOL_SUITE_SEEDS = spawn_seeds(MASTER_SEED, 25)
+
+SPEC_DIR = Path(__file__).resolve().parent.parent.parent / "examples" / "scenario_specs"
+
+
+def _resume_scenario(protocol: str, seed: int, num_changes: int = 30) -> ScenarioSpec:
+    """One protocol scenario for the checkpoint/resume differentials."""
+    backend = BackendSpec(runner="protocol", protocol=protocol, engine="fast")
+    if protocol == "async-direct":
+        # Exact async resume needs a channel-deterministic scheduler with
+        # distinct per-channel delays; the spec pins one down.
+        backend = BackendSpec(
+            runner="protocol",
+            protocol=protocol,
+            engine="fast",
+            scheduler={"kind": "adversarial", "seed": seed + 1},
+        )
+    return ScenarioSpec(
+        name=f"resume-{protocol}",
+        seed=seed,
+        graph=GraphSpec(family="erdos_renyi", nodes=16, seed=seed + 2),
+        workload=WorkloadSpec(kind="mixed_churn", num_changes=num_changes, seed=seed + 3),
+        backend=backend,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +148,83 @@ def test_buffered_replay_from_empty_graph() -> None:
 
 
 # ----------------------------------------------------------------------
+# Tier-1: checkpoint on dict, resume on fast -- equal to uninterrupted
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["buffered", "direct", "async-direct"])
+def test_cross_backend_resume_equals_uninterrupted(protocol: str) -> None:
+    """The acceptance bar of the checkpointable-state tentpole: checkpoint
+    mid-run on ``network="dict"`` (through the JSON codec, the CLI's file
+    path), resume on ``network="fast"``, and the remaining run is equal to
+    an uninterrupted one -- outputs, per-change metrics, round traces and
+    the accumulated record list -- at several checkpoint positions."""
+    result = replay_resume_differential(
+        _resume_scenario(protocol, seed=31), positions=(0, 7, 21, 30)
+    )
+    assert result.networks == ("dict", "fast")
+    assert result.num_changes == 30
+
+
+def test_cross_backend_resume_fast_to_dict() -> None:
+    """The reverse direction: fast-core checkpoints restore on the dict core."""
+    result = replay_resume_differential(
+        _resume_scenario("buffered", seed=32), positions=(13,), networks=("fast", "dict")
+    )
+    assert result.networks == ("fast", "dict")
+
+
+def test_adaptive_resume_differential() -> None:
+    """Adaptive-adversary scenarios resume exactly too: the checkpoint carries
+    the adversary's RNG state, so the resumed deletion stream is identical."""
+    scenario = ScenarioSpec(
+        name="resume-adaptive",
+        seed=33,
+        graph=GraphSpec(family="erdos_renyi", nodes=18, seed=5),
+        workload=WorkloadSpec(kind="adaptive_adversary", num_changes=14, seed=6),
+        backend=BackendSpec(runner="protocol", protocol="buffered", engine="fast"),
+    )
+    result = replay_resume_differential(scenario, positions=(0, 6, 13))
+    assert result.num_changes == 14
+
+
+# ----------------------------------------------------------------------
+# Tier-1: conformance runs driven from shipped spec JSON files
+# ----------------------------------------------------------------------
+def test_sliding_window_spec_file_drives_the_differential() -> None:
+    """A shipped spec file is the conformance input: the sliding-window
+    workload (spec-expressible as of this tentpole) replays identically on
+    both network cores, straight from ``examples/scenario_specs/``."""
+    spec = ScenarioSpec.load(SPEC_DIR / "sliding_window.json")
+    result = replay_protocol_differential(scenario=spec)
+    assert result.protocol == "buffered"
+    assert result.num_changes == 60
+
+
+def test_async_differentials_reject_non_deterministic_schedulers() -> None:
+    """The channel-determinism precondition is enforced, not just documented:
+    a 'random'-scheduler spec (or a scheduler-less async resume scenario)
+    would report false divergence, so the harnesses refuse it upfront."""
+    scenario = _resume_scenario("async-direct", seed=34).with_backend(
+        scheduler={"kind": "random", "seed": 1}
+    )
+    with pytest.raises(ValueError, match="channel-deterministic"):
+        replay_protocol_differential(scenario=scenario)
+    with pytest.raises(ValueError, match="channel-deterministic"):
+        replay_resume_differential(scenario, positions=(3,))
+    scheduler_less = _resume_scenario("async-direct", seed=34).with_backend(scheduler=None)
+    with pytest.raises(ValueError, match="channel-deterministic"):
+        replay_resume_differential(scheduler_less, positions=(3,))
+
+
+def test_adversary_async_spec_file_resumes_across_backends() -> None:
+    """The shipped adaptive + async + adversarial-scheduler spec checkpoints
+    and resumes across backends (the full tentpole surface in one file)."""
+    spec = ScenarioSpec.load(SPEC_DIR / "adversary_async.json")
+    result = replay_resume_differential(spec, positions=(9,))
+    assert result.protocol == "async-direct"
+    assert result.num_changes == 25
+
+
+# ----------------------------------------------------------------------
 # The harness must catch divergence, not vacuously pass
 # ----------------------------------------------------------------------
 def _lying_fast_step(monkeypatch: pytest.MonkeyPatch) -> None:
@@ -158,6 +263,23 @@ def test_divergence_dump_is_written(monkeypatch: pytest.MonkeyPatch, tmp_path) -
     assert "state_changes" in document["detail"]
     assert set(document["backends"]) == {"dict", "fast"}
     assert "last_change_trace" in document["backends"]["fast"]
+
+
+def test_resume_divergence_dump_is_written(
+    monkeypatch: pytest.MonkeyPatch, tmp_path
+) -> None:
+    """Failed resume differentials dump through the same artifact mechanism
+    (CI uploads ``resume_divergence_*.json`` next to the replay dumps)."""
+    _lying_fast_step(monkeypatch)
+    with pytest.raises(ConformanceMismatch):
+        replay_resume_differential(
+            _resume_scenario("buffered", seed=31), positions=(7,), dump_dir=tmp_path
+        )
+    dumps = list(tmp_path.glob("resume_divergence_pos7_buffered_*.json"))
+    assert dumps, "no resume divergence dump written"
+    document = json.loads(dumps[0].read_text())
+    assert document["networks"] == ["dict", "fast"]
+    assert set(document["backends"]) == {"dict", "fast"}
 
 
 def test_divergence_dump_dir_from_environment(
@@ -206,3 +328,14 @@ def test_full_buffered_conformance_dense(seed: int) -> None:
         seed, num_changes=80, start_nodes=20, edge_probability=0.3, burst_length=10
     )
     replay_protocol_differential(graph, changes, seed=seed, protocol="buffered")
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("protocol", ["buffered", "direct", "async-direct"])
+@pytest.mark.parametrize("seed", spawn_seeds(MASTER_SEED + 8, 6))
+def test_full_resume_conformance(protocol: str, seed: int) -> None:
+    """Nightly sweep: longer workloads, denser checkpoint-position grids,
+    both resume directions."""
+    scenario = _resume_scenario(protocol, seed=seed, num_changes=80)
+    replay_resume_differential(scenario, positions=(0, 11, 40, 79))
+    replay_resume_differential(scenario, positions=(27,), networks=("fast", "dict"))

@@ -174,6 +174,75 @@ class TestCommands:
         assert main(["run", "--scenario", str(path), "--network", "fast"]) == 0
         assert "network=fast" in capsys.readouterr().out
 
+    def test_list_sinks(self, capsys):
+        assert main(["--list-sinks"]) == 0
+        output = capsys.readouterr().out
+        assert "summary" in output
+        assert "jsonl" in output
+        assert "repro.scenario.sinks" in output
+
+    def test_run_writes_checkpoints_and_resumes(self, tmp_path, capsys):
+        from repro.scenario import BackendSpec, ScenarioSpec, WorkloadSpec
+
+        spec_path = tmp_path / "spec.json"
+        checkpoint_path = tmp_path / "checkpoint.json"
+        ScenarioSpec(
+            name="cli-checkpoint",
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=24),
+            backend=BackendSpec(runner="protocol", protocol="buffered", engine="fast"),
+        ).save(spec_path)
+        assert (
+            main(
+                [
+                    "run",
+                    "--scenario",
+                    str(spec_path),
+                    "--checkpoint-every",
+                    "10",
+                    "--checkpoint-path",
+                    str(checkpoint_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "checkpoint written" in output
+        assert checkpoint_path.exists()
+        # The file holds the last written checkpoint (position 20 of 24):
+        # resuming it finishes the workload, optionally on another backend.
+        assert main(["run", "--resume-from", str(checkpoint_path), "--network", "fast"]) == 0
+        output = capsys.readouterr().out
+        assert "resuming from" in output
+        assert "network=fast" in output
+
+    def test_run_checkpoint_flags_must_pair(self, tmp_path):
+        with pytest.raises(SystemExit, match="go together"):
+            main(["run", "--scenario", "x.json", "--checkpoint-every", "5"])
+
+    def test_run_needs_scenario_xor_resume(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["run"])
+
+    def test_resume_rejects_protocol_switch(self, tmp_path):
+        from repro.scenario import (
+            BackendSpec,
+            ScenarioSpec,
+            Session,
+            WorkloadSpec,
+            save_checkpoint,
+        )
+
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=10),
+            backend=BackendSpec(runner="protocol", protocol="buffered"),
+        )
+        session = Session(spec)
+        session.step()
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, session.checkpoint())
+        with pytest.raises(SystemExit, match="per-protocol"):
+            main(["run", "--resume-from", str(path), "--protocol", "direct"])
+
     def test_list_flags_reject_a_command(self):
         with pytest.raises(SystemExit):
             main(["--list-engines", "churn"])

@@ -1,0 +1,169 @@
+"""Unit tests for the network snapshot/restore layer (``repro.distributed.state``).
+
+The end-to-end resume equality lives in the conformance suite
+(``tests/conformance/test_protocol_differential.py``) and the session tests;
+this file pins down the contract edges: the :class:`Checkpointable`
+protocol, snapshot content equality across backends, the protocol-mismatch
+and quiescence guards, and the restorable event-sequence cursor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.state_api import Checkpointable, EventSequence
+from repro.distributed.network_api import create_network
+from repro.distributed.scheduler import (
+    AdversarialDelayScheduler,
+    UnknownSchedulerError,
+    create_scheduler,
+)
+from repro.distributed.state import NetworkSnapshot, NetworkStateError
+from repro.graph.generators import erdos_renyi_graph
+
+GRAPH = erdos_renyi_graph(18, 0.2, seed=3)
+
+
+def _simulator(protocol: str, network: str):
+    kwargs = {"seed": 9, "initial_graph": GRAPH}
+    if protocol == "async-direct":
+        kwargs["scheduler"] = AdversarialDelayScheduler(4)
+    return create_network(protocol, network=network, **kwargs)
+
+
+class TestCheckpointableProtocol:
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    @pytest.mark.parametrize("protocol", ["buffered", "direct", "async-direct"])
+    def test_every_registered_simulator_satisfies_it(self, protocol, network):
+        assert isinstance(_simulator(protocol, network), Checkpointable)
+
+    def test_engines_satisfy_it_too(self):
+        from repro.core.engine_api import available_engines, create_engine
+
+        for name in available_engines():
+            assert isinstance(create_engine(name), Checkpointable)
+
+
+class TestSnapshotContent:
+    @pytest.mark.parametrize("protocol", ["buffered", "direct", "async-direct"])
+    def test_dict_and_fast_snapshots_agree_field_for_field(self, protocol):
+        # The snapshot is the observable state, so two observably identical
+        # simulators must produce equal snapshots (up to node/edge order).
+        dict_snap = _simulator(protocol, "dict").snapshot()
+        fast_snap = _simulator(protocol, "fast").snapshot()
+        assert dict_snap.protocol == fast_snap.protocol == protocol
+        assert sorted(dict_snap.nodes) == sorted(fast_snap.nodes)
+        assert sorted(dict_snap.edges) == sorted(fast_snap.edges)
+        assert dict_snap.states == fast_snap.states
+        assert dict_snap.priority_keys == fast_snap.priority_keys
+        assert dict_snap.knowledge == fast_snap.knowledge
+        assert dict_snap.pending == () == fast_snap.pending
+
+    def test_stability_invariant_holds_in_the_snapshot(self):
+        # At quiescence every node knows every neighbor's key and current
+        # output -- the captured knowledge must equal the captured states.
+        snapshot = _simulator("buffered", "dict").snapshot()
+        for (node, neighbor), (heard, key_known) in snapshot.knowledge.items():
+            assert key_known, (node, neighbor)
+            assert heard == snapshot.states[neighbor]
+
+    def test_snapshot_is_a_value_not_a_view(self):
+        from repro.workloads.changes import EdgeDeletion
+
+        simulator = _simulator("buffered", "fast")
+        snapshot = simulator.snapshot()
+        edges_before = tuple(snapshot.edges)
+        u, v = simulator.graph.edges()[0]
+        simulator.apply(EdgeDeletion(u, v))
+        assert snapshot.edges == edges_before
+        assert len(snapshot.metrics) == 0  # records applied later don't leak in
+
+
+class TestRestoreGuards:
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    def test_protocol_mismatch_is_rejected(self, network):
+        snapshot = _simulator("buffered", network).snapshot()
+        direct = create_network("direct", network=network, seed=9)
+        with pytest.raises(NetworkStateError, match="protocol"):
+            direct.restore(snapshot)
+
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    def test_engine_snapshots_are_rejected(self, network):
+        from repro.core.dynamic_mis import DynamicMIS
+
+        engine_snapshot = DynamicMIS(seed=1, initial_graph=GRAPH).engine.snapshot()
+        simulator = create_network("buffered", network=network, seed=9)
+        with pytest.raises(NetworkStateError, match="NetworkSnapshot"):
+            simulator.restore(engine_snapshot)
+
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    def test_non_quiescent_snapshots_are_rejected(self, network):
+        snapshot = _simulator("buffered", network).snapshot()
+        states = dict(snapshot.states)
+        states[snapshot.nodes[0]] = "C"
+        broken = dataclasses.replace(snapshot, states=states)
+        simulator = create_network("buffered", network=network, seed=9)
+        with pytest.raises(NetworkStateError, match="transient"):
+            simulator.restore(broken)
+
+    def test_torn_knowledge_is_rejected(self):
+        snapshot = _simulator("buffered", "dict").snapshot()
+        knowledge = dict(snapshot.knowledge)
+        knowledge[("ghost", "ghoul")] = ("M", True)
+        broken = dataclasses.replace(snapshot, knowledge=knowledge)
+        simulator = create_network("buffered", network="dict", seed=9)
+        with pytest.raises(NetworkStateError, match="topology"):
+            simulator.restore(broken)
+
+    def test_restore_replaces_prior_state_wholesale(self):
+        simulator = _simulator("buffered", "fast")
+        snapshot = simulator.snapshot()
+        other = create_network(
+            "buffered", network="fast", seed=9, initial_graph=erdos_renyi_graph(7, 0.5, seed=1)
+        )
+        other.restore(snapshot)
+        assert other.states() == simulator.states()
+        assert sorted(other.graph.edges()) == sorted(simulator.graph.edges())
+        other.check_interning_invariants()
+
+
+class TestEventSequence:
+    def test_counts_and_restores(self):
+        sequence = EventSequence()
+        assert [next(sequence) for _ in range(3)] == [0, 1, 2]
+        resumed = EventSequence(sequence.value)
+        assert next(resumed) == 3
+
+    def test_rejects_negative_starts(self):
+        with pytest.raises(ValueError):
+            EventSequence(-1)
+
+    def test_is_its_own_iterator(self):
+        sequence = EventSequence(5)
+        assert iter(sequence) is sequence
+
+
+class TestSchedulerFactory:
+    def test_builds_every_kind(self):
+        assert create_scheduler("fixed", delay_value=2.0).delay("a", "b", 0) == 2.0
+        assert create_scheduler("random", seed=3).delay("a", "b", 0) > 0
+        adversarial = create_scheduler("adversarial", seed=3, slow_fraction=0.5)
+        assert adversarial.delay("a", "b", 0) == adversarial.delay("a", "b", 99)
+
+    def test_unknown_kind_has_did_you_mean(self):
+        with pytest.raises(UnknownSchedulerError, match="did you mean 'fixed'"):
+            create_scheduler("fixd")
+
+    def test_unknown_param_has_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'delay_value'"):
+            create_scheduler("fixed", delay_valu=1.0)
+
+
+def test_snapshot_counts_and_records():
+    simulator = _simulator("buffered", "dict")
+    snapshot = simulator.snapshot()
+    assert isinstance(snapshot, NetworkSnapshot)
+    assert snapshot.num_nodes == GRAPH.num_nodes()
+    assert snapshot.num_changes == 0

@@ -61,3 +61,31 @@ def test_example_runs_and_reports(example_name, expected_fragments, capsys):
     output = capsys.readouterr().out
     for fragment in expected_fragments:
         assert fragment in output
+
+
+def test_adversary_async_spec_runs_end_to_end():
+    """The shipped adaptive + async + adversarial-scheduler spec is runnable
+    as-is (the exact path ``repro-mis run --scenario`` takes), and its
+    session checkpoints -- the tentpole surface in one example file."""
+    from repro.scenario import ScenarioSpec, Session
+
+    spec = ScenarioSpec.load(EXAMPLES_DIR / "scenario_specs" / "adversary_async.json")
+    assert spec.workload.kind == "adaptive_adversary"
+    assert spec.backend.scheduler["kind"] == "adversarial"
+    session = Session(spec)
+    for _ in range(10):
+        session.step()
+    checkpoint = session.checkpoint()
+    assert checkpoint.workload_state is not None
+    result = Session.resume(checkpoint).run()
+    assert result.verified
+    assert result.num_changes == spec.workload.num_changes
+
+
+def test_sliding_window_spec_runs_end_to_end():
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.load(EXAMPLES_DIR / "scenario_specs" / "sliding_window.json")
+    result = run_scenario(spec)
+    assert result.verified
+    assert result.num_changes == spec.workload.num_changes

@@ -3,10 +3,11 @@
 The load-bearing guarantee here is the checkpoint/resume differential: a
 session interrupted at *any* point and resumed in a fresh process-state must
 land on exactly the outputs and statistics of an uninterrupted run, on every
-engine backend and even when resuming on a *different* backend (the
-snapshot is label-level).  The rest pins down the runner surface: sequential
-vs protocol sessions, batched application, observers/sinks and the
-``spec x backend`` grid helper.
+engine backend *and* every network backend x protocol, even when resuming on
+a *different* backend (both snapshot flavors are label-keyed) and across a
+JSON checkpoint file.  The rest pins down the runner surface: sequential vs
+protocol sessions, dynamic (adaptive-adversary) workloads, batched
+application, observers/sinks and the ``spec x backend`` grid helper.
 """
 
 from __future__ import annotations
@@ -19,16 +20,27 @@ from repro.core.dynamic_mis import DynamicMIS
 from repro.scenario import (
     BackendSpec,
     CallbackSink,
-    CheckpointUnsupportedError,
     GraphSpec,
     JsonlSink,
     ScenarioSpec,
     Session,
     SummarySink,
     WorkloadSpec,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_checkpoint,
     run_scenario,
     run_scenario_grid,
+    save_checkpoint,
 )
+
+
+def _metric_dicts(network):
+    """A network's per-change records as comparable plain dicts."""
+    return [
+        dict(record.as_dict(), adjusted=sorted(record.adjusted_nodes, key=repr))
+        for record in network.metrics.records
+    ]
 
 
 def small_spec(**overrides) -> ScenarioSpec:
@@ -116,11 +128,12 @@ class TestProtocolSession:
             sessions.append(session)
         assert sessions[0].states() == sessions[1].states()
 
-    def test_checkpoint_unsupported(self):
+    def test_checkpoint_rejects_backends_without_the_pair(self):
         session = Session(
             small_spec(backend=BackendSpec(runner="protocol", protocol="buffered"))
         )
-        with pytest.raises(CheckpointUnsupportedError, match="protocol sessions"):
+        session._network = object()  # a backend lacking snapshot/restore
+        with pytest.raises(TypeError, match="snapshot/restore"):
             session.checkpoint()
 
 
@@ -219,6 +232,266 @@ class TestCheckpointResume:
             resumed.maintainer.statistics.batch_sizes
             == uninterrupted.maintainer.statistics.batch_sizes
         )
+
+
+class TestProtocolCheckpointResume:
+    """Protocol sessions checkpoint via the knowledge-level NetworkSnapshot."""
+
+    @pytest.mark.parametrize("network", ["dict", "fast"])
+    @pytest.mark.parametrize("stop_at", [0, 1, 13, 40])
+    def test_resumed_run_equals_uninterrupted_run(self, network, stop_at):
+        spec = small_spec(
+            backend=BackendSpec(
+                runner="protocol", protocol="buffered", network=network, engine="fast"
+            )
+        )
+        uninterrupted = Session(spec)
+        full_result = uninterrupted.run()
+
+        interrupted = Session(spec)
+        for _ in range(stop_at):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        assert checkpoint.position == stop_at
+        assert checkpoint.runner == "protocol"
+        assert checkpoint.remaining_changes == 40 - stop_at
+        assert checkpoint.statistics is None
+        del interrupted
+
+        resumed = Session.resume(checkpoint)
+        resumed_result = resumed.run()
+        assert resumed.states() == uninterrupted.states()
+        assert _metric_dicts(resumed.network) == _metric_dicts(uninterrupted.network)
+        assert resumed_result.summary == full_result.summary
+        assert resumed_result.num_changes == full_result.num_changes
+
+    @pytest.mark.parametrize("protocol", ["buffered", "direct"])
+    def test_cross_network_resume(self, protocol):
+        # The snapshot is label-keyed: a checkpoint taken on the dict core
+        # resumes on the fast core with identical outputs and metrics.
+        spec = small_spec(
+            backend=BackendSpec(
+                runner="protocol", protocol=protocol, network="dict", engine="fast"
+            )
+        )
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(17):
+            interrupted.step()
+        resumed = Session.resume(interrupted.checkpoint(), network="fast")
+        assert resumed.spec.backend.network == "fast"
+        result = resumed.run()
+        assert resumed.states() == reference.states()
+        assert _metric_dicts(resumed.network) == _metric_dicts(reference.network)
+        assert "network=fast" in result.backend
+
+    def test_async_resume_with_spec_scheduler_is_exact(self):
+        # Exact async resume needs a channel-deterministic scheduler; the
+        # spec's scheduler field pins one down, so the resumed session
+        # rebuilds the identical delay adversary.
+        spec = small_spec(
+            backend=BackendSpec(
+                runner="protocol",
+                protocol="async-direct",
+                network="dict",
+                engine="fast",
+                scheduler={"kind": "adversarial", "seed": 11},
+            )
+        )
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(19):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        assert checkpoint.snapshot.scheduler_cursor > 0
+        resumed = Session.resume(checkpoint, network="fast")
+        resumed.run()
+        assert resumed.states() == reference.states()
+        assert _metric_dicts(resumed.network) == _metric_dicts(reference.network)
+
+    def test_checkpoint_file_round_trip(self, tmp_path):
+        spec = small_spec(
+            backend=BackendSpec(runner="protocol", protocol="buffered", engine="fast")
+        )
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(23):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, checkpoint)
+        del interrupted
+
+        loaded = load_checkpoint(path)
+        assert loaded.position == 23
+        assert loaded.spec == spec
+        resumed = Session.resume(loaded, network="fast")
+        resumed.run()
+        assert resumed.states() == reference.states()
+        assert _metric_dicts(resumed.network) == _metric_dicts(reference.network)
+
+    def test_resumed_result_keeps_the_whole_run_clock(self):
+        # The checkpoint carries the accumulated elapsed time, so a resumed
+        # run's per_change_us averages over all changes, not just the tail.
+        spec = small_spec(
+            backend=BackendSpec(runner="protocol", protocol="buffered", engine="fast")
+        )
+        interrupted = Session(spec)
+        for _ in range(30):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        assert checkpoint.elapsed_s == interrupted.elapsed_s > 0
+        resumed = Session.resume(checkpoint)
+        result = resumed.run()
+        assert resumed.elapsed_s > checkpoint.elapsed_s
+        assert result.per_change_us == pytest.approx(resumed.elapsed_s / 40 * 1e6)
+
+    def test_checkpoint_without_a_spec_is_rejected(self):
+        from repro.scenario import CheckpointFormatError
+
+        spec = small_spec()
+        session = Session(spec)
+        session.step()
+        record = checkpoint_to_dict(session.checkpoint())
+        del record["spec"]
+        with pytest.raises(CheckpointFormatError, match="missing 'spec'"):
+            checkpoint_from_dict(record)
+
+    def test_sequential_checkpoint_file_round_trip(self, tmp_path):
+        spec = small_spec()
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(9):
+            interrupted.step()
+        record = checkpoint_to_dict(interrupted.checkpoint())
+        json.dumps(record)  # JSON-ready
+        resumed = Session.resume(checkpoint_from_dict(record), engine="fast")
+        resumed.run()
+        assert resumed.states() == reference.states()
+        assert (
+            resumed.maintainer.statistics.adjustments
+            == reference.maintainer.statistics.adjustments
+        )
+
+
+class TestDynamicWorkloads:
+    """Adaptive-adversary and sliding-window scenarios through the session."""
+
+    def adaptive_spec(self, **overrides) -> ScenarioSpec:
+        defaults = dict(
+            name="adaptive",
+            seed=4,
+            graph=GraphSpec(family="erdos_renyi", nodes=20, seed=2),
+            workload=WorkloadSpec(kind="adaptive_adversary", num_changes=12, seed=3),
+            backend=BackendSpec(runner="sequential", engine="template"),
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    @pytest.mark.parametrize("runner_overrides", [
+        {},
+        {"backend": BackendSpec(runner="protocol", protocol="buffered", engine="fast")},
+    ])
+    def test_adversary_always_deletes_a_current_mis_node(self, runner_overrides):
+        spec = self.adaptive_spec(**runner_overrides)
+        session = Session(spec)
+        while not session.done:
+            mis_before = session.mis()
+            record = session.step()
+            if record is None:
+                break
+            deleted = session.changes[-1].node
+            assert deleted in mis_before
+        assert session.position == 12
+        session.verify()
+
+    def test_materialize_rejects_adaptive_workloads(self):
+        from repro.scenario import ScenarioSpecError
+
+        with pytest.raises(ScenarioSpecError, match="live.*backend|Session"):
+            self.adaptive_spec().materialize()
+
+    def test_backends_generate_the_same_adaptive_stream(self):
+        # Observably identical backends see identical MIS sets, so the
+        # adaptive adversary generates the identical deletion stream.
+        streams = {}
+        for network in ("dict", "fast"):
+            session = Session(
+                self.adaptive_spec(
+                    backend=BackendSpec(
+                        runner="protocol", protocol="buffered", network=network,
+                        engine="fast",
+                    )
+                )
+            )
+            session.run()
+            streams[network] = list(session.changes)
+        assert streams["dict"] == streams["fast"]
+
+    @pytest.mark.parametrize("stop_at", [0, 5, 11])
+    def test_adaptive_resume_is_exact(self, stop_at, tmp_path):
+        # The checkpoint carries the adversary's RNG state, so the resumed
+        # session generates exactly the deletions an uninterrupted run would.
+        spec = self.adaptive_spec(
+            backend=BackendSpec(
+                runner="protocol", protocol="buffered", network="dict", engine="fast"
+            )
+        )
+        reference = Session(spec)
+        reference.run()
+
+        interrupted = Session(spec)
+        for _ in range(stop_at):
+            interrupted.step()
+        checkpoint = interrupted.checkpoint()
+        assert checkpoint.workload_state is not None
+        path = tmp_path / "adaptive.json"
+        save_checkpoint(path, checkpoint)
+        resumed = Session.resume(load_checkpoint(path), network="fast")
+        resumed.run()
+        assert resumed.states() == reference.states()
+        assert resumed.changes == reference.changes[stop_at:]
+        assert _metric_dicts(resumed.network) == _metric_dicts(reference.network)
+
+    def test_adaptive_stops_early_when_the_mis_empties(self):
+        spec = ScenarioSpec(
+            name="tiny",
+            seed=1,
+            graph=GraphSpec(family="path", nodes=4, seed=0),
+            workload=WorkloadSpec(kind="adaptive_adversary", num_changes=50, seed=2),
+            backend=BackendSpec(runner="sequential", engine="template"),
+        )
+        result = Session(spec).run()
+        assert result.num_changes == 4  # every node deleted, then StopIteration
+
+    def test_sliding_window_scenario_runs_on_both_runners(self):
+        spec = ScenarioSpec(
+            name="window",
+            seed=4,
+            graph=None,
+            workload=WorkloadSpec(
+                kind="sliding_window",
+                num_changes=40,
+                seed=9,
+                params={"num_nodes": 25, "window_size": 10},
+            ),
+            backend=BackendSpec(runner="sequential", engine="fast"),
+        )
+        sequential = run_scenario(spec)
+        assert sequential.num_changes == 40
+        protocol = run_scenario(
+            spec.with_backend(runner="protocol", protocol="direct", network="fast")
+        )
+        assert protocol.num_changes == 40
+        assert protocol.verified
 
 
 class TestObservers:

@@ -52,31 +52,73 @@ def graph_specs(draw):
 
 @st.composite
 def workload_specs(draw):
-    kind = draw(st.sampled_from(("mixed_churn", "edge_churn", "node_churn", "build", "teardown")))
-    churn = kind in ("mixed_churn", "edge_churn", "node_churn")
+    kind = draw(
+        st.sampled_from(
+            (
+                "mixed_churn",
+                "edge_churn",
+                "node_churn",
+                "build",
+                "teardown",
+                "sliding_window",
+                "adaptive_adversary",
+            )
+        )
+    )
+    sized = kind in WorkloadSpec._SIZED_KINDS
+    params = {}
+    if kind == "sliding_window":
+        params = {
+            "num_nodes": draw(st.integers(min_value=2, max_value=80)),
+            "window_size": draw(st.integers(min_value=1, max_value=40)),
+        }
     return WorkloadSpec(
         kind=kind,
-        num_changes=draw(st.integers(min_value=1, max_value=60)) if churn else 0,
+        num_changes=draw(st.integers(min_value=1, max_value=60)) if sized else 0,
         seed=draw(SEEDS),
+        params=params,
     )
 
 
 @st.composite
+def scheduler_records(draw):
+    kind = draw(st.sampled_from(("fixed", "random", "adversarial")))
+    if kind == "fixed":
+        return {"kind": kind, "delay_value": draw(st.floats(0.1, 5.0, allow_nan=False))}
+    if kind == "random":
+        return {"kind": kind, "seed": draw(SEEDS)}
+    return {
+        "kind": kind,
+        "seed": draw(SEEDS),
+        "slow_fraction": draw(st.floats(0.0, 1.0, allow_nan=False)),
+        "slow_factor": draw(st.floats(1.0, 50.0, allow_nan=False)),
+    }
+
+
+@st.composite
 def scenario_specs(draw):
+    workload = draw(workload_specs())
     runner = draw(st.sampled_from(("sequential", "protocol")))
+    protocol = draw(st.sampled_from(("buffered", "direct", "async-direct")))
+    scheduler = None
+    if runner == "protocol" and protocol == "async-direct" and draw(st.booleans()):
+        scheduler = draw(scheduler_records())
     backend = BackendSpec(
         runner=runner,
         engine=draw(st.sampled_from(("template", "fast"))),
         network=draw(st.sampled_from(("dict", "fast"))),
-        protocol=draw(st.sampled_from(("buffered", "direct", "async-direct"))),
+        protocol=protocol,
+        scheduler=scheduler,
     )
-    batch_size = draw(st.integers(min_value=0, max_value=6)) if runner == "sequential" else 0
+    batch_size = 0
+    if runner == "sequential" and not workload.is_dynamic:
+        batch_size = draw(st.integers(min_value=0, max_value=6))
     sinks = tuple(draw(st.sets(st.sampled_from(("summary", "jsonl:out.jsonl")), max_size=2)))
     return ScenarioSpec(
         name=draw(st.text(alphabet="abcdefg-", max_size=10)),
         seed=draw(SEEDS),
-        graph=draw(graph_specs()),
-        workload=draw(workload_specs()),
+        graph=None if workload.kind == "sliding_window" else draw(graph_specs()),
+        workload=workload,
         backend=backend,
         batch_size=batch_size,
         sinks=sinks,
@@ -226,6 +268,36 @@ class TestStrictDecoding:
         with pytest.raises(UnknownSinkError, match="did you mean 'summary'"):
             spec.validate()
 
+    def test_bad_adversary_kind_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'adaptive_adversary'"):
+            WorkloadSpec(kind="adaptive_adversry", num_changes=5).validate()
+
+    def test_bad_scheduler_kind_raises_the_registry_error(self):
+        from repro.distributed.scheduler import UnknownSchedulerError
+
+        with pytest.raises(UnknownSchedulerError, match="did you mean 'adversarial'"):
+            BackendSpec(
+                runner="protocol",
+                protocol="async-direct",
+                scheduler={"kind": "adverserial"},
+            ).validate()
+
+    def test_bad_scheduler_param_has_did_you_mean(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'slow_fraction'"):
+            BackendSpec(
+                runner="protocol",
+                protocol="async-direct",
+                scheduler={"kind": "adversarial", "slow_fractoin": 0.5},
+            ).validate()
+
+    def test_out_of_range_scheduler_param_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="slow_factor"):
+            BackendSpec(
+                runner="protocol",
+                protocol="async-direct",
+                scheduler={"kind": "adversarial", "slow_factor": 0.5},
+            ).validate()
+
 
 class TestValidation:
     def test_churn_needs_positive_num_changes(self):
@@ -276,6 +348,58 @@ class TestValidation:
         )
         with pytest.raises(ScenarioSpecError, match="bad params"):
             spec.materialize()
+
+    def test_scheduler_needs_the_async_protocol(self):
+        with pytest.raises(ScenarioSpecError, match="async-direct"):
+            BackendSpec(
+                runner="protocol",
+                protocol="buffered",
+                scheduler={"kind": "adversarial"},
+            ).validate()
+        with pytest.raises(ScenarioSpecError, match="async-direct"):
+            BackendSpec(scheduler={"kind": "fixed"}).validate()
+
+    def test_sliding_window_needs_its_params_and_no_graph(self):
+        with pytest.raises(ScenarioSpecError, match="num_nodes"):
+            WorkloadSpec(kind="sliding_window", num_changes=10).validate()
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                kind="sliding_window",
+                num_changes=10,
+                params={"num_nodes": 12, "window_size": 4},
+            )
+        )
+        with pytest.raises(ScenarioSpecError, match="graph to null"):
+            spec.validate()
+
+    def test_adaptive_rejects_params_and_batching(self):
+        with pytest.raises(ScenarioSpecError, match="takes no params"):
+            WorkloadSpec(
+                kind="adaptive_adversary", num_changes=5, params={"graceful": True}
+            ).validate()
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(kind="adaptive_adversary", num_changes=5),
+            batch_size=3,
+        )
+        with pytest.raises(ScenarioSpecError, match="batch_size"):
+            spec.validate()
+
+    def test_sliding_window_materializes_from_its_own_node_set(self):
+        from repro.workloads.sequences import sliding_window_sequence
+
+        spec = ScenarioSpec(
+            graph=None,
+            workload=WorkloadSpec(
+                kind="sliding_window",
+                num_changes=20,
+                seed=3,
+                params={"num_nodes": 15, "window_size": 6},
+            ),
+        )
+        graph, changes = spec.materialize()
+        assert graph.num_nodes() == 15
+        assert graph.num_edges() == 0
+        assert changes == sliding_window_sequence(15, 6, 20, seed=3)
 
     def test_with_backend_builds_validated_variants(self):
         spec = ScenarioSpec(workload=WorkloadSpec(kind="mixed_churn", num_changes=5))
