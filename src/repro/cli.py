@@ -33,6 +33,14 @@ reparameterized or handed to the conformance harness later.
     Check history independence on a random graph by replaying several
     different change histories.
 
+``repro-mis bisect``
+    Binary-search a recorded scenario for the first change where two runs
+    diverge -- either two backends (``--networks a,b`` / ``--engines a,b``)
+    or a checkpoint/resume round-trip (``--resume-at N``).  ``--from-dump``
+    seeds the search from a divergence dump written by the conformance
+    harness (the dump embeds the scenario spec).  Exits 1 when a divergence
+    is found, so the command scripts cleanly.
+
 ``repro-mis families``
     List the available graph families.
 
@@ -208,6 +216,51 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--histories", type=int, default=4, help="number of different histories")
     history.add_argument("--samples", type=int, default=30, help="seeds per distribution estimate")
 
+    bisect = subparsers.add_parser(
+        "bisect",
+        help="binary-search a recorded scenario for the first divergent change",
+    )
+    bisect.add_argument(
+        "--scenario",
+        metavar="PATH",
+        default=None,
+        help="scenario spec file to bisect (JSON); exactly one of --scenario/--from-dump",
+    )
+    bisect.add_argument(
+        "--from-dump",
+        dest="from_dump",
+        metavar="PATH",
+        default=None,
+        help="a divergence dump written by the conformance harness; its embedded "
+        "scenario spec is bisected and its backend pair is the default --networks",
+    )
+    bisect.add_argument(
+        "--networks",
+        metavar="A,B",
+        default=None,
+        help="reference,candidate network backends (protocol scenarios)",
+    )
+    bisect.add_argument(
+        "--engines",
+        metavar="A,B",
+        default=None,
+        help="reference,candidate engine backends (sequential scenarios)",
+    )
+    bisect.add_argument(
+        "--resume-at",
+        dest="resume_at",
+        type=int,
+        metavar="N",
+        default=None,
+        help="probe through a checkpoint/resume at change N (JSON round-tripped) "
+        "instead of -- or in addition to -- a backend pair",
+    )
+    bisect.add_argument(
+        "--no-json",
+        action="store_true",
+        help="keep probe checkpoints in memory instead of round-tripping the JSON codec",
+    )
+
     subparsers.add_parser("families", help="list available graph families")
     return parser
 
@@ -348,6 +401,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_lowerbound(arguments)
     if command == "history":
         return _run_history(arguments)
+    if command == "bisect":
+        return _run_bisect(arguments)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
@@ -718,6 +773,80 @@ def _run_history(arguments) -> int:
         )
     )
     return 0 if identical and distance < 1e-9 else 1
+
+
+def _parse_backend_pair(value: Optional[str], flag: str) -> Optional[Tuple[str, str]]:
+    if value is None:
+        return None
+    parts = tuple(part.strip() for part in value.split(",") if part.strip())
+    if len(parts) != 2:
+        raise SystemExit(
+            f"{flag} needs exactly two comma-separated backend names, got {value!r}"
+        )
+    return parts
+
+
+def _run_bisect(arguments) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.scenario import bisect_first_divergence
+
+    if bool(arguments.scenario) == bool(arguments.from_dump):
+        raise SystemExit("pass exactly one of --scenario or --from-dump")
+    networks = _parse_backend_pair(arguments.networks, "--networks")
+    engines = _parse_backend_pair(arguments.engines, "--engines")
+    if arguments.scenario:
+        spec = ScenarioSpec.load(arguments.scenario)
+        source = arguments.scenario
+    else:
+        source = arguments.from_dump
+        try:
+            document = json.loads(Path(source).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"cannot read divergence dump {source}: {error}") from None
+        record = document.get("scenario") if isinstance(document, dict) else None
+        if record is None:
+            raise SystemExit(
+                f"{source} embeds no scenario spec; only dumps written by "
+                "scenario-driven differentials can seed a bisect"
+            )
+        spec = ScenarioSpec.from_dict(record)
+        if networks is None and engines is None and arguments.resume_at is None:
+            # A cross-backend dump names its (reference, candidate) pair --
+            # reuse it so `repro-mis bisect --from-dump d.json` just works.
+            dumped = tuple(document.get("networks") or ())
+            if len(dumped) == 2 and dumped[0] != dumped[1]:
+                networks = dumped
+    try:
+        result = bisect_first_divergence(
+            spec,
+            networks=networks,
+            engines=engines,
+            resume_at=arguments.resume_at,
+            through_json=not arguments.no_json,
+        )
+    except (ScenarioSpecError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    comparison = []
+    if networks is not None:
+        comparison.append(f"networks {networks[0]} vs {networks[1]}")
+    if engines is not None:
+        comparison.append(f"engines {engines[0]} vs {engines[1]}")
+    if arguments.resume_at is not None:
+        comparison.append(f"resume at change {arguments.resume_at}")
+    rows = [
+        ["comparison", "; ".join(comparison)],
+        ["changes in run", result.num_changes],
+        ["probes", ", ".join(str(position) for position in result.probes)],
+        ["diverged", "yes" if result.diverged else "no"],
+    ]
+    if result.diverged:
+        rows.append(["first divergent change", result.position])
+        rows.append(["change applied there", repr(result.change)])
+        rows.append(["detail", result.detail])
+    print(format_table(["quantity", "value"], rows, title=f"bisect {source}"))
+    return 1 if result.diverged else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,8 +6,10 @@ label-level :class:`~repro.core.engine_api.EngineSnapshot` the differential
 harness and :class:`~repro.scenario.session.Session` already use) and -- as
 of this module -- the six distributed network simulators, whose
 knowledge-level :class:`~repro.distributed.state.NetworkSnapshot` captures
-topology, per-edge knowledge, node states, metrics and the asynchronous
-scheduler cursor.
+topology, per-edge knowledge, node states, metrics, the asynchronous
+scheduler cursor and the scheduler's own resumable state (the RNG stream
+position of the ``"random"`` delay scheduler), so resume is exact for every
+scheduler kind.
 
 :class:`Checkpointable` is the structural protocol both families satisfy:
 ``snapshot()`` returns a frozen, *label-keyed* value object and

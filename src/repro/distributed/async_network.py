@@ -28,6 +28,7 @@ benchmarked separately with :class:`repro.distributed.protocol_mis.BufferedMISNe
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
@@ -188,13 +189,12 @@ class AsyncDirectMISNetwork:
     def snapshot(self) -> NetworkSnapshot:
         """Capture the simulator's knowledge-level state between changes.
 
-        Additionally records the event-sequence cursor so a resumed
-        simulator continues scheduling exactly where this one stopped.
-        Exact resume requires a *channel-deterministic* scheduler
-        (``FixedDelayScheduler`` / ``AdversarialDelayScheduler``): the
-        default :class:`~repro.distributed.scheduler.RandomDelayScheduler`
-        draws delays from one global stream whose position a snapshot does
-        not capture.
+        Additionally records the event-sequence cursor and the scheduler's
+        resumable state (the RNG stream position for the ``"random"`` kind,
+        ``None`` for the stateless channel-deterministic kinds), so a
+        resumed simulator continues scheduling exactly where this one
+        stopped -- and draws the exact same remaining delays -- for *every*
+        scheduler kind.
         """
         return snapshot_from_runtimes(
             type(self).PROTOCOL,
@@ -203,6 +203,7 @@ class AsyncDirectMISNetwork:
             self._runtimes,
             self._aggregator.records,
             scheduler_cursor=self._sequence.value,
+            scheduler_state=self._scheduler.getstate(),
         )
 
     def restore(self, snapshot: NetworkSnapshot) -> None:
@@ -214,6 +215,7 @@ class AsyncDirectMISNetwork:
         self._graph, self._runtimes = runtimes_from_snapshot(snapshot)
         self._aggregator = MetricsAggregator(records=list(copy_metric_records(snapshot.metrics)))
         self._sequence = EventSequence(snapshot.scheduler_cursor)
+        self._scheduler.setstate(copy.deepcopy(snapshot.scheduler_state))
 
     # ------------------------------------------------------------------
     # Topology-change API

@@ -477,6 +477,10 @@ class FastNetworkCore:
         """Event-sequence position recorded in snapshots (0 for synchronous cores)."""
         return 0
 
+    def _scheduler_state(self) -> Optional[Tuple]:
+        """Resumable scheduler state recorded in snapshots (``None`` if stateless)."""
+        return None
+
     def snapshot(self) -> NetworkSnapshot:
         """Capture the simulator's knowledge-level state between changes.
 
@@ -522,6 +526,7 @@ class FastNetworkCore:
             knowledge=knowledge,
             scheduler_cursor=self._scheduler_cursor(),
             metrics=copy_metric_records(self._aggregator.records),
+            scheduler_state=self._scheduler_state(),
         )
 
     def restore(self, snapshot: NetworkSnapshot) -> None:
@@ -1122,9 +1127,11 @@ class FastAsyncDirectMISNetwork(FastNetworkCore):
     For differential comparison against the dict twin, use a
     *channel-deterministic* scheduler (``FixedDelayScheduler`` or
     ``AdversarialDelayScheduler``): the default ``RandomDelayScheduler``
-    draws delays from one global stream whose assignment to receivers
+    draws delays from one private stream whose assignment to receivers
     depends on neighbor iteration order, which an interned core cannot (and
-    should not) reproduce byte-for-byte.
+    should not) reproduce byte-for-byte.  Same-*backend* checkpoint/resume
+    is exact for every scheduler kind, though: snapshots carry the stream
+    position (:attr:`~repro.distributed.state.NetworkSnapshot.scheduler_state`).
     """
 
     PROTOCOL = "async-direct"
@@ -1148,9 +1155,13 @@ class FastAsyncDirectMISNetwork(FastNetworkCore):
     def _scheduler_cursor(self) -> int:
         return self._sequence.value
 
+    def _scheduler_state(self) -> Optional[Tuple]:
+        return self._scheduler.getstate()
+
     def restore(self, snapshot: NetworkSnapshot) -> None:
         super().restore(snapshot)
         self._sequence = EventSequence(snapshot.scheduler_cursor)
+        self._scheduler.setstate(snapshot.scheduler_state)
 
     # ------------------------------------------------------------------
     # Topology-change API

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import difflib
 import random
-from typing import Any, Dict, Hashable, Mapping, Sequence, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 Node = Hashable
 
@@ -44,11 +44,44 @@ class UnknownSchedulerError(ValueError):
 
 
 class DelayScheduler:
-    """Interface: return the in-flight delay of one message."""
+    """Interface: return the in-flight delay of one message.
+
+    Schedulers also take part in the checkpoint/resume contract through the
+    :meth:`getstate` / :meth:`setstate` pair: a scheduler that consumes a
+    private random stream (the ``"random"`` kind) exposes its stream position
+    so a :class:`~repro.distributed.state.NetworkSnapshot` can carry it and a
+    resumed simulator draws the *same* remaining delays as the uninterrupted
+    one.  Stateless (channel-deterministic) schedulers return ``None``.
+    """
 
     def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
         """Positive delay for the message with the given channel and sequence number."""
         raise NotImplementedError
+
+    def getstate(self) -> Optional[Tuple]:
+        """Opaque resumable state (``None`` for stateless schedulers).
+
+        Whatever this returns rides in
+        :attr:`~repro.distributed.state.NetworkSnapshot.scheduler_state` and
+        must round-trip through :meth:`setstate` exactly.
+        """
+        return None
+
+    def setstate(self, state: Optional[Tuple]) -> None:
+        """Restore a :meth:`getstate` value.
+
+        ``None`` is always accepted as a no-op -- that is what legacy
+        (``repro-checkpoint-v1``) snapshots carry, and a stateless scheduler
+        has nothing to restore.  A stateless scheduler handed a non-``None``
+        state fails loudly: the snapshot was taken under a different
+        scheduler kind and resuming would silently diverge.
+        """
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the snapshot carries "
+                f"scheduler state {state!r}; was the checkpoint taken under a "
+                "different scheduler kind?"
+            )
 
 
 class FixedDelayScheduler(DelayScheduler):
@@ -64,7 +97,21 @@ class FixedDelayScheduler(DelayScheduler):
 
 
 class RandomDelayScheduler(DelayScheduler):
-    """Independent uniform delays in ``[min_delay, max_delay]``."""
+    """Independent uniform delays in ``[min_delay, max_delay]``.
+
+    The delays come from one private :class:`random.Random` stream, so the
+    scheduler is *stateful*: exact checkpoint/resume needs the stream
+    position, which :meth:`getstate` / :meth:`setstate` expose (the
+    :class:`~repro.distributed.state.NetworkSnapshot` carries it).  It is
+    still not channel-deterministic -- the delay a receiver gets depends on
+    the order receivers are enumerated, which differs between the dict and
+    id-interned cores -- so cross-*backend* differentials keep requiring the
+    ``fixed``/``adversarial`` kinds; same-backend resume is exact.
+    """
+
+    #: First element of every :meth:`getstate` value, so a state captured
+    #: under one scheduler kind never restores silently into another.
+    STATE_TAG = "uniform-rng"
 
     def __init__(self, seed: int = 0, min_delay: float = 0.1, max_delay: float = 1.0) -> None:
         if min_delay <= 0 or max_delay < min_delay:
@@ -75,6 +122,23 @@ class RandomDelayScheduler(DelayScheduler):
 
     def delay(self, sender: Node, receiver: Node, sequence_number: int) -> float:
         return self._rng.uniform(self._min_delay, self._max_delay)
+
+    def getstate(self) -> Tuple:
+        return (self.STATE_TAG, self._rng.getstate())
+
+    def setstate(self, state: Optional[Tuple]) -> None:
+        if state is None:
+            return  # legacy snapshot without scheduler state: keep the fresh stream
+        tag, rng_state = state
+        if tag != self.STATE_TAG:
+            raise ValueError(
+                f"scheduler state tagged {tag!r} cannot restore into a "
+                f"{type(self).__name__} (expected {self.STATE_TAG!r})"
+            )
+        version, internal, gauss = rng_state
+        # random.Random.setstate needs the exact nested tuple shape back
+        # (JSON round-trips deliver lists).
+        self._rng.setstate((int(version), tuple(int(word) for word in internal), gauss))
 
 
 class AdversarialDelayScheduler(DelayScheduler):
@@ -129,8 +193,10 @@ class AdversarialDelayScheduler(DelayScheduler):
 # ----------------------------------------------------------------------
 #: Spec-nameable scheduler kinds and the keyword parameters each accepts.
 #: ``channel_deterministic`` records which kinds assign delays as a pure
-#: function of the channel -- the property that makes cross-backend
-#: differentials and exact checkpoint/resume possible for async scenarios.
+#: function of the channel -- the property cross-backend differentials need.
+#: Exact checkpoint/resume no longer requires it: the stateful ``"random"``
+#: kind snapshots its stream position (:meth:`DelayScheduler.getstate`), so
+#: *same-backend* resume is exact for every kind.
 SCHEDULER_KINDS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
     "fixed": (FixedDelayScheduler, ("delay_value",)),
     "random": (RandomDelayScheduler, ("seed", "min_delay", "max_delay")),

@@ -86,6 +86,13 @@ class NetworkSnapshot:
         Deep copies of the per-change :class:`ChangeMetrics` records
         collected so far, so a resumed run's aggregate summary equals an
         uninterrupted run's.
+    scheduler_state:
+        The delay scheduler's resumable state
+        (:meth:`~repro.distributed.scheduler.DelayScheduler.getstate`):
+        ``None`` for stateless channel-deterministic schedulers and for the
+        synchronous protocols, the private RNG stream position for the
+        ``"random"`` kind.  Restoring it makes resume exact for *every*
+        scheduler kind, not just the channel-deterministic ones.
     """
 
     protocol: str
@@ -97,6 +104,7 @@ class NetworkSnapshot:
     pending: Tuple = ()
     scheduler_cursor: int = 0
     metrics: Tuple[ChangeMetrics, ...] = field(default_factory=tuple)
+    scheduler_state: Optional[Tuple] = None
 
     @property
     def num_nodes(self) -> int:
@@ -147,6 +155,37 @@ def copy_metric_records(records) -> Tuple[ChangeMetrics, ...]:
     return tuple(copy.deepcopy(record) for record in records)
 
 
+def quiescent_knowledge(
+    edges, states: Dict[Node, str]
+) -> Dict[Tuple[Node, Node], KnowledgeEntry]:
+    """Derive the directed knowledge map a quiescent network must have.
+
+    At stability every node knows every neighbor's key and *current* output:
+    ``knowledge[(u, v)] == (states[v], True)`` for both directions of every
+    edge.  The conformance suite asserts this invariant on live simulators
+    (``check_interning_invariants(expect_stable=True)``), which is what lets
+    the delta journal fold topology + states into a full snapshot without
+    recording per-edge knowledge deltas.
+    """
+    knowledge: Dict[Tuple[Node, Node], KnowledgeEntry] = {}
+    for u, v in edges:
+        knowledge[(u, v)] = (states[v], True)
+        knowledge[(v, u)] = (states[u], True)
+    return knowledge
+
+
+def scheduler_cursor_of(simulator) -> int:
+    """Current event-sequence cursor of a simulator (0 for synchronous ones)."""
+    sequence = getattr(simulator, "_sequence", None)
+    return 0 if sequence is None else sequence.value
+
+
+def scheduler_state_of(simulator) -> Optional[Tuple]:
+    """Current resumable scheduler state of a simulator (``None`` if stateless)."""
+    scheduler = getattr(simulator, "_scheduler", None)
+    return None if scheduler is None else scheduler.getstate()
+
+
 # ----------------------------------------------------------------------
 # Shared plumbing of the dict/set simulators
 # ----------------------------------------------------------------------
@@ -157,6 +196,7 @@ def snapshot_from_runtimes(
     runtimes: Dict[Node, NodeRuntime],
     metrics_records,
     scheduler_cursor: int = 0,
+    scheduler_state: Optional[Tuple] = None,
 ) -> NetworkSnapshot:
     """Build a :class:`NetworkSnapshot` from a dict simulator's live state."""
     if protocol is None:
@@ -183,6 +223,7 @@ def snapshot_from_runtimes(
         knowledge=knowledge,
         scheduler_cursor=scheduler_cursor,
         metrics=copy_metric_records(metrics_records),
+        scheduler_state=copy.deepcopy(scheduler_state),
     )
 
 

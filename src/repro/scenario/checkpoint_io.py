@@ -15,22 +15,36 @@ uses (ints, strings, nested tuples from the reductions) round-trips.  The
 CLI's ``run --checkpoint-every N --checkpoint-path p.json`` writes these
 files and ``run --resume-from p.json`` continues them -- on any registered
 backend, thanks to the label-keyed snapshots.
+
+Two record versions exist.  ``repro-checkpoint-v2`` (what this module
+writes) adds the asynchronous scheduler's resumable RNG state and the
+optional :class:`~repro.scenario.journal.DeltaJournal` of delta
+checkpoints; ``repro-checkpoint-v1`` files (written before those fields
+existed) still decode -- the missing fields default to ``None``, which the
+restore paths accept as "no scheduler state / full checkpoint".
 """
 
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.engine_api import EngineSnapshot
 from repro.distributed.metrics import ChangeMetrics
 from repro.distributed.state import NetworkSnapshot
+from repro.scenario.journal import DeltaJournal, JournalEntry
 from repro.scenario.session import SessionCheckpoint
 from repro.scenario.spec import ScenarioSpec
 from repro.workloads.trace import decode_node, encode_node
 
-FORMAT = "repro-checkpoint-v1"
+FORMAT = "repro-checkpoint-v2"
+FORMAT_V1 = "repro-checkpoint-v1"
+
+#: Formats :func:`checkpoint_from_dict` accepts (newest first).
+SUPPORTED_FORMATS = (FORMAT, FORMAT_V1)
 
 
 class CheckpointFormatError(ValueError):
@@ -41,11 +55,33 @@ class CheckpointFormatError(ValueError):
 # Shared pieces
 # ----------------------------------------------------------------------
 def _encode_key(key: Tuple) -> list:
-    return list(key)
+    # Recursive: the reductions produce nested-tuple priority keys, and a
+    # shallow list() would round-trip the inner tuples as lists, silently
+    # breaking label-keyed restore equality.
+    return [_encode_key(part) if isinstance(part, tuple) else part for part in key]
 
 
 def _decode_key(value) -> Tuple:
-    return tuple(value)
+    return tuple(
+        _decode_key(part) if isinstance(part, list) else part for part in value
+    )
+
+
+def _encode_state_tree(state: Optional[Tuple]):
+    """Opaque resumable states (scheduler RNG position): tuples -> lists."""
+    if state is None:
+        return None
+    return [
+        _encode_state_tree(part) if isinstance(part, tuple) else part for part in state
+    ]
+
+
+def _decode_state_tree(value) -> Optional[Tuple]:
+    if value is None:
+        return None
+    return tuple(
+        _decode_state_tree(part) if isinstance(part, list) else part for part in value
+    )
 
 
 def _encode_nodes_edges(snapshot) -> Dict[str, Any]:
@@ -129,6 +165,7 @@ def _encode_network_snapshot(snapshot: NetworkSnapshot) -> Dict[str, Any]:
     ]
     record["scheduler_cursor"] = snapshot.scheduler_cursor
     record["metrics"] = [_encode_metric_record(metric) for metric in snapshot.metrics]
+    record["scheduler_state"] = _encode_state_tree(snapshot.scheduler_state)
     return record
 
 
@@ -146,6 +183,8 @@ def _decode_network_snapshot(record) -> NetworkSnapshot:
         },
         scheduler_cursor=record["scheduler_cursor"],
         metrics=tuple(_decode_metric_record(metric) for metric in record["metrics"]),
+        # v1 records predate scheduler state; None restores as "fresh stream".
+        scheduler_state=_decode_state_tree(record.get("scheduler_state")),
     )
 
 
@@ -186,6 +225,84 @@ def _decode_workload_state(record) -> Optional[Tuple]:
 
 
 # ----------------------------------------------------------------------
+# Delta journals (v2)
+# ----------------------------------------------------------------------
+def _encode_journal_entry(entry: JournalEntry) -> Dict[str, Any]:
+    return {
+        "position": entry.position,
+        "change_kind": entry.change_kind,
+        "nodes_added": [
+            [encode_node(node), _encode_key(key)] for node, key in entry.nodes_added
+        ],
+        "nodes_removed": [encode_node(node) for node in entry.nodes_removed],
+        "edges_added": [
+            [encode_node(u), encode_node(v)] for u, v in entry.edges_added
+        ],
+        "edges_removed": [
+            [encode_node(u), encode_node(v)] for u, v in entry.edges_removed
+        ],
+        "states": [[encode_node(node), value] for node, value in entry.states],
+        "metric": (
+            _encode_metric_record(entry.metric) if entry.metric is not None else None
+        ),
+        "stats_row": list(entry.stats_row) if entry.stats_row is not None else None,
+        "scheduler_cursor": entry.scheduler_cursor,
+        "scheduler_state": _encode_state_tree(entry.scheduler_state),
+        "workload_state": _encode_workload_state(entry.workload_state),
+        "elapsed_s": entry.elapsed_s,
+    }
+
+
+def _decode_journal_entry(record) -> JournalEntry:
+    metric = record.get("metric")
+    stats_row = record.get("stats_row")
+    return JournalEntry(
+        position=int(record["position"]),
+        change_kind=record["change_kind"],
+        nodes_added=tuple(
+            (decode_node(node), _decode_key(key)) for node, key in record["nodes_added"]
+        ),
+        nodes_removed=tuple(decode_node(node) for node in record["nodes_removed"]),
+        edges_added=tuple(
+            (decode_node(u), decode_node(v)) for u, v in record["edges_added"]
+        ),
+        edges_removed=tuple(
+            (decode_node(u), decode_node(v)) for u, v in record["edges_removed"]
+        ),
+        states=tuple((decode_node(node), value) for node, value in record["states"]),
+        metric=_decode_metric_record(metric) if metric is not None else None,
+        stats_row=tuple(stats_row) if stats_row is not None else None,
+        scheduler_cursor=int(record["scheduler_cursor"]),
+        scheduler_state=_decode_state_tree(record.get("scheduler_state")),
+        workload_state=_decode_workload_state(record.get("workload_state")),
+        elapsed_s=float(record.get("elapsed_s", 0.0)),
+    )
+
+
+def _encode_journal(journal: DeltaJournal) -> Dict[str, Any]:
+    # The journal base rides in the checkpoint's own snapshot / statistics /
+    # workload_state / elapsed_s fields (that is what a delta checkpoint
+    # stores there), so only the entry list and base position go here.
+    return {
+        "base_position": journal.base_position,
+        "entries": [_encode_journal_entry(entry) for entry in journal.entries],
+    }
+
+
+def _decode_journal(
+    record, snapshot, statistics, workload_state, elapsed_s
+) -> DeltaJournal:
+    return DeltaJournal(
+        snapshot,
+        base_position=int(record["base_position"]),
+        base_statistics=statistics,
+        base_workload_state=workload_state,
+        base_elapsed_s=elapsed_s,
+        entries=[_decode_journal_entry(entry) for entry in record["entries"]],
+    )
+
+
+# ----------------------------------------------------------------------
 # Whole checkpoints
 # ----------------------------------------------------------------------
 def checkpoint_to_dict(checkpoint: SessionCheckpoint) -> Dict[str, Any]:
@@ -206,13 +323,25 @@ def checkpoint_to_dict(checkpoint: SessionCheckpoint) -> Dict[str, Any]:
         "statistics": _encode_statistics(checkpoint.statistics),
         "workload_state": _encode_workload_state(checkpoint.workload_state),
         "elapsed_s": checkpoint.elapsed_s,
+        "journal": (
+            _encode_journal(checkpoint.journal)
+            if checkpoint.journal is not None
+            else None
+        ),
     }
 
 
 def checkpoint_from_dict(record: Dict[str, Any]) -> SessionCheckpoint:
-    """Decode :func:`checkpoint_to_dict` output back into a checkpoint."""
-    if not isinstance(record, dict) or record.get("format") != FORMAT:
-        raise CheckpointFormatError(f"not a {FORMAT} record")
+    """Decode :func:`checkpoint_to_dict` output back into a checkpoint.
+
+    Accepts every version in :data:`SUPPORTED_FORMATS`: v1 records simply
+    lack the scheduler-state and journal fields, which decode as ``None``.
+    """
+    if not isinstance(record, dict) or record.get("format") not in SUPPORTED_FORMATS:
+        raise CheckpointFormatError(
+            f"not a supported checkpoint record (expected format in "
+            f"{SUPPORTED_FORMATS})"
+        )
     if "spec" not in record:
         # A missing spec must not silently decode to the *default* scenario:
         # the restored snapshot would run a wrong workload without any error.
@@ -229,13 +358,23 @@ def checkpoint_from_dict(record: Dict[str, Any]) -> SessionCheckpoint:
             snapshot = _decode_engine_snapshot(snapshot_record)
         else:
             raise CheckpointFormatError(f"unknown snapshot kind {kind!r}")
+        statistics = _decode_statistics(record.get("statistics"))
+        workload_state = _decode_workload_state(record.get("workload_state"))
+        elapsed_s = float(record.get("elapsed_s", 0.0))
+        journal_record = record.get("journal")
+        journal = (
+            _decode_journal(journal_record, snapshot, statistics, workload_state, elapsed_s)
+            if journal_record is not None
+            else None
+        )
         return SessionCheckpoint(
             spec=spec,
             position=int(record["position"]),
             snapshot=snapshot,
-            statistics=_decode_statistics(record.get("statistics")),
-            workload_state=_decode_workload_state(record.get("workload_state")),
-            elapsed_s=float(record.get("elapsed_s", 0.0)),
+            statistics=statistics,
+            workload_state=workload_state,
+            elapsed_s=elapsed_s,
+            journal=journal,
         )
     except (KeyError, TypeError, ValueError) as error:
         if isinstance(error, CheckpointFormatError):
@@ -244,12 +383,29 @@ def checkpoint_from_dict(record: Dict[str, Any]) -> SessionCheckpoint:
 
 
 def save_checkpoint(path, checkpoint: SessionCheckpoint) -> None:
-    """Write a checkpoint to a JSON file (atomically replaced on rewrite)."""
+    """Write a checkpoint to a JSON file (atomically replaced on rewrite).
+
+    The temporary sibling carries the pid plus a random fragment, so two
+    sessions checkpointing to the same path never clobber each other's
+    half-written file, and it is removed again if encoding or writing
+    fails part-way.
+    """
     target = Path(path)
+    # Serialize before touching the filesystem: an encode failure must not
+    # leave an orphaned temp file behind.
     text = json.dumps(checkpoint_to_dict(checkpoint), indent=2, sort_keys=True) + "\n"
-    temporary = target.with_name(target.name + ".tmp")
-    temporary.write_text(text, encoding="utf-8")
-    temporary.replace(target)
+    temporary = target.with_name(
+        f".{target.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    )
+    try:
+        temporary.write_text(text, encoding="utf-8")
+        temporary.replace(target)
+    except BaseException:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path) -> SessionCheckpoint:

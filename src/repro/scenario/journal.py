@@ -1,0 +1,635 @@
+"""Delta journal and time travel for scenario sessions.
+
+A full :class:`~repro.distributed.state.NetworkSnapshot` /
+:class:`~repro.core.engine_api.EngineSnapshot` pays O(n + m) per capture --
+~0.5 s at n=20000 (bench A5c) -- which makes high-frequency checkpoint
+cadences impractical.  But between two quiescent states only the *touched*
+sets differ: the nodes and edges the change added or removed, the nodes
+whose output flipped, one metric record, and the scheduler cursor/RNG
+position.  A :class:`DeltaJournal` records exactly that per change
+(:class:`JournalEntry`) and folds any prefix of entries back into a full
+snapshot on demand (:meth:`DeltaJournal.fold`), so a journal-backed
+checkpoint costs O(|delta|) to take and O(n + m) only when actually
+restored.
+
+The fold never records per-edge knowledge deltas.  It relies on the
+quiescence knowledge invariant the conformance suite asserts on every
+simulator: at stability ``knowledge[(u, v)] == (states[v], True)`` for both
+directions of every edge, so the knowledge map is a pure function of the
+folded topology and states
+(:func:`repro.distributed.state.quiescent_knowledge`).  The contract test
+"journal-folded snapshot == fresh full snapshot" in
+``tests/test_scenario_journal.py`` machine-checks this, property-tested over
+seeded churn including free-list id reuse in the fast core.
+
+On top of the journal sit the time-travel primitives the sts debugger built
+for SDN traces (record / replay-to / bisect):
+
+* :meth:`repro.scenario.session.Session.replay_to` -- rewind a recorded
+  session to any position and continue from there in a fresh session;
+* :func:`bisect_first_divergence` -- binary-search a recorded run for the
+  first change at which a second backend (or a resumed run) disagrees with
+  the reference, the one-command repro for a CI divergence artifact
+  (``repro-mis bisect``).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.engine_api import EngineSnapshot
+from repro.distributed.metrics import ChangeMetrics
+from repro.distributed.state import (
+    NetworkSnapshot,
+    copy_metric_records,
+    quiescent_knowledge,
+    scheduler_cursor_of,
+    scheduler_state_of,
+)
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    NodeUnmuting,
+    TopologyChange,
+)
+
+Node = Hashable
+
+
+class JournalError(RuntimeError):
+    """A delta journal could not record, slice or fold (bad position, batching)."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """The touched sets of one applied change -- everything a fold needs.
+
+    ``states`` holds the *post-change* outputs of the touched nodes only
+    (state-code strings for network journals, booleans for engine journals).
+    The scheduler cursor/state and the workload RNG state are absolute
+    values as of this entry, not deltas, so a fold reads them off the last
+    applied entry.
+    """
+
+    position: int
+    change_kind: str
+    nodes_added: Tuple[Tuple[Node, Tuple], ...] = ()
+    nodes_removed: Tuple[Node, ...] = ()
+    edges_added: Tuple[Tuple[Node, Node], ...] = ()
+    edges_removed: Tuple[Tuple[Node, Node], ...] = ()
+    states: Tuple[Tuple[Node, Any], ...] = ()
+    metric: Optional[ChangeMetrics] = None
+    stats_row: Optional[Tuple] = None
+    scheduler_cursor: int = 0
+    scheduler_state: Optional[Tuple] = None
+    workload_state: Optional[Tuple] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FoldedState:
+    """Result of :meth:`DeltaJournal.fold`: a full checkpointable state."""
+
+    snapshot: Any  # NetworkSnapshot or EngineSnapshot
+    position: int
+    statistics: Optional[Any] = None
+    workload_state: Optional[Tuple] = None
+    elapsed_s: float = 0.0
+
+
+def _canon_edge(u: Node, v: Node) -> Tuple[Node, Node]:
+    """Orientation-free dict key for an undirected edge."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class DeltaJournal:
+    """Per-change delta log over one base snapshot.
+
+    The base (snapshot plus the runner-side extras: sequential statistics,
+    adaptive-adversary RNG state, accumulated wall clock) is treated as
+    immutable and shared by reference -- :meth:`slice` and journal-backed
+    checkpoints alias it instead of copying O(n + m) state.
+
+    One journal records one *unbatched* run: every entry is a single
+    :class:`~repro.workloads.changes.TopologyChange` (batched repair waves
+    have no per-change touched sets).
+    """
+
+    def __init__(
+        self,
+        base_snapshot,
+        base_position: int = 0,
+        *,
+        base_statistics=None,
+        base_workload_state: Optional[Tuple] = None,
+        base_elapsed_s: float = 0.0,
+        entries: Sequence[JournalEntry] = (),
+    ) -> None:
+        if not isinstance(base_snapshot, (NetworkSnapshot, EngineSnapshot)):
+            raise JournalError(
+                f"cannot journal over a {type(base_snapshot).__name__}; expected "
+                "a NetworkSnapshot or an EngineSnapshot"
+            )
+        if base_position < 0:
+            raise JournalError(f"base position cannot be negative, got {base_position}")
+        self._base_snapshot = base_snapshot
+        self._base_position = int(base_position)
+        self._base_statistics = base_statistics
+        self._base_workload_state = base_workload_state
+        self._base_elapsed_s = float(base_elapsed_s)
+        self._entries: List[JournalEntry] = list(entries)
+        for index, entry in enumerate(self._entries):
+            expected = self._base_position + index + 1
+            if entry.position != expected:
+                raise JournalError(
+                    f"journal entries are not contiguous: entry {index} covers "
+                    f"position {entry.position}, expected {expected}"
+                )
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def base_snapshot(self):
+        """The full snapshot every fold starts from (shared, do not mutate)."""
+        return self._base_snapshot
+
+    @property
+    def base_position(self) -> int:
+        """How many changes the base snapshot already includes."""
+        return self._base_position
+
+    @property
+    def base_statistics(self):
+        """Sequential statistics at the base (``None`` for protocol journals)."""
+        return self._base_statistics
+
+    @property
+    def base_workload_state(self) -> Optional[Tuple]:
+        """Adaptive-adversary RNG state at the base (``None`` when static)."""
+        return self._base_workload_state
+
+    @property
+    def base_elapsed_s(self) -> float:
+        """Accumulated apply wall clock at the base."""
+        return self._base_elapsed_s
+
+    @property
+    def entries(self) -> Tuple[JournalEntry, ...]:
+        """The recorded entries, oldest first."""
+        return tuple(self._entries)
+
+    @property
+    def position(self) -> int:
+        """The position the newest entry ends at (== base when empty)."""
+        return self._base_position + len(self._entries)
+
+    @property
+    def is_network(self) -> bool:
+        """Whether this journal records a protocol (network) session."""
+        return isinstance(self._base_snapshot, NetworkSnapshot)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def pre_change(self, backend, change: TopologyChange) -> Tuple[Tuple[Node, Node], ...]:
+        """Capture what the change is about to destroy (call *before* apply).
+
+        Only node deletions need a pre-image: the deleted node's incident
+        edges are gone from the backend by the time
+        :meth:`record_change` runs.  Returns the edges the caller must pass
+        back as ``removed_edges``.
+        """
+        if isinstance(change, NodeDeletion):
+            return tuple(
+                (change.node, neighbor)
+                for neighbor in backend.graph.neighbors(change.node)
+            )
+        return ()
+
+    def record_change(
+        self,
+        backend,
+        change: TopologyChange,
+        record,
+        *,
+        removed_edges: Optional[Tuple[Tuple[Node, Node], ...]] = None,
+        workload_state: Optional[Tuple] = None,
+        elapsed_s: float = 0.0,
+    ) -> JournalEntry:
+        """Append one entry describing the change just applied to ``backend``.
+
+        ``record`` is the backend's own per-change result -- a
+        :class:`~repro.distributed.metrics.ChangeMetrics` for protocol
+        sessions (its ``adjusted_nodes`` are the touched outputs), an
+        :class:`~repro.core.template.UpdateReport` for sequential ones (its
+        ``influenced_set`` is a superset of the flipped nodes, which is all
+        a fold needs).
+        """
+        position = self.position + 1
+        nodes_added: Tuple[Tuple[Node, Tuple], ...] = ()
+        nodes_removed: Tuple[Node, ...] = ()
+        edges_added: Tuple[Tuple[Node, Node], ...] = ()
+        edges_removed = () if removed_edges is None else tuple(removed_edges)
+        if isinstance(change, EdgeInsertion):
+            edges_added = ((change.u, change.v),)
+        elif isinstance(change, EdgeDeletion):
+            if not edges_removed:
+                edges_removed = ((change.u, change.v),)
+        elif isinstance(change, (NodeInsertion, NodeUnmuting)):
+            nodes_added = ((change.node, tuple(backend.priorities.key(change.node))),)
+            edges_added = tuple(
+                (change.node, neighbor) for neighbor in change.neighbors
+            )
+        elif isinstance(change, NodeDeletion):
+            nodes_removed = (change.node,)
+            if removed_edges is None:
+                # () is a legal pre-image (isolated node); only a *missing*
+                # capture means the caller skipped pre_change().
+                raise JournalError(
+                    "node deletions must capture incident edges before apply; "
+                    "call pre_change() and pass its result as removed_edges"
+                )
+        else:
+            raise JournalError(f"unknown change type: {change!r}")
+
+        outputs = backend.states()
+        touched = set(self._touched_nodes(record))
+        touched.update(node for node, _ in nodes_added)
+        states = tuple(
+            (node, self._encode_output(outputs[node]))
+            for node in sorted(touched, key=repr)
+            if node in outputs
+        )
+        entry = JournalEntry(
+            position=position,
+            change_kind=change.kind,
+            nodes_added=nodes_added,
+            nodes_removed=nodes_removed,
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            states=states,
+            metric=copy.deepcopy(record) if self.is_network else None,
+            stats_row=None if self.is_network else self._stats_row(record),
+            scheduler_cursor=scheduler_cursor_of(backend),
+            scheduler_state=scheduler_state_of(backend),
+            workload_state=workload_state,
+            elapsed_s=float(elapsed_s),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def _touched_nodes(self, record):
+        if self.is_network:
+            return record.adjusted_nodes
+        return record.influenced_set
+
+    def _encode_output(self, in_mis: bool):
+        if self.is_network:
+            return "M" if in_mis else "M_BAR"
+        return bool(in_mis)
+
+    @staticmethod
+    def _stats_row(report) -> Tuple:
+        # Mirrors MaintainerStatistics.record field for field.
+        return (
+            report.influenced_size,
+            report.num_adjustments,
+            report.num_levels,
+            report.state_flips,
+            report.update_work,
+            report.change_type,
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing and folding
+    # ------------------------------------------------------------------
+    def slice(self, position: int) -> "DeltaJournal":
+        """A journal covering the same base but only entries up to ``position``.
+
+        O(entries) -- the base snapshot is shared by reference, which is what
+        makes journal-backed checkpoints cheap to take.
+        """
+        self._check_position(position)
+        return DeltaJournal(
+            self._base_snapshot,
+            base_position=self._base_position,
+            base_statistics=self._base_statistics,
+            base_workload_state=self._base_workload_state,
+            base_elapsed_s=self._base_elapsed_s,
+            entries=self._entries[: position - self._base_position],
+        )
+
+    def fold(self, position: Optional[int] = None) -> FoldedState:
+        """Fold the entries up to ``position`` into a full snapshot.
+
+        The result is contract-equal to the snapshot a live backend would
+        have produced at that position (the ``tests/test_scenario_journal.py``
+        contract), so it restores into any registered backend of the same
+        family.
+        """
+        if position is None:
+            position = self.position
+        self._check_position(position)
+        applied = self._entries[: position - self._base_position]
+        base = self._base_snapshot
+
+        nodes = dict.fromkeys(base.nodes)
+        keys: Dict[Node, Tuple] = dict(base.priority_keys)
+        edges = {_canon_edge(u, v): (u, v) for u, v in base.edges}
+        states = dict(base.states)
+        workload_state = self._base_workload_state
+        elapsed_s = self._base_elapsed_s
+        if self.is_network:
+            metrics = list(copy_metric_records(base.metrics))
+            scheduler_cursor = base.scheduler_cursor
+            scheduler_state = base.scheduler_state
+            statistics = None
+        else:
+            metrics = []
+            scheduler_cursor = 0
+            scheduler_state = None
+            statistics = copy.deepcopy(self._base_statistics)
+
+        for entry in applied:
+            for node, key in entry.nodes_added:
+                nodes[node] = None
+                keys[node] = tuple(key)
+            for u, v in entry.edges_added:
+                edges[_canon_edge(u, v)] = (u, v)
+            for u, v in entry.edges_removed:
+                edges.pop(_canon_edge(u, v), None)
+            for node in entry.nodes_removed:
+                nodes.pop(node, None)
+                keys.pop(node, None)
+                states.pop(node, None)
+            for node, value in entry.states:
+                states[node] = value
+            if self.is_network:
+                metrics.append(copy.deepcopy(entry.metric))
+                scheduler_cursor = entry.scheduler_cursor
+                scheduler_state = entry.scheduler_state
+            elif statistics is not None and entry.stats_row is not None:
+                influenced, adjustments, depth, flips, work, kind = entry.stats_row
+                statistics.influenced_sizes.append(influenced)
+                statistics.adjustments.append(adjustments)
+                statistics.propagation_depths.append(depth)
+                statistics.state_flips.append(flips)
+                statistics.update_work.append(work)
+                statistics.change_kinds.append(kind)
+            workload_state = entry.workload_state
+            elapsed_s = entry.elapsed_s
+
+        folded_edges = tuple(edges.values())
+        if self.is_network:
+            snapshot = NetworkSnapshot(
+                protocol=base.protocol,
+                nodes=tuple(nodes),
+                edges=folded_edges,
+                states=states,
+                priority_keys=keys,
+                knowledge=quiescent_knowledge(folded_edges, states),
+                scheduler_cursor=scheduler_cursor,
+                metrics=tuple(metrics),
+                scheduler_state=scheduler_state,
+            )
+        else:
+            snapshot = EngineSnapshot(
+                nodes=tuple(nodes),
+                edges=folded_edges,
+                states=states,
+                priority_keys=keys,
+            )
+        return FoldedState(
+            snapshot=snapshot,
+            position=position,
+            statistics=statistics,
+            workload_state=workload_state,
+            elapsed_s=elapsed_s,
+        )
+
+    def _check_position(self, position: int) -> None:
+        if not self._base_position <= position <= self.position:
+            raise JournalError(
+                f"position {position} is outside this journal's range "
+                f"[{self._base_position}, {self.position}]"
+            )
+
+
+# ----------------------------------------------------------------------
+# Bisecting a recorded run for its first divergent change
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BisectResult:
+    """Outcome of :func:`bisect_first_divergence`."""
+
+    diverged: bool
+    #: First position (1-based change index) at which the candidate run's
+    #: outputs differ from the reference; ``None`` when no divergence.
+    position: Optional[int]
+    #: The change applied at that position (``None`` at position 0: the
+    #: backends disagreed before any change was applied).
+    change: Optional[TopologyChange]
+    num_changes: int
+    probes: Tuple[int, ...] = ()
+    detail: str = ""
+
+
+def bisect_first_divergence(
+    spec,
+    *,
+    networks: Optional[Sequence[str]] = None,
+    engines: Optional[Sequence[str]] = None,
+    resume_at: Optional[int] = None,
+    through_json: bool = True,
+) -> BisectResult:
+    """Binary-search a scenario for the first change where two runs diverge.
+
+    The *reference* run streams the scenario once with journal recording on,
+    so every intermediate state folds out of the journal for free.  The
+    *candidate* run is then probed at O(log N) positions, each probe
+    re-running it from scratch up to the probed position and comparing the
+    full output maps:
+
+    * ``networks=(a, b)`` / ``engines=(a, b)`` -- reference on backend ``a``,
+      candidate on backend ``b`` (a cross-backend differential bisect);
+    * ``resume_at=p`` -- candidate is the *same* backend, but checkpointed at
+      ``p`` (through the JSON codec when ``through_json``) and resumed, so
+      the bisect pins down where a checkpoint/resume round-trip loses state.
+
+    Both may be combined.  At least one must be given -- otherwise the two
+    runs are identical by construction.
+    """
+    from repro.scenario.session import Session
+
+    if networks is not None and engines is not None:
+        raise ValueError("pass networks= or engines=, not both")
+    pair = networks if networks is not None else engines
+    if pair is not None and len(pair) != 2:
+        raise ValueError("need exactly (reference, candidate) backend names")
+    if pair is None and resume_at is None:
+        raise ValueError(
+            "nothing to compare: pass two backends (networks=/engines=) "
+            "and/or a resume_at position"
+        )
+    if resume_at is not None and resume_at < 0:
+        raise ValueError(f"resume_at cannot be negative, got {resume_at}")
+
+    if networks is not None:
+        reference_spec = spec.with_backend(network=networks[0])
+        candidate_spec = spec.with_backend(network=networks[1])
+    elif engines is not None:
+        reference_spec = spec.with_backend(engine=engines[0])
+        candidate_spec = spec.with_backend(engine=engines[1])
+    else:
+        reference_spec = candidate_spec = spec
+
+    reference = Session(reference_spec, record_journal=True)
+    while not reference.done:
+        if reference.step() is None:
+            break
+    journal = reference.journal
+    num_changes = reference.position
+    reference_changes = list(reference.changes)
+
+    probes: List[int] = []
+
+    def probe(position: int) -> Tuple[bool, str]:
+        """Run the candidate up to ``position`` and compare output maps."""
+        probes.append(position)
+        session = Session(candidate_spec)
+        plain = position if resume_at is None else min(position, resume_at)
+        for _ in range(plain):
+            if session.step() is None:
+                return False, f"candidate run exhausted before position {position}"
+        if resume_at is not None and position > resume_at:
+            checkpoint = session.checkpoint()
+            if through_json:
+                from repro.scenario.checkpoint_io import (
+                    checkpoint_from_dict,
+                    checkpoint_to_dict,
+                )
+
+                checkpoint = checkpoint_from_dict(checkpoint_to_dict(checkpoint))
+            session = Session.resume(checkpoint)
+            for _ in range(position - resume_at):
+                if session.step() is None:
+                    return False, f"resumed run exhausted before position {position}"
+        detail = _divergence_detail(journal, session, position)
+        return detail is None, detail or ""
+
+    equal_at_end, detail = probe(num_changes)
+    if equal_at_end:
+        return BisectResult(
+            diverged=False,
+            position=None,
+            change=None,
+            num_changes=num_changes,
+            probes=tuple(probes),
+        )
+    equal_at_start, start_detail = probe(0)
+    if not equal_at_start:
+        return BisectResult(
+            diverged=True,
+            position=0,
+            change=None,
+            num_changes=num_changes,
+            probes=tuple(probes),
+            detail=start_detail,
+        )
+    low, high = 0, num_changes  # invariant: equal at low, diverged at high
+    while high - low > 1:
+        mid = (low + high) // 2
+        equal, mid_detail = probe(mid)
+        if equal:
+            low = mid
+        else:
+            high, detail = mid, mid_detail
+    change = reference_changes[high - 1] if high - 1 < len(reference_changes) else None
+    return BisectResult(
+        diverged=True,
+        position=high,
+        change=change,
+        num_changes=num_changes,
+        probes=tuple(probes),
+        detail=detail,
+    )
+
+
+def _fold_outputs(journal: DeltaJournal, position: int) -> Dict[Node, bool]:
+    """The reference's output map at ``position``, as ``node -> in MIS?``."""
+    snapshot = journal.fold(position).snapshot
+    if isinstance(snapshot, NetworkSnapshot):
+        return {node: value == "M" for node, value in snapshot.states.items()}
+    return dict(snapshot.states)
+
+
+def _divergence_detail(
+    journal: DeltaJournal, session, position: int
+) -> Optional[str]:
+    """How the candidate ``session`` at ``position`` differs from the journal.
+
+    Compares the full output map *and* the accumulated per-change records
+    (metrics for protocol runs, statistics rows for sequential ones) --
+    outputs alone are too weak a probe: the asynchronous protocol
+    self-stabilizes to the same MIS under any delays, so a scheduling or
+    metric divergence only ever shows up in the records.  Comparing the
+    whole accumulated prefix also keeps the bisect predicate monotone.
+    ``None`` means no divergence.
+    """
+    expected = _fold_outputs(journal, position)
+    actual = session.states()
+    if expected != actual:
+        diff = {
+            node: (expected.get(node), actual.get(node))
+            for node in set(expected) | set(actual)
+            if expected.get(node) != actual.get(node)
+        }
+        preview = dict(sorted(diff.items(), key=lambda item: repr(item[0]))[:8])
+        return (
+            f"{len(diff)} node outputs differ at position {position} "
+            f"(reference vs candidate): {preview}"
+        )
+    count = position - journal.base_position
+    if journal.is_network:
+        expected_records = [m.as_dict() for m in journal.base_snapshot.metrics]
+        expected_records += [e.metric.as_dict() for e in journal.entries[:count]]
+        actual_records = [r.as_dict() for r in session.network.metrics.records]
+    else:
+
+        def stats_rows(stats) -> List[Tuple]:
+            if stats is None:
+                return []
+            return list(
+                zip(
+                    stats.influenced_sizes,
+                    stats.adjustments,
+                    stats.propagation_depths,
+                    stats.state_flips,
+                    stats.update_work,
+                    stats.change_kinds,
+                )
+            )
+
+        expected_records = stats_rows(journal.base_statistics)
+        expected_records += [journal.entries[index].stats_row for index in range(count)]
+        actual_records = stats_rows(session.maintainer.statistics)
+    if expected_records == actual_records:
+        return None
+    limit = min(len(expected_records), len(actual_records))
+    first = next(
+        (i for i in range(limit) if expected_records[i] != actual_records[i]), limit
+    )
+    if first == limit:
+        return (
+            f"accumulated record counts differ at position {position}: "
+            f"reference has {len(expected_records)}, candidate {len(actual_records)}"
+        )
+    return (
+        f"per-change record {first + 1} differs (reference vs candidate): "
+        f"{expected_records[first]!r} vs {actual_records[first]!r}"
+    )

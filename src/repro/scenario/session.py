@@ -31,15 +31,26 @@ so a resumed session applies the identical remaining workload to the
 identical restored state and lands on the same outputs, statistics and
 per-change metrics -- machine-checked by the checkpoint differentials in
 ``tests/test_scenario_session.py`` and
-:func:`repro.testing.protocol_differential.replay_resume_differential`.  For
-asynchronous protocol scenarios, exactness additionally needs a
-channel-deterministic scheduler in the spec (``backend.scheduler`` with kind
-``"adversarial"`` or ``"fixed"``); the default random scheduler draws delays
-from a global stream a snapshot does not capture.
+:func:`repro.testing.protocol_differential.replay_resume_differential`.
+This includes asynchronous scenarios under the ``"random"`` delay
+scheduler: the snapshot carries the scheduler's RNG stream position
+(:attr:`~repro.distributed.state.NetworkSnapshot.scheduler_state`), so a
+same-backend resume draws the identical remaining delays.  Only
+cross-*backend* comparisons still need a channel-deterministic scheduler
+(kind ``"adversarial"`` or ``"fixed"``) -- the dict and fast cores
+enumerate receivers in different orders, so they consume a random stream
+differently.
 
 Dynamic workloads (``workload.kind == "adaptive_adversary"``) are generated
 against the live backend one change at a time; their checkpoint carries the
 adversary's RNG state, so even an adaptive run resumes exactly.
+
+Sessions created with ``record_journal=True`` additionally keep a
+:class:`~repro.scenario.journal.DeltaJournal`: :meth:`Session.checkpoint`
+then returns cheap delta checkpoints (O(|touched|) instead of a full
+O(n + m) snapshot) and :meth:`Session.replay_to` rewinds the recorded run
+to any position -- the record/replay-to/bisect workflow of the
+``repro-mis bisect`` command.
 """
 
 from __future__ import annotations
@@ -68,6 +79,7 @@ from repro.core.state_api import Checkpointable
 from repro.distributed.network_api import create_network
 from repro.distributed.state import NetworkSnapshot
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.scenario.journal import DeltaJournal, JournalError
 from repro.scenario.sinks import ScenarioObserver, create_sink
 from repro.scenario.spec import ScenarioSpec
 from repro.workloads.adversary import AdaptiveAdversary
@@ -106,6 +118,30 @@ class SessionCheckpoint:
     #: resumed session continues the clock, so its result's ``per_change_us``
     #: averages over the whole run, not just the resumed stretch.
     elapsed_s: float = 0.0
+    #: Delta checkpoints (sessions recording a journal) carry the journal
+    #: slice here; ``snapshot`` / ``statistics`` / ``workload_state`` /
+    #: ``elapsed_s`` then describe the journal *base*, and :meth:`resolve`
+    #: folds everything forward to ``position``.
+    journal: Optional[DeltaJournal] = None
+
+    def resolve(self) -> "SessionCheckpoint":
+        """Fold a delta checkpoint into a plain (journal-free) one.
+
+        A no-op for full checkpoints.  This is where the O(n + m) cost a
+        delta checkpoint deferred is finally paid -- once, at restore time,
+        instead of at every capture.
+        """
+        if self.journal is None:
+            return self
+        folded = self.journal.fold(self.position)
+        return dataclasses.replace(
+            self,
+            snapshot=folded.snapshot,
+            statistics=folded.statistics,
+            workload_state=folded.workload_state,
+            elapsed_s=folded.elapsed_s,
+            journal=None,
+        )
 
     @property
     def runner(self) -> str:
@@ -176,6 +212,12 @@ class Session:
     observers:
         Extra :class:`~repro.scenario.sinks.ScenarioObserver` instances, on
         top of the sinks named in ``spec.sinks``.
+    record_journal:
+        Keep a :class:`~repro.scenario.journal.DeltaJournal` of every
+        applied change.  Enables delta checkpoints
+        (:meth:`checkpoint`) and :meth:`replay_to`; requires an unbatched
+        workload and a :class:`~repro.core.state_api.Checkpointable`
+        backend.
 
     Use :meth:`Session.resume` (not the constructor) to continue from a
     :class:`SessionCheckpoint`.
@@ -186,8 +228,12 @@ class Session:
         spec: ScenarioSpec,
         observers: Iterable[ScenarioObserver] = (),
         _checkpoint: Optional[SessionCheckpoint] = None,
+        record_journal: bool = False,
     ) -> None:
         spec.validate()
+        if _checkpoint is not None and _checkpoint.journal is not None:
+            # Delta checkpoints fold to a plain one exactly once, here.
+            _checkpoint = _checkpoint.resolve()
         self._spec = spec
         self._dynamic = spec.workload.is_dynamic
         if self._dynamic:
@@ -257,6 +303,9 @@ class Session:
             )
             if _checkpoint is not None and _checkpoint.workload_state is not None:
                 self._adversary.setstate(_checkpoint.workload_state)
+        self._journal: Optional[DeltaJournal] = None
+        if record_journal:
+            self._journal = self._create_journal()
 
     # ------------------------------------------------------------------
     # Read access
@@ -350,6 +399,9 @@ class Session:
         unit = self._next_unit()
         if unit is None:
             return None
+        removed_edges = None
+        if self._journal is not None:
+            removed_edges = self._journal.pre_change(self._runner, unit[0])
         start = time.perf_counter()
         if self._spec.batch_size and self._maintainer is not None:
             record = self._maintainer.apply_batch(unit)
@@ -358,6 +410,17 @@ class Session:
         else:
             record = self._network.apply(unit[0])
         self._elapsed += time.perf_counter() - start
+        if self._journal is not None:
+            self._journal.record_change(
+                self._runner,
+                unit[0],
+                record,
+                removed_edges=removed_edges,
+                workload_state=(
+                    self._adversary.getstate() if self._adversary is not None else None
+                ),
+                elapsed_s=self._elapsed,
+            )
         if self._spec.batch_size:
             for observer in self._observers:
                 observer.on_batch(self._unit_index, unit, record)
@@ -408,7 +471,7 @@ class Session:
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
-    def checkpoint(self) -> SessionCheckpoint:
+    def checkpoint(self, full: bool = False) -> SessionCheckpoint:
         """Capture a resumable checkpoint of the current state.
 
         Works for every registered backend: sequential sessions snapshot the
@@ -417,12 +480,24 @@ class Session:
         :class:`~repro.core.state_api.Checkpointable` contract -- all
         built-ins do; a third-party backend without a snapshot/restore pair
         raises :class:`TypeError` here.
+
+        Journal-recording sessions return a *delta* checkpoint by default:
+        the shared journal base plus the entry slice up to the current
+        position -- O(|touched|) to take instead of a full O(n + m)
+        snapshot (bench A5d).  Restoring folds the entries forward
+        (:meth:`SessionCheckpoint.resolve`), landing on the identical
+        state.  ``full=True`` forces the classic full snapshot.
         """
-        backend = self._maintainer.engine if self._maintainer is not None else self._network
-        if not isinstance(backend, Checkpointable):
-            raise TypeError(
-                f"backend {type(backend).__name__} implements no snapshot/restore "
-                "pair (see repro.core.state_api.Checkpointable)"
+        backend = self._checkpoint_backend()
+        if self._journal is not None and not full:
+            return SessionCheckpoint(
+                spec=self._spec,
+                position=self._position,
+                snapshot=self._journal.base_snapshot,
+                statistics=self._journal.base_statistics,
+                workload_state=self._journal.base_workload_state,
+                elapsed_s=self._journal.base_elapsed_s,
+                journal=self._journal.slice(self._position),
             )
         return SessionCheckpoint(
             spec=self._spec,
@@ -439,6 +514,43 @@ class Session:
             elapsed_s=self._elapsed,
         )
 
+    @property
+    def journal(self) -> Optional[DeltaJournal]:
+        """The recorded delta journal (``None`` unless ``record_journal``)."""
+        return self._journal
+
+    def replay_to(
+        self,
+        position: int,
+        observers: Iterable[ScenarioObserver] = (),
+        record_journal: bool = False,
+    ) -> "Session":
+        """Time travel: a fresh session positioned at ``position`` of this run.
+
+        Folds the recorded journal up to ``position`` (any point between the
+        journal base and the current position) and resumes from it, so the
+        returned session continues from exactly that state -- same outputs,
+        statistics, scheduler stream and adversary stream as the original
+        run had there.  Requires ``record_journal=True`` at creation.
+        """
+        if self._journal is None:
+            raise JournalError(
+                "replay_to needs a recorded journal; create the session with "
+                "record_journal=True"
+            )
+        checkpoint = SessionCheckpoint(
+            spec=self._spec,
+            position=position,
+            snapshot=self._journal.base_snapshot,
+            statistics=self._journal.base_statistics,
+            workload_state=self._journal.base_workload_state,
+            elapsed_s=self._journal.base_elapsed_s,
+            journal=self._journal.slice(position),
+        )
+        return Session.resume(
+            checkpoint, observers=observers, record_journal=record_journal
+        )
+
     @classmethod
     def resume(
         cls,
@@ -446,6 +558,7 @@ class Session:
         observers: Iterable[ScenarioObserver] = (),
         engine: Optional[str] = None,
         network: Optional[str] = None,
+        record_journal: bool = False,
     ) -> "Session":
         """Continue a checkpointed scenario in a fresh session.
 
@@ -465,11 +578,46 @@ class Session:
             checkpoint = dataclasses.replace(
                 checkpoint, spec=checkpoint.spec.with_backend(**overrides)
             )
-        return cls(checkpoint.spec, observers=observers, _checkpoint=checkpoint)
+        return cls(
+            checkpoint.spec,
+            observers=observers,
+            _checkpoint=checkpoint,
+            record_journal=record_journal,
+        )
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    def _checkpoint_backend(self):
+        backend = self._maintainer.engine if self._maintainer is not None else self._network
+        if not isinstance(backend, Checkpointable):
+            raise TypeError(
+                f"backend {type(backend).__name__} implements no snapshot/restore "
+                "pair (see repro.core.state_api.Checkpointable)"
+            )
+        return backend
+
+    def _create_journal(self) -> DeltaJournal:
+        if self._spec.batch_size:
+            raise JournalError(
+                "journal recording needs an unbatched workload (batch_size=0); "
+                "a batched repair wave has no per-change touched sets"
+            )
+        backend = self._checkpoint_backend()
+        return DeltaJournal(
+            backend.snapshot(),
+            base_position=self._position,
+            base_statistics=(
+                copy.deepcopy(self._maintainer.statistics)
+                if self._maintainer is not None
+                else None
+            ),
+            base_workload_state=(
+                self._adversary.getstate() if self._adversary is not None else None
+            ),
+            base_elapsed_s=self._elapsed,
+        )
+
     def _notify_start(self) -> None:
         if not self._started:
             self._started = True

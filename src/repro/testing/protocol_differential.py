@@ -37,8 +37,19 @@ by default (or the scenario's ``backend.scheduler``, when one is declared).
 checkpointable-state pair (:mod:`repro.distributed.state`): checkpoint a
 run mid-way on one backend, resume it on another, and assert the remaining
 run is observably identical to an uninterrupted one -- per-change metrics,
-round traces, outputs and the accumulated record list.  Failed resumes
-dump through the same artifact mechanism (``resume_divergence_*.json``).
+round traces, outputs and the accumulated record list.  The uninterrupted
+run records a :class:`~repro.scenario.journal.DeltaJournal`, so every
+resume test exercises the delta-checkpoint path (journal slice -> JSON
+codec -> fold at restore) rather than only full snapshots.  Since the
+``"random"`` scheduler's RNG stream rides in the snapshot, *same-backend*
+resumes (``networks=("fast", "fast")``) are exact for every scheduler kind
+including the default random one; only cross-backend resumes still require
+a channel-deterministic scheduler (the two cores enumerate receivers in
+different orders, so sequence-dependent delays legitimately diverge).
+Failed resumes dump through the same artifact mechanism
+(``resume_divergence_*.json``) together with a sibling
+``*_journal.json`` delta checkpoint of the reference run -- enough to
+``repro bisect --from-dump`` the divergence offline.
 """
 
 from __future__ import annotations
@@ -187,7 +198,16 @@ def replay_protocol_differential(
 
     def mismatch(step: int, change, detail: str) -> ConformanceMismatch:
         _write_divergence_dump(
-            dump_dir, protocol, networks, seed, step, change, detail, simulators, trace_enabled
+            dump_dir,
+            protocol,
+            networks,
+            seed,
+            step,
+            change,
+            detail,
+            simulators,
+            trace_enabled,
+            scenario=scenario,
         )
         return ConformanceMismatch(step, change, detail)
 
@@ -261,11 +281,14 @@ def _check_scenario_scheduler(scenario, required: bool) -> None:
     """Enforce the harnesses' channel-determinism precondition on async specs.
 
     A scheduler whose delays depend on the global message sequence (the
-    ``"random"`` kind) legitimately diverges across backends and across a
-    checkpoint boundary, so feeding one to a differential would report false
-    protocol divergence.  ``required`` additionally rejects *absent*
-    schedulers (the resume differential cannot fall back to a harness-built
-    one: the resumed session rebuilds its scheduler from the spec alone).
+    ``"random"`` kind) legitimately diverges *across backends*: the two
+    cores enumerate a broadcast's receivers in different orders, so the same
+    RNG stream hands out different delays.  Feeding one to a cross-backend
+    differential would therefore report false protocol divergence.
+    ``required`` additionally rejects *absent* schedulers (they default to
+    the random kind).  Same-backend resume differentials skip this check
+    entirely: the scheduler's RNG stream rides in the snapshot, so resume
+    is exact for every kind.
     """
     declared = scenario.backend.scheduler
     if declared is None:
@@ -321,11 +344,22 @@ def replay_resume_differential(
     * identical *accumulated* metric records (the pre-checkpoint records
       ride along in the snapshot) and a passing ``verify()`` on both sides.
 
+    The checkpoint taken at ``p`` is a *delta* checkpoint (the
+    uninterrupted session records a journal), so the JSON round-trip
+    exercises the journal codec and the fold-at-restore path on every run.
+    Same-backend pairs (``source == target``) accept any scheduler kind --
+    including an absent/``"random"`` one, whose RNG stream rides in the
+    snapshot; cross-backend pairs still require a declared
+    channel-deterministic scheduler (see
+    :func:`_check_scenario_scheduler`).
+
     Dynamic (adaptive-adversary) scenarios additionally assert that the
     resumed adversary generates the identical deletion stream.  On
     divergence a JSON dump is written next to the protocol-differential
     dumps (``resume_divergence_*.json``; same
-    ``REPRO_PROTOCOL_DIFF_DUMP_DIR`` artifact mechanism) before
+    ``REPRO_PROTOCOL_DIFF_DUMP_DIR`` artifact mechanism), embedding the
+    scenario spec and accompanied by a ``*_journal.json`` delta checkpoint
+    of the reference run, before
     :class:`~repro.testing.differential.ConformanceMismatch` is raised.
     """
     from repro.scenario.checkpoint_io import checkpoint_from_dict, checkpoint_to_dict
@@ -341,7 +375,10 @@ def replay_resume_differential(
     source, target = networks
     protocol = scenario.backend.protocol
     is_async = protocol not in _SYNC_PROTOCOLS
-    if is_async:
+    if is_async and source != target:
+        # A same-backend resume is exact for every scheduler kind (the RNG
+        # stream rides in the snapshot); only crossing cores needs
+        # channel-deterministic delays.
         _check_scenario_scheduler(scenario, required=True)
     trace_enabled = compare_round_traces and not is_async
     metric_fields = ASYNC_METRIC_FIELDS if is_async else PROTOCOL_METRIC_FIELDS
@@ -349,7 +386,7 @@ def replay_resume_differential(
     num_changes = 0
     final_mis_size = 0
     for position in positions:
-        uninterrupted = Session(scenario.with_backend(network=source))
+        uninterrupted = Session(scenario.with_backend(network=source), record_journal=True)
         if trace_enabled:
             uninterrupted.network.enable_round_logging(True)
         for _ in range(position):
@@ -376,6 +413,8 @@ def replay_resume_differential(
                 [uninterrupted.network, resumed.network],
                 trace_enabled,
                 tag=f"resume_divergence_pos{position}",
+                scenario=scenario,
+                journal_checkpoint=uninterrupted.checkpoint(),
             )
             return ConformanceMismatch(step, change, detail)
 
@@ -485,12 +524,18 @@ def _write_divergence_dump(
     simulators: List,
     trace_enabled: bool,
     tag: str = "divergence",
+    scenario=None,
+    journal_checkpoint=None,
 ) -> Optional[Path]:
     """Write one JSON dump describing a divergent replay step (best effort).
 
     ``tag`` prefixes the file name; the resume differential uses
     ``resume_divergence_pos<p>`` so checkpoint failures are distinguishable
-    in the uploaded CI artifacts.
+    in the uploaded CI artifacts.  When the caller ran from a scenario spec
+    the dump embeds ``scenario.to_dict()`` (so ``repro bisect --from-dump``
+    can rebuild the run), and when it recorded a journal a sibling
+    ``<stem>_journal.json`` delta checkpoint of the reference run is written
+    next to the dump.
     """
     if dump_dir is None:
         from_env = os.environ.get(DUMP_DIR_ENV)
@@ -512,7 +557,16 @@ def _write_divergence_dump(
                 for name, simulator in zip(networks, simulators)
             },
         }
-        path = dump_dir / f"{tag}_{protocol}_seed{seed}_step{step}.json"
+        if scenario is not None:
+            document["scenario"] = scenario.to_dict()
+        stem = f"{tag}_{protocol}_seed{seed}_step{step}"
+        if journal_checkpoint is not None:
+            from repro.scenario.checkpoint_io import save_checkpoint
+
+            journal_path = dump_dir / f"{stem}_journal.json"
+            save_checkpoint(journal_path, journal_checkpoint)
+            document["journal_checkpoint"] = journal_path.name
+        path = dump_dir / f"{stem}.json"
         path.write_text(json.dumps(document, indent=2, sort_keys=True, default=repr) + "\n")
         return path
     except OSError:  # pragma: no cover - never fail the assertion over a dump

@@ -200,19 +200,49 @@ def test_sliding_window_spec_file_drives_the_differential() -> None:
 
 
 def test_async_differentials_reject_non_deterministic_schedulers() -> None:
-    """The channel-determinism precondition is enforced, not just documented:
-    a 'random'-scheduler spec (or a scheduler-less async resume scenario)
-    would report false divergence, so the harnesses refuse it upfront."""
+    """The channel-determinism precondition guards *cross-backend*
+    differentials: the two cores enumerate receivers in different orders, so
+    a 'random'-scheduler spec (or a scheduler-less async spec, which
+    defaults to it) would report false protocol divergence.  Same-backend
+    resumes are exempt -- see the random-scheduler resume tests below."""
     scenario = _resume_scenario("async-direct", seed=34).with_backend(
         scheduler={"kind": "random", "seed": 1}
     )
     with pytest.raises(ValueError, match="channel-deterministic"):
         replay_protocol_differential(scenario=scenario)
+    # The default networks pair is ("dict", "fast"): cross-backend.
     with pytest.raises(ValueError, match="channel-deterministic"):
         replay_resume_differential(scenario, positions=(3,))
     scheduler_less = _resume_scenario("async-direct", seed=34).with_backend(scheduler=None)
     with pytest.raises(ValueError, match="channel-deterministic"):
         replay_resume_differential(scheduler_less, positions=(3,))
+
+
+@pytest.mark.parametrize("network", ["dict", "fast"])
+def test_same_backend_async_resume_with_random_scheduler(network: str) -> None:
+    """The headline fix of the exact-resume tentpole: the random scheduler's
+    RNG stream rides in the snapshot, so a same-backend resume is exact for
+    *every* scheduler kind -- checked at several checkpoint positions,
+    through the JSON codec, via delta checkpoints (the uninterrupted run
+    records a journal)."""
+    scenario = _resume_scenario("async-direct", seed=35).with_backend(
+        scheduler={"kind": "random", "seed": 2}
+    )
+    result = replay_resume_differential(
+        scenario, positions=(0, 9, 23), networks=(network, network)
+    )
+    assert result.num_changes == 30
+    assert result.positions == (0, 9, 23)
+
+
+def test_same_backend_async_resume_with_default_scheduler() -> None:
+    """A scheduler-less async spec (implicit random scheduler) also resumes
+    exactly on the same backend."""
+    scenario = _resume_scenario("async-direct", seed=36).with_backend(scheduler=None)
+    result = replay_resume_differential(
+        scenario, positions=(11,), networks=("fast", "fast")
+    )
+    assert result.networks == ("fast", "fast")
 
 
 def test_adversary_async_spec_file_resumes_across_backends() -> None:
@@ -275,11 +305,24 @@ def test_resume_divergence_dump_is_written(
         replay_resume_differential(
             _resume_scenario("buffered", seed=31), positions=(7,), dump_dir=tmp_path
         )
-    dumps = list(tmp_path.glob("resume_divergence_pos7_buffered_*.json"))
+    dumps = [
+        path
+        for path in tmp_path.glob("resume_divergence_pos7_buffered_*.json")
+        if not path.name.endswith("_journal.json")
+    ]
     assert dumps, "no resume divergence dump written"
     document = json.loads(dumps[0].read_text())
     assert document["networks"] == ["dict", "fast"]
     assert set(document["backends"]) == {"dict", "fast"}
+    # The dump embeds the scenario spec and points at a sibling delta
+    # checkpoint of the reference run -- `repro-mis bisect --from-dump`
+    # rebuilds the whole investigation from these two files.
+    assert ScenarioSpec.from_dict(document["scenario"]).backend.protocol == "buffered"
+    journal_path = tmp_path / document["journal_checkpoint"]
+    assert journal_path.exists()
+    from repro.scenario import load_checkpoint
+
+    assert load_checkpoint(journal_path).journal is not None
 
 
 def test_divergence_dump_dir_from_environment(

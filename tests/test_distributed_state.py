@@ -161,6 +161,69 @@ class TestSchedulerFactory:
             create_scheduler("fixed", delay_valu=1.0)
 
 
+class TestSchedulerState:
+    """The resumable-scheduler contract behind exact async resume."""
+
+    def test_stateless_kinds_report_none(self):
+        for scheduler in (
+            create_scheduler("fixed", delay_value=2.0),
+            create_scheduler("adversarial", seed=3),
+        ):
+            assert scheduler.getstate() is None
+            scheduler.setstate(None)  # a no-op, not an error
+            with pytest.raises(ValueError, match="stateless"):
+                scheduler.setstate(("uniform-rng", ()))
+
+    def test_random_scheduler_round_trips_its_stream(self):
+        scheduler = create_scheduler("random", seed=3)
+        scheduler.delay("a", "b", 0)
+        state = scheduler.getstate()
+        expected = [scheduler.delay("a", "b", sequence) for sequence in range(1, 6)]
+        scheduler.setstate(state)
+        replayed = [scheduler.delay("a", "b", sequence) for sequence in range(1, 6)]
+        assert replayed == expected
+
+    def test_random_scheduler_restores_onto_a_fresh_instance(self):
+        source = create_scheduler("random", seed=3)
+        for sequence in range(7):
+            source.delay("x", "y", sequence)
+        fresh = create_scheduler("random", seed=999)
+        fresh.setstate(source.getstate())
+        assert fresh.delay("x", "y", 7) == source.delay("x", "y", 7)
+
+    def test_random_scheduler_accepts_json_shaped_state(self):
+        # The checkpoint codec hands tuples back as (possibly nested) lists
+        # of ints; setstate must coerce them for random.Random.
+        source = create_scheduler("random", seed=3)
+        source.delay("a", "b", 0)
+        tag, (version, internal, gauss) = source.getstate()
+        fresh = create_scheduler("random", seed=0)
+        fresh.setstate((tag, (version, list(internal), gauss)))
+        assert fresh.delay("a", "b", 1) == source.delay("a", "b", 1)
+
+    def test_random_scheduler_rejects_foreign_state(self):
+        scheduler = create_scheduler("random", seed=3)
+        with pytest.raises(ValueError, match="uniform-rng"):
+            scheduler.setstate(("some-other-scheduler", ()))
+
+    def test_async_snapshot_carries_the_scheduler_state(self):
+        from repro.workloads.changes import EdgeInsertion
+
+        simulator = create_network("async-direct", network="fast", seed=9, initial_graph=GRAPH)
+        nodes = sorted(GRAPH.nodes())
+        simulator.apply(EdgeInsertion(nodes[0], nodes[2]))
+        snapshot = simulator.snapshot()
+        assert snapshot.scheduler_state is not None
+        assert snapshot.scheduler_state[0] == "uniform-rng"
+        resumed = create_network("async-direct", network="fast", seed=1)
+        resumed.restore(snapshot)
+        assert resumed._scheduler.getstate() == snapshot.scheduler_state
+
+    def test_synchronous_snapshots_have_no_scheduler_state(self):
+        assert _simulator("buffered", "dict").snapshot().scheduler_state is None
+        assert _simulator("direct", "fast").snapshot().scheduler_state is None
+
+
 def test_snapshot_counts_and_records():
     simulator = _simulator("buffered", "dict")
     snapshot = simulator.snapshot()
