@@ -44,8 +44,19 @@ reparameterized or handed to the conformance harness later.
 ``repro-mis families``
     List the available graph families.
 
-``repro-mis --list-engines`` / ``--list-networks`` / ``--list-sinks``
-    Print the live backend and sink registries with their capability flags.
+``repro-mis serve``
+    Run the sharded multi-session service daemon (:mod:`repro.service`):
+    many concurrent sessions behind a JSON socket API, idle sessions
+    evicted to spool checkpoints, SIGTERM drains every shard.
+
+``repro-mis client``
+    Talk to a running daemon: create/apply/query/checkpoint/close sessions,
+    list them, read aggregate stats, or ask the daemon to shut down.
+
+``repro-mis --list-engines`` / ``--list-networks`` / ``--list-sinks`` /
+``--list-schedulers``
+    Print the live backend, sink and scheduler registries with their
+    capability flags.
 
 Run ``repro-mis <command> --help`` for the options of each command.  The CLI
 only prints plain-text tables (via :mod:`repro.analysis.reporting`), so its
@@ -116,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-sinks",
         action="store_true",
         help="print the registered metric sinks (spec 'sinks' entries)",
+    )
+    parser.add_argument(
+        "--list-schedulers",
+        action="store_true",
+        help="print the registered async delay schedulers (spec 'scheduler' entries)",
     )
     subparsers = parser.add_subparsers(dest="command", required=False)
 
@@ -262,6 +278,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("families", help="list available graph families")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sharded multi-session service daemon"
+    )
+    serve.add_argument(
+        "--spool",
+        metavar="DIR",
+        required=True,
+        help="spool directory for evicted/drained session checkpoints "
+        "(point a restarted daemon at the same directory to resume them)",
+    )
+    serve.add_argument(
+        "--bind",
+        metavar="ADDR",
+        default="tcp:127.0.0.1:0",
+        help="listen address, tcp:HOST:PORT or unix:PATH (default %(default)s; "
+        "port 0 picks a free port, printed in the 'listening on' line)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="worker processes (default %(default)s)"
+    )
+    serve.add_argument(
+        "--max-live",
+        dest="max_live",
+        type=int,
+        default=64,
+        metavar="N",
+        help="live sessions per shard before LRU eviction to the spool "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="rehydrate evicted sequential sessions on this engine "
+        "(default: whichever the checkpoint was taken on)",
+    )
+    serve.add_argument(
+        "--network",
+        choices=NETWORK_NAMES,
+        default=None,
+        help="rehydrate evicted protocol sessions on this network core",
+    )
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running service daemon"
+    )
+    client.add_argument(
+        "op",
+        choices=(
+            "ping",
+            "create",
+            "apply",
+            "query",
+            "checkpoint",
+            "evict",
+            "close",
+            "list",
+            "stats",
+            "shutdown",
+        ),
+        help="the service operation to perform",
+    )
+    client.add_argument(
+        "--connect",
+        metavar="ADDR",
+        required=True,
+        help="daemon address (the 'listening on' line of repro-mis serve)",
+    )
+    client.add_argument("--session", default=None, help="session id (session-targeted ops)")
+    client.add_argument(
+        "--scenario",
+        metavar="PATH",
+        default=None,
+        help="scenario spec file for 'create'",
+    )
+    client.add_argument(
+        "--steps", type=int, default=1, metavar="N", help="workload units for 'apply'"
+    )
+    client.add_argument(
+        "--what",
+        choices=("status", "mis", "states", "metrics"),
+        default="status",
+        help="facet for 'query' (default %(default)s)",
+    )
     return parser
 
 
@@ -372,11 +473,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     command = arguments.command
-    if arguments.list_engines or arguments.list_networks or arguments.list_sinks:
+    if (
+        arguments.list_engines
+        or arguments.list_networks
+        or arguments.list_sinks
+        or arguments.list_schedulers
+    ):
         if command is not None:
             parser.error(
-                "--list-engines / --list-networks / --list-sinks cannot be "
-                "combined with a command"
+                "--list-engines / --list-networks / --list-sinks / "
+                "--list-schedulers cannot be combined with a command"
             )
         if arguments.list_engines:
             _print_engine_registry()
@@ -384,10 +490,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _print_network_registry()
         if arguments.list_sinks:
             _print_sink_registry()
+        if arguments.list_schedulers:
+            _print_scheduler_registry()
         return 0
     if command is None:
         parser.error(
-            "a command is required (or --list-engines / --list-networks / --list-sinks)"
+            "a command is required (or --list-engines / --list-networks / "
+            "--list-sinks / --list-schedulers)"
         )
     if command == "families":
         return _run_families()
@@ -403,6 +512,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_history(arguments)
     if command == "bisect":
         return _run_bisect(arguments)
+    if command == "serve":
+        return _run_serve(arguments)
+    if command == "client":
+        return _run_client(arguments)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
@@ -456,6 +569,32 @@ def _print_sink_registry() -> None:
             ["sink", "factory", "description"],
             rows,
             title="Registered metric sinks (repro.scenario.sinks)",
+        )
+    )
+
+
+def _print_scheduler_registry() -> None:
+    from repro.distributed.scheduler import (
+        CHANNEL_DETERMINISTIC_SCHEDULERS,
+        SCHEDULER_KINDS,
+    )
+
+    rows = []
+    for kind in sorted(SCHEDULER_KINDS):
+        cls, params = SCHEDULER_KINDS[kind]
+        rows.append(
+            [
+                kind,
+                cls.__name__,
+                ", ".join(params) if params else "-",
+                "yes" if kind in CHANNEL_DETERMINISTIC_SCHEDULERS else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "implementation", "parameters", "channel-deterministic"],
+            rows,
+            title="Registered async delay schedulers (repro.distributed.scheduler)",
         )
     )
 
@@ -847,6 +986,69 @@ def _run_bisect(arguments) -> int:
         rows.append(["detail", result.detail])
     print(format_table(["quantity", "value"], rows, title=f"bisect {source}"))
     return 1 if result.diverged else 0
+
+
+def _run_serve(arguments) -> int:
+    from repro.service import ServiceConfig, run_service
+    from repro.service.protocol import WireError
+
+    config = ServiceConfig(
+        spool_dir=arguments.spool,
+        bind=arguments.bind,
+        shards=arguments.shards,
+        max_live=arguments.max_live,
+        engine=arguments.engine,
+        network=arguments.network,
+    )
+    try:
+        return run_service(config)
+    except (WireError, ValueError, OSError) as error:
+        raise SystemExit(str(error)) from None
+
+
+def _run_client(arguments) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceClientError
+    from repro.service.protocol import WireError
+
+    op = arguments.op
+    if op in ("create", "apply", "query", "checkpoint", "evict", "close"):
+        if not arguments.session:
+            raise SystemExit(f"'{op}' needs --session")
+    try:
+        with ServiceClient(arguments.connect) as client:
+            if op == "ping":
+                result = client.ping()
+            elif op == "create":
+                if not arguments.scenario:
+                    raise SystemExit("'create' needs --scenario (a spec file)")
+                spec = ScenarioSpec.load(arguments.scenario)
+                result = client.create(arguments.session, spec.to_dict())
+            elif op == "apply":
+                result = client.apply(arguments.session, steps=arguments.steps)
+            elif op == "query":
+                result = client.query(arguments.session, arguments.what)
+            elif op == "checkpoint":
+                result = client.checkpoint(arguments.session)
+            elif op == "evict":
+                result = client.evict(arguments.session)
+            elif op == "close":
+                result = client.close_session(arguments.session)
+            elif op == "list":
+                result = client.list_sessions()
+            elif op == "stats":
+                result = client.stats()
+            else:  # shutdown
+                result = client.shutdown()
+    except ScenarioSpecError as error:
+        raise SystemExit(str(error)) from None
+    except ServiceClientError as error:
+        raise SystemExit(f"daemon error ({error.kind}): {error}") from None
+    except (WireError, ConnectionError, OSError) as error:
+        raise SystemExit(f"cannot reach daemon at {arguments.connect}: {error}") from None
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

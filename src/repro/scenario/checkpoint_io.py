@@ -388,7 +388,11 @@ def save_checkpoint(path, checkpoint: SessionCheckpoint) -> None:
     The temporary sibling carries the pid plus a random fragment, so two
     sessions checkpointing to the same path never clobber each other's
     half-written file, and it is removed again if encoding or writing
-    fails part-way.
+    fails part-way.  The temp file is fsynced *before* the atomic rename:
+    without the flush-to-disk barrier a crash shortly after the rename could
+    leave a truncated file under the final name -- the one failure mode the
+    service daemon's spool directory must never see, since an evicted
+    session IS its checkpoint file.
     """
     target = Path(path)
     # Serialize before touching the filesystem: an encode failure must not
@@ -398,8 +402,11 @@ def save_checkpoint(path, checkpoint: SessionCheckpoint) -> None:
         f".{target.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
     )
     try:
-        temporary.write_text(text, encoding="utf-8")
-        temporary.replace(target)
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
     except BaseException:
         try:
             temporary.unlink()

@@ -380,6 +380,49 @@ class Session:
         else:
             self._network.verify(reference_engine=self._spec.backend.engine)
 
+    def status(self) -> Dict[str, Any]:
+        """A JSON-ready progress summary of the running session.
+
+        This is the introspection hook of the service layer
+        (:mod:`repro.service`): cheap enough to answer on every request,
+        carrying only plain values.
+        """
+        return {
+            "name": self._spec.name,
+            "runner": self._spec.backend.runner,
+            "backend": self._spec.backend.describe(),
+            "position": self._position,
+            "num_changes": self.num_changes,
+            "done": self.done,
+            "elapsed_s": self._elapsed,
+            "mis_size": len(self.mis()),
+            "num_nodes": self.graph.num_nodes(),
+        }
+
+    def metrics_summary(self) -> Dict[str, Any]:
+        """The backend's accumulated per-change cost summary (JSON-ready).
+
+        Sequential sessions report the maintainer statistics (Theorem 1
+        quantities), protocol sessions the simulator's complexity-measure
+        means.  :meth:`run` folds the same summary into its
+        :class:`ScenarioResult`; the service layer serves it mid-run.
+        """
+        if self._maintainer is not None:
+            stats = self._maintainer.statistics
+            summary: Dict[str, Any] = {
+                "mean_influenced_size": stats.mean_influenced_size(),
+                "mean_adjustments": stats.mean_adjustments(),
+                "max_adjustments": stats.max_adjustments(),
+                "mean_update_work": stats.mean_update_work(),
+            }
+            if stats.num_batches:
+                summary["num_batches"] = stats.num_batches
+                summary["mean_batch_adjustments_per_change"] = (
+                    stats.mean_batch_adjustments_per_change()
+                )
+            return summary
+        return self._network.metrics.summary()
+
     @property
     def _runner(self):
         return self._maintainer if self._maintainer is not None else self._network
@@ -650,22 +693,7 @@ class Session:
         return len(self._batches)
 
     def _build_result(self, verified: bool) -> ScenarioResult:
-        summary: Dict[str, Any]
-        if self._maintainer is not None:
-            stats = self._maintainer.statistics
-            summary = {
-                "mean_influenced_size": stats.mean_influenced_size(),
-                "mean_adjustments": stats.mean_adjustments(),
-                "max_adjustments": stats.max_adjustments(),
-                "mean_update_work": stats.mean_update_work(),
-            }
-            if stats.num_batches:
-                summary["num_batches"] = stats.num_batches
-                summary["mean_batch_adjustments_per_change"] = (
-                    stats.mean_batch_adjustments_per_change()
-                )
-        else:
-            summary = self._network.metrics.summary()
+        summary = self.metrics_summary()
         return ScenarioResult(
             name=self._spec.name,
             runner=self._spec.backend.runner,

@@ -1,0 +1,36 @@
+"""The ``repro-mis serve`` service layer: many sessions, one daemon.
+
+A local daemon that owns many concurrent dynamic-MIS scenario sessions,
+sharded across worker processes, with a newline-delimited JSON API over a
+unix socket or localhost TCP and checkpoint-backed eviction: idle sessions
+spill to on-disk JSON checkpoints and rehydrate transparently, and SIGTERM
+drains every shard so a restarted daemon resumes exactly.
+
+Layer map (all stdlib):
+
+* :mod:`repro.service.protocol` -- wire framing, addresses, error kinds;
+* :mod:`repro.service.host` -- :class:`SessionHost`, the per-shard core
+  (session table, LRU eviction, spool rehydration);
+* :mod:`repro.service.shard` -- the worker process around one host;
+* :mod:`repro.service.daemon` -- :class:`MISService` (socket server,
+  shard routing, graceful shutdown) and :func:`run_service`;
+* :mod:`repro.service.client` -- :class:`ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import MISService, ServiceConfig, run_service, shard_for
+from repro.service.host import HostConfig, SessionHost
+from repro.service.protocol import PROTOCOL_VERSION, parse_address
+
+__all__ = [
+    "MISService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceClientError",
+    "SessionHost",
+    "HostConfig",
+    "run_service",
+    "shard_for",
+    "parse_address",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,145 @@
+"""Shard workers: one process, one :class:`~repro.service.host.SessionHost`.
+
+The daemon (:mod:`repro.service.daemon`) owns a pool of shard workers.  Each
+worker is a ``multiprocessing.Process`` running :func:`shard_main`: a loop
+that reads ``(op, params)`` requests from its end of a
+:class:`multiprocessing.Pipe`, hands them to the host, and writes back the
+wire-shaped response dict.  The parent talks through a :class:`ShardHandle`,
+which serializes access to the pipe with a lock so the daemon's
+connection-handling threads can share one worker.
+
+Shutdown is cooperative: the parent sends the ``None`` sentinel, the worker
+drains its host (checkpointing every live session to the spool) and exits.
+Workers ignore SIGINT/SIGTERM themselves -- the parent catches the signal
+and orchestrates the drain, so a ctrl-C or a service-manager stop never
+kills a worker mid-checkpoint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.host import HostConfig, SessionHost
+
+
+def shard_main(connection, config: Dict[str, Any], adopt: Optional[List[str]]) -> None:
+    """Entry point of one shard worker process.
+
+    ``config`` is the plain-dict form of :class:`HostConfig` (spawn-safe),
+    ``adopt`` the list of spooled session ids this shard should re-own from
+    a previous daemon life (``None`` adopts everything in the spool).
+    """
+    # The parent orchestrates shutdown; stray terminal signals must not
+    # interrupt a checkpoint write half-way.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main-thread / platform
+        pass
+    host = SessionHost(HostConfig(**config))
+    host.adopt_spool(adopt)
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            # Parent died without a drain request; spool what we can so a
+            # restart loses as little as possible, then exit.
+            host.handle_safely("drain", {})
+            return
+        if message is None:
+            connection.send(host.handle_safely("drain", {}))
+            return
+        op, params = message
+        connection.send(host.handle_safely(op, params))
+
+
+class ShardHandle:
+    """The parent-side end of one shard worker."""
+
+    def __init__(
+        self,
+        index: int,
+        config: HostConfig,
+        adopt: Optional[List[str]],
+        context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        import threading
+
+        context = context or multiprocessing.get_context()
+        self.index = index
+        parent_end, child_end = context.Pipe()
+        self._connection = parent_end
+        self._lock = threading.Lock()
+        self._process = context.Process(
+            target=shard_main,
+            args=(child_end, config.to_dict(), adopt),
+            name=f"repro-mis-shard-{index}",
+            daemon=False,  # daemonic workers die abruptly; we want drains
+        )
+        self._process.start()
+        child_end.close()
+
+    def request(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one request to the worker and wait for its response.
+
+        The lock makes the pipe a strict request/response channel even when
+        many daemon connection threads target the same shard.
+        """
+        with self._lock:
+            if not self._process.is_alive():
+                from repro.service import protocol
+
+                return protocol.error(
+                    f"shard {self.index} is not running", kind="internal"
+                )
+            try:
+                self._connection.send((op, params))
+                return self._connection.recv()
+            except (EOFError, OSError) as failure:
+                from repro.service import protocol
+
+                return protocol.error(
+                    f"shard {self.index} connection lost: {failure}", kind="internal"
+                )
+
+    def drain(self) -> Dict[str, Any]:
+        """Send the shutdown sentinel; returns the worker's drain report."""
+        with self._lock:
+            if not self._process.is_alive():
+                return {"ok": True, "result": {"drained": [], "sessions": 0}}
+            try:
+                self._connection.send(None)
+                return self._connection.recv()
+            except (EOFError, OSError):
+                return {"ok": True, "result": {"drained": [], "sessions": 0}}
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the worker to exit (after :meth:`drain`)."""
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - drain hung
+            self._process.terminate()
+            self._process.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+
+def spawn_shards(
+    num_shards: int,
+    config: HostConfig,
+    assignments: Optional[Dict[int, List[str]]] = None,
+) -> Tuple[ShardHandle, ...]:
+    """Start ``num_shards`` workers; ``assignments`` maps shard -> adopted ids."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    return tuple(
+        ShardHandle(
+            index,
+            config,
+            None if assignments is None else assignments.get(index, []),
+        )
+        for index in range(num_shards)
+    )

@@ -181,6 +181,45 @@ class TestCommands:
         assert "jsonl" in output
         assert "repro.scenario.sinks" in output
 
+    def test_list_schedulers(self, capsys):
+        assert main(["--list-schedulers"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed" in output and "random" in output and "adversarial" in output
+        assert "AdversarialDelayScheduler" in output
+        assert "channel-deterministic" in output
+        # fixed/adversarial support exact cross-backend async resume; random not.
+        assert "slow_fraction" in output
+
+    def test_list_flags_reject_commands(self):
+        with pytest.raises(SystemExit):
+            main(["--list-schedulers", "churn"])
+
+    def test_serve_parser_defaults(self):
+        arguments = build_parser().parse_args(["serve", "--spool", "/tmp/spool"])
+        assert arguments.bind == "tcp:127.0.0.1:0"
+        assert arguments.shards == 2
+        assert arguments.max_live == 64
+        with pytest.raises(SystemExit):  # --spool is required
+            build_parser().parse_args(["serve"])
+
+    def test_client_parser_requires_connect(self):
+        arguments = build_parser().parse_args(
+            ["client", "ping", "--connect", "tcp:127.0.0.1:1"]
+        )
+        assert arguments.op == "ping"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "ping"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "warp", "--connect", "tcp:h:1"])
+
+    def test_client_session_ops_need_session_flag(self):
+        with pytest.raises(SystemExit, match="--session"):
+            main(["client", "apply", "--connect", "tcp:127.0.0.1:1"])
+
+    def test_client_unreachable_daemon_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot reach daemon"):
+            main(["client", "ping", "--connect", "tcp:127.0.0.1:1"])
+
     def test_run_writes_checkpoints_and_resumes(self, tmp_path, capsys):
         from repro.scenario import BackendSpec, ScenarioSpec, WorkloadSpec
 

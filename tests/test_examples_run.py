@@ -46,6 +46,15 @@ def _load_example(name: str):
             ],
         ),
         (
+            "service_client",
+            [
+                "daemon listening on tcp:",
+                "evicted to spool checkpoints",
+                "After restart: resume is exact",
+                "yes (asserted)",
+            ],
+        ),
+        (
             "matching_and_coloring",
             [
                 "History-independent maximal matching",

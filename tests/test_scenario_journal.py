@@ -19,6 +19,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import os
 import pathlib
 
 import pytest
@@ -376,10 +377,10 @@ class TestSaveCheckpoint:
         session.step()
         target = tmp_path / "checkpoint.json"
 
-        def broken_replace(self, other):
+        def broken_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(pathlib.Path, "replace", broken_replace)
+        monkeypatch.setattr(os, "replace", broken_replace)
         with pytest.raises(OSError, match="disk full"):
             save_checkpoint(target, session.checkpoint())
         assert list(tmp_path.iterdir()) == []  # no orphaned .tmp sibling
@@ -389,13 +390,13 @@ class TestSaveCheckpoint:
         session.step()
         checkpoint = session.checkpoint()
         seen = []
-        original = pathlib.Path.write_text
+        original = os.replace
 
-        def spying_write_text(self, text, **kwargs):
-            seen.append(self.name)
-            return original(self, text, **kwargs)
+        def spying_replace(src, dst):
+            seen.append(pathlib.Path(src).name)
+            return original(src, dst)
 
-        monkeypatch.setattr(pathlib.Path, "write_text", spying_write_text)
+        monkeypatch.setattr(os, "replace", spying_replace)
         target = tmp_path / "checkpoint.json"
         save_checkpoint(target, checkpoint)
         save_checkpoint(target, checkpoint)

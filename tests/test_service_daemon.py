@@ -1,0 +1,228 @@
+"""The service daemon: sharded socket server, client, SIGTERM drain/resume.
+
+Two layers of tests:
+
+* **in-process** -- a :class:`~repro.service.daemon.MISService` (real shard
+  worker processes, real sockets on an ephemeral port) driven through
+  :class:`~repro.service.client.ServiceClient`;
+* **subprocess** -- the ISSUE's lifecycle acceptance bar: ``repro-mis
+  serve`` spawned as a real process, 50 concurrent sessions across 2 shard
+  workers with a ``--max-live`` low enough to force evictions mid-run,
+  outputs identical to never-evicted in-process reference runs, and
+  SIGTERM -> restart -> resume exact.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenario.session import Session
+from repro.scenario.spec import BackendSpec, GraphSpec, ScenarioSpec, WorkloadSpec
+from repro.service import (
+    MISService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    shard_for,
+)
+from repro.service import protocol as wire
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _spec(name, *, seed, runner="sequential", nodes=10, changes=10):
+    backend = (
+        BackendSpec(runner="sequential", engine="template")
+        if runner == "sequential"
+        else BackendSpec(runner="protocol", protocol="buffered")
+    )
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        graph=GraphSpec(family="erdos_renyi", nodes=nodes, seed=seed),
+        workload=WorkloadSpec(kind="mixed_churn", num_changes=changes, seed=seed + 1),
+        backend=backend,
+    )
+
+
+def _service(tmp_path, **overrides):
+    config = {
+        "spool_dir": str(tmp_path / "spool"),
+        "bind": "tcp:127.0.0.1:0",
+        "shards": 2,
+        "max_live": 8,
+    }
+    config.update(overrides)
+    return MISService(ServiceConfig(**config))
+
+
+class TestInProcessDaemon:
+    def test_ping_create_apply_query_across_shards(self, tmp_path):
+        spec = _spec("daemon-test", seed=5).to_dict()
+        with _service(tmp_path) as service, ServiceClient(service.address) as client:
+            info = client.ping()
+            assert info["service"] == "repro-mis" and info["shards"] == 2
+            names = [f"s{index}" for index in range(6)]
+            assert len({shard_for(name, 2) for name in names}) == 2
+            for name in names:
+                client.create(name, spec)
+            stats = client.stats()
+            assert stats["sessions"] == 6
+            assert all(shard["sessions"] >= 1 for shard in stats["per_shard"])
+            assert client.apply("s0", steps=4)["position"] == 4
+            assert client.apply_batch("s1", steps=3)["position"] == 3
+            assert client.query("s0", "mis")["mis"]
+            assert len(client.list_sessions()) == 6
+
+    def test_error_kinds_cross_the_wire(self, tmp_path):
+        spec = _spec("daemon-err", seed=6).to_dict()
+        with _service(tmp_path) as service, ServiceClient(service.address) as client:
+            client.create("a", spec)
+            with pytest.raises(ServiceClientError) as caught:
+                client.create("a", spec)
+            assert caught.value.kind == "session-exists"
+            with pytest.raises(ServiceClientError) as caught:
+                client.query("ghost")
+            assert caught.value.kind == "unknown-session"
+            with pytest.raises(ServiceClientError) as caught:
+                client.request("create", session="b", spec={"backend": {"runner": "warp"}})
+            assert caught.value.kind == "spec-error"
+            with pytest.raises(ServiceClientError) as caught:
+                client.request("teleport", session="a")
+            assert caught.value.kind == "bad-request"
+            with pytest.raises(ServiceClientError) as caught:
+                client.request("apply")  # no session parameter
+            assert caught.value.kind == "bad-request"
+
+    def test_malformed_json_line_is_rejected(self, tmp_path):
+        with _service(tmp_path) as service:
+            family, location = wire.parse_address(service.address)
+            with socket.create_connection(location, timeout=10) as raw:
+                raw.sendall(b"this is not json\n")
+                response = wire.decode_message(raw.makefile("rb").readline())
+        assert response["ok"] is False and response["kind"] == "bad-request"
+
+    @pytest.mark.skipif(not hasattr(socket, "AF_UNIX"), reason="needs unix sockets")
+    def test_unix_socket_address(self, tmp_path):
+        bind = f"unix:{tmp_path / 'svc.sock'}"
+        with _service(tmp_path, bind=bind, shards=1) as service:
+            assert service.address == bind
+            with ServiceClient(bind) as client:
+                assert client.ping()["shards"] == 1
+        assert not (tmp_path / "svc.sock").exists()  # cleaned up on stop
+
+    def test_shutdown_op_sets_the_event(self, tmp_path):
+        with _service(tmp_path, shards=1) as service:
+            with ServiceClient(service.address) as client:
+                assert client.shutdown()["shutting_down"] is True
+            assert service.shutdown_requested.wait(timeout=5)
+
+    def test_stop_drains_and_restart_resumes(self, tmp_path):
+        spec = _spec("daemon-resume", seed=7)
+        with _service(tmp_path) as service, ServiceClient(service.address) as client:
+            client.create("r1", spec.to_dict())
+            client.apply("r1", steps=6)
+        # context exit == stop(drain=True); same spool, fresh daemon
+        with _service(tmp_path) as service, ServiceClient(service.address) as client:
+            rows = client.list_sessions()
+            assert [(row["session"], row["live"]) for row in rows] == [("r1", False)]
+            assert client.query("r1")["position"] == 6
+            final = client.apply("r1", steps=99)
+            assert final["done"]
+            resumed = set(client.query("r1", "mis")["mis"])
+        reference = Session(spec)
+        reference.run(verify=False)
+        assert resumed == set(reference.mis())
+
+
+class TestServeSubprocessSmoke:
+    """The lifecycle acceptance bar, against the real ``repro-mis serve``."""
+
+    NUM_SESSIONS = 50
+    MAX_LIVE = 5  # far below 50/2 per shard: evictions are guaranteed mid-run
+
+    def _spawn(self, spool):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--spool", str(spool),
+                "--shards", "2",
+                "--max-live", str(self.MAX_LIVE),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        banner = process.stdout.readline()
+        assert banner.startswith("listening on "), banner
+        return process, banner.split()[-1]
+
+    def test_fifty_sessions_two_shards_sigterm_restart_exact(self, tmp_path):
+        spool = tmp_path / "spool"
+        variants = [
+            _spec(f"variant-{index}", seed=20 + index,
+                  runner="protocol" if index % 2 else "sequential")
+            for index in range(5)
+        ]
+        names = [f"w{index:02d}" for index in range(self.NUM_SESSIONS)]
+        assert len({shard_for(name, 2) for name in names}) == 2
+        first_stretch = {name: 3 + index % 4 for index, name in enumerate(names)}
+
+        process, address = self._spawn(spool)
+        try:
+            with ServiceClient(address) as client:
+                for index, name in enumerate(names):
+                    client.create(name, variants[index % 5].to_dict())
+                    client.apply_batch(name, steps=first_stretch[name])
+                stats = client.stats()
+                assert stats["sessions"] == self.NUM_SESSIONS
+                assert all(shard["sessions"] > 0 for shard in stats["per_shard"])
+                # max-live forced spool evictions while all 50 stayed usable.
+                assert stats["evictions"] > 0
+                assert stats["live"] <= 2 * self.MAX_LIVE
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert f"drained {2 * self.MAX_LIVE} session(s)" in output or "drained" in output
+        assert len(list(spool.glob("*.ckpt.json"))) == self.NUM_SESSIONS
+
+        # Restart on the same spool: every session resumes exactly where
+        # SIGTERM left it and finishes identical to a never-evicted run.
+        references = []
+        for variant in variants:
+            session = Session(variant)
+            session.run(verify=False)
+            references.append(
+                sorted(([node, in_mis] for node, in_mis in session.states().items()),
+                       key=repr)
+            )
+        process, address = self._spawn(spool)
+        try:
+            with ServiceClient(address) as client:
+                for index, name in enumerate(names):
+                    status = client.query(name)
+                    assert status["position"] == first_stretch[name], name
+                    client.apply_batch(name, steps=99)
+                    states = client.query(name, "states")["states"]
+                    assert states == references[index % 5], name
+                client.shutdown()
+            output, _ = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0

@@ -1,0 +1,273 @@
+"""SessionHost: lifecycle, LRU eviction, spool rehydration, crash safety.
+
+The host is the process-agnostic core of one shard worker
+(:mod:`repro.service.host`); these tests drive it in-process.  The headline
+guarantees under test:
+
+* a session evicted to a JSON spool checkpoint and rehydrated on demand --
+  on the same backend or the shard's preferred opposite one -- produces
+  outputs identical to a never-evicted run (the differential section reuses
+  :func:`~repro.testing.protocol_differential.replay_resume_differential`,
+  whose checkpoint->JSON->resume path is exactly the spool's);
+* ``save_checkpoint`` fsyncs before its atomic rename, so a crashed daemon
+  can never leave a truncated-but-renamed spool file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scenario.checkpoint_io import load_checkpoint, save_checkpoint
+from repro.scenario.session import Session
+from repro.scenario.spec import BackendSpec, GraphSpec, ScenarioSpec, WorkloadSpec
+from repro.service.host import (
+    BadRequestError,
+    HostConfig,
+    SessionExistsError,
+    SessionHost,
+    UnknownSessionError,
+)
+
+
+def _spec(name="host-test", *, nodes=14, changes=16, seed=3, runner="sequential",
+          engine="template", network="dict", batch_size=0):
+    backend = (
+        BackendSpec(runner="sequential", engine=engine)
+        if runner == "sequential"
+        else BackendSpec(runner="protocol", protocol="buffered", network=network)
+    )
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        graph=GraphSpec(family="erdos_renyi", nodes=nodes, seed=seed),
+        workload=WorkloadSpec(kind="mixed_churn", num_changes=changes, seed=seed + 1),
+        backend=backend,
+        batch_size=batch_size,
+    )
+
+
+def _host(tmp_path, **overrides):
+    config = {"spool_dir": str(tmp_path / "spool"), "max_live": 8}
+    config.update(overrides)
+    return SessionHost(HostConfig(**config))
+
+
+class TestLifecycle:
+    def test_create_apply_query_close(self, tmp_path):
+        host = _host(tmp_path)
+        status = host.handle("create", {"session": "s1", "spec": _spec().to_dict()})
+        assert status["live"] and status["position"] == 0
+        status = host.handle("apply", {"session": "s1", "steps": 5})
+        assert status["position"] == 5 and status["applied"] == 5
+        result = host.handle("query", {"session": "s1", "what": "mis"})
+        assert result["mis"] and result["position"] == 5
+        states = host.handle("query", {"session": "s1", "what": "states"})["states"]
+        assert {label for label, in_mis in states if in_mis} == set(result["mis"])
+        metrics = host.handle("query", {"session": "s1", "what": "metrics"})["metrics"]
+        assert "mean_adjustments" in metrics
+        assert host.handle("close", {"session": "s1"})["closed"]
+        with pytest.raises(UnknownSessionError):
+            host.handle("query", {"session": "s1"})
+
+    def test_apply_stops_at_workload_end(self, tmp_path):
+        host = _host(tmp_path)
+        host.handle("create", {"session": "s1", "spec": _spec(changes=6).to_dict()})
+        status = host.handle("apply", {"session": "s1", "steps": 99})
+        assert status["applied"] == 6 and status["done"]
+
+    def test_batched_spec_applies_batch_units(self, tmp_path):
+        """With ``batch_size`` set, one unit is one vectorized batch."""
+        host = _host(tmp_path)
+        spec = _spec(changes=12, batch_size=4).to_dict()
+        host.handle("create", {"session": "b", "spec": spec})
+        status = host.handle("apply_batch", {"session": "b", "steps": 2})
+        assert status["position"] == 8 and status["applied"] == 2
+
+    def test_errors_carry_wire_kinds(self, tmp_path):
+        host = _host(tmp_path)
+        spec = _spec().to_dict()
+        host.handle("create", {"session": "dup", "spec": spec})
+        with pytest.raises(SessionExistsError):
+            host.handle("create", {"session": "dup", "spec": spec})
+        with pytest.raises(UnknownSessionError):
+            host.handle("apply", {"session": "ghost"})
+        with pytest.raises(BadRequestError):
+            host.handle("apply", {"session": "dup", "steps": 0})
+        with pytest.raises(BadRequestError):
+            host.handle("query", {"session": "dup", "what": "everything"})
+        with pytest.raises(BadRequestError):
+            host.handle("apply", {"session": "../escape"})
+        with pytest.raises(BadRequestError):
+            host.handle("nope", {})
+        assert host.handle_safely("nope", {})["kind"] == "bad-request"
+        assert host.handle_safely("create", {"session": "bad", "spec": {"runner": "x"}})[
+            "kind"
+        ] in ("spec-error", "bad-request")
+
+    def test_apply_batch_requires_steps(self, tmp_path):
+        host = _host(tmp_path)
+        host.handle("create", {"session": "s", "spec": _spec().to_dict()})
+        with pytest.raises(BadRequestError, match="apply_batch"):
+            host.handle("apply_batch", {"session": "s"})
+
+
+class TestEviction:
+    def test_lru_eviction_past_capacity(self, tmp_path):
+        host = _host(tmp_path, max_live=2)
+        spec = _spec().to_dict()
+        for name in ("a", "b", "c"):
+            host.handle("create", {"session": name, "spec": spec})
+        rows = {row["session"]: row for row in host.handle("list", {})}
+        # "a" was the least recently used when "c" arrived.
+        assert not rows["a"]["live"] and rows["a"]["spooled"]
+        assert rows["b"]["live"] and rows["c"]["live"]
+        # Touching "b" then creating "d" evicts "c", not "b".
+        host.handle("query", {"session": "b"})
+        host.handle("create", {"session": "d", "spec": spec})
+        rows = {row["session"]: row for row in host.handle("list", {})}
+        assert rows["b"]["live"] and not rows["c"]["live"]
+
+    def test_rehydration_is_transparent(self, tmp_path):
+        host = _host(tmp_path, max_live=1)
+        spec = _spec().to_dict()
+        host.handle("create", {"session": "a", "spec": spec})
+        host.handle("apply", {"session": "a", "steps": 7})
+        host.handle("create", {"session": "b", "spec": spec})  # evicts a
+        status = host.handle("apply", {"session": "a", "steps": 2})  # rehydrates a
+        assert status["position"] == 9
+        assert host.handle("stats", {})["rehydrations"] == 1
+
+    def test_drain_spools_everything(self, tmp_path):
+        host = _host(tmp_path)
+        spec = _spec().to_dict()
+        for name in ("a", "b"):
+            host.handle("create", {"session": name, "spec": spec})
+        report = host.handle("drain", {})
+        assert report["drained"] == ["a", "b"]
+        assert sorted(path.name for path in (tmp_path / "spool").iterdir()) == [
+            "a.ckpt.json",
+            "b.ckpt.json",
+        ]
+        assert all(not row["live"] for row in host.handle("list", {}))
+
+    def test_adoption_resumes_spooled_sessions(self, tmp_path):
+        first = _host(tmp_path)
+        first.handle("create", {"session": "a", "spec": _spec().to_dict()})
+        first.handle("apply", {"session": "a", "steps": 4})
+        first.handle("drain", {})
+        second = _host(tmp_path)
+        assert second.adopt_spool() == ["a"]
+        assert second.handle("query", {"session": "a"})["position"] == 4
+
+    def test_close_deletes_the_spool_file(self, tmp_path):
+        host = _host(tmp_path)
+        host.handle("create", {"session": "a", "spec": _spec().to_dict()})
+        host.handle("evict", {"session": "a"})
+        assert (tmp_path / "spool" / "a.ckpt.json").exists()
+        host.handle("close", {"session": "a"})
+        assert not (tmp_path / "spool" / "a.ckpt.json").exists()
+
+
+class TestEvictRehydrateDifferential:
+    """Evicted-and-rehydrated == never-evicted, same and opposite backend."""
+
+    @pytest.mark.parametrize("engine", [None, "fast"])
+    def test_sequential_interleaved_evictions(self, tmp_path, engine):
+        """Evict after every apply window; outputs stay lockstep-equal to an
+        uninterrupted session (optionally rehydrating on the other engine)."""
+        spec = _spec(changes=18, engine="template")
+        host = _host(tmp_path, engine=engine)
+        host.handle("create", {"session": "s", "spec": spec.to_dict()})
+        reference = Session(spec)
+        position = 0
+        for window in (5, 4, 6, 3):
+            host.handle("evict", {"session": "s"})
+            status = host.handle("apply", {"session": "s", "steps": window})
+            for _ in range(window):
+                if reference.step() is None:
+                    break
+            position = reference.position
+            assert status["position"] == position
+            hosted = host.handle("query", {"session": "s", "what": "states"})["states"]
+            expected = sorted(
+                ([node, in_mis] for node, in_mis in reference.states().items()),
+                key=repr,
+            )
+            assert hosted == expected
+
+    @pytest.mark.parametrize("network", [None, "fast"])
+    def test_protocol_interleaved_evictions(self, tmp_path, network):
+        spec = _spec(changes=14, runner="protocol", network="dict")
+        host = _host(tmp_path, network=network)
+        host.handle("create", {"session": "p", "spec": spec.to_dict()})
+        reference = Session(spec)
+        for window in (4, 5, 5):
+            host.handle("evict", {"session": "p"})
+            host.handle("apply", {"session": "p", "steps": window})
+            for _ in range(window):
+                reference.step()
+            hosted = host.handle("query", {"session": "p", "what": "mis"})["mis"]
+            assert set(hosted) == set(reference.mis())
+
+    @pytest.mark.parametrize("networks", [("fast", "fast"), ("dict", "fast")])
+    def test_spool_path_via_resume_differential_harness(self, networks):
+        """The spool's exact restore discipline, checked by the conformance
+        harness itself: checkpoint mid-run through the JSON codec (the spool
+        file format) and resume -- same backend and cross-backend -- asserting
+        per-change metrics, round traces and outputs against an uninterrupted
+        run.  The eviction positions stand in for idle-eviction points."""
+        from repro.testing.protocol_differential import replay_resume_differential
+
+        scenario = _spec(
+            name="spool-differential", changes=16, runner="protocol",
+            network=networks[0],
+        )
+        result = replay_resume_differential(scenario, positions=(3, 9), networks=networks)
+        assert result.networks == networks
+        assert result.num_changes == 16
+
+
+class TestSaveCheckpointDurability:
+    """The spool must never see a truncated-but-renamed checkpoint."""
+
+    def test_fsync_happens_before_rename(self, tmp_path, monkeypatch):
+        session = Session(_spec(changes=6))
+        session.step()
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            calls.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            calls.append(("replace", str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        target = tmp_path / "spool.ckpt.json"
+        save_checkpoint(target, session.checkpoint())
+        kinds = [call[0] for call in calls]
+        assert kinds.index("fsync") < kinds.index("replace")
+        assert load_checkpoint(target).position == session.position
+
+    def test_failed_rename_leaves_no_temp_and_keeps_target(self, tmp_path, monkeypatch):
+        session = Session(_spec(changes=6))
+        target = tmp_path / "spool.ckpt.json"
+        save_checkpoint(target, session.checkpoint())
+        before = target.read_text(encoding="utf-8")
+        session.step()
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(target, session.checkpoint())
+        monkeypatch.undo()
+        # The old checkpoint survives untouched; the temp file is cleaned up.
+        assert target.read_text(encoding="utf-8") == before
+        assert [path.name for path in tmp_path.iterdir()] == [target.name]
