@@ -95,6 +95,7 @@ from repro.scenario import (
     BackendSpec,
     CheckpointFormatError,
     GraphSpec,
+    ParallelSpec,
     ScenarioSpec,
     ScenarioSpecError,
     Session,
@@ -188,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the final invariant verification (timing runs)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate repair waves / protocol rounds on N worker processes "
+        "(overrides the spec's 'parallel' block; needs the 'fast' engine or "
+        "network; 0 or 1 forces serial)",
     )
 
     churn = subparsers.add_parser("churn", help="sequential maintainer under random churn")
@@ -320,6 +330,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=NETWORK_NAMES,
         default=None,
         help="rehydrate evicted protocol sessions on this network core",
+    )
+    serve.add_argument(
+        "--workers-per-shard",
+        dest="workers_per_shard",
+        type=int,
+        default=0,
+        metavar="N",
+        help="give each shard's sessions an N-process evaluation pool "
+        "(best-effort: backends without pool support run serial; "
+        "default %(default)s = serial)",
     )
 
     client = subparsers.add_parser(
@@ -473,25 +493,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     command = arguments.command
-    if (
-        arguments.list_engines
-        or arguments.list_networks
-        or arguments.list_sinks
-        or arguments.list_schedulers
-    ):
+    requested = [flag for flag in _REGISTRY_TABLES if getattr(arguments, flag)]
+    if requested:
         if command is not None:
             parser.error(
                 "--list-engines / --list-networks / --list-sinks / "
                 "--list-schedulers cannot be combined with a command"
             )
-        if arguments.list_engines:
-            _print_engine_registry()
-        if arguments.list_networks:
-            _print_network_registry()
-        if arguments.list_sinks:
-            _print_sink_registry()
-        if arguments.list_schedulers:
-            _print_scheduler_registry()
+        _print_registries(requested)
         return 0
     if command is None:
         parser.error(
@@ -522,7 +531,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # ----------------------------------------------------------------------
 # Registry introspection
 # ----------------------------------------------------------------------
-def _print_engine_registry() -> None:
+def _engine_rows() -> List[List[str]]:
     rows = []
     for name in available_engines():
         try:
@@ -534,46 +543,28 @@ def _print_engine_registry() -> None:
         batch = "native" if "apply_batch" in vars(cls) else "inherited"
         snapshot = "custom" if "snapshot" in vars(cls) else "label-level"
         rows.append([name, f"{cls.__module__}.{cls.__name__}", batch, snapshot])
-    print(
-        format_table(
-            ["engine", "implementation", "batch", "snapshot"],
-            rows,
-            title="Registered engine backends (repro.core.engine_api)",
-        )
-    )
+    return rows
 
 
-def _print_network_registry() -> None:
+def _network_rows() -> List[List[str]]:
     rows = []
     for name in available_networks():
         for protocol in network_protocols(name):
             factory = resolve_network(name, protocol)
             rows.append([name, protocol, getattr(factory, "__name__", repr(factory))])
-    print(
-        format_table(
-            ["network", "protocol", "factory"],
-            rows,
-            title="Registered network backends (repro.distributed.network_api)",
-        )
-    )
+    return rows
 
 
-def _print_sink_registry() -> None:
+def _sink_rows() -> List[List[str]]:
     rows = []
     for name in available_sinks():
         factory = get_sink_factory(name)
         doc = (factory.__doc__ or "").strip().splitlines()
         rows.append([name, getattr(factory, "__name__", repr(factory)), doc[0] if doc else ""])
-    print(
-        format_table(
-            ["sink", "factory", "description"],
-            rows,
-            title="Registered metric sinks (repro.scenario.sinks)",
-        )
-    )
+    return rows
 
 
-def _print_scheduler_registry() -> None:
+def _scheduler_rows() -> List[List[str]]:
     from repro.distributed.scheduler import (
         CHANNEL_DETERMINISTIC_SCHEDULERS,
         SCHEDULER_KINDS,
@@ -590,13 +581,41 @@ def _print_scheduler_registry() -> None:
                 "yes" if kind in CHANNEL_DETERMINISTIC_SCHEDULERS else "no",
             ]
         )
-    print(
-        format_table(
-            ["scheduler", "implementation", "parameters", "channel-deterministic"],
-            rows,
-            title="Registered async delay schedulers (repro.distributed.scheduler)",
-        )
-    )
+    return rows
+
+
+#: argparse flag attribute -> (table title, column headers, row builder).
+#: All four registries render through the single loop in
+#: :func:`_print_registries`; a new registry only adds an entry here.
+_REGISTRY_TABLES = {
+    "list_engines": (
+        "Registered engine backends (repro.core.engine_api)",
+        ["engine", "implementation", "batch", "snapshot"],
+        _engine_rows,
+    ),
+    "list_networks": (
+        "Registered network backends (repro.distributed.network_api)",
+        ["network", "protocol", "factory"],
+        _network_rows,
+    ),
+    "list_sinks": (
+        "Registered metric sinks (repro.scenario.sinks)",
+        ["sink", "factory", "description"],
+        _sink_rows,
+    ),
+    "list_schedulers": (
+        "Registered async delay schedulers (repro.distributed.scheduler)",
+        ["scheduler", "implementation", "parameters", "channel-deterministic"],
+        _scheduler_rows,
+    ),
+}
+
+
+def _print_registries(requested: Sequence[str]) -> None:
+    """Render the requested registry tables (``_REGISTRY_TABLES`` keys)."""
+    for flag in requested:
+        title, headers, rows = _REGISTRY_TABLES[flag]
+        print(format_table(headers, rows(), title=title))
 
 
 # ----------------------------------------------------------------------
@@ -665,6 +684,12 @@ def _build_run_session(arguments) -> Session:
         overrides["network"] = arguments.network
     if arguments.protocol:
         overrides["protocol"] = arguments.protocol
+    if arguments.workers is not None:
+        # --workers N replaces the spec's parallel block outright; 0/1 strips
+        # it, so the same flag also forces a parallel spec back to serial.
+        overrides["parallel"] = (
+            ParallelSpec(workers=arguments.workers) if arguments.workers > 1 else None
+        )
 
     if arguments.resume_from:
         checkpoint = load_checkpoint(arguments.resume_from)
@@ -677,6 +702,13 @@ def _build_run_session(arguments) -> Session:
             raise ScenarioSpecError(
                 "--protocol cannot change on resume (snapshots are per-protocol); "
                 "only --engine/--network switch the backend"
+            )
+        if arguments.workers is not None:
+            import dataclasses
+
+            checkpoint = dataclasses.replace(
+                checkpoint,
+                spec=checkpoint.spec.with_backend(parallel=overrides.pop("parallel")),
             )
         session = Session.resume(
             checkpoint, engine=arguments.engine, network=arguments.network
@@ -999,6 +1031,7 @@ def _run_serve(arguments) -> int:
         max_live=arguments.max_live,
         engine=arguments.engine,
         network=arguments.network,
+        workers_per_shard=arguments.workers_per_shard,
     )
     try:
         return run_service(config)

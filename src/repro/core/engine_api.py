@@ -34,7 +34,6 @@ its registered name next to ``"template"`` -- see the README's
 
 from __future__ import annotations
 
-import difflib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import (
@@ -51,6 +50,8 @@ from typing import (
     Tuple,
     Union,
 )
+
+from repro.registry import Registry, UnknownNameError
 
 Node = Hashable
 
@@ -273,24 +274,16 @@ EngineFactory = Callable[..., MISEngine]
 
 
 # ----------------------------------------------------------------------
-# Registry
+# Registry (a thin wrapper over the shared repro.registry helper)
 # ----------------------------------------------------------------------
-class UnknownEngineError(ValueError):
+class UnknownEngineError(UnknownNameError):
     """An engine name that is not in the registry (with a did-you-mean hint)."""
 
     def __init__(self, name: str, known: Sequence[str]) -> None:
-        hint = ""
-        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
-        if close:
-            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
-        super().__init__(
-            f"unknown engine {name!r}; registered engines: {tuple(known)}{hint}"
-        )
-        self.name = name
-        self.known = tuple(known)
+        super().__init__("engine", name, known)
 
 
-_REGISTRY: Dict[str, EngineFactory] = {}
+_REGISTRY = Registry("engine", error=UnknownEngineError)
 
 
 def register_engine(name: str, factory: EngineFactory, overwrite: bool = False) -> None:
@@ -314,33 +307,22 @@ def register_engine(name: str, factory: EngineFactory, overwrite: bool = False) 
     overwrite:
         Allow replacing an existing registration.
     """
-    if not isinstance(name, str) or not name:
-        raise ValueError(f"engine name must be a non-empty string, got {name!r}")
-    if not callable(factory):
-        raise TypeError(f"engine factory for {name!r} must be callable, got {factory!r}")
-    if name in _REGISTRY and not overwrite:
-        raise ValueError(
-            f"engine {name!r} is already registered; pass overwrite=True to replace it"
-        )
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def unregister_engine(name: str) -> None:
     """Remove ``name`` from the registry (no-op if absent; mainly for tests)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def available_engines() -> Tuple[str, ...]:
     """The registered backend names, built-ins first, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def get_engine_factory(name: str) -> EngineFactory:
     """The factory registered under ``name`` (raises :class:`UnknownEngineError`)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise UnknownEngineError(name, available_engines()) from None
+    return _REGISTRY.get(name)
 
 
 def create_engine(

@@ -50,6 +50,7 @@ from repro.core.engine_api import BatchUpdateReport, EngineSnapshot, MISEngine
 from repro.core.invariant import InvariantViolation
 from repro.core.priorities import PriorityAssigner, RandomPriorityAssigner
 from repro.graph.dynamic_graph import DynamicGraph, GraphError, canonical_edge
+from repro.parallel.kernels import DESIRED_UNCERTAIN as _DESIRED_UNCERTAIN
 
 try:  # numpy accelerates the batched repair wave; plain python fallback below.
     import numpy as _np
@@ -141,6 +142,9 @@ class FastEngine(MISEngine):
         self._id_of: Dict[Node, int] = {}
         self._free: List[int] = []
         self._num_edges = 0
+        # Optional shared-memory evaluation pool (attach_parallel); never
+        # part of snapshots -- parallelism is an execution detail, not state.
+        self._pool = None
         if initial_graph is not None:
             self._bootstrap(initial_graph)
 
@@ -208,6 +212,61 @@ class FastEngine(MISEngine):
         self._keys[nid] = None
         del self._adj[nid][:]
         self._free.append(nid)
+
+    # ------------------------------------------------------------------
+    # Parallel evaluation
+    # ------------------------------------------------------------------
+    def attach_parallel(self, pool) -> None:
+        """Evaluate batched repair-wave frontiers on ``pool``.
+
+        ``pool`` is a :class:`repro.parallel.pool.WorkerPool` (or ``None``
+        to detach).  Only the batched path (:meth:`apply_batch`) consults
+        it -- single-change propagation frontiers are far too small to pay
+        dispatch overhead -- and only for frontiers past the pool's
+        engagement threshold; everything else, including any pool failure,
+        runs the serial evaluation, so results are bit-identical either way
+        (the batch differential harness machine-checks this).
+        """
+        self._pool = pool
+
+    @property
+    def parallel_pool(self):
+        """The attached :class:`~repro.parallel.pool.WorkerPool` (or ``None``)."""
+        return self._pool
+
+    def _parallel_desired(self, frontier: List[int], publish_csr: bool) -> Optional[bytes]:
+        """Evaluate :meth:`_desired` over ``frontier`` on the worker pool.
+
+        Returns one :mod:`repro.parallel.kernels` ``DESIRED_*`` code per
+        frontier entry, or ``None`` when the pool did not run (caller falls
+        back to the serial loop).  ``publish_csr`` ships the adjacency/
+        priority planes -- needed once per repair wave, since topology and
+        priorities are frozen while a wave runs; the state plane is
+        re-published every level because levels commit flips.
+        """
+        pool = self._pool
+        if publish_csr:
+            adj = self._adj
+            indptr = array("q", bytes(8 * (len(adj) + 1)))
+            total = 0
+            for nid, row in enumerate(adj):
+                indptr[nid] = total
+                total += len(row)
+            indptr[len(adj)] = total
+            indices = array("q", bytes(8 * total))
+            position = 0
+            for row in adj:
+                indices[position : position + len(row)] = row
+                position += len(row)
+            pool.publish("e_indptr", indptr.tobytes())
+            pool.publish("e_indices", indices.tobytes())
+            pool.publish("e_prio", array("d", self._prio).tobytes())
+        pool.publish("e_state", self._state)
+        pool.publish("e_frontier", array("q", frontier).tobytes())
+        pool.ensure("e_out", len(frontier))
+        if not pool.run("engine_desired", len(frontier)):
+            return None
+        return bytes(pool.view("e_out"))
 
     # ------------------------------------------------------------------
     # Read access
@@ -720,6 +779,8 @@ class FastEngine(MISEngine):
         influenced_labels: List[Node] = []
 
         prio_np = None  # built lazily, on the first level large enough to vectorize
+        pool = self._pool
+        csr_published = False  # CSR/priority planes ship once per wave
 
         dirty: Iterable[int] = sorted(set(dirty_ids))
         cap = 2 * len(self._id_of) + 5
@@ -734,12 +795,30 @@ class FastEngine(MISEngine):
                     "batch repair wave did not converge; the starting states "
                     "probably violated the MIS invariant before the batch"
                 )
+            codes = None
+            if pool is not None and pool.engaged(len(frontier)):
+                codes = self._parallel_desired(frontier, not csr_published)
+                if codes is not None:
+                    csr_published = True
             flipped: List[int] = []
-            for nid in frontier:
-                evaluations += 1
-                work += len(adj[nid])
-                if self._desired(nid) != state[nid]:
-                    flipped.append(nid)
+            if codes is None:
+                for nid in frontier:
+                    evaluations += 1
+                    work += len(adj[nid])
+                    if self._desired(nid) != state[nid]:
+                        flipped.append(nid)
+            else:
+                for position, nid in enumerate(frontier):
+                    evaluations += 1
+                    work += len(adj[nid])
+                    code = codes[position]
+                    # Uncertain = an exact priority tie; only the full-key
+                    # serial comparison can break it bit-identically.
+                    desired = (
+                        self._desired(nid) if code == _DESIRED_UNCERTAIN else bool(code)
+                    )
+                    if desired != state[nid]:
+                        flipped.append(nid)
             if not flipped:
                 break
             for nid in flipped:

@@ -29,8 +29,9 @@ the CLI for its ``--network`` choices.
 
 from __future__ import annotations
 
-import difflib
-from typing import Callable, Dict, Mapping, Sequence, Tuple
+from typing import Callable, Mapping, Sequence, Tuple
+
+from repro.registry import LiveNames, Registry, UnknownNameError
 
 #: Signature of a registered backend factory: the simulator constructor
 #: keyword arguments (``seed``, ``initial_graph``, ``priorities`` and, for
@@ -41,22 +42,29 @@ NetworkFactory = Callable[..., object]
 PROTOCOL_NAMES = ("buffered", "direct", "async-direct")
 
 
-class UnknownNetworkError(ValueError):
+class UnknownNetworkError(UnknownNameError):
     """A network or protocol name that is not registered (with a did-you-mean hint)."""
 
     def __init__(self, kind: str, name: str, known: Sequence[str]) -> None:
-        hint = ""
-        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
-        if close:
-            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
-        super().__init__(
-            f"unknown {kind} {name!r}; registered {kind}s: {tuple(known)}{hint}"
-        )
-        self.name = name
-        self.known = tuple(known)
+        super().__init__(kind, name, known)
 
 
-_REGISTRY: Dict[str, Dict[str, NetworkFactory]] = {}
+def _check_protocol_table(name: str, protocols: Mapping[str, NetworkFactory]) -> None:
+    if not protocols:
+        raise ValueError(f"network {name!r} must register at least one protocol")
+    for protocol, factory in protocols.items():
+        if not callable(factory):
+            raise TypeError(
+                f"factory for network {name!r} protocol {protocol!r} must be "
+                f"callable, got {factory!r}"
+            )
+
+
+_REGISTRY = Registry(
+    "network",
+    error=lambda name, known: UnknownNetworkError("network", name, known),
+    check_value=_check_protocol_table,
+)
 
 
 def register_network(
@@ -79,46 +87,33 @@ def register_network(
     Re-registering an existing name raises unless ``overwrite=True`` (guards
     against accidental shadowing of the built-in cores).
     """
-    if not isinstance(name, str) or not name:
-        raise ValueError(f"network name must be a non-empty string, got {name!r}")
-    if not protocols:
-        raise ValueError(f"network {name!r} must register at least one protocol")
-    for protocol, factory in protocols.items():
-        if not callable(factory):
-            raise TypeError(
-                f"factory for network {name!r} protocol {protocol!r} must be "
-                f"callable, got {factory!r}"
-            )
-    if name in _REGISTRY and not overwrite:
-        raise ValueError(
-            f"network {name!r} is already registered; pass overwrite=True to replace it"
+    if protocols is not None and not isinstance(protocols, Mapping):
+        raise TypeError(
+            f"network {name!r} needs a mapping of protocol -> factory, got {protocols!r}"
         )
-    _REGISTRY[name] = dict(protocols)
+    _REGISTRY.register(
+        name, dict(protocols) if protocols else protocols, overwrite=overwrite
+    )
 
 
 def unregister_network(name: str) -> None:
     """Remove ``name`` from the registry (no-op if absent; mainly for tests)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def available_networks() -> Tuple[str, ...]:
     """The registered backend names, built-ins first, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def network_protocols(name: str) -> Tuple[str, ...]:
     """The protocol names backend ``name`` provides."""
-    try:
-        return tuple(_REGISTRY[name])
-    except KeyError:
-        raise UnknownNetworkError("network", name, available_networks()) from None
+    return tuple(_REGISTRY.get(name))
 
 
 def resolve_network(name: str, protocol: str) -> NetworkFactory:
     """The factory for ``(network name, protocol)``; raises with a hint otherwise."""
     protocols = _REGISTRY.get(name)
-    if protocols is None:
-        raise UnknownNetworkError("network", name, available_networks())
     try:
         return protocols[protocol]
     except KeyError:
@@ -135,27 +130,8 @@ def create_network(protocol: str = "buffered", network: str = "dict", **kwargs):
     return resolve_network(network, protocol)(**kwargs)
 
 
-class _LiveNetworkNames(Sequence):
-    """Read-only live view of the registered backend names (CLI choices)."""
-
-    def __len__(self) -> int:
-        return len(_REGISTRY)
-
-    def __getitem__(self, index):
-        return available_networks()[index]
-
-    def __contains__(self, name) -> bool:
-        return name in _REGISTRY
-
-    def __iter__(self):
-        return iter(available_networks())
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return repr(available_networks())
-
-
 #: Live view of the registered backend names (kept in sync with the registry).
-NETWORK_NAMES = _LiveNetworkNames()
+NETWORK_NAMES = LiveNames(_REGISTRY)
 
 
 # ----------------------------------------------------------------------

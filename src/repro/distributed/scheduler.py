@@ -21,26 +21,22 @@ Three schedulers are provided:
 
 from __future__ import annotations
 
-import difflib
 import random
 from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.registry import Registry, UnknownNameError, did_you_mean
 
 Node = Hashable
 
 
-class UnknownSchedulerError(ValueError):
+class UnknownSchedulerError(UnknownNameError):
     """A scheduler kind that is not registered (with a did-you-mean hint)."""
 
     def __init__(self, name: str, known: Sequence[str]) -> None:
-        hint = ""
-        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
-        if close:
-            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
+        known = tuple(known)
         super().__init__(
-            f"unknown scheduler {name!r}; known schedulers: {tuple(known)}{hint}"
+            "scheduler", name, known, known_word="known"
         )
-        self.name = name
-        self.known = tuple(known)
 
 
 class DelayScheduler:
@@ -189,19 +185,54 @@ class AdversarialDelayScheduler(DelayScheduler):
 
 
 # ----------------------------------------------------------------------
-# Scheduler factory (used by BackendSpec.scheduler in scenario specs)
+# Scheduler registry (a thin wrapper over the shared repro.registry helper)
 # ----------------------------------------------------------------------
-#: Spec-nameable scheduler kinds and the keyword parameters each accepts.
-#: ``channel_deterministic`` records which kinds assign delays as a pure
-#: function of the channel -- the property cross-backend differentials need.
-#: Exact checkpoint/resume no longer requires it: the stateful ``"random"``
-#: kind snapshots its stream position (:meth:`DelayScheduler.getstate`), so
-#: *same-backend* resume is exact for every kind.
-SCHEDULER_KINDS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
-    "fixed": (FixedDelayScheduler, ("delay_value",)),
-    "random": (RandomDelayScheduler, ("seed", "min_delay", "max_delay")),
-    "adversarial": (AdversarialDelayScheduler, ("seed", "slow_fraction", "slow_factor")),
-}
+def _check_scheduler_entry(name: str, entry: Any) -> None:
+    if (
+        not isinstance(entry, tuple)
+        or len(entry) != 2
+        or not callable(entry[0])
+        or not isinstance(entry[1], tuple)
+    ):
+        raise TypeError(
+            f"scheduler {name!r} needs a (class, parameter-names) tuple, got {entry!r}"
+        )
+
+
+_REGISTRY = Registry(
+    "scheduler", error=UnknownSchedulerError, check_value=_check_scheduler_entry
+)
+
+
+def register_scheduler(
+    kind: str, cls: type, params: Tuple[str, ...] = (), overwrite: bool = False
+) -> None:
+    """Register a scheduler kind for spec-style ``{"kind": ..., <params>}`` records.
+
+    ``params`` names the keyword arguments the class constructor accepts;
+    :func:`create_scheduler` rejects anything else with a did-you-mean hint.
+    """
+    _REGISTRY.register(kind, (cls, tuple(params)), overwrite=overwrite)
+
+
+def unregister_scheduler(kind: str) -> None:
+    """Remove ``kind`` from the registry (no-op if absent; mainly for tests)."""
+    _REGISTRY.unregister(kind)
+
+
+register_scheduler("fixed", FixedDelayScheduler, ("delay_value",))
+register_scheduler("random", RandomDelayScheduler, ("seed", "min_delay", "max_delay"))
+register_scheduler(
+    "adversarial", AdversarialDelayScheduler, ("seed", "slow_fraction", "slow_factor")
+)
+
+#: Spec-nameable scheduler kinds and the keyword parameters each accepts --
+#: a read-only *live* view of the registry (late :func:`register_scheduler`
+#: calls show up here).  Exact checkpoint/resume does not require channel
+#: determinism: the stateful ``"random"`` kind snapshots its stream position
+#: (:meth:`DelayScheduler.getstate`), so *same-backend* resume is exact for
+#: every kind.
+SCHEDULER_KINDS: Mapping[str, Tuple[type, Tuple[str, ...]]] = _REGISTRY.view()
 
 #: Kinds whose delay is a pure function of the channel (not of the global
 #: message sequence); ``"adversarial"`` additionally draws distinct delays
@@ -220,18 +251,15 @@ def create_scheduler(kind: str, **params: Any) -> DelayScheduler:
     constructors' :class:`ValueError`.
     """
     try:
-        cls, allowed = SCHEDULER_KINDS[kind]
-    except (KeyError, TypeError):
-        raise UnknownSchedulerError(kind, SCHEDULER_NAMES) from None
+        cls, allowed = _REGISTRY.get(kind)
+    except TypeError:
+        # e.g. an unhashable kind from a malformed spec record
+        raise UnknownSchedulerError(kind, _REGISTRY.names()) from None
     unknown = [name for name in params if name not in allowed]
     if unknown:
-        hints = ""
-        close = difflib.get_close_matches(str(unknown[0]), allowed, n=2, cutoff=0.5)
-        if close:
-            hints = f"; did you mean {' or '.join(repr(c) for c in close)}?"
         raise ValueError(
             f"unknown parameter(s) {sorted(unknown)} for scheduler {kind!r}; "
-            f"accepted: {allowed}{hints}"
+            f"accepted: {allowed}{did_you_mean(unknown[0], allowed)}"
         )
     return cls(**params)
 

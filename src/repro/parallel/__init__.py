@@ -1,0 +1,35 @@
+"""Shared-memory parallel evaluation for the engines and simulators.
+
+One :class:`~repro.parallel.pool.WorkerPool` abstraction serves both
+parallel-friendly phases of the codebase -- the sequential engine's batched
+repair wave and the synchronous simulators' per-round guard evaluation --
+with a serial fallback that keeps every execution bit-identical to the
+single-process code (machine-checked by the differential harnesses).
+"""
+
+from repro.parallel.kernels import (
+    DESIRED_IN,
+    DESIRED_OUT,
+    DESIRED_UNCERTAIN,
+    GUARD_EARLIER_SETTLED,
+    GUARD_KNOWS_ALL_KEYS,
+    GUARD_NO_EARLIER_MIS,
+    GUARD_NO_LATER_C,
+    GUARD_UNCERTAIN,
+    KERNELS,
+)
+from repro.parallel.pool import POOL_BACKENDS, WorkerPool
+
+__all__ = [
+    "WorkerPool",
+    "POOL_BACKENDS",
+    "KERNELS",
+    "DESIRED_OUT",
+    "DESIRED_IN",
+    "DESIRED_UNCERTAIN",
+    "GUARD_NO_EARLIER_MIS",
+    "GUARD_NO_LATER_C",
+    "GUARD_EARLIER_SETTLED",
+    "GUARD_KNOWS_ALL_KEYS",
+    "GUARD_UNCERTAIN",
+]

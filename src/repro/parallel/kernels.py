@@ -1,0 +1,146 @@
+"""The evaluation kernels workers run over shared-memory planes.
+
+A kernel is a plain function ``kernel(planes, start, stop, params)`` executed
+inside a worker process of :class:`repro.parallel.pool.WorkerPool`.  ``planes``
+maps logical plane names to :class:`memoryview` slices of shared-memory
+segments the main process published; ``[start, stop)`` is the worker's
+contiguous slice of the work items.  Kernels only *read* the input planes and
+only *write* the rows ``[start, stop)`` of their output plane, so concurrent
+workers never race.
+
+Bit-identical parity with the serial evaluators is the contract, and floats
+are the one hazard: node priorities are compared as doubles here, but the
+serial code breaks priority *ties* with full Python key tuples, which cannot
+cross a process boundary cheaply.  Whenever a comparison that could change
+the outcome hits an exact priority tie, the kernel reports the item as
+*uncertain* instead of guessing, and the main process re-evaluates just those
+items with the full-key serial code.  Under the random-order priorities of
+the paper ties are astronomically rare, so the escape hatch costs nothing in
+practice while keeping the differential harnesses exact by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+# --- engine_desired output codes (one byte per frontier entry) -------------
+DESIRED_OUT = 0  #: definitely out of the MIS (an earlier in-MIS neighbor exists)
+DESIRED_IN = 1  #: definitely in the MIS (no earlier in-MIS neighbor)
+DESIRED_UNCERTAIN = 2  #: a priority tie decides -- re-evaluate serially
+
+# --- network_guards output bits (one byte per active node) -----------------
+GUARD_NO_EARLIER_MIS = 1  #: no known earlier neighbor is in the MIS
+GUARD_NO_LATER_C = 2  #: no known later neighbor is in state C
+GUARD_EARLIER_SETTLED = 4  #: every known earlier neighbor has settled (M / M-bar)
+GUARD_KNOWS_ALL_KEYS = 8  #: a key is known for every neighbor slot
+GUARD_UNCERTAIN = 128  #: a priority tie touched a guard -- re-evaluate serially
+
+# Knowledge-state codes, mirrored from repro.distributed.fast_network (the
+# kernel cannot import the simulator module: workers must stay import-light
+# and the codes are a frozen wire format anyway).
+_CODE_M = 0
+_CODE_M_BAR = 1
+_CODE_C = 2
+
+
+def engine_desired(
+    planes: Mapping[str, memoryview], start: int, stop: int, params: Dict[str, Any]
+) -> int:
+    """Frontier evaluation of the sequential engine's greedy invariant.
+
+    For each frontier id, decide whether the node wants to be in the MIS:
+    it does exactly when no neighbor earlier in ``pi`` is currently in.
+    Mirrors ``FastEngine._desired`` with doubles-only comparisons; exact
+    priority ties against an in-MIS neighbor yield :data:`DESIRED_UNCERTAIN`.
+
+    Planes: ``e_state`` (uint8 per id), ``e_prio`` (float64 per id),
+    ``e_indptr``/``e_indices`` (int64 CSR), ``e_frontier`` (int64 work
+    items), ``e_out`` (uint8 per work item, written).
+    """
+    state = planes["e_state"]
+    prio = planes["e_prio"].cast("d")
+    indptr = planes["e_indptr"].cast("q")
+    indices = planes["e_indices"].cast("q")
+    frontier = planes["e_frontier"].cast("q")
+    out = planes["e_out"]
+    for i in range(start, stop):
+        nid = frontier[i]
+        pf = prio[nid]
+        code = DESIRED_IN
+        for pos in range(indptr[nid], indptr[nid + 1]):
+            m = indices[pos]
+            if state[m]:
+                pm = prio[m]
+                if pm < pf:
+                    code = DESIRED_OUT
+                    break
+                if pm == pf:
+                    code = DESIRED_UNCERTAIN
+        out[i] = code
+    return stop - start
+
+
+def network_guards(
+    planes: Mapping[str, memoryview], start: int, stop: int, params: Dict[str, Any]
+) -> int:
+    """The four per-node protocol guards, evaluated from knowledge rows.
+
+    For each active node, compute the guard predicates the synchronous
+    protocols branch on, as a bitmask over this module's ``GUARD_*`` bits.
+    Mirrors the four ``FastNetworkCore`` guard methods: everything reads the
+    node's *own* knowledge rows (what it heard about each neighbor slot)
+    plus the static priority plane -- never another node's live state -- so
+    the guards of all active nodes are independent.
+
+    Planes: ``w_prio`` (float64 per id), ``w_indptr``/``w_indices`` (int64
+    CSR), ``w_nstate``/``w_nkey`` (uint8 per CSR slot: heard state code and
+    known-key flag), ``w_active`` (int64 work items), ``w_guards`` (uint8
+    per work item, written).
+    """
+    prio = planes["w_prio"].cast("d")
+    indptr = planes["w_indptr"].cast("q")
+    indices = planes["w_indices"].cast("q")
+    nstate = planes["w_nstate"]
+    nkey = planes["w_nkey"]
+    active = planes["w_active"].cast("q")
+    out = planes["w_guards"]
+    all_guards = (
+        GUARD_NO_EARLIER_MIS
+        | GUARD_NO_LATER_C
+        | GUARD_EARLIER_SETTLED
+        | GUARD_KNOWS_ALL_KEYS
+    )
+    for i in range(start, stop):
+        nid = active[i]
+        p = prio[nid]
+        mask = all_guards
+        for pos in range(indptr[nid], indptr[nid + 1]):
+            if not nkey[pos]:
+                mask &= ~GUARD_KNOWS_ALL_KEYS
+                continue
+            heard = nstate[pos]
+            pm = prio[indices[pos]]
+            if pm == p:
+                # A tie decides via full keys for heard == M (guard 1),
+                # heard == C (guards 2 and 3) and heard in {R, UNKNOWN}
+                # (guard 3); only heard == M-bar is tie-proof.
+                if heard != _CODE_M_BAR:
+                    mask |= GUARD_UNCERTAIN
+            elif pm < p:
+                if heard == _CODE_M:
+                    mask &= ~GUARD_NO_EARLIER_MIS
+                if heard > _CODE_M_BAR:
+                    mask &= ~GUARD_EARLIER_SETTLED
+            else:
+                if heard == _CODE_C:
+                    mask &= ~GUARD_NO_LATER_C
+        out[i] = mask
+    return stop - start
+
+
+#: Kernels workers may run, by wire name.  The table is module-level so a
+#: spawned worker resolves names after a fresh import.
+KERNELS: Dict[str, Any] = {
+    "engine_desired": engine_desired,
+    "network_guards": network_guards,
+}

@@ -1,0 +1,373 @@
+"""A shared-memory worker pool for data-parallel evaluation phases.
+
+The engines and simulators have exactly one embarrassingly parallel shape:
+*evaluate a batch of independent items against a frozen snapshot of flat
+arrays*.  :class:`WorkerPool` serves that shape and nothing else:
+
+* the main process *publishes* named byte planes (state bytes, priority
+  doubles, CSR adjacency, work-item ids) into ``multiprocessing``
+  shared-memory segments;
+* :meth:`run` splits ``[0, count)`` into contiguous chunks and has each
+  worker process execute one registered kernel
+  (:mod:`repro.parallel.kernels`) over its chunk, writing a disjoint slice
+  of the output plane;
+* the main process reads the output plane back -- no pickling of results,
+  no locks (chunks are disjoint by construction).
+
+The pool is an *accelerator, never a requirement*: :meth:`run` returns
+``False`` whenever it did not execute (pool configured serial, the item
+count below the engagement threshold, or a worker died), and every caller
+keeps its serial loop as the fallback, so a broken pool degrades to the
+bit-identical serial behaviour instead of failing the run.
+
+Segments grow but never shrink: when a plane outgrows its segment a fresh,
+larger segment replaces it (workers re-attach by name on the next run and
+are told to drop the stale mapping); on POSIX an unlinked segment stays
+valid for processes that still map it, so eager unlinking is safe.  Worker
+processes are daemons fed over pipes -- they die with the main process, and
+a :mod:`weakref` finalizer unlinks the segments even when nobody calls
+:meth:`close`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import sys
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.parallel.kernels import KERNELS
+
+#: Start methods a :class:`WorkerPool` accepts.  ``"serial"`` builds a pool
+#: that never engages -- the uniform way to configure parallelism off.
+POOL_BACKENDS = ("fork", "spawn", "serial")
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+def _segment_name(tag: str) -> str:
+    return f"repro-{os.getpid()}-{tag}-{next(_SEGMENT_COUNTER)}"
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment by name without resource-tracker ownership.
+
+    The main process owns segment lifetimes; a worker must never unlink one.
+    Python 3.13 has ``track=False`` for exactly this.  Before 3.13 attaching
+    re-registers the name with the resource tracker -- harmless here, because
+    ``multiprocessing`` workers share the parent's tracker process and its
+    registry is a set (the duplicate registration is a no-op and the parent's
+    eventual unlink clears the single entry).  Explicitly *unregistering*
+    from the worker would be wrong for the same reason: it would delete the
+    parent's registration out from under it.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+def _worker_main(connection) -> None:
+    """Worker loop: attach planes by name, run kernels over ``[start, stop)``."""
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            kernel_name, start, stop, table, drops, params = message
+            for shm_name in drops:
+                stale = segments.pop(shm_name, None)
+                if stale is not None:
+                    try:
+                        stale.close()
+                    except (BufferError, OSError):
+                        pass
+            planes: Dict[str, memoryview] = {}
+            try:
+                for logical, (shm_name, nbytes) in table.items():
+                    segment = segments.get(shm_name)
+                    if segment is None:
+                        segment = _attach_segment(shm_name)
+                        segments[shm_name] = segment
+                    planes[logical] = segment.buf[:nbytes]
+                KERNELS[kernel_name](planes, start, stop, params)
+                reply: Tuple = ("ok", start, stop)
+            except BaseException:
+                reply = ("error", traceback.format_exc())
+            finally:
+                for view in planes.values():
+                    try:
+                        view.release()
+                    except BufferError:
+                        pass
+            try:
+                connection.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for segment in segments.values():
+            try:
+                segment.close()
+            except (BufferError, OSError):
+                pass
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+def _release_resources(processes: List, connections: List, segments: Dict) -> None:
+    """Finalizer body: tear down workers and unlink every live segment.
+
+    A module-level function on purpose: the :mod:`weakref` finalizer must not
+    capture the pool (that would keep it alive forever).
+    """
+    for connection in connections:
+        try:
+            connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for process in processes:
+        process.join(timeout=1.0)
+        if process.is_alive():
+            process.terminate()
+    for connection in connections:
+        try:
+            connection.close()
+        except OSError:
+            pass
+    for segment, unlinked in segments.values():
+        try:
+            segment.close()
+        except (BufferError, OSError):
+            pass
+        if not unlinked:
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+    processes.clear()
+    connections.clear()
+    segments.clear()
+
+
+class WorkerPool:
+    """Shared-memory pool of kernel workers with a built-in serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``<= 1`` makes the pool permanently serial
+        (it never starts a process and :meth:`run` always returns ``False``).
+    min_chunk:
+        Minimum work items per chunk; a run engages only when ``count >=
+        2 * min_chunk``, so tiny frontiers never pay dispatch overhead.
+    backend:
+        ``"fork"`` (default -- workers inherit the interpreter state),
+        ``"spawn"`` (fresh interpreters; slower start, maximally portable)
+        or ``"serial"`` (never engage, regardless of ``workers``).
+    """
+
+    def __init__(
+        self, workers: int = 0, min_chunk: int = 256, backend: str = "fork"
+    ) -> None:
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {backend!r}; known backends: {POOL_BACKENDS}"
+            )
+        workers = int(workers)
+        min_chunk = int(min_chunk)
+        if min_chunk < 1:
+            raise ValueError(f"min_chunk must be at least 1, got {min_chunk}")
+        self._backend = backend
+        self._num_workers = max(0, workers)
+        self._min_chunk = min_chunk
+        self._serial = backend == "serial" or workers <= 1
+        self._broken = False
+        self._started = False
+        self._processes: List = []
+        self._connections: List = []
+        # logical name -> [segment, used nbytes]; retired segments move to
+        # _segments under their own shm name with unlinked=True until close.
+        self._planes: Dict[str, List] = {}
+        self._segments: Dict[str, List] = {}  # shm name -> [segment, unlinked]
+        self._pending_drops: List[List[str]] = []
+        self.tasks_run = 0
+        self.last_error: Optional[str] = None
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._processes, self._connections, self._segments
+        )
+
+    # -- configuration ----------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured worker count (0/1 means serial)."""
+        return self._num_workers
+
+    @property
+    def min_chunk(self) -> int:
+        """Minimum work items per chunk."""
+        return self._min_chunk
+
+    @property
+    def backend(self) -> str:
+        """The configured start method (``"fork"``, ``"spawn"`` or ``"serial"``)."""
+        return self._backend
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker failed; the pool stays serial from then on."""
+        return self._broken
+
+    def engaged(self, count: int) -> bool:
+        """Would :meth:`run` actually parallelise ``count`` work items?"""
+        return (
+            not self._serial and not self._broken and count >= 2 * self._min_chunk
+        )
+
+    # -- plane management -------------------------------------------------
+    def ensure(self, name: str, nbytes: int) -> memoryview:
+        """A writable view of at least ``nbytes`` for plane ``name``.
+
+        Grows the backing segment when needed (the old one is retired and
+        unlinked; attached workers are told to drop it on their next run).
+        The returned view is exactly ``nbytes`` long -- write, then let it
+        go out of scope before the plane can grow again.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"plane {name!r} needs a non-negative size, got {nbytes}")
+        plane = self._planes.get(name)
+        if plane is not None and plane[0].size >= nbytes:
+            plane[1] = nbytes
+            return plane[0].buf[:nbytes]
+        capacity = max(4096, nbytes)
+        if plane is not None:
+            capacity = max(capacity, 2 * plane[0].size)
+            self._retire(plane[0])
+        capacity = (capacity + 4095) // 4096 * 4096
+        segment = shared_memory.SharedMemory(
+            name=_segment_name(name), create=True, size=capacity
+        )
+        self._segments[segment.name] = [segment, False]
+        self._planes[name] = [segment, nbytes]
+        return segment.buf[:nbytes]
+
+    def publish(self, name: str, data) -> None:
+        """Copy ``data`` (any bytes-like) into plane ``name``, growing it."""
+        data = memoryview(data).cast("B")
+        view = self.ensure(name, len(data))
+        view[:] = data
+
+    def view(self, name: str) -> memoryview:
+        """The current used-size view of plane ``name`` (e.g. an output)."""
+        plane = self._planes[name]
+        return plane[0].buf[: plane[1]]
+
+    def _retire(self, segment: shared_memory.SharedMemory) -> None:
+        entry = self._segments.get(segment.name)
+        if entry is not None and not entry[1]:
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            entry[1] = True
+        for drops in self._pending_drops:
+            drops.append(segment.name)
+
+    # -- execution --------------------------------------------------------
+    def _start(self) -> bool:
+        if self._started:
+            return True
+        try:
+            context = multiprocessing.get_context(self._backend)
+            for _ in range(self._num_workers):
+                ours, theirs = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main, args=(theirs,), daemon=True
+                )
+                process.start()
+                theirs.close()
+                self._processes.append(process)
+                self._connections.append(ours)
+                self._pending_drops.append([])
+        except (OSError, ValueError) as error:
+            self._mark_broken(f"could not start workers: {error}")
+            return False
+        self._started = True
+        return True
+
+    def _mark_broken(self, message: str) -> None:
+        self._broken = True
+        self.last_error = message
+
+    def run(self, kernel: str, count: int, params: Optional[Dict[str, Any]] = None) -> bool:
+        """Run ``kernel`` over ``[0, count)`` across the workers.
+
+        Returns ``True`` when every chunk completed (output planes are ready
+        to read) and ``False`` when the pool did not execute -- disengaged,
+        serial, or broken mid-run -- in which case the caller must fall back
+        to its serial evaluation.  A worker failure permanently breaks the
+        pool (``last_error`` carries the traceback); partial output-plane
+        writes are harmless because ``False`` means "do not read them".
+        """
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; known kernels: {tuple(KERNELS)}"
+            )
+        if not self.engaged(count) or not self._start():
+            return False
+        table = {
+            name: (plane[0].name, plane[1]) for name, plane in self._planes.items()
+        }
+        num_chunks = min(self._num_workers, max(1, count // self._min_chunk))
+        base, extra = divmod(count, num_chunks)
+        sent: List[int] = []
+        start = 0
+        try:
+            for index in range(num_chunks):
+                stop = start + base + (1 if index < extra else 0)
+                drops = self._pending_drops[index]
+                self._connections[index].send(
+                    (kernel, start, stop, table, list(drops), params or {})
+                )
+                drops.clear()
+                sent.append(index)
+                start = stop
+        except (BrokenPipeError, OSError) as error:
+            self._mark_broken(f"worker pipe failed: {error}")
+        failure: Optional[str] = None
+        for index in sent:
+            try:
+                reply = self._connections[index].recv()
+            except (EOFError, OSError) as error:
+                failure = f"worker {index} died: {error}"
+                continue
+            if reply[0] != "ok":
+                failure = reply[1]
+        if self._broken:
+            return False
+        if failure is not None:
+            self._mark_broken(failure)
+            return False
+        self.tasks_run += 1
+        return True
+
+    def close(self) -> None:
+        """Stop the workers and unlink every segment (idempotent)."""
+        self._finalizer()
+        self._planes.clear()
+        self._pending_drops.clear()
+        self._started = False
+        self._serial = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "serial" if self._serial else f"{self._num_workers}x{self._backend}"
+        return f"WorkerPool({mode}, min_chunk={self._min_chunk}, broken={self._broken})"

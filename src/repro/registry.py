@@ -1,0 +1,198 @@
+"""The one registry implementation behind every backend registry.
+
+Four subsystems expose a name-keyed plugin registry with the same shape:
+sequential engines (:mod:`repro.core.engine_api`), distributed network cores
+(:mod:`repro.distributed.network_api`), metric sinks
+(:mod:`repro.scenario.sinks`) and async delay schedulers
+(:mod:`repro.distributed.scheduler`).  Historically each hand-rolled its own
+dict, duplicate-name guard and difflib hint; this module consolidates the
+mechanism so the four stay uniform by construction:
+
+* :class:`Registry` -- ordered name -> value store with the shared
+  registration rules (non-empty string names, ``overwrite=True`` to replace)
+  and a pluggable unknown-name error;
+* :class:`UnknownNameError` -- the common :class:`ValueError` subclass every
+  registry's lookup error derives from, carrying ``.kind``, ``.name`` and
+  ``.known`` plus the did-you-mean hint;
+* :func:`did_you_mean` -- the shared ``"; did you mean 'x' or 'y'?"`` suffix
+  (also used by the scenario-spec decoders for unknown keys);
+* :class:`LiveNames` -- a read-only live :class:`Sequence` view of the
+  registered names, for CLI ``choices=`` arguments that must see late
+  registrations.
+
+The four public modules keep their historical function names
+(``register_engine`` / ``register_network`` / ``register_sink`` /
+``create_scheduler`` and friends) as thin wrappers over a module-level
+:class:`Registry`, so no call site changes; only the mechanism is shared.
+"""
+
+from __future__ import annotations
+
+import difflib
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+
+def did_you_mean(value: Any, known: Sequence[str]) -> str:
+    """The shared hint suffix: ``"; did you mean 'x' or 'y'?"`` or ``""``."""
+    close = difflib.get_close_matches(
+        str(value), [str(name) for name in known], n=2, cutoff=0.5
+    )
+    if close:
+        return f"; did you mean {' or '.join(repr(c) for c in close)}?"
+    return ""
+
+
+class UnknownNameError(ValueError):
+    """A name that is not in a registry, with a did-you-mean hint.
+
+    Every registry's lookup error (``UnknownEngineError``,
+    ``UnknownNetworkError``, ``UnknownSinkError``, ``UnknownSchedulerError``)
+    subclasses this, so callers can catch the whole family uniformly while
+    the per-registry classes keep their historical constructor signatures.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        known: Sequence[str],
+        message: Optional[str] = None,
+        known_word: str = "registered",
+    ) -> None:
+        known = tuple(known)
+        if message is None:
+            message = (
+                f"unknown {kind} {name!r}; {known_word} {kind}s: {known}"
+                f"{did_you_mean(name, known)}"
+            )
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.known = known
+
+
+def _default_check_value(kind: str, name: str, value: Any) -> None:
+    if not callable(value):
+        raise TypeError(f"{kind} factory for {name!r} must be callable, got {value!r}")
+
+
+class Registry:
+    """Ordered name -> value store with the shared registration discipline.
+
+    Parameters
+    ----------
+    kind:
+        The registry's noun (``"engine"``, ``"network"``, ...), used in every
+        shared error message.
+    error:
+        ``(name, known) -> ValueError`` building the unknown-name error; the
+        per-registry :class:`UnknownNameError` subclasses qualify directly.
+    check_value:
+        Optional ``(name, value) -> None`` validating a registration; the
+        default requires a callable factory.
+    check_name:
+        Optional ``(name) -> None`` replacing the default name rule (a
+        non-empty string) when a registry constrains names further.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        error: Callable[[str, Tuple[str, ...]], ValueError],
+        check_value: Optional[Callable[[str, Any], None]] = None,
+        check_name: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._kind = kind
+        self._error = error
+        self._check_value = check_value
+        self._check_name = check_name
+        self._items: Dict[str, Any] = {}
+
+    @property
+    def kind(self) -> str:
+        """The registry's noun (used in its error messages)."""
+        return self._kind
+
+    def register(self, name: str, value: Any, overwrite: bool = False) -> None:
+        """Register ``value`` under ``name`` (raise on duplicates unless overwrite)."""
+        if self._check_name is not None:
+            self._check_name(name)
+        elif not isinstance(name, str) or not name:
+            raise ValueError(
+                f"{self._kind} name must be a non-empty string, got {name!r}"
+            )
+        if self._check_value is not None:
+            self._check_value(name, value)
+        else:
+            _default_check_value(self._kind, name, value)
+        if name in self._items and not overwrite:
+            raise ValueError(
+                f"{self._kind} {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._items[name] = value
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (no-op if absent; mainly for tests)."""
+        self._items.pop(name, None)
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered names, in registration order."""
+        return tuple(self._items)
+
+    def get(self, name: str) -> Any:
+        """The value under ``name``; raises the registry's unknown-name error."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise self.unknown(name) from None
+
+    def find(self, name: str) -> Any:
+        """The value under ``name`` or ``None`` (no error)."""
+        return self._items.get(name)
+
+    def unknown(self, name: str) -> ValueError:
+        """Build (without raising) the unknown-name error for ``name``."""
+        return self._error(name, self.names())
+
+    def view(self) -> Mapping[str, Any]:
+        """Read-only *live* mapping view of the registry."""
+        return MappingProxyType(self._items)
+
+    def items(self) -> Tuple[Tuple[str, Any], ...]:
+        return tuple(self._items.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self._kind!r}, names={self.names()!r})"
+
+
+class LiveNames(Sequence):
+    """Read-only live view of a registry's names (CLI ``choices=`` arguments)."""
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __getitem__(self, index):
+        return self._registry.names()[index]
+
+    def __contains__(self, name) -> bool:
+        return name in self._registry
+
+    def __iter__(self):
+        return iter(self._registry.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self._registry.names())

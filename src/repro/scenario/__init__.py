@@ -49,6 +49,7 @@ from repro.scenario.spec import (
     WORKLOAD_KINDS,
     BackendSpec,
     GraphSpec,
+    ParallelSpec,
     ScenarioSpec,
     ScenarioSpecError,
     WorkloadSpec,
@@ -59,6 +60,7 @@ __all__ = [
     "GraphSpec",
     "WorkloadSpec",
     "BackendSpec",
+    "ParallelSpec",
     "ScenarioSpecError",
     "WORKLOAD_KINDS",
     "RUNNER_NAMES",

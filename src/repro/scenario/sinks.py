@@ -23,9 +23,10 @@ the did-you-mean errors.  A name may carry one argument after a colon, e.g.
 
 from __future__ import annotations
 
-import difflib
 import json
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.registry import Registry, UnknownNameError
 
 #: Numeric per-change fields a generic sink probes on each record (sequential
 #: report fields first, protocol metric fields second; a record exposes a
@@ -175,57 +176,49 @@ class CallbackSink(ScenarioObserver):
 
 
 # ----------------------------------------------------------------------
-# Registry (mirrors the engine/network registries)
+# Registry (a thin wrapper over the shared repro.registry helper)
 # ----------------------------------------------------------------------
-class UnknownSinkError(ValueError):
+class UnknownSinkError(UnknownNameError):
     """A sink name that is not registered (with a did-you-mean hint)."""
 
     def __init__(self, name: str, known: Sequence[str]) -> None:
-        hint = ""
-        close = difflib.get_close_matches(str(name), list(known), n=2, cutoff=0.5)
-        if close:
-            hint = f"; did you mean {' or '.join(repr(c) for c in close)}?"
-        super().__init__(f"unknown sink {name!r}; registered sinks: {tuple(known)}{hint}")
-        self.name = name
-        self.known = tuple(known)
+        super().__init__("sink", name, known)
 
 
 #: A registered factory takes the optional ``:argument`` suffix (None when
 #: the name had none) and returns a ready observer.
 SinkFactory = Callable[[Optional[str]], ScenarioObserver]
 
-_REGISTRY: Dict[str, SinkFactory] = {}
+
+def _check_sink_name(name: str) -> None:
+    # Sink names must leave ':' free for the "name:argument" spec form.
+    if not isinstance(name, str) or not name or ":" in name:
+        raise ValueError(
+            f"sink name must be a non-empty string without ':', got {name!r}"
+        )
+
+
+_REGISTRY = Registry("sink", error=UnknownSinkError, check_name=_check_sink_name)
 
 
 def register_sink(name: str, factory: SinkFactory, overwrite: bool = False) -> None:
     """Register an observer factory under ``name`` (see the module docstring)."""
-    if not isinstance(name, str) or not name or ":" in name:
-        raise ValueError(f"sink name must be a non-empty string without ':', got {name!r}")
-    if not callable(factory):
-        raise TypeError(f"sink factory for {name!r} must be callable, got {factory!r}")
-    if name in _REGISTRY and not overwrite:
-        raise ValueError(
-            f"sink {name!r} is already registered; pass overwrite=True to replace it"
-        )
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def unregister_sink(name: str) -> None:
     """Remove ``name`` from the registry (no-op if absent; mainly for tests)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def available_sinks() -> Tuple[str, ...]:
     """The registered sink names, built-ins first, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def get_sink_factory(name: str) -> SinkFactory:
     """The factory registered under ``name`` (raises :class:`UnknownSinkError`)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise UnknownSinkError(name, available_sinks()) from None
+    return _REGISTRY.get(name)
 
 
 def _split(sink_name: str) -> Tuple[str, Optional[str]]:
@@ -236,11 +229,7 @@ def _split(sink_name: str) -> Tuple[str, Optional[str]]:
 def create_sink(sink_name: str) -> ScenarioObserver:
     """Build an observer from a spec sink name (``"name"`` or ``"name:arg"``)."""
     name, argument = _split(sink_name)
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise UnknownSinkError(name, available_sinks()) from None
-    return factory(argument)
+    return _REGISTRY.get(name)(argument)
 
 
 def check_sink_names(sink_names: Iterable[str]) -> None:

@@ -15,7 +15,13 @@ context manager::
 
 Error responses become :class:`ServiceClientError` with the wire ``kind``
 attached, so callers can branch on ``error.kind == "unknown-session"``
-without parsing messages.
+without parsing messages.  Transport failures (the daemon restarted between
+requests, a half-closed keep-alive socket) surface the same way with kind
+``"connection"`` -- never as a bare :class:`BrokenPipeError` -- and
+*idempotent* ops (``ping`` / ``query`` / ``list`` / ``stats``) transparently
+reconnect and retry once before giving up.  Mutating ops never retry: a
+``create`` or ``apply`` that died mid-flight may or may not have been
+applied, and replaying it blindly could double-apply workload units.
 """
 
 from __future__ import annotations
@@ -27,11 +33,20 @@ from repro.service import protocol
 
 
 class ServiceClientError(RuntimeError):
-    """A request the daemon answered with an error response."""
+    """A request the daemon answered with an error response.
+
+    ``kind`` carries the wire error kind; transport-level failures use the
+    client-side kind ``"connection"``.
+    """
 
     def __init__(self, message: str, kind: str = "internal") -> None:
         super().__init__(message)
         self.kind = kind
+
+
+#: Ops safe to retry on a fresh connection: they read daemon/session state
+#: without mutating it, so a replay after an ambiguous failure is harmless.
+_IDEMPOTENT_OPS = frozenset({"ping", "query", "list", "stats"})
 
 
 class ServiceClient:
@@ -80,15 +95,38 @@ class ServiceClient:
     # The request primitive
     # ------------------------------------------------------------------
     def request(self, op: str, **params: Any) -> Any:
-        """Send one request; return the ``result`` or raise ServiceClientError."""
-        self.connect()
-        protocol.write_message(self._writer, protocol.request(op, params))
-        response = protocol.read_message(self._reader)
+        """Send one request; return the ``result`` or raise ServiceClientError.
+
+        A dead connection (the daemon restarted since the last request) is
+        reported as kind ``"connection"``; idempotent ops retry once on a
+        fresh connection first.
+        """
+        try:
+            return self._request_once(op, params)
+        except ServiceClientError as failure:
+            if failure.kind != "connection" or op not in _IDEMPOTENT_OPS:
+                raise
+        # One reconnect attempt: the previous life's keep-alive socket is
+        # gone, but the restarted daemon (same address) may be healthy.
+        return self._request_once(op, params)
+
+    def _request_once(self, op: str, params: Dict[str, Any]) -> Any:
+        try:
+            self.connect()
+            protocol.write_message(self._writer, protocol.request(op, params))
+            response = protocol.read_message(self._reader)
+        except (BrokenPipeError, ConnectionError, OSError) as failure:
+            self.close()
+            raise ServiceClientError(
+                f"lost connection to the daemon at {self._address!r} "
+                f"(op {op!r}): {failure}",
+                kind="connection",
+            ) from None
         if response is None:
             self.close()
             raise ServiceClientError(
                 f"daemon closed the connection mid-request (op {op!r})",
-                kind="internal",
+                kind="connection",
             )
         if response.get("ok"):
             return response.get("result")

@@ -1,0 +1,473 @@
+"""Tests of the shared-memory evaluation pool (:mod:`repro.parallel`).
+
+The load-bearing claims, each machine-checked here:
+
+* pool mechanics -- engagement thresholds, serial configurations, plane
+  growth/retirement, and the broken-worker fallback that keeps a dead pool
+  from ever failing a run;
+* **bit-identical parity**: the batched repair wave and the synchronous
+  protocol rounds produce exactly the same outputs with ``workers=2`` and
+  ``workers=4`` as serially, under the adversarial conformance workload
+  (free-list id reuse, deletion bursts against the live MIS) -- via the same
+  differential harnesses that tie the fast backends to the paper-shaped
+  ones;
+* spec plumbing: ``ParallelSpec`` round-trips, rejects unknown keys with a
+  hint, and a :class:`~repro.scenario.session.Session` attaches (or strictly
+  refuses) the pool per its backend.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.core.engine_api import register_engine, unregister_engine
+from repro.core.fast_engine import FastEngine
+from repro.distributed.network_api import register_network, unregister_network
+from repro.parallel import (
+    DESIRED_IN,
+    DESIRED_OUT,
+    KERNELS,
+    POOL_BACKENDS,
+    WorkerPool,
+)
+from repro.scenario.spec import (
+    BackendSpec,
+    GraphSpec,
+    ParallelSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadSpec,
+)
+from repro.scenario.session import Session
+from repro.testing.differential import conformance_workload, replay_batch_differential
+from repro.testing.protocol_differential import replay_protocol_differential
+
+
+# ----------------------------------------------------------------------
+# Pool mechanics
+# ----------------------------------------------------------------------
+class TestPoolMechanics:
+    def test_serial_configurations_never_engage(self):
+        for pool in (
+            WorkerPool(workers=0),
+            WorkerPool(workers=1),
+            WorkerPool(workers=4, backend="serial"),
+        ):
+            assert not pool.engaged(10_000)
+            assert pool.run("engine_desired", 10_000) is False
+            assert not pool.broken  # declining is not failing
+            pool.close()
+
+    def test_engagement_threshold_is_twice_min_chunk(self):
+        pool = WorkerPool(workers=2, min_chunk=4)
+        assert not pool.engaged(7)
+        assert pool.engaged(8)
+        pool.close()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool backend"):
+            WorkerPool(backend="threads")
+        with pytest.raises(ValueError, match="min_chunk"):
+            WorkerPool(min_chunk=0)
+        pool = WorkerPool(workers=2, min_chunk=1)
+        with pytest.raises(ValueError, match="unknown kernel"):
+            pool.run("no_such_kernel", 100)
+        pool.close()
+
+    def test_pool_backends_constant(self):
+        assert POOL_BACKENDS == ("fork", "spawn", "serial")
+        assert set(KERNELS) == {"engine_desired", "network_guards"}
+
+    def test_engine_kernel_matches_manual_evaluation(self):
+        # A 5-node path graph: state alternates, priorities strictly ordered.
+        num = 5
+        state = bytes([1, 0, 1, 0, 0])
+        prio = array("d", [0.1, 0.2, 0.3, 0.4, 0.5])
+        adjacency = [[1], [0, 2], [1, 3], [2, 4], [3]]
+        indptr = array("q", [0])
+        indices = array("q")
+        for row in adjacency:
+            indices.extend(row)
+            indptr.append(len(indices))
+        frontier = array("q", range(num))
+
+        pool = WorkerPool(workers=2, min_chunk=1)
+        pool.publish("e_state", state)
+        pool.publish("e_prio", prio.tobytes())
+        pool.publish("e_indptr", indptr.tobytes())
+        pool.publish("e_indices", indices.tobytes())
+        pool.publish("e_frontier", frontier.tobytes())
+        pool.ensure("e_out", num)
+        assert pool.run("engine_desired", num) is True
+        codes = bytes(pool.view("e_out"))
+        pool.close()
+
+        # Desired == no earlier in-MIS neighbor, computed longhand.
+        expected = []
+        for nid in range(num):
+            earlier_in = any(
+                state[m] and prio[m] < prio[nid] for m in adjacency[nid]
+            )
+            expected.append(DESIRED_OUT if earlier_in else DESIRED_IN)
+        assert list(codes) == expected
+
+    def test_planes_grow_and_retire_segments(self):
+        pool = WorkerPool(workers=2, min_chunk=1)
+        pool.publish("e_state", bytes([1, 0]))
+        pool.publish("e_prio", array("d", [0.1, 0.2]).tobytes())
+        pool.publish("e_indptr", array("q", [0, 1, 2]).tobytes())
+        pool.publish("e_indices", array("q", [1, 0]).tobytes())
+        pool.publish("e_frontier", array("q", [0, 1]).tobytes())
+        pool.ensure("e_out", 2)
+        assert pool.run("engine_desired", 2) is True
+
+        # Outgrow every input plane: a 6000-node star (well past one 4 KiB
+        # segment for the int64 planes), forcing segment replacement.
+        num = 6000
+        state = bytes([0]) * num
+        prio = array("d", [float(i + 1) for i in range(num)])
+        indptr = array("q", [0, num - 1] + [num - 1 + i for i in range(1, num)])
+        indices = array("q", list(range(1, num)) + [0] * (num - 1))
+        pool.publish("e_state", state)
+        pool.publish("e_prio", prio.tobytes())
+        pool.publish("e_indptr", indptr.tobytes())
+        pool.publish("e_indices", indices.tobytes())
+        pool.publish("e_frontier", array("q", range(num)).tobytes())
+        pool.ensure("e_out", num)
+        assert pool.run("engine_desired", num) is True
+        codes = bytes(pool.view("e_out"))
+        # Nobody is in the MIS yet, so every node wants in.
+        assert set(codes) == {DESIRED_IN}
+        assert pool.tasks_run == 2
+        pool.close()
+
+    def test_broken_worker_degrades_to_serial(self, monkeypatch):
+        def _boom(planes, start, stop, params):
+            raise RuntimeError("kernel exploded")
+
+        # Fork workers inherit the patched table (the pool starts lazily on
+        # the first run, after the patch).
+        monkeypatch.setitem(KERNELS, "engine_desired", _boom)
+        pool = WorkerPool(workers=2, min_chunk=1, backend="fork")
+        pool.publish("e_state", bytes(8))
+        pool.publish("e_prio", array("d", [0.0] * 8).tobytes())
+        pool.publish("e_indptr", array("q", [0] * 9).tobytes())
+        pool.publish("e_indices", b"")
+        pool.publish("e_frontier", array("q", range(8)).tobytes())
+        pool.ensure("e_out", 8)
+        assert pool.run("engine_desired", 8) is False
+        assert pool.broken
+        assert "kernel exploded" in (pool.last_error or "")
+        # Broken pools never engage again -- callers stay on the serial path.
+        assert not pool.engaged(10_000)
+        assert pool.run("engine_desired", 8) is False
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# ParallelSpec plumbing
+# ----------------------------------------------------------------------
+class TestParallelSpec:
+    def test_roundtrip(self):
+        spec = ParallelSpec(workers=4, min_chunk=64, backend="spawn")
+        assert ParallelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults(self):
+        spec = ParallelSpec.from_dict({})
+        assert (spec.workers, spec.min_chunk, spec.backend) == (0, 256, "fork")
+
+    def test_unknown_key_hint(self):
+        with pytest.raises(ScenarioSpecError, match="did you mean 'workers'"):
+            ParallelSpec.from_dict({"workerz": 2})
+
+    def test_invalid_values(self):
+        with pytest.raises(ScenarioSpecError):
+            ParallelSpec(workers=-1).validate()
+        with pytest.raises(ScenarioSpecError):
+            ParallelSpec(min_chunk=0).validate()
+        with pytest.raises(ScenarioSpecError, match="backend"):
+            ParallelSpec(backend="threads").validate()
+
+    def test_build_pool_serial_cases(self):
+        assert ParallelSpec(workers=0).build_pool() is None
+        assert ParallelSpec(workers=1).build_pool() is None
+        assert ParallelSpec(workers=4, backend="serial").build_pool() is None
+        pool = ParallelSpec(workers=2, min_chunk=8).build_pool()
+        assert pool is not None and pool.workers == 2 and pool.min_chunk == 8
+        pool.close()
+
+    def test_backend_spec_roundtrip_with_parallel(self):
+        backend = BackendSpec(
+            runner="sequential",
+            engine="fast",
+            parallel=ParallelSpec(workers=2),
+        )
+        record = backend.to_dict()
+        assert record["parallel"] == {"workers": 2, "min_chunk": 256, "backend": "fork"}
+        assert BackendSpec.from_dict(record) == backend
+        # Without a parallel block the key is absent (old checkpoint files
+        # re-encode byte-identically).
+        assert "parallel" not in BackendSpec(runner="sequential").to_dict()
+
+    def test_async_direct_rejects_parallel(self):
+        with pytest.raises(ScenarioSpecError, match="asynchronous"):
+            BackendSpec(
+                runner="protocol",
+                protocol="async-direct",
+                scheduler={"kind": "fixed"},
+                parallel=ParallelSpec(workers=2),
+            ).validate()
+
+
+# ----------------------------------------------------------------------
+# Differential parity: parallel == serial, bit for bit
+# ----------------------------------------------------------------------
+@pytest.fixture
+def parallel_engine(request):
+    """Register ``fast-par``: a FastEngine with an attached 2/4-worker pool."""
+    workers = request.param
+    pools = []
+
+    def factory(**kwargs):
+        engine = FastEngine(**kwargs)
+        pool = WorkerPool(workers=workers, min_chunk=1)
+        engine.attach_parallel(pool)
+        pools.append(pool)
+        return engine
+
+    register_engine("fast-par", factory, overwrite=True)
+    yield pools
+    unregister_engine("fast-par")
+    for pool in pools:
+        pool.close()
+
+
+@pytest.mark.parametrize("parallel_engine", [2, 4], indirect=True)
+def test_batch_repair_wave_parallel_matches_serial(parallel_engine):
+    # The conformance workload maximizes free-list churn and influenced-set
+    # propagation: node delete-then-reinsert, adversarial MIS-deletion bursts.
+    graph, changes = conformance_workload(seed=11, num_changes=160, start_nodes=32)
+    replay_batch_differential(
+        graph, changes, seed=11, engines=("fast", "fast-par"), max_batch=12
+    )
+    assert sum(pool.tasks_run for pool in parallel_engine) > 0
+    assert not any(pool.broken for pool in parallel_engine)
+
+
+@pytest.fixture
+def parallel_network(request):
+    """Register ``fast-par``: fast network cores with attached worker pools."""
+    workers = request.param
+    from repro.distributed.fast_network import (
+        FastBufferedMISNetwork,
+        FastDirectMISNetwork,
+    )
+
+    pools = []
+
+    def _attach(network):
+        pool = WorkerPool(workers=workers, min_chunk=1)
+        network.attach_parallel(pool)
+        pools.append(pool)
+        return network
+
+    register_network(
+        "fast-par",
+        {
+            "buffered": lambda **kw: _attach(FastBufferedMISNetwork(**kw)),
+            "direct": lambda **kw: _attach(FastDirectMISNetwork(**kw)),
+        },
+        overwrite=True,
+    )
+    yield pools
+    unregister_network("fast-par")
+    for pool in pools:
+        pool.close()
+
+
+@pytest.mark.parametrize("parallel_network", [2, 4], indirect=True)
+@pytest.mark.parametrize("protocol", ["buffered", "direct"])
+def test_protocol_rounds_parallel_match_serial(parallel_network, protocol):
+    graph, changes = conformance_workload(seed=23, num_changes=60, start_nodes=24)
+    replay_protocol_differential(
+        graph,
+        changes,
+        seed=23,
+        protocol=protocol,
+        networks=("fast", "fast-par"),
+    )
+    assert sum(pool.tasks_run for pool in parallel_network) > 0
+    assert not any(pool.broken for pool in parallel_network)
+
+
+def test_parallel_engine_survives_broken_pool(monkeypatch):
+    """A pool that dies mid-run must not change outputs -- only speed."""
+
+    def _boom(planes, start, stop, params):
+        raise RuntimeError("mid-run failure")
+
+    monkeypatch.setitem(KERNELS, "engine_desired", _boom)
+
+    def factory(**kwargs):
+        engine = FastEngine(**kwargs)
+        engine.attach_parallel(WorkerPool(workers=2, min_chunk=1))
+        return engine
+
+    register_engine("fast-broken-pool", factory, overwrite=True)
+    try:
+        graph, changes = conformance_workload(seed=5, num_changes=60, start_nodes=24)
+        replay_batch_differential(
+            graph, changes, seed=5, engines=("fast", "fast-broken-pool"), max_batch=8
+        )
+    finally:
+        unregister_engine("fast-broken-pool")
+
+
+# ----------------------------------------------------------------------
+# Property-based parity (hypothesis)
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the base image
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_property_parallel_engine_parity(seed):
+        pools = []
+
+        def factory(**kwargs):
+            engine = FastEngine(**kwargs)
+            pool = WorkerPool(workers=2, min_chunk=1)
+            engine.attach_parallel(pool)
+            pools.append(pool)
+            return engine
+
+        register_engine("fast-par-prop", factory, overwrite=True)
+        try:
+            graph, changes = conformance_workload(
+                seed=seed, num_changes=40, start_nodes=16
+            )
+            replay_batch_differential(
+                graph,
+                changes,
+                seed=seed,
+                engines=("fast", "fast-par-prop"),
+                max_batch=6,
+                check_clustering=False,
+                check_against_sequence=False,
+            )
+        finally:
+            unregister_engine("fast-par-prop")
+            for pool in pools:
+                pool.close()
+
+
+# ----------------------------------------------------------------------
+# Session-level wiring
+# ----------------------------------------------------------------------
+def _spec(backend, batch=12):
+    return ScenarioSpec(
+        name="parallel-smoke",
+        seed=7,
+        graph=GraphSpec(family="erdos_renyi", nodes=48, seed=3),
+        workload=WorkloadSpec(kind="mixed_churn", num_changes=96, seed=5),
+        backend=backend,
+        batch_size=batch,
+    )
+
+
+class TestSessionWiring:
+    def test_sequential_smoke_at_two_workers(self):
+        parallel = Session(
+            _spec(
+                BackendSpec(
+                    runner="sequential",
+                    engine="fast",
+                    parallel=ParallelSpec(workers=2, min_chunk=1),
+                )
+            )
+        )
+        result = parallel.run()
+        assert result.verified
+        assert parallel.parallel_pool is not None
+        assert parallel.parallel_pool.tasks_run > 0
+        serial = Session(_spec(BackendSpec(runner="sequential", engine="fast")))
+        baseline = serial.run()
+        assert result.final_mis_size == baseline.final_mis_size
+        assert result.summary == baseline.summary
+
+    def test_protocol_smoke_at_two_workers(self):
+        parallel = Session(
+            _spec(
+                BackendSpec(
+                    runner="protocol",
+                    protocol="buffered",
+                    network="fast",
+                    parallel=ParallelSpec(workers=2, min_chunk=1),
+                ),
+                batch=0,
+            )
+        )
+        result = parallel.run()
+        assert result.verified
+        assert parallel.parallel_pool.tasks_run > 0
+        serial = Session(
+            _spec(
+                BackendSpec(runner="protocol", protocol="buffered", network="fast"),
+                batch=0,
+            )
+        )
+        baseline = serial.run()
+        assert result.final_mis_size == baseline.final_mis_size
+        assert result.summary == baseline.summary
+
+    def test_explicit_parallel_block_is_strict(self):
+        with pytest.raises(ScenarioSpecError, match="does not support parallel"):
+            Session(
+                _spec(
+                    BackendSpec(
+                        runner="sequential",
+                        engine="template",
+                        parallel=ParallelSpec(workers=2),
+                    )
+                )
+            )
+
+    def test_default_workers_is_best_effort(self):
+        # The dict network has no pool support: the hint silently no-ops.
+        session = Session(
+            _spec(
+                BackendSpec(runner="protocol", protocol="buffered", network="dict"),
+                batch=0,
+            ),
+            default_workers=2,
+        )
+        assert session.parallel_pool is None
+        # The fast engine supports it: the hint attaches a pool.
+        session = Session(
+            _spec(BackendSpec(runner="sequential", engine="fast")),
+            default_workers=2,
+        )
+        assert session.parallel_pool is not None
+        session.parallel_pool.close()
+
+    def test_serial_parallel_block_attaches_nothing(self):
+        session = Session(
+            _spec(
+                BackendSpec(
+                    runner="sequential",
+                    engine="fast",
+                    parallel=ParallelSpec(workers=1),
+                )
+            )
+        )
+        assert session.parallel_pool is None
