@@ -23,8 +23,9 @@ from typing import Dict, List
 from repro.analysis.estimators import mean
 from repro.core.batch import apply_batch
 from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import create_engine
 from repro.core.greedy import greedy_mis
-from repro.core.template import TemplateEngine
+from repro.core.priorities import RandomPriorityAssigner
 from repro.graph.generators import erdos_renyi_graph
 from repro.workloads.sequences import mixed_churn_sequence
 
@@ -44,7 +45,11 @@ def run_experiment() -> Dict:
         for seed in SEEDS:
             graph = erdos_renyi_graph(NUM_NODES, 3.0 / NUM_NODES, seed=seed)
             sequence = mixed_churn_sequence(graph, TOTAL_CHANGES, seed=seed + 50)
-            engine = TemplateEngine(seed=seed + 7, initial_graph=graph)
+            engine = create_engine(
+                "template",
+                priorities=RandomPriorityAssigner(seed + 7),
+                initial_graph=graph,
+            )
             for start in range(0, len(sequence), batch_size):
                 batch = sequence[start : start + batch_size]
                 report = apply_batch(engine, batch)

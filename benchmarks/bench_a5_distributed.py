@@ -54,7 +54,7 @@ import time
 from typing import Dict, List
 
 from repro.distributed.network_api import create_network
-from repro.distributed.scheduler import AdversarialDelayScheduler
+from repro.distributed.scheduler import create_scheduler
 from repro.scenario import BackendSpec, GraphSpec, ScenarioSpec, WorkloadSpec
 
 from harness import benchmark_seeds, emit, emit_json, emit_table, run_once, run_scenario_session
@@ -163,7 +163,7 @@ def _time_async_network(network: str, spec: ScenarioSpec) -> Dict:
             network=network,
             seed=spec.seed,
             initial_graph=graph.copy(),
-            scheduler=AdversarialDelayScheduler(spec.seed),
+            scheduler=create_scheduler("adversarial", seed=spec.seed),
         )
         start = time.perf_counter()
         simulator.apply_sequence(changes)

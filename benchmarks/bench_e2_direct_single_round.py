@@ -17,7 +17,7 @@ from typing import Dict
 
 from repro.distributed.async_network import AsyncDirectMISNetwork
 from repro.distributed.protocol_direct import DirectMISNetwork
-from repro.distributed.scheduler import AdversarialDelayScheduler, RandomDelayScheduler
+from repro.distributed.scheduler import create_scheduler
 from repro.graph.generators import erdos_renyi_graph
 from repro.workloads.sequences import mixed_churn_sequence
 
@@ -42,7 +42,9 @@ def run_experiment() -> Dict:
         synchronous.verify()
 
         asynchronous = AsyncDirectMISNetwork(
-            seed=seed + 20, initial_graph=graph, scheduler=RandomDelayScheduler(seed + 30)
+            seed=seed + 20,
+            initial_graph=graph,
+            scheduler=create_scheduler("random", seed=seed + 30),
         )
         for record in asynchronous.apply_sequence(changes):
             async_random_depth.append(record.async_causal_depth)
@@ -50,7 +52,9 @@ def run_experiment() -> Dict:
         asynchronous.verify()
 
         adversarial = AsyncDirectMISNetwork(
-            seed=seed + 20, initial_graph=graph, scheduler=AdversarialDelayScheduler(seed + 40)
+            seed=seed + 20,
+            initial_graph=graph,
+            scheduler=create_scheduler("adversarial", seed=seed + 40),
         )
         for record in adversarial.apply_sequence(changes):
             async_adversarial_depth.append(record.async_causal_depth)

@@ -16,6 +16,7 @@ experiment index).  The benchmarks follow a common pattern:
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -93,19 +94,23 @@ def _numeric_leaves(document: Any, path: str = "") -> Iterator[Tuple[str, float]
 def _log_overwrite(
     path: Path, previous: Dict[str, Any], document: Dict[str, Any], limit: int = 16
 ) -> None:
-    """Print the numeric deltas of an ``emit_json`` overwrite (best effort)."""
+    """Report the numeric deltas of an ``emit_json`` overwrite (best effort).
+
+    Goes to *stderr*: this is progress chatter, and a benchmark's stdout may
+    be piped into tooling that expects machine output only.
+    """
     created = previous.get("created_unix")
-    print(f"emit_json: overwriting {path} (previous created_unix={created})")
+    print(f"emit_json: overwriting {path} (previous created_unix={created})", file=sys.stderr)
     old = dict(_numeric_leaves(previous.get("results", {})))
     new = dict(_numeric_leaves(document.get("results", {})))
     changed = [(p, old[p], new[p]) for p in sorted(old) if p in new and old[p] != new[p]]
     for leaf_path, old_value, new_value in changed[:limit]:
-        print(f"  {leaf_path}: {old_value:g} -> {new_value:g}")
+        print(f"  {leaf_path}: {old_value:g} -> {new_value:g}", file=sys.stderr)
     if len(changed) > limit:
-        print(f"  ... and {len(changed) - limit} more changed values")
+        print(f"  ... and {len(changed) - limit} more changed values", file=sys.stderr)
     dropped = sorted(set(old) - set(new))
     if dropped:
-        print(f"  dropped values: {dropped[:limit]}")
+        print(f"  dropped values: {dropped[:limit]}", file=sys.stderr)
 
 
 def run_scenario_session(spec, observers: Iterable = (), verify: bool = True):

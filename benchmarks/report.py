@@ -152,28 +152,65 @@ def baseline_ref_exists(ref: str) -> bool:
     return completed.returncode == 0
 
 
+def _delta_dict(delta: MetricDelta) -> Dict:
+    return {
+        "benchmark": delta.benchmark,
+        "path": delta.path,
+        "baseline": delta.baseline,
+        "current": delta.current,
+        "higher_is_better": delta.higher_is_better,
+        "relative_regression": delta.relative_regression,
+    }
+
+
 def run_report(
     against: str = "HEAD",
     threshold: float = 0.30,
     results_dir: Path = RESULTS_DIR,
     speedups_only: bool = False,
+    output_format: str = "text",
 ) -> int:
     """Print the trajectory diff; return the process exit code (1 = regression).
 
     ``speedups_only`` restricts the gate to ratio metrics (``speedup``),
     which are machine-portable; absolute ``*_us`` timings are only
     comparable when baseline and current run on the same machine.
+
+    With ``output_format="json"`` stdout carries exactly one JSON document
+    (the per-benchmark rows plus every regression), so
+    ``python benchmarks/report.py --json | jq ...`` works; all human-readable
+    lines move to stderr.  In text mode the report itself is the stdout
+    payload, as before.
     """
+    human = sys.stdout if output_format == "text" else sys.stderr
+    document: Dict = {
+        "against": against,
+        "threshold": threshold,
+        "speedups_only": speedups_only,
+        "skipped": None,
+        "benchmarks": [],
+        "regressions": [],
+    }
+
+    def finish(exit_code: int) -> int:
+        if output_format == "json":
+            json.dump(document, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        return exit_code
+
     result_files = sorted(results_dir.glob("*.json"))
     if not result_files:
-        print(f"no benchmark results under {results_dir}")
-        return 0
+        document["skipped"] = "no results"
+        print(f"no benchmark results under {results_dir}", file=human)
+        return finish(0)
     if not baseline_ref_exists(against):
+        document["skipped"] = "baseline ref not found"
         print(
             f"baseline ref {against!r} not found (shallow checkout, first commit, "
-            f"or git unavailable); skipping the trajectory comparison"
+            f"or git unavailable); skipping the trajectory comparison",
+            file=human,
         )
-        return 0
+        return finish(0)
 
     regressions: List[MetricDelta] = []
     for result_file in result_files:
@@ -181,7 +218,13 @@ def run_report(
         current = json.loads(result_file.read_text())
         baseline = load_baseline(result_file.relative_to(REPO_ROOT), against)
         if baseline is None:
-            print(f"[new]  {name}: no baseline at {against} (first trajectory point)")
+            document["benchmarks"].append(
+                {"benchmark": name, "status": "new", "metrics": 0, "worst": None}
+            )
+            print(
+                f"[new]  {name}: no baseline at {against} (first trajectory point)",
+                file=human,
+            )
             continue
         deltas = compare_documents(name, current, baseline)
         if speedups_only:
@@ -190,16 +233,31 @@ def run_report(
         bad = [d for d in deltas if d.relative_regression > threshold]
         status = "FAIL" if bad else "ok"
         worst_text = worst.describe() if worst else "no comparable metrics"
-        print(f"[{status:4}] {name}: {len(deltas)} metrics vs {against}; worst: {worst_text}")
+        document["benchmarks"].append(
+            {
+                "benchmark": name,
+                "status": status,
+                "metrics": len(deltas),
+                "worst": _delta_dict(worst) if worst else None,
+            }
+        )
+        print(
+            f"[{status:4}] {name}: {len(deltas)} metrics vs {against}; worst: {worst_text}",
+            file=human,
+        )
         for delta in bad:
-            print(f"       REGRESSION > {threshold:.0%}: {delta.describe()}")
+            print(f"       REGRESSION > {threshold:.0%}: {delta.describe()}", file=human)
         regressions.extend(bad)
 
+    document["regressions"] = [_delta_dict(delta) for delta in regressions]
     if regressions:
-        print(f"\n{len(regressions)} metric(s) regressed beyond {threshold:.0%} -- failing")
-        return 1
-    print(f"\nno regression beyond {threshold:.0%}")
-    return 0
+        print(
+            f"\n{len(regressions)} metric(s) regressed beyond {threshold:.0%} -- failing",
+            file=human,
+        )
+        return finish(1)
+    print(f"\nno regression beyond {threshold:.0%}", file=human)
+    return finish(0)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -221,11 +279,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate only on speedup ratios (machine-portable); use on CI runners "
         "whose absolute timings are not comparable to the committed baselines",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document on stdout (human lines go to stderr)",
+    )
     arguments = parser.parse_args(argv)
     return run_report(
         against=arguments.against,
         threshold=arguments.threshold,
         speedups_only=arguments.speedups_only,
+        output_format="json" if arguments.json else "text",
     )
 
 

@@ -20,8 +20,8 @@ from repro.scenario import (
     GraphSpec,
     ScenarioSpec,
     Session,
-    SummarySink,
     WorkloadSpec,
+    create_sink,
     run_scenario_grid,
 )
 
@@ -76,7 +76,7 @@ def main() -> None:
         interrupted.step()
     checkpoint = interrupted.checkpoint()
 
-    sink = SummarySink()
+    sink = create_sink("summary")
     resumed = Session.resume(checkpoint, observers=(sink,), engine="fast")
     resumed_result = resumed.run()
     assert resumed.states() == uninterrupted.states()

@@ -1,0 +1,10 @@
+"""``python -m repro``: the :mod:`repro.cli` entry point without the console
+script, for environments (CI, containers) where the package is on
+``PYTHONPATH`` but not pip-installed."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

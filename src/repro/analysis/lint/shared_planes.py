@@ -1,0 +1,198 @@
+"""``shared-planes``: only flat scalars go into shared-memory planes.
+
+:mod:`repro.parallel` publishes *byte planes* -- named
+``multiprocessing.shared_memory`` segments that worker processes attach by
+name and read through :class:`memoryview` casts.  Nothing is pickled; the
+whole design rests on every plane holding flat scalar data (state codes,
+float priorities, int64 indices).  An object reference written into a plane
+is silently a *different object* in the worker (or garbage bytes after the
+parent mutates), the class of bug that only surfaces as a once-in-a-run
+parity divergence.
+
+The checker tracks plane-typed names per function scope:
+
+* a parameter named ``planes`` (the kernel calling convention) and anything
+  subscripted from it (``state = planes["e_state"]``);
+* results of ``.ensure(...)`` on a pool-ish receiver (``pool.ensure(...)``,
+  the publisher side);
+* ``.cast(...)`` views and slices of already-tracked names.
+
+and flags subscript stores into tracked names whose right-hand side is
+provably not flat scalar data: container displays and comprehensions,
+``str`` literals, lambdas, or constructor calls like ``dict()`` / ``list()``
+/ ``object()``.  Values of unknown type (names, attribute reads, arithmetic)
+pass -- the checker is deliberately sound-on-report rather than complete.
+
+Scope: ``src/repro/parallel/`` plus any scanned file importing
+``repro.parallel``.  Suppress with ``# repro-lint: shared-planes -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.lint.base import (
+    Finding,
+    ProjectIndex,
+    SourceFile,
+    call_name,
+    register_checker,
+)
+
+CHECK = "shared-planes"
+
+#: Parameter/receiver spellings that mark a mapping of planes.
+_PLANES_NAMES = frozenset({"planes", "plane_table"})
+
+#: Receiver-name fragments that mark a pool publisher.
+_POOL_FRAGMENTS = ("pool", "planes")
+
+#: Constructor calls whose results are never flat scalars.
+_OBJECT_FACTORIES = frozenset({"dict", "list", "set", "tuple", "object", "bytearray"})
+
+
+def _imports_parallel(file: SourceFile) -> bool:
+    assert file.tree is not None
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name.startswith("repro.parallel") for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro.parallel"):
+                return True
+    return False
+
+
+def _non_flat_reason(value: ast.AST) -> Optional[str]:
+    """Why ``value`` is provably not flat scalar data (None when it may be)."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "a dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(value, ast.Lambda):
+        return "a function object"
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return "a str"
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        terminal = name.rsplit(".", 1)[-1] if name else None
+        if terminal in _OBJECT_FACTORIES and terminal != "bytearray":
+            return f"a {terminal}()"
+    if isinstance(value, (ast.List, ast.Tuple)):
+        # A display of pure numbers could still be a legal slice-assign
+        # source for array planes; only flag it when an element is provably
+        # an object reference.
+        for element in value.elts:
+            reason = _non_flat_reason(element)
+            if reason is not None:
+                return f"a container holding {reason}"
+            if isinstance(element, ast.Constant) and not isinstance(
+                element.value, (int, float, bool)
+            ):
+                return f"a container holding {type(element.value).__name__!s} constants"
+        return None
+    if isinstance(value, (ast.ListComp, ast.GeneratorExp)):
+        return None  # elements unknown; assume scalars
+    return None
+
+
+class _FunctionPlaneChecker(ast.NodeVisitor):
+    """Track plane-typed bindings inside one function and flag bad stores."""
+
+    def __init__(self, file: SourceFile) -> None:
+        self.file = file
+        self.tracked: Set[str] = set()
+        self.findings: list = []
+
+    # -- binding discovery --------------------------------------------
+    def _is_plane_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tracked or node.id in _PLANES_NAMES
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            return isinstance(base, ast.Name) and (
+                base.id in _PLANES_NAMES or base.id in self.tracked
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if node.func.attr == "ensure":
+                return isinstance(receiver, ast.Name) and any(
+                    fragment in receiver.id.lower() for fragment in _POOL_FRAGMENTS
+                )
+            if node.func.attr == "cast":
+                return self._is_plane_expr(receiver)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_plane_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tracked.add(target.id)
+        self._check_store(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs get their own scope via the outer walk
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # nested defs get their own scope via the outer walk
+
+    def _check_store(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            if not self._is_plane_expr(target.value) and not (
+                isinstance(target.value, ast.Name) and target.value.id in self.tracked
+            ):
+                continue
+            reason = _non_flat_reason(node.value)
+            if reason is not None:
+                plane = ast.unparse(target.value)
+                self.findings.append(
+                    Finding(
+                        check=CHECK,
+                        path=self.file.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"storing {reason} into shared-memory plane "
+                            f"{plane!r}; planes hold flat scalars only -- an "
+                            "object reference does not survive the process "
+                            "boundary"
+                        ),
+                        symbol=self.file.symbol_at(node),
+                    )
+                )
+
+
+def check_shared_planes(index: ProjectIndex) -> Iterator[Finding]:
+    """Flag object/non-flat stores into ``repro.parallel`` planes."""
+    for file in index.iter_files():
+        if not (
+            file.rel.startswith("src/repro/parallel/") or _imports_parallel(file)
+        ):
+            continue
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                checker = _FunctionPlaneChecker(file)
+                # Seed with parameters following the kernel convention.
+                for argument in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                ):
+                    if argument.arg in _PLANES_NAMES:
+                        checker.tracked.add(argument.arg)
+                for statement in node.body:
+                    checker.visit(statement)
+                yield from checker.findings
+
+
+register_checker(
+    CHECK,
+    check_shared_planes,
+    "no object references or non-flat values are written into "
+    "repro.parallel shared-memory planes",
+)

@@ -1,0 +1,260 @@
+"""``wire-protocol``: the service client and daemon cannot drift apart.
+
+The ``repro-mis serve`` wire surface is three string vocabularies that live
+in different files and are only ever joined at runtime, over a socket:
+
+* the **verbs** :class:`~repro.service.client.ServiceClient` emits
+  (``self.request("<op>", ...)`` literals in ``client.py``);
+* the verbs the daemon side answers: ``SessionHost.OPS`` in ``host.py``
+  (the shard dispatch table) plus the ops :meth:`MISService.dispatch`
+  special-cases in ``daemon.py`` (``ping`` / ``shutdown`` and the fan-out
+  tuple);
+* the **typed error kinds** of ``protocol.py`` (``ERROR_KINDS``), which
+  every ``protocol.error(message, kind)`` call and every
+  ``ServiceClientError`` must stay within (the client adds its local
+  transport kind ``"connection"``, which never crosses the wire).
+
+A dynamic test only catches a drift for the verbs it happens to exercise;
+this checker cross-references the vocabularies statically:
+
+* a client verb no daemon path handles (typo'd op, removed handler);
+* a ``SessionHost.OPS`` entry whose handler method does not exist;
+* a daemon-handled verb neither the client nor any other service module
+  references (dead surface -- the shard drain protocol uses ``drain``
+  internally, which is why the reference scan covers all of
+  ``src/repro/service/``);
+* an error ``kind`` literal outside ``ERROR_KINDS`` (plus ``"connection"``
+  client-side).
+
+On trees without the service package (fixture projects, partial checkouts)
+the checker reports nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.lint.base import (
+    Finding,
+    ProjectIndex,
+    SourceFile,
+    call_name,
+    register_checker,
+    str_constant,
+)
+
+CHECK = "wire-protocol"
+
+_CLIENT = "repro.service.client"
+_HOST = "repro.service.host"
+_DAEMON = "repro.service.daemon"
+_PROTOCOL = "repro.service.protocol"
+
+#: The client's local transport-failure kind; never serialized on the wire.
+_CLIENT_ONLY_KINDS = frozenset({"connection"})
+
+
+def _finding(file: SourceFile, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        check=CHECK,
+        path=file.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        symbol=file.symbol_at(node),
+    )
+
+
+def _client_verbs(client: SourceFile) -> Dict[str, Tuple[ast.Call, str]]:
+    """verb -> (emitting call, enclosing symbol) from ``self.request(...)``."""
+    assert client.tree is not None
+    verbs: Dict[str, Tuple[ast.Call, str]] = {}
+    for node in ast.walk(client.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        callee = call_name(node)
+        if callee is None or callee.rsplit(".", 1)[-1] != "request":
+            continue
+        verb = str_constant(node.args[0])
+        if verb is not None:
+            verbs.setdefault(verb, (node, client.symbol_at(node)))
+    return verbs
+
+
+def _host_ops(host: SourceFile) -> Tuple[Dict[str, str], Optional[ast.ClassDef]]:
+    """The ``OPS`` table (op -> handler name) and its owning class."""
+    assert host.tree is not None
+    for node in ast.walk(host.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.Assign):
+                continue
+            targets = [t.id for t in item.targets if isinstance(t, ast.Name)]
+            if "OPS" not in targets or not isinstance(item.value, ast.Dict):
+                continue
+            table: Dict[str, str] = {}
+            for key, value in zip(item.value.keys, item.value.values):
+                op = str_constant(key) if key is not None else None
+                handler = str_constant(value)
+                if op is not None and handler is not None:
+                    table[op] = handler
+            return table, node
+    return {}, None
+
+
+def _daemon_ops(daemon: SourceFile) -> Set[str]:
+    """Ops ``dispatch`` answers itself: ``op == "..."`` plus the fan-out tuple."""
+    assert daemon.tree is not None
+    ops: Set[str] = set()
+    for node in ast.walk(daemon.tree):
+        if isinstance(node, ast.Compare) and isinstance(node.left, ast.Name):
+            if node.left.id == "op" and len(node.ops) == 1:
+                if isinstance(node.ops[0], (ast.Eq, ast.In)):
+                    for comparator in node.comparators:
+                        literal = str_constant(comparator)
+                        if literal is not None:
+                            ops.add(literal)
+        if isinstance(node, ast.Assign) and isinstance(node.value, (ast.Tuple, ast.List)):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "_FANOUT_OPS" in names:
+                for element in node.value.elts:
+                    literal = str_constant(element)
+                    if literal is not None:
+                        ops.add(literal)
+    return ops
+
+
+def _error_kinds(protocol: SourceFile) -> Set[str]:
+    assert protocol.tree is not None
+    for node in protocol.tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, (ast.Tuple, ast.List)):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "ERROR_KINDS" in names:
+                return {
+                    literal
+                    for element in node.value.elts
+                    if (literal := str_constant(element)) is not None
+                }
+    return set()
+
+
+def _check_error_kinds(
+    index: ProjectIndex, kinds: Set[str]
+) -> Iterator[Finding]:
+    for file in index.iter_files("src/repro/service/"):
+        assert file.tree is not None
+        allowed = set(kinds)
+        if file.module == _CLIENT:
+            allowed |= _CLIENT_ONLY_KINDS
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            terminal = callee.rsplit(".", 1)[-1] if callee else None
+            kind_node: Optional[ast.AST] = None
+            if terminal == "error" and callee and "protocol" in callee.split("."):
+                if len(node.args) >= 2:
+                    kind_node = node.args[1]
+            if terminal in ("error", "ServiceClientError", "ServiceError") or (
+                terminal and terminal.endswith("Error")
+            ):
+                for keyword in node.keywords:
+                    if keyword.arg == "kind":
+                        kind_node = keyword.value
+            if kind_node is None:
+                continue
+            kind = str_constant(kind_node)
+            if kind is not None and kind not in allowed:
+                yield _finding(
+                    file,
+                    kind_node,
+                    f"error kind {kind!r} is not in protocol.ERROR_KINDS "
+                    f"{tuple(sorted(kinds))}; client and daemon would disagree "
+                    "on the failure taxonomy",
+                )
+
+
+def check_wire_protocol(index: ProjectIndex) -> Iterator[Finding]:
+    """Cross-check client verbs, daemon dispatch and typed error kinds."""
+    client = index.by_module.get(_CLIENT)
+    host = index.by_module.get(_HOST)
+    daemon = index.by_module.get(_DAEMON)
+    protocol = index.by_module.get(_PROTOCOL)
+    if client is None or host is None or daemon is None:
+        return  # not a tree with the service layer; nothing to check
+
+    verbs = _client_verbs(client)
+    host_ops, host_class = _host_ops(host)
+    daemon_ops = _daemon_ops(daemon)
+    handled = set(host_ops) | daemon_ops
+
+    for verb, (node, _symbol) in sorted(verbs.items()):
+        if verb not in handled:
+            yield _finding(
+                client,
+                node,
+                f"client emits op {verb!r} but neither SessionHost.OPS nor the "
+                f"daemon dispatch handles it (handled: {tuple(sorted(handled))})",
+            )
+
+    if host_class is not None:
+        method_names = {
+            item.name for item in host_class.body if isinstance(item, ast.FunctionDef)
+        }
+        for op, handler in sorted(host_ops.items()):
+            if handler not in method_names:
+                yield _finding(
+                    host,
+                    host_class,
+                    f"SessionHost.OPS maps {op!r} to missing handler "
+                    f"method {handler!r}",
+                )
+
+    for op in sorted(handled):
+        if op in verbs:
+            continue
+        # Referenced elsewhere in the service package (e.g. the shard drain
+        # protocol emits "drain" itself) is fine; the op literal appearing
+        # *only* in its own dispatch table means dead wire surface.
+        emitted_elsewhere = any(
+            op in _module_literals(file)
+            for file in index.iter_files("src/repro/service/")
+            if file not in (host, daemon)
+        )
+        if not emitted_elsewhere:
+            owner = host if op in host_ops else daemon
+            anchor: ast.AST = (
+                host_class
+                if op in host_ops and host_class is not None
+                else owner.tree  # type: ignore[assignment]
+            )
+            yield _finding(
+                owner,
+                anchor,
+                f"daemon handles op {op!r} but no client method or service "
+                "module emits it (dead wire surface)",
+            )
+
+    if protocol is not None:
+        kinds = _error_kinds(protocol)
+        if kinds:
+            yield from _check_error_kinds(index, kinds)
+
+
+def _module_literals(file: SourceFile) -> Set[str]:
+    assert file.tree is not None
+    return {
+        literal
+        for node in ast.walk(file.tree)
+        if (literal := str_constant(node)) is not None
+    }
+
+
+register_checker(
+    CHECK,
+    check_wire_protocol,
+    "ServiceClient verbs, the SessionHost/daemon dispatch tables and the "
+    "typed error kinds stay mutually consistent",
+)

@@ -53,6 +53,12 @@ reparameterized or handed to the conformance harness later.
     Talk to a running daemon: create/apply/query/checkpoint/close sessions,
     list them, read aggregate stats, or ask the daemon to shut down.
 
+``repro-mis lint``
+    Run the stdlib-``ast`` contract checkers (:mod:`repro.analysis.lint`):
+    determinism hazards, checkpoint parity, registry discipline, wire
+    protocol consistency and shared-plane safety.  Exits 1 on findings not
+    in the committed ``lint-baseline.json``.
+
 ``repro-mis --list-engines`` / ``--list-networks`` / ``--list-sinks`` /
 ``--list-schedulers``
     Print the live backend, sink and scheduler registries with their
@@ -383,6 +389,63 @@ def build_parser() -> argparse.ArgumentParser:
         default="status",
         help="facet for 'query' (default %(default)s)",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST contract checkers (determinism, checkpoint parity, ...)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to lint, relative to --root "
+        "(default: src/repro benchmarks examples)",
+    )
+    lint.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="project root the paths and baseline resolve against (default: cwd)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="findings format on stdout; all diagnostics go to stderr "
+        "(default %(default)s)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="accepted-findings file (default: ROOT/lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CHECK",
+        default=None,
+        help="run only this checker (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CHECK",
+        default=None,
+        help="skip this checker (repeatable)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current findings as the new accepted baseline",
+    )
     return parser
 
 
@@ -525,7 +588,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(arguments)
     if command == "client":
         return _run_client(arguments)
+    if command == "lint":
+        return _run_lint(arguments)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+def _run_lint(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the lint framework parses the whole tree and is only
+    # needed by this one command.
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        DEFAULT_PATHS,
+        BaselineError,
+        UnknownCheckerError,
+        run_lint_command,
+    )
+
+    try:
+        return run_lint_command(
+            root=Path(arguments.root),
+            paths=tuple(arguments.paths) if arguments.paths else DEFAULT_PATHS,
+            output_format=arguments.output_format,
+            baseline_path=Path(arguments.baseline) if arguments.baseline else None,
+            no_baseline=arguments.no_baseline,
+            select=arguments.select,
+            ignore=arguments.ignore,
+            write_baseline_path=(
+                Path(arguments.write_baseline) if arguments.write_baseline else None
+            ),
+        )
+    except (UnknownCheckerError, BaselineError) as error:
+        print(f"repro-mis lint: {error}", file=sys.stderr)
+        return 2
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,8 @@ This subpackage implements Section 3 of the paper:
   Generators) shared by every randomized component.
 """
 
+from typing import Any
+
 from repro.core.priorities import (
     DeterministicPriorityAssigner,
     PriorityAssigner,
@@ -64,7 +66,7 @@ from repro.core.dynamic_mis import DynamicMIS
 from repro.core.rng import normalize_seed, spawn_seeds
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Live view: ``ENGINE_NAMES`` always reflects the current registry.
     if name == "ENGINE_NAMES":
         return available_engines()

@@ -26,7 +26,7 @@ are validated against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
 
 from repro.core.engine_api import (
     BatchUpdateReport,
@@ -50,7 +50,7 @@ from repro.workloads.changes import (
 Node = Hashable
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # ``ENGINE_NAMES`` derives from the backend registry (single source of
     # truth): backends registered after import -- compiled third-party slots,
     # test-only references -- appear here automatically.

@@ -53,6 +53,12 @@ from typing import (
 
 from repro.registry import Registry, UnknownNameError
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports, no cycle
+    from repro.core.priorities import PriorityAssigner
+    from repro.graph.dynamic_graph import DynamicGraph
+
 Node = Hashable
 
 
@@ -178,19 +184,19 @@ class MISEngine(ABC):
 
     # -- topology changes ------------------------------------------------
     @abstractmethod
-    def insert_edge(self, u: Node, v: Node):
+    def insert_edge(self, u: Node, v: Node) -> Any:
         """Insert edge ``{u, v}``, restore the invariant, return a report."""
 
     @abstractmethod
-    def delete_edge(self, u: Node, v: Node):
+    def delete_edge(self, u: Node, v: Node) -> Any:
         """Delete edge ``{u, v}``, restore the invariant, return a report."""
 
     @abstractmethod
-    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()):
+    def insert_node(self, node: Node, neighbors: Iterable[Node] = ()) -> Any:
         """Insert ``node`` with edges to existing ``neighbors``, return a report."""
 
     @abstractmethod
-    def delete_node(self, node: Node):
+    def delete_node(self, node: Node) -> Any:
         """Delete ``node`` and its incident edges, return a report."""
 
     @abstractmethod
@@ -327,8 +333,8 @@ def get_engine_factory(name: str) -> EngineFactory:
 
 def create_engine(
     spec: EngineSpec,
-    priorities=None,
-    initial_graph=None,
+    priorities: "Optional[PriorityAssigner]" = None,
+    initial_graph: "Optional[DynamicGraph]" = None,
 ) -> MISEngine:
     """Build (or pass through) an engine from an :data:`EngineSpec`.
 
@@ -383,13 +389,19 @@ def engine_spec_name(spec: EngineSpec) -> str:
 # ----------------------------------------------------------------------
 # Built-in backends (lazy factories -- no circular imports)
 # ----------------------------------------------------------------------
-def _template_factory(priorities=None, initial_graph=None) -> MISEngine:
+def _template_factory(
+    priorities: "Optional[PriorityAssigner]" = None,
+    initial_graph: "Optional[DynamicGraph]" = None,
+) -> MISEngine:
     from repro.core.template import TemplateEngine
 
     return TemplateEngine(priorities=priorities, initial_graph=initial_graph)
 
 
-def _fast_factory(priorities=None, initial_graph=None) -> MISEngine:
+def _fast_factory(
+    priorities: "Optional[PriorityAssigner]" = None,
+    initial_graph: "Optional[DynamicGraph]" = None,
+) -> MISEngine:
     from repro.core.fast_engine import FastEngine
 
     return FastEngine(priorities=priorities, initial_graph=initial_graph)

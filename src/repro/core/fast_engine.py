@@ -34,6 +34,7 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -216,7 +217,7 @@ class FastEngine(MISEngine):
     # ------------------------------------------------------------------
     # Parallel evaluation
     # ------------------------------------------------------------------
-    def attach_parallel(self, pool) -> None:
+    def attach_parallel(self, pool: Optional[Any]) -> None:
         """Evaluate batched repair-wave frontiers on ``pool``.
 
         ``pool`` is a :class:`repro.parallel.pool.WorkerPool` (or ``None``

@@ -14,7 +14,7 @@ recomputation under the same priorities.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Set
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Set
 
 from repro.core.priorities import PriorityAssigner
 from repro.graph.dynamic_graph import DynamicGraph
@@ -85,7 +85,7 @@ def greedy_coloring(graph: DynamicGraph, priorities: PriorityAssigner) -> Dict[N
 def independent_set_size_distribution(
     graph: DynamicGraph,
     seeds: Iterable[int],
-    assigner_factory=None,
+    assigner_factory: Optional[Callable[[int], Any]] = None,
 ) -> Dict[int, int]:
     """Histogram of greedy MIS sizes over random orders (one per seed).
 

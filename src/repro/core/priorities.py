@@ -21,7 +21,7 @@ Two implementations of the :class:`PriorityAssigner` interface are provided:
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 Node = Hashable
 PriorityKey = Tuple[float, int, str]
@@ -87,12 +87,12 @@ class PriorityAssigner:
         """Return ``nodes`` sorted by increasing order in ``pi``."""
         return sorted(nodes, key=self.key)
 
-    def earlier_neighbors(self, graph, node: Node) -> List[Node]:
+    def earlier_neighbors(self, graph: Any, node: Node) -> List[Node]:
         """The set ``I_pi(node)``: neighbors ordered before ``node``."""
         node_key = self.key(node)
         return [other for other in graph.iter_neighbors(node) if self.key(other) < node_key]
 
-    def later_neighbors(self, graph, node: Node) -> List[Node]:
+    def later_neighbors(self, graph: Any, node: Node) -> List[Node]:
         """Neighbors ordered after ``node`` (the complement of ``I_pi``)."""
         node_key = self.key(node)
         return [other for other in graph.iter_neighbors(node) if self.key(other) > node_key]

@@ -112,7 +112,11 @@ class AsyncDirectMISNetwork:
         # invisible to the dispatch and silently build the dict core.
         del network  # "dict" by construction; other values dispatched in __new__
         self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
-        self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
+        if scheduler is None:
+            # The simulator's own built-in default delay policy; spec-driven
+            # runs pass scheduler= through create_network / create_scheduler.
+            scheduler = RandomDelayScheduler(seed + 1)  # repro-lint: registry-discipline -- internal default
+        self._scheduler = scheduler
         self._graph = DynamicGraph()
         self._runtimes: Dict[Node, NodeRuntime] = {}
         self._aggregator = MetricsAggregator()

@@ -116,7 +116,9 @@ class FastNetworkCore:
         initial_graph: Optional[DynamicGraph] = None,
         priorities: Optional[PriorityAssigner] = None,
     ) -> None:
-        self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)
+        # Dealt keys are snapshotted label-keyed via _keys; restore_keys()
+        # rebuilds the assigner from them.
+        self._priorities = priorities if priorities is not None else RandomPriorityAssigner(seed)  # repro-lint: transient -- keys snapshotted via _keys
         self._aggregator = MetricsAggregator()
         self._init_storage()
         if initial_graph is not None:
@@ -133,21 +135,21 @@ class FastNetworkCore:
         self._adj: List[array] = []  # id -> array('q') of neighbor ids
         self._nstate: List[bytearray] = []  # id -> known state per adjacency slot
         self._nkey: List[bytearray] = []  # id -> 1 iff that neighbor's key is known
-        self._prio: List[float] = []  # id -> float part of the priority key
+        self._prio: List[float] = []  # repro-lint: transient -- cache of _keys[nid][0], rebuilt on restore
         self._keys: List[Optional[Tuple]] = []  # id -> full priority key
         self._state = bytearray()  # id -> protocol state code
-        self._alive = bytearray()  # id -> 1 iff node currently exists
+        self._alive = bytearray()  # repro-lint: transient -- derived; restore re-interns every snapshot node
         self._retiring = bytearray()  # id -> 1 while a graceful deletion relays
-        self._entered_c = array("q")  # id -> round it last entered C (-1 = never)
+        self._entered_c = array("q")  # repro-lint: transient -- per-repair scratch; snapshots are quiescent
         # Per-change adjustment accounting (epoch stamps avoid O(n) clears).
-        self._snap_stamp: List[int] = []  # id -> epoch of the output snapshot
-        self._snap_bit = bytearray()  # id -> output bit at snapshot time
-        self._epoch = 0
-        self._touched: List[int] = []  # ids whose state changed this change
+        self._snap_stamp: List[int] = []  # repro-lint: transient -- per-change accounting scratch
+        self._snap_bit = bytearray()  # repro-lint: transient -- per-change accounting scratch
+        self._epoch = 0  # repro-lint: transient -- per-change accounting scratch
+        self._touched: List[int] = []  # repro-lint: transient -- per-change accounting scratch
         # Label interning.
         self._id_of: Dict[Node, int] = {}
-        self._free: List[int] = []
-        self._num_edges = 0
+        self._free: List[int] = []  # repro-lint: transient -- interning free list, empty after restore
+        self._num_edges = 0  # repro-lint: transient -- derived count; the snapshot stores the edge list
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -471,7 +473,7 @@ class FastNetworkCore:
             )
         transient = [
             self._labels[nid]
-            for nid in self._id_of.values()
+            for nid in sorted(self._id_of.values())
             if self._state[nid] > CODE_M_BAR
         ]
         if transient:
@@ -503,7 +505,7 @@ class FastNetworkCore:
                 "registered protocols can snapshot"
             )
         state, labels = self._state, self._labels
-        for nid in self._id_of.values():
+        for nid in sorted(self._id_of.values()):
             if state[nid] > CODE_M_BAR or self._retiring[nid]:
                 raise NetworkStateError(
                     f"node {labels[nid]!r} is mid-repair; snapshots are only "
@@ -1351,7 +1353,11 @@ class FastAsyncDirectMISNetwork(FastNetworkCore):
         scheduler: Optional[DelayScheduler] = None,
         priorities: Optional[PriorityAssigner] = None,
     ) -> None:
-        self._scheduler = scheduler if scheduler is not None else RandomDelayScheduler(seed + 1)
+        if scheduler is None:
+            # The simulator's own built-in default delay policy; spec-driven
+            # runs pass scheduler= through create_network / create_scheduler.
+            scheduler = RandomDelayScheduler(seed + 1)  # repro-lint: registry-discipline -- internal default
+        self._scheduler = scheduler
         self._sequence = EventSequence()
         super().__init__(seed=seed, initial_graph=initial_graph, priorities=priorities)
 

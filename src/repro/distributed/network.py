@@ -147,9 +147,9 @@ class SynchronousMISNetwork:
         self._graph = DynamicGraph()
         self._runtimes: Dict[Node, NodeRuntime] = {}
         self._aggregator = MetricsAggregator()
-        self._introduced: Set[Node] = set()
-        self._round_logging = False
-        self._last_round_log: List[RoundRecord] = []
+        self._introduced: Set[Node] = set()  # repro-lint: transient -- bootstrap bookkeeping; restore re-interns
+        self._round_logging = False  # repro-lint: transient -- observability toggle, not protocol state
+        self._last_round_log: List[RoundRecord] = []  # repro-lint: transient -- observability scratch
         if initial_graph is not None:
             self._bootstrap(initial_graph)
 

@@ -102,7 +102,7 @@ def _worker_main(connection) -> None:
             except BaseException:
                 reply = ("error", traceback.format_exc())
             finally:
-                for view in planes.values():
+                for view in planes.values():  # repro-lint: determinism -- releasing views; order has no replay effect
                     try:
                         view.release()
                     except BufferError:
@@ -112,7 +112,7 @@ def _worker_main(connection) -> None:
             except (BrokenPipeError, OSError):
                 break
     finally:
-        for segment in segments.values():
+        for segment in segments.values():  # repro-lint: determinism -- closing handles; order has no replay effect
             try:
                 segment.close()
             except (BufferError, OSError):
@@ -143,7 +143,7 @@ def _release_resources(processes: List, connections: List, segments: Dict) -> No
             connection.close()
         except OSError:
             pass
-    for segment, unlinked in segments.values():
+    for segment, unlinked in segments.values():  # repro-lint: determinism -- teardown; order has no replay effect
         try:
             segment.close()
         except (BufferError, OSError):

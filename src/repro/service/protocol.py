@@ -142,13 +142,13 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     return document
 
 
-def write_message(stream, document: Dict[str, Any]) -> None:
+def write_message(stream: Any, document: Dict[str, Any]) -> None:
     """Write one framed message to a file-like binary stream and flush."""
     stream.write(encode_message(document))
     stream.flush()
 
 
-def read_message(stream) -> Optional[Dict[str, Any]]:
+def read_message(stream: Any) -> Optional[Dict[str, Any]]:
     """Read the next framed message (``None`` on a cleanly closed stream)."""
     line = stream.readline()
     if not line:

@@ -64,8 +64,8 @@ from repro.core.rng import normalize_seed
 from repro.distributed.network_api import create_network
 from repro.distributed.scheduler import (
     CHANNEL_DETERMINISTIC_SCHEDULERS,
-    AdversarialDelayScheduler,
     DelayScheduler,
+    create_scheduler,
 )
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.testing.differential import ConformanceMismatch, resolve_scenario_inputs
@@ -187,7 +187,7 @@ def replay_protocol_differential(
                 # one fresh instance per backend (schedulers may cache).
                 kwargs["scheduler"] = scenario.backend.build_scheduler()
             else:
-                kwargs["scheduler"] = AdversarialDelayScheduler(seed)
+                kwargs["scheduler"] = create_scheduler("adversarial", seed=seed)
         simulator = create_network(protocol, network=name, **kwargs)
         if trace_enabled:
             simulator.enable_round_logging(True)

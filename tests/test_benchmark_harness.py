@@ -3,8 +3,9 @@
 Covers the two scenario-era additions: ``run_scenario_session`` (the
 benchmarks' entry into the declarative scenario API) and the ``emit_json`` overwrite
 logging -- result files record the performance trajectory in git, so
-overwriting one must print the previous values instead of silently dropping
-them (the exact values ``report.py`` would have diffed against).
+overwriting one must report the previous values (on stderr -- stdout is for
+machine output) instead of silently dropping them (the exact values
+``report.py`` would have diffed against).
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ class TestEmitJson:
     def test_first_write_is_silent(self, tmp_path, capsys):
         path = harness.emit_json("demo", {"per_change_us": 10.0}, results_dir=tmp_path)
         assert path.exists()
-        assert "overwriting" not in capsys.readouterr().out
+        assert "overwriting" not in capsys.readouterr().err
         document = json.loads(path.read_text())
         assert document["benchmark"] == "demo"
         assert document["results"] == {"per_change_us": 10.0}
@@ -43,7 +44,9 @@ class TestEmitJson:
             {"series": [{"n": 500, "per_change_us": 15.0, "speedup": 6.0}]},
             results_dir=tmp_path,
         )
-        output = capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout stays machine-pure
+        output = captured.err
         assert "overwriting" in output
         assert "series[0].per_change_us: 10 -> 15" in output
         assert "series[0].speedup: 4 -> 6" in output
@@ -53,7 +56,7 @@ class TestEmitJson:
         harness.emit_json("demo", {"old_metric_us": 3.0}, results_dir=tmp_path)
         capsys.readouterr()
         harness.emit_json("demo", {"new_metric_us": 5.0}, results_dir=tmp_path)
-        output = capsys.readouterr().out
+        output = capsys.readouterr().err
         assert "dropped values" in output
         assert "old_metric_us" in output
 
@@ -62,7 +65,7 @@ class TestEmitJson:
         target.write_text("{not json")
         path = harness.emit_json("demo", {"per_change_us": 1.0}, results_dir=tmp_path)
         assert json.loads(path.read_text())["results"] == {"per_change_us": 1.0}
-        assert "overwriting" not in capsys.readouterr().out
+        assert "overwriting" not in capsys.readouterr().err
 
     def test_long_change_lists_are_truncated(self, tmp_path, capsys):
         harness.emit_json(
@@ -72,7 +75,7 @@ class TestEmitJson:
         harness.emit_json(
             "demo", {f"metric_{i:02}_us": float(i + 1) for i in range(40)}, results_dir=tmp_path
         )
-        output = capsys.readouterr().out
+        output = capsys.readouterr().err
         assert "more changed values" in output
 
 

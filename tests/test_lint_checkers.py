@@ -1,0 +1,618 @@
+"""Positive/negative fixture tests for the ``repro-mis lint`` checker suite.
+
+Each checker gets at least one fixture tree that must produce a finding and
+one that must stay clean, exercising exactly the contract the checker's
+docstring states.  The fixtures are tiny synthetic projects written under
+``tmp_path`` with the real layout (``src/repro/...``, ``benchmarks/``,
+``examples/``) so path-scoped rules fire the same way they do on the repo.
+
+The repo's own tree is covered too: ``test_repo_tree_is_clean`` runs the full
+suite over the real checkout and requires zero non-baselined findings, which
+is the invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    available_checkers,
+    parse_suppressions,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_project(root: Path, files: dict) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+    return root
+
+
+def findings_for(root: Path, checker: str):
+    return run_lint(root, select=[checker]).findings
+
+
+class TestDeterminism:
+    def test_unseeded_and_global_random_are_flagged(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/rand.py": """
+                import random
+
+                def draw(items):
+                    rng = random.Random()
+                    random.shuffle(items)
+                    return rng
+                """
+            },
+        )
+        messages = [f.message for f in findings_for(tmp_path, "determinism")]
+        assert any("random.Random() without a seed" in m for m in messages)
+        assert any("random.shuffle" in m for m in messages)
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/rand.py": """
+                import random
+
+                def draw(seed):
+                    return random.Random(seed).random()
+                """
+            },
+        )
+        assert findings_for(tmp_path, "determinism") == []
+
+    def test_wall_clock_in_core_is_flagged_but_not_in_benchmarks(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+                "benchmarks/bench_timing.py": """
+                import time
+
+                def measure():
+                    return time.perf_counter()
+                """,
+            },
+        )
+        found = findings_for(tmp_path, "determinism")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/core/clock.py"
+        assert "[wall-clock]" in found[0].message
+
+    def test_set_iteration_flagged_and_sorted_or_reduced_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/iters.py": """
+                def bad(mapping):
+                    out = []
+                    for value in mapping.values():
+                        out.append(value)
+                    return out
+
+                def sorted_is_fine(mapping):
+                    return [v for v in sorted(mapping.values())]
+
+                def reducer_is_fine(mapping):
+                    return sum(v for v in mapping.values())
+                """
+            },
+        )
+        found = findings_for(tmp_path, "determinism")
+        assert len(found) == 1
+        assert found[0].symbol == "bad"
+        assert "[set-iteration]" in found[0].message
+
+    def test_bare_set_expression_iteration_is_flagged(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/sets.py": """
+                def bad(a, b):
+                    for node in set(a) | set(b):
+                        yield node
+                """
+            },
+        )
+        found = findings_for(tmp_path, "determinism")
+        assert len(found) == 1
+        assert "bare set expression" in found[0].message
+
+    def test_float_eq_on_priorities_without_key_escape_is_flagged(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/ties.py": """
+                def bad(prio, u, v):
+                    if prio[u] == prio[v]:
+                        return u
+                    return v
+                """
+            },
+        )
+        found = findings_for(tmp_path, "determinism")
+        assert len(found) == 1
+        assert "[float-eq]" in found[0].message
+
+    def test_float_eq_escaping_to_full_keys_is_sanctioned(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/ties.py": """
+                def good(prio, keys, u, v):
+                    if prio[u] < prio[v] or (prio[u] == prio[v] and keys[u] < keys[v]):
+                        return u
+                    return v
+
+                def mask(prio_np, a, b):
+                    ties = prio_np[a] == prio_np[b]
+                    return ties
+
+                def invariant(self, nid):
+                    assert self._prio[nid] == self._keys[nid][0]
+                """
+            },
+        )
+        assert findings_for(tmp_path, "determinism") == []
+
+
+class TestCheckpointParity:
+    def test_restore_dropping_a_networksnapshot_field_is_flagged(self, tmp_path):
+        # A near-copy of the simulators' NetworkSnapshot restore shape with
+        # one field deliberately dropped from restore(): the acceptance
+        # scenario for this checker.
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/mini.py": """
+                class MiniNetwork:
+                    def __init__(self):
+                        self._states = {}
+                        self._knowledge = {}
+                        self._metrics = []
+
+                    def snapshot(self):
+                        return {
+                            "states": dict(self._states),
+                            "knowledge": dict(self._knowledge),
+                            "metrics": list(self._metrics),
+                        }
+
+                    def restore(self, snapshot):
+                        self._states = dict(snapshot["states"])
+                        self._knowledge = dict(snapshot["knowledge"])
+                        # _metrics deliberately dropped
+                """
+            },
+        )
+        found = findings_for(tmp_path, "checkpoint-parity")
+        assert len(found) == 1
+        assert found[0].symbol == "MiniNetwork._metrics"
+        assert "never written by restore()" in found[0].message
+        assert "never read by snapshot()" not in found[0].message
+
+    def test_full_coverage_is_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/mini.py": """
+                class MiniNetwork:
+                    def __init__(self):
+                        self._states = {}
+
+                    def snapshot(self):
+                        return dict(self._states)
+
+                    def restore(self, snapshot):
+                        self._states = dict(snapshot)
+                """
+            },
+        )
+        assert findings_for(tmp_path, "checkpoint-parity") == []
+
+    def test_transient_waiver_silences_the_attribute(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/mini.py": """
+                class MiniNetwork:
+                    def __init__(self):
+                        self._states = {}
+                        self._cache = {}  # repro-lint: transient -- derived, rebuilt lazily
+
+                    def snapshot(self):
+                        return dict(self._states)
+
+                    def restore(self, snapshot):
+                        self._states = dict(snapshot)
+                """
+            },
+        )
+        report = run_lint(tmp_path, select=["checkpoint-parity"])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_coverage_through_self_method_closure_counts(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/mini.py": """
+                class MiniNetwork:
+                    def __init__(self):
+                        self._states = {}
+
+                    def _collect(self):
+                        return dict(self._states)
+
+                    def snapshot(self):
+                        return self._collect()
+
+                    def restore(self, snapshot):
+                        self._states = dict(snapshot)
+                """
+            },
+        )
+        assert findings_for(tmp_path, "checkpoint-parity") == []
+
+    def test_protocol_stubs_are_skipped(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/api.py": """
+                class Checkpointable:
+                    def __init__(self):
+                        self._anything = 1
+
+                    def snapshot(self):
+                        raise NotImplementedError
+
+                    def restore(self, snapshot):
+                        raise NotImplementedError
+                """
+            },
+        )
+        assert findings_for(tmp_path, "checkpoint-parity") == []
+
+
+class TestRegistryDiscipline:
+    FIXTURE = {
+        "src/repro/distributed/scheduler.py": """
+        class FancyScheduler:
+            def __init__(self, seed=0):
+                self.seed = seed
+
+        def register_scheduler(name, factory, params=()):
+            pass
+
+        register_scheduler("fancy", FancyScheduler, ("seed",))
+
+        def _default():
+            return FancyScheduler(0)
+        """,
+    }
+
+    def test_direct_construction_in_benchmarks_is_flagged(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                **self.FIXTURE,
+                "benchmarks/bench_sched.py": """
+                from repro.distributed.scheduler import FancyScheduler
+
+                def run():
+                    return FancyScheduler(3)
+                """,
+            },
+        )
+        found = findings_for(tmp_path, "registry-discipline")
+        assert len(found) == 1
+        assert found[0].path == "benchmarks/bench_sched.py"
+        assert "create_scheduler" in found[0].message
+
+    def test_defining_module_and_front_door_call_are_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                **self.FIXTURE,
+                "benchmarks/bench_sched.py": """
+                from repro.distributed.scheduler import create_scheduler
+
+                def run():
+                    return create_scheduler("fancy", seed=3)
+                """,
+            },
+        )
+        assert findings_for(tmp_path, "registry-discipline") == []
+
+    def test_factory_registered_backends_are_discovered(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/impl.py": """
+                class ImplEngine:
+                    pass
+                """,
+                "src/repro/core/api.py": """
+                def register_engine(name, factory):
+                    pass
+
+                def _impl_factory(priorities=None, initial_graph=None):
+                    from repro.core.impl import ImplEngine
+
+                    return ImplEngine()
+
+                register_engine("impl", _impl_factory)
+                """,
+                "examples/use.py": """
+                from repro.core.impl import ImplEngine
+
+                engine = ImplEngine()
+                """,
+            },
+        )
+        found = findings_for(tmp_path, "registry-discipline")
+        assert len(found) == 1
+        assert found[0].path == "examples/use.py"
+        assert "create_engine" in found[0].message
+
+    def test_registry_front_door_classes_are_exempt(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/distributed/network.py": """
+                def resolve_network(name, protocol):
+                    pass
+
+                def register_network(name, thing):
+                    pass
+
+                class FrontDoor:
+                    def __new__(cls, **kwargs):
+                        factory = resolve_network("dict", "buffered")
+                        return factory(**kwargs)
+
+                class SubDoor(FrontDoor):
+                    pass
+
+                register_network("front", FrontDoor)
+                register_network("sub", SubDoor)
+                """,
+                "examples/use.py": """
+                from repro.distributed.network import FrontDoor, SubDoor
+
+                a = FrontDoor(seed=1)
+                b = SubDoor(seed=2)
+                """,
+            },
+        )
+        assert findings_for(tmp_path, "registry-discipline") == []
+
+
+class TestWireProtocol:
+    BROKEN = {
+        "src/repro/service/protocol.py": """
+        ERROR_KINDS = ("bad-request", "not-found")
+        """,
+        "src/repro/service/client.py": """
+        class ServiceClientError(Exception):
+            def __init__(self, message, kind="protocol"):
+                self.kind = kind
+
+        class ServiceClient:
+            def request(self, op, **payload):
+                pass
+
+            def ping(self):
+                return self.request("ping")
+
+            def boom(self):
+                return self.request("boom")
+
+            def shutdown(self):
+                return self.request("shutdown")
+
+            def _fail(self):
+                raise ServiceClientError("unreachable", kind="connection")
+        """,
+        "src/repro/service/host.py": """
+        class SessionHost:
+            OPS = {"ping": "_op_ping", "zombie": "_op_zombie", "ghost": "_op_missing"}
+
+            def _op_ping(self, payload):
+                pass
+
+            def _op_zombie(self, payload):
+                pass
+        """,
+        "src/repro/service/daemon.py": """
+        from repro.service import protocol
+
+        def dispatch(op):
+            if op == "shutdown":
+                return protocol.error("going down", "bogus")
+        """,
+    }
+
+    def test_drifted_surface_produces_each_finding_kind(self, tmp_path):
+        make_project(tmp_path, self.BROKEN)
+        messages = [f.message for f in findings_for(tmp_path, "wire-protocol")]
+        assert any("'boom'" in m and "neither SessionHost.OPS" in m for m in messages)
+        assert any("'_op_missing'" in m for m in messages)
+        assert any("'zombie'" in m and "dead wire surface" in m for m in messages)
+        assert any("'bogus'" in m and "ERROR_KINDS" in m for m in messages)
+        # the client-only transport kind never counts as drift
+        assert not any("'connection'" in m for m in messages)
+
+    def test_consistent_surface_is_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/service/protocol.py": """
+                ERROR_KINDS = ("bad-request", "not-found")
+                """,
+                "src/repro/service/client.py": """
+                class ServiceClient:
+                    def request(self, op, **payload):
+                        pass
+
+                    def ping(self):
+                        return self.request("ping")
+
+                    def shutdown(self):
+                        return self.request("shutdown")
+                """,
+                "src/repro/service/host.py": """
+                class SessionHost:
+                    OPS = {"ping": "_op_ping"}
+
+                    def _op_ping(self, payload):
+                        pass
+                """,
+                "src/repro/service/daemon.py": """
+                from repro.service import protocol
+
+                def dispatch(op):
+                    if op == "shutdown":
+                        return protocol.error("going down", "bad-request")
+                """,
+            },
+        )
+        assert findings_for(tmp_path, "wire-protocol") == []
+
+    def test_trees_without_the_service_layer_are_skipped(self, tmp_path):
+        make_project(
+            tmp_path,
+            {"src/repro/core/thing.py": "X = 1\n"},
+        )
+        assert findings_for(tmp_path, "wire-protocol") == []
+
+
+class TestSharedPlanes:
+    def test_object_store_into_plane_is_flagged(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/parallel/kern.py": """
+                def kernel(planes, start, stop, params):
+                    planes["state"] = {}
+                    view = planes["e_state"]
+                    view[0] = "label"
+                """
+            },
+        )
+        messages = [f.message for f in findings_for(tmp_path, "shared-planes")]
+        assert len(messages) == 2
+        assert any("a dict" in m for m in messages)
+        assert any("a str" in m for m in messages)
+
+    def test_flat_scalar_stores_are_clean(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/parallel/kern.py": """
+                def kernel(planes, start, stop, params):
+                    view = planes["e_state"]
+                    view[0] = 1.0
+                    view[1:3] = computed(params)
+                """
+            },
+        )
+        assert findings_for(tmp_path, "shared-planes") == []
+
+    def test_importers_of_repro_parallel_are_in_scope(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/scenario/fanout.py": """
+                from repro.parallel.pool import WorkerPool
+
+                def publish(pool):
+                    plane = pool.ensure("e_state", 64)
+                    plane[0] = lambda: None
+                """
+            },
+        )
+        found = findings_for(tmp_path, "shared-planes")
+        assert len(found) == 1
+        assert "a function object" in found[0].message
+
+
+class TestSuppressionsAndFingerprints:
+    def test_parse_suppressions_grammar(self):
+        source = (
+            "x = 1  # repro-lint: determinism -- accepted\n"
+            "y = 2  # repro-lint: determinism, registry-discipline\n"
+            "z = 3  # repro-lint: all\n"
+        )
+        suppressions = parse_suppressions(source)
+        assert suppressions[1].covers("determinism")
+        assert not suppressions[1].covers("registry-discipline")
+        assert suppressions[2].covers("registry-discipline")
+        assert suppressions[3].covers("wire-protocol")
+
+    def test_transient_alias_maps_to_checkpoint_parity(self):
+        suppressions = parse_suppressions("a = 1  # repro-lint: transient -- scratch\n")
+        assert suppressions[1].covers("checkpoint-parity")
+        assert not suppressions[1].covers("determinism")
+
+    def test_fingerprint_ignores_the_line_number(self):
+        one = Finding(check="determinism", path="a.py", line=3, col=0, message="m", symbol="f")
+        two = Finding(check="determinism", path="a.py", line=90, col=4, message="m", symbol="f")
+        other = Finding(check="determinism", path="a.py", line=3, col=0, message="n", symbol="f")
+        assert one.fingerprint == two.fingerprint
+        assert one.fingerprint != other.fingerprint
+
+    def test_suppression_is_counted_not_dropped(self, tmp_path):
+        make_project(
+            tmp_path,
+            {
+                "src/repro/core/rand.py": """
+                import random
+
+                def draw(items):
+                    random.shuffle(items)  # repro-lint: determinism -- fixture
+                """
+            },
+        )
+        report = run_lint(tmp_path, select=["determinism"])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+
+class TestRepoSelfCheck:
+    def test_all_five_checkers_are_registered(self):
+        assert set(available_checkers()) >= {
+            "determinism",
+            "checkpoint-parity",
+            "registry-discipline",
+            "wire-protocol",
+            "shared-planes",
+        }
+
+    @pytest.mark.slow
+    def test_repo_tree_is_clean(self):
+        report = run_lint(REPO_ROOT)
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.findings == [], f"lint findings on the repo tree:\n{rendered}"
+
+    def test_syntax_errors_become_findings(self, tmp_path):
+        make_project(tmp_path, {"src/repro/core/broken.py": "def f(:\n"})
+        report = run_lint(tmp_path)
+        assert [f.check for f in report.findings] == ["syntax"]

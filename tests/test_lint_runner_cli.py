@@ -1,0 +1,181 @@
+"""Runner, baseline, CLI and stdout-purity tests for ``repro-mis lint``.
+
+The checker semantics live in ``test_lint_checkers.py``; this module covers
+the surrounding machinery: exit codes, the committed-baseline accept/stale
+flow, ``--write-baseline``, the argparse surface, and the satellite guarantee
+that machine output stays alone on stdout for both ``repro-mis lint --format
+json`` and ``benchmarks/report.py --json`` (checked with real subprocesses).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    BaselineError,
+    load_baseline,
+    run_lint,
+    run_lint_command,
+    write_baseline,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def dirty_project(tmp_path):
+    """A tree with exactly one determinism finding (an unseeded RNG)."""
+    target = tmp_path / "src" / "repro" / "core" / "rand.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            def draw():
+                return random.Random().random()
+            """
+        )
+    )
+    return tmp_path
+
+
+def run_command(root, **kwargs):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_lint_command(root, stdout=out, stderr=err, **kwargs)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestExitCodesAndBaseline:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "ok.py").write_text("X = 1\n")
+        code, out, err = run_command(tmp_path)
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_new_finding_exits_one(self, dirty_project):
+        code, out, err = run_command(dirty_project)
+        assert code == 1
+        assert "random.Random() without a seed" in out
+
+    def test_baselined_finding_exits_zero(self, dirty_project):
+        report = run_lint(dirty_project)
+        baseline = dirty_project / "lint-baseline.json"
+        write_baseline(baseline, report.findings)
+        code, out, err = run_command(dirty_project)
+        assert code == 0
+        assert "1 baselined" in out
+        assert f"baseline: {baseline}" in err
+
+    def test_no_baseline_flag_ignores_the_committed_file(self, dirty_project):
+        write_baseline(
+            dirty_project / "lint-baseline.json", run_lint(dirty_project).findings
+        )
+        code, _, _ = run_command(dirty_project, no_baseline=True)
+        assert code == 1
+
+    def test_stale_entries_are_reported_without_failing(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "ok.py").write_text("X = 1\n")
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1, "findings": [{"fingerprint": "deadbeef00000000"}]})
+        )
+        code, out, err = run_command(tmp_path)
+        assert code == 0
+        assert "1 stale baseline entry" in out
+        assert "deadbeef00000000" in err
+
+    def test_write_baseline_round_trips(self, dirty_project):
+        baseline = dirty_project / "accepted.json"
+        code, _, err = run_command(dirty_project, write_baseline_path=baseline)
+        assert code == 1  # the run that writes the baseline still reports it
+        assert f"wrote baseline {baseline}" in err
+        assert len(load_baseline(baseline)) == 1
+        code, _, _ = run_command(dirty_project, baseline_path=baseline)
+        assert code == 0
+
+    def test_corrupt_baseline_raises_baseline_error(self, dirty_project):
+        bad = dirty_project / "lint-baseline.json"
+        bad.write_text("not json")
+        with pytest.raises(BaselineError):
+            run_command(dirty_project)
+
+    def test_json_stdout_is_a_single_machine_document(self, dirty_project):
+        code, out, err = run_command(dirty_project, output_format="json")
+        assert code == 1
+        document = json.loads(out)  # nothing but the document on stdout
+        assert [f["check"] for f in document["findings"]] == ["determinism"]
+        assert document["baselined"] == []
+        assert document["stale_baseline"] == []
+
+
+class TestCliSurface:
+    def test_lint_subcommand_reports_and_exits_one(self, dirty_project, capsys):
+        code = main(["lint", "--root", str(dirty_project), "--select", "determinism"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "random.Random() without a seed" in captured.out
+
+    def test_unknown_checker_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["lint", "--root", str(tmp_path), "--select", "determinsm"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "repro-mis lint:" in captured.err
+        assert "determinism" in captured.err  # did-you-mean hint
+        assert captured.out == ""
+
+    def test_corrupt_baseline_is_a_usage_error(self, dirty_project, capsys):
+        (dirty_project / "lint-baseline.json").write_text("{}")
+        code = main(["lint", "--root", str(dirty_project)])
+        assert code == 2
+        assert "repro-mis lint:" in capsys.readouterr().err
+
+    def test_explicit_paths_narrow_the_scope(self, dirty_project, capsys):
+        (dirty_project / "examples").mkdir()
+        (dirty_project / "examples" / "ok.py").write_text("X = 1\n")
+        code = main(["lint", "--root", str(dirty_project), "examples"])
+        assert code == 0
+        assert "across 1 files" in capsys.readouterr().out
+
+
+class TestStdoutPurity:
+    """Satellite guarantee: machine output is alone on stdout (pipeable)."""
+
+    def run(self, argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            argv,
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_repro_mis_lint_json_stdout_is_pure(self):
+        result = self.run([sys.executable, "-m", "repro", "lint", "--format", "json"])
+        assert result.returncode == 0, result.stderr
+        document = json.loads(result.stdout)  # would fail on any stray chatter
+        assert document["findings"] == []
+        # the baseline banner is diagnostic chatter and must be on stderr
+        assert "baseline:" in result.stderr
+
+    def test_benchmark_report_json_stdout_is_pure(self):
+        result = self.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks" / "report.py"), "--json"]
+        )
+        # pass/fail depends on the committed trajectory; purity must not
+        assert result.returncode in (0, 1), result.stderr
+        document = json.loads(result.stdout)  # would fail on any stray chatter
+        assert isinstance(document["benchmarks"], list)
+        assert isinstance(document["regressions"], list)
+        # all progress chatter (per-benchmark rows, summary) is on stderr
+        assert result.stderr.strip() != ""
