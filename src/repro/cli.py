@@ -489,7 +489,8 @@ def _add_engine_argument(parser: argparse.ArgumentParser, role: str) -> None:
         choices=available_engines(),
         default="template",
         help="sequential MIS backend ('template' = paper-shaped reference, 'fast' = "
-        f"array-backed, identical outputs; any registered backend works); {role}",
+        "array-backed, 'fast-csr' = fast + vectorized CSR repair wave, all with "
+        f"identical outputs; any registered backend works); {role}",
     )
 
 

@@ -80,6 +80,48 @@ def engine_desired(
     return stop - start
 
 
+def engine_desired_csr(
+    planes: Mapping[str, memoryview], start: int, stop: int, params: Dict[str, Any]
+) -> int:
+    """:func:`engine_desired` over the incremental CSR mirror's slacked rows.
+
+    Same evaluation and the same ``DESIRED_*`` escape discipline, but the
+    adjacency planes are the :class:`repro.core.csr.CSRMirror` layout: row
+    ``nid`` occupies ``e_indices[e_starts[nid] : e_starts[nid] +
+    e_lengths[nid]]`` (rows carry slack, so there is no ``indptr``
+    prefix-sum).  A ``csr=True`` engine publishes these planes straight from
+    its mirror instead of re-flattening the ragged rows per wave.
+
+    Planes: ``e_state`` (uint8 per id), ``e_prio`` (float64 per id),
+    ``e_starts``/``e_lengths``/``e_indices`` (int64 slacked CSR),
+    ``e_frontier`` (int64 work items), ``e_out`` (uint8 per work item,
+    written).
+    """
+    state = planes["e_state"]
+    prio = planes["e_prio"].cast("d")
+    starts = planes["e_starts"].cast("q")
+    lengths = planes["e_lengths"].cast("q")
+    indices = planes["e_indices"].cast("q")
+    frontier = planes["e_frontier"].cast("q")
+    out = planes["e_out"]
+    for i in range(start, stop):
+        nid = frontier[i]
+        pf = prio[nid]
+        code = DESIRED_IN
+        base = starts[nid]
+        for pos in range(base, base + lengths[nid]):
+            m = indices[pos]
+            if state[m]:
+                pm = prio[m]
+                if pm < pf:
+                    code = DESIRED_OUT
+                    break
+                if pm == pf:
+                    code = DESIRED_UNCERTAIN
+        out[i] = code
+    return stop - start
+
+
 def network_guards(
     planes: Mapping[str, memoryview], start: int, stop: int, params: Dict[str, Any]
 ) -> int:
@@ -142,5 +184,6 @@ def network_guards(
 #: spawned worker resolves names after a fresh import.
 KERNELS: Dict[str, Any] = {
     "engine_desired": engine_desired,
+    "engine_desired_csr": engine_desired_csr,
     "network_guards": network_guards,
 }

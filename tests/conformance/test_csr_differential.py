@@ -1,0 +1,385 @@
+"""CSR-wave differential conformance + the compiled-backend (FFI) slot.
+
+Three gates in one file:
+
+1. **Forced-on replays** -- with ``_CSR_LEVEL_THRESHOLD`` monkeypatched to 1
+   every repair level of the ``fast-csr`` backend evaluates through the
+   :class:`repro.core.csr.CSRMirror` gather kernels, and both replay
+   harnesses must still find it bit-identical to the template (counters,
+   influenced sets, MIS, clustering).  Conformance-scale workloads never
+   reach the production threshold of 32, so without the forced threshold the
+   vectorized path would go untested.
+2. **The threshold/fallback matrix** -- CSR off below the threshold, off
+   under a huge threshold, off without numpy; each case must both *pass the
+   replay* and *provably not run the kernels* (call counter).
+3. **The FFI slot** -- a toy external backend that computes every read view
+   purely from the frozen :meth:`~repro.core.fast_engine.FastEngine.
+   csr_planes` buffer layout (the memory a Rust/Cython backend would mmap),
+   registered through the public registry alone and gated by the same
+   replays.  A layout-freeze test pins the dtypes so a compiled consumer
+   cannot be broken silently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set
+
+import pytest
+
+from repro.core import fast_engine
+from repro.core.dynamic_mis import DynamicMIS
+from repro.core.engine_api import (
+    BatchUpdateReport,
+    EngineSnapshot,
+    MISEngine,
+    register_engine,
+    unregister_engine,
+)
+from repro.core.fast_engine import FastEngine
+from repro.core.rng import spawn_seeds
+from repro.testing.differential import (
+    conformance_workload,
+    replay_batch_differential,
+    replay_differential,
+)
+
+Node = Hashable
+
+MASTER_SEED = 20260807
+CSR_SUITE_SEEDS = spawn_seeds(MASTER_SEED, 10)
+
+
+def _counting_desired_codes(monkeypatch: pytest.MonkeyPatch):
+    """Wrap the mirror's vectorized level kernel with a call counter."""
+    from repro.core.csr import CSRMirror
+
+    calls = {"count": 0}
+    original = CSRMirror.desired_codes
+
+    def counted(self, frontier, state, prio):
+        calls["count"] += 1
+        return original(self, frontier, state, prio)
+
+    monkeypatch.setattr(CSRMirror, "desired_codes", counted)
+    return calls
+
+
+def _force_csr_on(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setattr(fast_engine, "_CSR_LEVEL_THRESHOLD", 1)
+
+
+# ----------------------------------------------------------------------
+# Tier-1: forced-on CSR wave vs template over seeded sequences
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CSR_SUITE_SEEDS)
+def test_forced_csr_batched_replay(seed: int, monkeypatch: pytest.MonkeyPatch) -> None:
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    _force_csr_on(monkeypatch)
+    calls = _counting_desired_codes(monkeypatch)
+    graph, changes = conformance_workload(seed, num_changes=40, start_nodes=18)
+    result = replay_batch_differential(
+        graph, changes, seed=seed, engines=("template", "fast-csr"), max_batch=8
+    )
+    assert result.engines == ("template", "fast-csr")
+    assert calls["count"] > 0, "the CSR level kernel never ran"
+
+
+@pytest.mark.parametrize("seed", CSR_SUITE_SEEDS[:5])
+def test_forced_csr_single_change_replay(
+    seed: int, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    """Single-change replay: the mirror shadows every mutation path exactly.
+
+    (The per-change path never batches levels, so the win is the decode
+    checks inside ``check_interning_invariants`` running all through the
+    replay -- any missed dirty-mark diverges the mirror and fails here.)
+    """
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    _force_csr_on(monkeypatch)
+    graph, changes = conformance_workload(seed, num_changes=40, start_nodes=18)
+    result = replay_differential(
+        graph, changes, seed=seed, engines=("template", "fast-csr", "fast")
+    )
+    assert result.engines == ("template", "fast-csr", "fast")
+
+
+def test_forced_csr_replay_with_node_churn(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Label deletion + re-interning onto recycled ids, CSR forced on."""
+    from repro.graph.generators import star_graph
+    from repro.workloads.sequences import node_churn_sequence
+
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    _force_csr_on(monkeypatch)
+    graph = star_graph(6)
+    changes = node_churn_sequence(graph, 60, seed=4, insert_probability=0.5)
+    replay_batch_differential(
+        graph, changes, seed=4, engines=("template", "fast-csr"), max_batch=6
+    )
+
+
+def test_natural_large_level_engages_csr(monkeypatch: pytest.MonkeyPatch) -> None:
+    """A 100-flip level crosses the production threshold organically."""
+    from repro.core.priorities import RandomPriorityAssigner
+    from repro.graph.dynamic_graph import DynamicGraph
+    from repro.workloads.changes import NodeInsertion
+
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    leaves = list(range(100))
+    found = None
+    for seed in range(2000):
+        assigner = RandomPriorityAssigner(seed)
+        newcomer_key = assigner.assign("x")
+        if all(newcomer_key < assigner.assign(leaf) for leaf in leaves):
+            found = seed
+            break
+    assert found is not None, "no seed makes 'x' earliest; widen the search"
+
+    graph = DynamicGraph(nodes=leaves)
+    batch = [NodeInsertion("x", tuple(leaves))]
+    calls = _counting_desired_codes(monkeypatch)
+    template = DynamicMIS(seed=found, initial_graph=graph, engine="template")
+    csr = DynamicMIS(seed=found, initial_graph=graph, engine="fast-csr")
+    report_t = template.apply_batch(batch)
+    report_c = csr.apply_batch(batch)
+    assert calls["count"] > 0, "a 100-node level should engage the CSR kernels"
+    assert template.mis() == csr.mis() == {"x"}
+    assert report_t.num_adjustments == report_c.num_adjustments == 101
+    assert report_t.num_levels == report_c.num_levels == 2
+    assert report_t.update_work == report_c.update_work
+    assert report_t.influenced_set == report_c.influenced_set
+    template.verify()
+    csr.verify()
+
+
+# ----------------------------------------------------------------------
+# Threshold / fallback matrix
+# ----------------------------------------------------------------------
+def test_below_threshold_levels_never_touch_the_kernels(
+    monkeypatch: pytest.MonkeyPatch,
+) -> None:
+    """Conformance-scale frontiers sit below the production threshold."""
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    calls = _counting_desired_codes(monkeypatch)
+    graph, changes = conformance_workload(13, num_changes=40, start_nodes=16)
+    replay_batch_differential(
+        graph, changes, seed=13, engines=("template", "fast-csr"), max_batch=8
+    )
+    assert calls["count"] == 0, "small levels must stay on the serial walk"
+
+
+def test_huge_threshold_forces_csr_off(monkeypatch: pytest.MonkeyPatch) -> None:
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    monkeypatch.setattr(fast_engine, "_CSR_LEVEL_THRESHOLD", 10**9)
+    calls = _counting_desired_codes(monkeypatch)
+    graph, changes = conformance_workload(14, num_changes=40, start_nodes=16)
+    replay_batch_differential(
+        graph, changes, seed=14, engines=("template", "fast-csr"), max_batch=8
+    )
+    assert calls["count"] == 0
+
+
+def test_numpy_absent_fast_csr_degrades_to_plain_wave(
+    monkeypatch: pytest.MonkeyPatch,
+) -> None:
+    """Without numpy the ``fast-csr`` backend is exactly the fast engine."""
+    monkeypatch.setattr(fast_engine, "_np", None)
+    monkeypatch.setattr(fast_engine, "_EMPTY_IDS", None)
+    graph, changes = conformance_workload(15, num_changes=30, start_nodes=14)
+    replay_batch_differential(
+        graph, changes, seed=15, engines=("template", "fast-csr"), max_batch=8
+    )
+    engine = FastEngine(csr=True)
+    assert engine.csr_mirror is None
+    with pytest.raises(RuntimeError, match="no CSR mirror"):
+        engine.csr_planes()
+
+
+# ----------------------------------------------------------------------
+# The compiled-backend slot: a toy FFI engine over the frozen planes
+# ----------------------------------------------------------------------
+class PlaneReaderEngine(MISEngine):
+    """Toy external backend: every read view decoded from the CSR planes.
+
+    The write path delegates to an inner ``csr=True`` fast engine (reports
+    and maintenance are the host's job either way); every *query* --
+    ``mis``/``states``/``in_mis``/``clustering``/``verify`` -- is computed
+    exclusively from the :meth:`FastEngine.csr_planes` buffers plus the
+    public ``interned_items()`` label map, i.e. from exactly the memory a
+    compiled (Rust/Cython/C) kernel would receive.  Running it through the
+    replay harnesses therefore machine-checks that the frozen plane layout
+    *alone* carries enough information to reproduce the template engine's
+    outputs -- the recipe an actual FFI backend follows, per
+    ``RecomputeReferenceEngine`` in ``test_batch_differential.py``.
+
+    Exact float priority ties are resolved through the host-side full keys
+    (``priorities.key``), the same escape hatch the worker kernels and the
+    mirror kernels use -- an FFI backend must keep that discipline.
+    """
+
+    def __init__(self, priorities=None, initial_graph=None) -> None:
+        self._inner = FastEngine(
+            priorities=priorities, initial_graph=initial_graph, csr=True
+        )
+        if self._inner.csr_mirror is None:  # pragma: no cover - numpy gate
+            raise RuntimeError("PlaneReaderEngine needs numpy")
+
+    # -- delegated topology changes (report source) ---------------------
+    def insert_edge(self, u, v):
+        return self._inner.insert_edge(u, v)
+
+    def delete_edge(self, u, v):
+        return self._inner.delete_edge(u, v)
+
+    def insert_node(self, node, neighbors=()):
+        return self._inner.insert_node(node, neighbors)
+
+    def delete_node(self, node):
+        return self._inner.delete_node(node)
+
+    def apply_batch(self, changes: Sequence) -> BatchUpdateReport:
+        return self._inner.apply_batch(changes)
+
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def priorities(self):
+        return self._inner.priorities
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        self._inner.restore(snapshot)
+
+    # -- read views decoded from the frozen planes ----------------------
+    def _decoded(self):
+        planes = self._inner.csr_planes()
+        label_of = {nid: label for label, nid in self._inner.interned_items()}
+        return planes, label_of
+
+    def mis(self) -> Set[Node]:
+        planes, label_of = self._decoded()
+        state = planes["state"]
+        return {label for nid, label in label_of.items() if state[nid]}
+
+    def states(self) -> Dict[Node, bool]:
+        planes, label_of = self._decoded()
+        state = planes["state"]
+        return {label: bool(state[nid]) for nid, label in label_of.items()}
+
+    def in_mis(self, node) -> bool:
+        return self.states()[node]
+
+    def _earlier_by_planes(self, planes, label_of, a: int, b: int) -> bool:
+        pa, pb = planes["prio"][a], planes["prio"][b]
+        if pa != pb:
+            return bool(pa < pb)
+        key = self.priorities.key
+        return key(label_of[a]) < key(label_of[b])
+
+    def clustering(self) -> Dict[Node, Node]:
+        planes, label_of = self._decoded()
+        starts, lengths = planes["starts"], planes["lengths"]
+        indices, state = planes["indices"], planes["state"]
+        centers: Dict[Node, Node] = {}
+        for nid, label in label_of.items():
+            if state[nid]:
+                centers[label] = label
+                continue
+            best = -1
+            for pos in range(int(starts[nid]), int(starts[nid]) + int(lengths[nid])):
+                m = int(indices[pos])
+                if state[m] and (
+                    best < 0 or self._earlier_by_planes(planes, label_of, m, best)
+                ):
+                    best = m
+            centers[label] = label_of[best] if best >= 0 else None
+        return centers
+
+    def verify(self) -> None:
+        """Re-check the MIS invariant at every live id, from the planes."""
+        self._inner.verify()
+        planes, label_of = self._decoded()
+        starts, lengths = planes["starts"], planes["lengths"]
+        indices, state = planes["indices"], planes["state"]
+        for nid, label in label_of.items():
+            blocked = False
+            for pos in range(int(starts[nid]), int(starts[nid]) + int(lengths[nid])):
+                m = int(indices[pos])
+                if state[m] and self._earlier_by_planes(planes, label_of, m, nid):
+                    blocked = True
+                    break
+            if bool(state[nid]) == blocked:
+                raise AssertionError(
+                    f"plane-decoded invariant violated at {label!r}"
+                )
+
+
+@pytest.fixture
+def plane_backend():
+    if fast_engine._np is None:
+        pytest.skip("numpy not available")
+    name = "plane-reader-test"
+    unregister_engine(name)
+    register_engine(name, PlaneReaderEngine)
+    yield name
+    unregister_engine(name)
+
+
+def test_ffi_slot_backend_passes_replay_differential(plane_backend) -> None:
+    graph, changes = conformance_workload(41, num_changes=40, start_nodes=16)
+    result = replay_differential(
+        graph, changes, seed=41, engines=("template", plane_backend)
+    )
+    assert result.engines == ("template", "plane-reader-test")
+
+
+def test_ffi_slot_backend_passes_batched_replay(
+    plane_backend, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    _force_csr_on(monkeypatch)  # decode pressure on the vectorized wave too
+    graph, changes = conformance_workload(42, num_changes=30, start_nodes=14)
+    replay_batch_differential(
+        graph, changes, seed=42, engines=("template", plane_backend), max_batch=8
+    )
+
+
+def test_plane_layout_is_frozen() -> None:
+    """Pin the FFI contract: names, dtypes, and slab geometry invariants."""
+    np = pytest.importorskip("numpy")
+    from repro.workloads.changes import EdgeInsertion, NodeInsertion
+
+    maintainer = DynamicMIS(seed=7, engine="fast-csr")
+    engine = maintainer.engine
+    for label in "abcdef":
+        maintainer.apply(NodeInsertion(label, ()))
+    maintainer.apply(EdgeInsertion("a", "b"))
+    maintainer.apply(EdgeInsertion("b", "c"))
+    planes = engine.csr_planes()
+    assert set(planes) == {"starts", "lengths", "caps", "indices", "prio", "state"}
+    for name in ("starts", "lengths", "caps", "indices"):
+        assert planes[name].dtype == np.int64, name
+        assert planes[name].itemsize == 8
+    assert planes["prio"].dtype == np.float64 and planes["prio"].itemsize == 8
+    assert planes["state"].dtype == np.uint8 and planes["state"].itemsize == 1
+    capacity = engine.capacity()
+    for name in ("starts", "lengths", "caps", "prio", "state"):
+        assert len(planes[name]) == capacity, name
+    assert bool((planes["caps"] >= planes["lengths"]).all())
+    # Row decode: id slices reproduce the (id-translated) neighbor sets.
+    id_of = dict(engine.interned_items())
+    row_b = planes["indices"][
+        planes["starts"][id_of["b"]] : planes["starts"][id_of["b"]]
+        + planes["lengths"][id_of["b"]]
+    ]
+    assert set(row_b.tolist()) == {id_of["a"], id_of["c"]}
+    # Rebuilds bump the generation counter (FFI consumers re-fetch pointers).
+    generation = engine.csr_mirror.generation
+    engine.csr_mirror.invalidate()
+    engine.csr_planes()
+    assert engine.csr_mirror.generation == generation + 1

@@ -146,9 +146,17 @@ class TestCommands:
         assert main(["--list-engines", "--list-networks"]) == 0
         output = capsys.readouterr().out
         assert "template" in output and "fast" in output
+        assert "fast-csr" in output  # the CSR-wave variant rides the registry
         assert "TemplateEngine" in output and "FastEngine" in output
         assert "native" in output  # batch capability flag
         assert "buffered" in output and "async-direct" in output
+
+    def test_churn_accepts_the_fast_csr_engine(self, capsys):
+        assert (
+            main(["churn", "--nodes", "12", "--changes", "20", "--engine", "fast-csr"])
+            == 0
+        )
+        assert "fast-csr" in capsys.readouterr().out
 
     def test_run_scenario_file(self, tmp_path, capsys):
         from repro.scenario import ScenarioSpec, WorkloadSpec

@@ -1,0 +1,322 @@
+"""The incremental CSR mirror: unit mechanics + decode-equality properties.
+
+The mirror (:class:`repro.core.csr.CSRMirror`) is only correct if, whenever
+its rows are read, they decode to *exactly* the engine's ragged adjacency --
+through arbitrary interleaved churn, label re-interning onto recycled
+free-list ids, in-place patches, tail relocations, and compacting rebuilds.
+The hypothesis property here drives exactly that churn (same recycled-label
+scripts as ``test_properties_hypothesis``) and checks full decode equality
+of adjacency, priorities and states after every change, with tiny
+slack/rebuild parameters so compaction happens constantly instead of never.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_mis import DynamicMIS
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.workloads.changes import (
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    apply_change_to_graph,
+)
+
+np = pytest.importorskip("numpy")
+
+from repro.core.csr import CSRMirror  # noqa: E402  (needs numpy)
+from repro.parallel.kernels import (  # noqa: E402
+    DESIRED_IN,
+    DESIRED_OUT,
+    DESIRED_UNCERTAIN,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_mirror_matches_engine(engine) -> None:
+    """Full decode equality: adjacency rows, priority plane, state plane."""
+    mirror = engine.csr_mirror
+    capacity = engine.capacity()
+    mirror.prepare(engine._adj, capacity)
+    mirror.check_layout(capacity)
+    assert mirror.decode(capacity) == [list(row) for row in engine._adj]
+    planes = engine.csr_planes()
+    assert planes["prio"].tolist() == engine._prio
+    assert planes["state"].tolist() == list(engine._state)
+    for label, nid in engine.interned_items():
+        assert planes["lengths"][nid] == engine.degree(label)
+
+
+# ----------------------------------------------------------------------
+# Unit mechanics (direct CSRMirror, no engine)
+# ----------------------------------------------------------------------
+class _Rows:
+    """Minimal ragged-adjacency stand-in: a list of int64 arrays."""
+
+    def __init__(self, rows: List[List[int]]) -> None:
+        self.rows = [np.asarray(row, dtype=np.int64) for row in rows]
+
+    def __getitem__(self, nid: int) -> np.ndarray:
+        return self.rows[nid]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def set(self, nid: int, row: List[int]) -> None:
+        self.rows[nid] = np.asarray(row, dtype=np.int64)
+
+
+def test_patch_in_place_within_slack() -> None:
+    rows = _Rows([[1, 2], [0], [0]])
+    mirror = CSRMirror(min_slack=4)
+    mirror.prepare(rows, 3)
+    assert mirror.rebuilds == 1  # fresh mirrors bootstrap with one rebuild
+    rows.set(0, [1, 2, 3])  # grows but fits the slack
+    mirror.mark(0)
+    mirror.prepare(rows, 3)
+    assert mirror.decode(3) == [[1, 2, 3], [0], [0]]
+    assert mirror.relocations == 0 and mirror.dead == 0
+
+
+def test_outgrown_row_relocates_to_the_tail() -> None:
+    rows = _Rows([[1], [0]])
+    mirror = CSRMirror(min_slack=1)
+    mirror.prepare(rows, 2)
+    old_start = int(mirror.starts[0])
+    rows.set(0, [1, 2, 3, 4, 5])  # far past cap = 2
+    mirror.mark(0)
+    mirror.prepare(rows, 2)
+    assert mirror.decode(2) == [[1, 2, 3, 4, 5], [0]]
+    assert mirror.relocations == 1
+    assert int(mirror.starts[0]) != old_start
+    assert mirror.dead > 0  # the abandoned slab is accounted
+    mirror.check_layout(2)
+
+
+def test_dead_space_triggers_compacting_rebuild() -> None:
+    rows = _Rows([[], []])
+    mirror = CSRMirror(min_slack=0, rebuild_floor=1)
+    mirror.prepare(rows, 2)
+    generation = mirror.generation
+    grown: List[int] = []
+    for step in range(1, 30):
+        grown.append(step)
+        rows.set(0, list(grown))  # relentless growth => repeated relocation
+        mirror.mark(0)
+        mirror.prepare(rows, 2)
+        assert mirror.decode(2) == [grown, []]
+        mirror.check_layout(2)
+    assert mirror.rebuilds > 1, "dead space never triggered compaction"
+    assert mirror.generation > generation
+    assert mirror.dead * 2 <= mirror.tail + 1  # compaction kept waste bounded
+
+
+def test_prepare_patches_only_requested_rows() -> None:
+    rows = _Rows([[1], [0], []])
+    mirror = CSRMirror()
+    mirror.prepare(rows, 3)
+    rows.set(0, [1, 2])
+    rows.set(1, [0, 2])
+    mirror.mark(0)
+    mirror.mark(1)
+    before = mirror.patched_rows
+    mirror.prepare(rows, 3, rows=np.asarray([0], dtype=np.int64))
+    assert mirror.patched_rows == before + 1  # row 1 stays dirty
+    assert mirror.dirty_count() == 1
+    assert mirror.row(0).tolist() == [1, 2]
+    mirror.prepare(rows, 3)
+    assert mirror.dirty_count() == 0
+    assert mirror.decode(3) == [[1, 2], [0, 2], []]
+
+
+def test_desired_codes_matches_serial_semantics() -> None:
+    # 0 -- 1 -- 2 chain; priorities 0 < 1 < 2, node 0 in the MIS.
+    rows = _Rows([[1], [0, 2], [1]])
+    mirror = CSRMirror()
+    mirror.prepare(rows, 3)
+    prio = np.asarray([0.0, 1.0, 2.0])
+    state = np.asarray([1, 0, 0], dtype=np.uint8)
+    codes = mirror.desired_codes(np.arange(3, dtype=np.int64), state, prio)
+    # 0: no earlier in-MIS neighbor -> IN; 1: blocked by 0 -> OUT;
+    # 2: neighbor 1 is out -> IN.
+    assert codes.tolist() == [DESIRED_IN, DESIRED_OUT, DESIRED_IN]
+    # An exact priority tie against an in-MIS neighbor must escape serially,
+    # and an earlier in-MIS neighbor must dominate a simultaneous tie.
+    tie_prio = np.asarray([1.0, 1.0, 1.0])
+    codes = mirror.desired_codes(np.arange(3, dtype=np.int64), state, tie_prio)
+    assert codes.tolist() == [DESIRED_IN, DESIRED_UNCERTAIN, DESIRED_IN]
+    both = _Rows([[1], [0, 2], [1]])
+    blocked_and_tied = CSRMirror()
+    blocked_and_tied.prepare(both, 3)
+    mixed_prio = np.asarray([0.0, 1.0, 1.0])
+    mixed_state = np.asarray([1, 0, 1], dtype=np.uint8)
+    codes = blocked_and_tied.desired_codes(
+        np.asarray([1], dtype=np.int64), mixed_state, mixed_prio
+    )
+    assert codes.tolist() == [DESIRED_OUT]
+
+
+def test_later_frontier_breaks_ties_with_full_keys() -> None:
+    rows = _Rows([[1, 2], [], []])
+    mirror = CSRMirror()
+    mirror.prepare(rows, 3)
+    prio = np.asarray([1.0, 1.0, 2.0])
+    keys = [(1.0, 0), (1.0, 1), (2.0, 0)]  # node 1 ties node 0, later by key
+    frontier = mirror.later_frontier(np.asarray([0], dtype=np.int64), prio, keys)
+    assert frontier.tolist() == [1, 2]
+    keys = [(1.0, 1), (1.0, 0), (2.0, 0)]  # now node 1 is *earlier* by key
+    frontier = mirror.later_frontier(np.asarray([0], dtype=np.int64), prio, keys)
+    assert frontier.tolist() == [2]
+
+
+# ----------------------------------------------------------------------
+# Property: decode equality through interleaved churn (satellite)
+# ----------------------------------------------------------------------
+@st.composite
+def interleaved_churn_scripts(draw) -> Tuple[int, List]:
+    """Valid-by-construction churn over a small recycled label pool.
+
+    Deleting a label and re-inserting it later lands on a different free-list
+    id, so the mirror's recycled rows are exercised constantly.
+    """
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    pool = [f"r{i}" for i in range(6)]
+    working = DynamicGraph()
+    script: List = []
+    num_steps = draw(st.integers(min_value=1, max_value=24))
+    for _ in range(num_steps):
+        present = sorted(working.nodes(), key=repr)
+        absent = [label for label in pool if not working.has_node(label)]
+        options = []
+        if absent:
+            options.append("insert_node")
+        if present:
+            options.append("delete_node")
+        missing_edges = [
+            (u, v)
+            for i, u in enumerate(present)
+            for v in present[i + 1 :]
+            if not working.has_edge(u, v)
+        ]
+        if missing_edges:
+            options.append("insert_edge")
+        if working.num_edges() > 0:
+            options.append("delete_edge")
+        action = draw(st.sampled_from(options))
+        if action == "insert_node":
+            label = draw(st.sampled_from(absent))
+            neighbors = (
+                tuple(draw(st.lists(st.sampled_from(present), unique=True))) if present else ()
+            )
+            change = NodeInsertion(label, neighbors)
+        elif action == "delete_node":
+            change = NodeDeletion(draw(st.sampled_from(present)), graceful=draw(st.booleans()))
+        elif action == "insert_edge":
+            change = EdgeInsertion(*draw(st.sampled_from(missing_edges)))
+        else:
+            change = EdgeDeletion(*draw(st.sampled_from(working.edges())))
+        apply_change_to_graph(working, change)
+        script.append(change)
+    return seed, script
+
+
+@COMMON_SETTINGS
+@given(interleaved_churn_scripts())
+def test_mirror_decodes_exactly_after_every_change(script_case) -> None:
+    seed, script = script_case
+    maintainer = DynamicMIS(seed=seed, engine="fast-csr")
+    engine = maintainer.engine
+    assert engine.csr_mirror is not None
+    for change in script:
+        maintainer.apply(change)
+        _assert_mirror_matches_engine(engine)
+        engine.check_interning_invariants()  # includes its own decode check
+    maintainer.verify()
+
+
+@COMMON_SETTINGS
+@given(interleaved_churn_scripts())
+def test_mirror_decodes_exactly_under_forced_compaction(script_case) -> None:
+    """Zero slack + floor-1 rebuilds: every regrowth relocates, waste compacts."""
+    seed, script = script_case
+    maintainer = DynamicMIS(seed=seed, engine="fast-csr")
+    engine = maintainer.engine
+    engine._csr = CSRMirror(min_slack=0, rebuild_floor=1)
+    engine._csr_mark = engine._csr.mark  # the engine hoists the bound add
+    for change in script:
+        maintainer.apply(change)
+        _assert_mirror_matches_engine(engine)
+    maintainer.verify()
+
+
+@COMMON_SETTINGS
+@given(interleaved_churn_scripts())
+def test_mirror_decodes_exactly_after_batched_apply(script_case) -> None:
+    """The whole script as one atomic batch, CSR wave forced on every level."""
+    import repro.core.fast_engine as fast_engine
+
+    seed, script = script_case
+    maintainer = DynamicMIS(seed=seed, engine="fast-csr")
+    original = fast_engine._CSR_LEVEL_THRESHOLD
+    fast_engine._CSR_LEVEL_THRESHOLD = 1
+    try:
+        maintainer.engine.apply_batch(script)
+    finally:
+        fast_engine._CSR_LEVEL_THRESHOLD = original
+    _assert_mirror_matches_engine(maintainer.engine)
+    maintainer.verify()
+
+
+def test_snapshot_restore_resets_the_mirror() -> None:
+    maintainer = DynamicMIS(seed=3, engine="fast-csr")
+    engine = maintainer.engine
+    maintainer.apply(NodeInsertion("a", ()))
+    maintainer.apply(NodeInsertion("b", ("a",)))
+    rewind = engine.snapshot()
+    maintainer.apply(NodeDeletion("a"))
+    engine.restore(rewind)
+    _assert_mirror_matches_engine(engine)
+    assert maintainer.states() == {"a": True, "b": False} or maintainer.states() == {
+        "a": False,
+        "b": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# The incremental priority mirror (satellite: no per-batch O(n) copy)
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(interleaved_churn_scripts())
+def test_priority_mirror_tracks_prio_incrementally(script_case) -> None:
+    seed, script = script_case
+    for name in ("fast", "fast-csr"):
+        maintainer = DynamicMIS(seed=seed, engine=name)
+        engine = maintainer.engine
+        for change in script:
+            maintainer.apply(change)
+            capacity = engine.capacity()
+            assert len(engine._prio_np) >= capacity
+            assert engine._prio_np[:capacity].tolist() == engine._prio
+
+
+def test_priority_mirror_survives_restore() -> None:
+    maintainer = DynamicMIS(seed=9, engine="fast")
+    engine = maintainer.engine
+    maintainer.apply(NodeInsertion("a", ()))
+    maintainer.apply(NodeInsertion("b", ("a",)))
+    rewind = engine.snapshot()
+    maintainer.apply(NodeDeletion("b"))
+    engine.restore(rewind)
+    capacity = engine.capacity()
+    assert engine._prio_np[:capacity].tolist() == engine._prio

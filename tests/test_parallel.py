@@ -78,7 +78,7 @@ class TestPoolMechanics:
 
     def test_pool_backends_constant(self):
         assert POOL_BACKENDS == ("fork", "spawn", "serial")
-        assert set(KERNELS) == {"engine_desired", "network_guards"}
+        assert set(KERNELS) == {"engine_desired", "engine_desired_csr", "network_guards"}
 
     def test_engine_kernel_matches_manual_evaluation(self):
         # A 5-node path graph: state alternates, priorities strictly ordered.
@@ -105,6 +105,44 @@ class TestPoolMechanics:
         pool.close()
 
         # Desired == no earlier in-MIS neighbor, computed longhand.
+        expected = []
+        for nid in range(num):
+            earlier_in = any(
+                state[m] and prio[m] < prio[nid] for m in adjacency[nid]
+            )
+            expected.append(DESIRED_OUT if earlier_in else DESIRED_IN)
+        assert list(codes) == expected
+
+    def test_csr_kernel_matches_indptr_kernel(self):
+        # Same 5-node path graph, but published through the slacked CSR
+        # layout (starts/lengths, rows padded with garbage slack entries that
+        # the kernel must not read).
+        num = 5
+        state = bytes([1, 0, 1, 0, 0])
+        prio = array("d", [0.1, 0.2, 0.3, 0.4, 0.5])
+        adjacency = [[1], [0, 2], [1, 3], [2, 4], [3]]
+        starts = array("q")
+        lengths = array("q")
+        indices = array("q")
+        for row in adjacency:
+            starts.append(len(indices))
+            lengths.append(len(row))
+            indices.extend(row)
+            indices.append(-1)  # slack: must never be dereferenced
+        frontier = array("q", range(num))
+
+        pool = WorkerPool(workers=2, min_chunk=1)
+        pool.publish("e_state", state)
+        pool.publish("e_prio", prio.tobytes())
+        pool.publish("e_starts", starts.tobytes())
+        pool.publish("e_lengths", lengths.tobytes())
+        pool.publish("e_indices", indices.tobytes())
+        pool.publish("e_frontier", frontier.tobytes())
+        pool.ensure("e_out", num)
+        assert pool.run("engine_desired_csr", num) is True
+        codes = bytes(pool.view("e_out"))
+        pool.close()
+
         expected = []
         for nid in range(num):
             earlier_in = any(
@@ -254,6 +292,33 @@ def test_batch_repair_wave_parallel_matches_serial(parallel_engine):
     )
     assert sum(pool.tasks_run for pool in parallel_engine) > 0
     assert not any(pool.broken for pool in parallel_engine)
+
+
+def test_batch_repair_wave_parallel_csr_matches_serial():
+    """A pooled engine with a CSR mirror publishes the mirror planes and runs
+    the ``engine_desired_csr`` kernel — still bit-identical to serial fast."""
+    pytest.importorskip("numpy")
+    pools = []
+
+    def factory(**kwargs):
+        engine = FastEngine(csr=True, **kwargs)
+        pool = WorkerPool(workers=2, min_chunk=1)
+        engine.attach_parallel(pool)
+        pools.append(pool)
+        return engine
+
+    register_engine("fast-csr-par", factory, overwrite=True)
+    try:
+        graph, changes = conformance_workload(seed=17, num_changes=160, start_nodes=32)
+        replay_batch_differential(
+            graph, changes, seed=17, engines=("fast", "fast-csr-par"), max_batch=12
+        )
+    finally:
+        unregister_engine("fast-csr-par")
+        for pool in pools:
+            pool.close()
+    assert sum(pool.tasks_run for pool in pools) > 0
+    assert not any(pool.broken for pool in pools)
 
 
 @pytest.fixture

@@ -105,7 +105,7 @@ def scenario_specs(draw):
         scheduler = draw(scheduler_records())
     backend = BackendSpec(
         runner=runner,
-        engine=draw(st.sampled_from(("template", "fast"))),
+        engine=draw(st.sampled_from(("template", "fast", "fast-csr"))),
         network=draw(st.sampled_from(("dict", "fast"))),
         protocol=protocol,
         scheduler=scheduler,
@@ -165,6 +165,16 @@ class TestRoundTrip:
         assert spec.graph == GraphSpec()
         assert spec.backend == BackendSpec()
         assert spec.workload.num_changes == 10
+
+    def test_fast_csr_backend_round_trips_and_validates(self):
+        spec = ScenarioSpec(
+            name="csr-trip",
+            workload=WorkloadSpec(kind="mixed_churn", num_changes=5),
+            backend=BackendSpec(engine="fast-csr"),
+        )
+        spec.validate()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_dict(spec.to_dict()).backend.engine == "fast-csr"
 
 
 class TestShippedSpecFiles:
@@ -252,6 +262,10 @@ class TestStrictDecoding:
     def test_bad_engine_name_raises_the_registry_error(self):
         with pytest.raises(UnknownEngineError, match="did you mean 'fast'"):
             BackendSpec(engine="fsat").validate()
+
+    def test_near_miss_of_the_csr_engine_has_did_you_mean(self):
+        with pytest.raises(UnknownEngineError, match="did you mean 'fast-csr'"):
+            BackendSpec(engine="fast-cs").validate()
 
     def test_bad_network_name_raises_the_registry_error(self):
         with pytest.raises(UnknownNetworkError, match="did you mean 'dict'"):
